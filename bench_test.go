@@ -1,0 +1,391 @@
+// Benchmarks regenerating every experiment of DESIGN.md §3 (E1–E12), one
+// Benchmark function per experiment. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The companion cmd/lplbench binary prints the corresponding human-readable
+// tables; EXPERIMENTS.md records the measured results next to the paper's
+// claims.
+package lpltsp_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"lpltsp"
+	"lpltsp/internal/bench"
+	"lpltsp/internal/coloring"
+	"lpltsp/internal/core"
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/matching"
+	"lpltsp/internal/modular"
+	"lpltsp/internal/pathpart"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/tsp"
+)
+
+// BenchmarkE1Reduction measures the O(nm) reduction build (Theorem 2).
+func BenchmarkE1Reduction(b *testing.B) {
+	for _, n := range []int{100, 200, 400, 800} {
+		g := lpltsp.RandomSmallDiameter(1, n, 4, 4.0/float64(n))
+		p := lpltsp.Vector{2, 2, 1, 1}
+		b.Run(fmt.Sprintf("n=%d/m=%d", n, g.M()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Reduce(g, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2Equivalence times the full reduction→exact→recovery pipeline
+// on the instance family used for the equivalence experiment.
+func BenchmarkE2Equivalence(b *testing.B) {
+	g := lpltsp.RandomSmallDiameter(2, 10, 3, 0.3)
+	p := lpltsp.Vector{2, 2, 1}
+	b.Run("reduction-route/n=10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := lpltsp.Solve(g, p, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bruteforce-route/n=10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := lpltsp.BruteForceExact(g, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3HeldKarp measures the O(2ⁿn²) exact algorithm (Corollary 1).
+func BenchmarkE3HeldKarp(b *testing.B) {
+	for _, n := range []int{12, 14, 16, 18} {
+		g := lpltsp.RandomSmallDiameter(3, n, 3, 0.3)
+		p := lpltsp.Vector{2, 2, 1}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lpltsp.Solve(g, p, &lpltsp.Options{Algorithm: lpltsp.AlgoHeldKarp}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4Approx measures the polynomial 1.5-approximation.
+func BenchmarkE4Approx(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		g := lpltsp.RandomSmallDiameter(4, n, 3, 0.1)
+		p := lpltsp.Vector{2, 2, 1}
+		b.Run(fmt.Sprintf("christofides-path/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lpltsp.Approximate(g, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Heuristics compares the TSP engines on a mid-size instance
+// (the paper's practical claim).
+func BenchmarkE5Heuristics(b *testing.B) {
+	g := lpltsp.RandomSmallDiameter(5, 120, 3, 0.08)
+	p := lpltsp.Vector{2, 2, 1}
+	for _, algo := range []lpltsp.Algorithm{
+		lpltsp.AlgoNearestNeighbor, lpltsp.AlgoGreedyEdge, lpltsp.AlgoTwoOpt,
+		lpltsp.AlgoChristofides, lpltsp.AlgoChained,
+	} {
+		b.Run(fmt.Sprintf("%s/n=120", algo), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := lpltsp.Solve(g, p, &lpltsp.Options{
+					Algorithm: algo,
+					Chained:   &lpltsp.ChainedOptions{Restarts: 2, Kicks: 10, Seed: 7},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("greedy-labeling-baseline/n=120", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := lpltsp.GreedyFirstFit(g, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6Figure1 times the Figure 1 reconstruction.
+func BenchmarkE6Figure1(b *testing.B) {
+	g := lpltsp.Figure1Graph()
+	p := lpltsp.Vector{2, 2, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lpltsp.Solve(g, p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7Diameter2 measures the Corollary 2 pipeline (partition into
+// paths, exact DP) against the reduction route.
+func BenchmarkE7Diameter2(b *testing.B) {
+	for _, n := range []int{12, 16, 20} {
+		g := lpltsp.RandomDiameter2(7, n, 0.35)
+		b.Run(fmt.Sprintf("pathpartition/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lpltsp.SolveDiameter2(g, 1, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("reduction/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lpltsp.Lambda(g, lpltsp.Vector{1, 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7Cograph measures the cotree path-cover route: exact λ_{p,q}
+// for cographs far beyond the 2ⁿ DP's reach.
+func BenchmarkE7Cograph(b *testing.B) {
+	for _, n := range []int{100, 500, 2000} {
+		g := lpltsp.RandomCograph(17, n)
+		b.Run(fmt.Sprintf("cotree-lambda/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lpltsp.LambdaCograph(g, 2, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA4TreeAlgorithm measures the Chang–Kuo-style exact tree solver.
+func BenchmarkA4TreeAlgorithm(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		g := graph.RandomTree(rng.New(18), n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := labeling.TreeLambda21(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8FPTL1 measures the Theorem 4 route: nd-FPT coloring of G².
+func BenchmarkE8FPTL1(b *testing.B) {
+	for _, ell := range []int{3, 5, 7} {
+		sizes := make([]int, ell)
+		for i := range sizes {
+			sizes[i] = 6
+		}
+		g := lpltsp.RandomLowND(8, sizes, 0.5, 0.7)
+		b.Run(fmt.Sprintf("nd-fpt/l=%d/n=%d", ell, g.N()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := lpltsp.L1Exact(g, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Baseline: general exact coloring on the same power graph (small ℓ
+	// only; it is exponential in n, not in ℓ).
+	sizes := []int{6, 6, 6}
+	g := lpltsp.RandomLowND(8, sizes, 0.5, 0.7)
+	pk := g.Power(2)
+	b.Run("general-exact/l=3/n=18", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := coloring.Exact(pk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9PmaxApprox measures the Corollary 3 approximation.
+func BenchmarkE9PmaxApprox(b *testing.B) {
+	g := lpltsp.RandomSmallDiameter(9, 40, 2, 0.4)
+	p := lpltsp.Vector{2, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lpltsp.PmaxApprox(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Params measures nd and mw computation (Propositions 1–2
+// machinery).
+func BenchmarkE10Params(b *testing.B) {
+	g := lpltsp.RandomGNP(10, 60, 0.3)
+	b.Run("nd/n=60", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := rng.New(uint64(i))
+			_ = r
+			nd, _ := modular.ND(g)
+			if nd <= 0 {
+				b.Fatal("bad nd")
+			}
+		}
+	})
+	small := lpltsp.RandomGNP(11, 20, 0.3)
+	b.Run("mw/n=20", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if modular.Width(small) <= 0 {
+				b.Fatal("bad mw")
+			}
+		}
+	})
+}
+
+// BenchmarkE11Gadgets measures the hardness-gadget roundtrip checks.
+func BenchmarkE11Gadgets(b *testing.B) {
+	g := lpltsp.RandomGNP(12, 9, 0.5)
+	b.Run("thm1-hampath-oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gadget, w, wp := lpltsp.HamPathGadget(g, 0)
+			gadget.HasHamiltonianPathBetween(w, wp)
+		}
+	})
+	b.Run("thm3-griggsyeh-lambda", func(b *testing.B) {
+		gadget := lpltsp.GriggsYehGadget(g)
+		for i := 0; i < b.N; i++ {
+			if _, err := lpltsp.Lambda(gadget, lpltsp.L21()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE12Classes measures the exact engine on the closed-form
+// classes.
+func BenchmarkE12Classes(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *lpltsp.Graph
+	}{
+		{"K8", lpltsp.CompleteGraph(8)},
+		{"Star10", lpltsp.StarGraph(10)},
+		{"Wheel10", lpltsp.WheelGraph(10)},
+		{"C5", lpltsp.CycleGraph(5)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lpltsp.Lambda(tc.g, lpltsp.L21()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- substrate micro-benchmarks (allocation discipline of hot paths) ---
+
+func BenchmarkSubstrateAPSP(b *testing.B) {
+	g := lpltsp.RandomGNP(13, 500, 0.02)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.AllPairsDistances()
+	}
+}
+
+func BenchmarkSubstrateBlossom(b *testing.B) {
+	r := rng.New(14)
+	n := 60
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x := int64(2 + r.Intn(3))
+			w[i][j], w[j][i] = x, x
+		}
+	}
+	wf := func(i, j int) int64 { return w[i][j] }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := matching.MinWeightPerfect(n, wf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateTwoOpt(b *testing.B) {
+	r := rng.New(15)
+	ins := tsp.NewInstance(200)
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			ins.SetWeight(i, j, int64(1+r.Intn(2)))
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := tsp.Tour(rng.New(uint64(i)).Perm(200))
+		tsp.TwoOptPath(ins, t)
+	}
+}
+
+func BenchmarkSubstratePathPartition(b *testing.B) {
+	g := lpltsp.RandomDiameter2(16, 18, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pathpart.Exact(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateBruteVsReduction(b *testing.B) {
+	g := graph.RandomSmallDiameter(rng.New(17), 9, 2, 0.4)
+	p := labeling.L21()
+	b.Run("brute/n=9", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := labeling.BruteForceExact(g, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reduction/n=9", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Lambda(g, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTables regenerates the full experiment table set (what
+// cmd/lplbench prints), at reduced scale so a single iteration is cheap.
+func BenchmarkTables(b *testing.B) {
+	cfg := bench.Config{Seed: 1, Trials: 4, Scale: 1}
+	for i := 0; i < b.N; i++ {
+		for _, tab := range bench.All(cfg) {
+			tab.Fprint(io.Discard)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command lplbench regenerates the experiment tables E1–E12 of DESIGN.md
+// §3 — the measurable form of every theorem, corollary, proposition, and
+// figure in the paper — and prints them to stdout.
+//
+// Usage:
+//
+//	lplbench                 # all experiments, full scale
+//	lplbench -only E4,E5     # a subset
+//	lplbench -scale 1        # reduced sweeps (fast smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lpltsp/internal/bench"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 2023, "experiment seed")
+		trials    = flag.Int("trials", 0, "trials per parameter point (0 = experiment default)")
+		scale     = flag.Int("scale", 0, "0 = full sweeps, 1 = reduced")
+		only      = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4,A2)")
+		ablations = flag.Bool("ablations", false, "also run the ablation tables A1–A4")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	tables := bench.All(cfg)
+	if *ablations || anyAblation(want) {
+		tables = append(tables, bench.Ablations(cfg)...)
+	}
+	printed := 0
+	for _, tab := range tables {
+		if len(want) > 0 && !want[tab.ID] {
+			continue
+		}
+		tab.Fprint(os.Stdout)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintln(os.Stderr, "lplbench: no experiments matched -only")
+		os.Exit(1)
+	}
+}
+
+func anyAblation(want map[string]bool) bool {
+	for id := range want {
+		if strings.HasPrefix(id, "A") {
+			return true
+		}
+	}
+	return false
+}

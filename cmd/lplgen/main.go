@@ -1,0 +1,80 @@
+// Command lplgen generates labeling workload graphs in DIMACS edge format
+// on stdout. Families cover the experiment suites: small-diameter random
+// graphs (the paper's setting), diameter-2 graphs (Corollary 2), low-nd
+// graphs (Theorem 4), and the classical closed-form classes.
+//
+// Usage:
+//
+//	lplgen -family smalldiam -n 100 -k 3 -seed 7 > g.col
+//	lplgen -family wheel -n 10 > wheel.col
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lpltsp"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "smalldiam",
+			"smalldiam|diameter2|gnp|cograph|lownd|tree|path|cycle|complete|star|wheel|multipartite|figure1")
+		n     = flag.Int("n", 50, "number of vertices")
+		k     = flag.Int("k", 3, "diameter bound (smalldiam)")
+		prob  = flag.Float64("p", 0.2, "edge probability (gnp/diameter2) or extra-edge rate (smalldiam)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		parts = flag.Int("parts", 3, "number of classes (lownd/multipartite)")
+	)
+	flag.Parse()
+
+	var g *lpltsp.Graph
+	switch *family {
+	case "smalldiam":
+		g = lpltsp.RandomSmallDiameter(*seed, *n, *k, *prob)
+	case "diameter2":
+		g = lpltsp.RandomDiameter2(*seed, *n, *prob)
+	case "gnp":
+		g = lpltsp.RandomGNP(*seed, *n, *prob)
+	case "cograph":
+		g = lpltsp.RandomCograph(*seed, *n)
+	case "lownd":
+		sizes := make([]int, *parts)
+		base := *n / *parts
+		for i := range sizes {
+			sizes[i] = base
+		}
+		sizes[0] += *n - base*(*parts)
+		g = lpltsp.RandomLowND(*seed, sizes, 0.5, 0.6)
+	case "tree":
+		g = lpltsp.RandomTreeGraph(*seed, *n)
+	case "path":
+		g = lpltsp.PathGraph(*n)
+	case "cycle":
+		g = lpltsp.CycleGraph(*n)
+	case "complete":
+		g = lpltsp.CompleteGraph(*n)
+	case "star":
+		g = lpltsp.StarGraph(*n)
+	case "wheel":
+		g = lpltsp.WheelGraph(*n)
+	case "multipartite":
+		sizes := make([]int, *parts)
+		base := *n / *parts
+		for i := range sizes {
+			sizes[i] = base
+		}
+		sizes[0] += *n - base*(*parts)
+		g = lpltsp.CompleteMultipartiteGraph(sizes...)
+	case "figure1":
+		g = lpltsp.Figure1Graph()
+	default:
+		fmt.Fprintf(os.Stderr, "lplgen: unknown family %q\n", *family)
+		os.Exit(1)
+	}
+	if err := lpltsp.WriteGraph(os.Stdout, g); err != nil {
+		fmt.Fprintln(os.Stderr, "lplgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestParseVector(t *testing.T) {
+	p, err := parseVector("2,1")
+	if err != nil || len(p) != 2 || p[0] != 2 || p[1] != 1 {
+		t.Fatalf("parseVector(2,1) = %v, %v", p, err)
+	}
+	p, err = parseVector(" 3 , 2 , 1 ")
+	if err != nil || len(p) != 3 || p[2] != 1 {
+		t.Fatalf("whitespace handling: %v, %v", p, err)
+	}
+	if _, err := parseVector("2,x"); err == nil {
+		t.Fatal("expected error for non-numeric entry")
+	}
+	if _, err := parseVector(""); err == nil {
+		t.Fatal("expected error for empty string")
+	}
+}

@@ -1,0 +1,55 @@
+// Frequency assignment: the motivating application of L(2,1)-labeling
+// (Hale 1980, Roberts 1991). Transmitters that are "very close"
+// (adjacent) must get channels ≥ 2 apart; transmitters that are "close"
+// (distance 2) must get different channels. The span is the bandwidth.
+//
+// The scenario: a dense metro network of n transmitters around a backbone
+// hub — interference graphs of such networks have small diameter, which is
+// exactly the regime where the paper's reduction applies. We solve it
+// exactly through the reduction, then show what the classical greedy
+// heuristic would have paid in extra bandwidth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lpltsp"
+)
+
+func main() {
+	const n = 16
+	// Interference graph: diameter ≤ 2 (urban core with a relay hub).
+	g := lpltsp.RandomDiameter2(4, n, 0.5)
+	p := lpltsp.L21()
+
+	exact, err := lpltsp.Solve(g, p, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, greedySpan, err := lpltsp.GreedyFirstFit(g, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heur, err := lpltsp.Heuristic(g, p, &lpltsp.ChainedOptions{Restarts: 4, Kicks: 30, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transmitters: %d, interference links: %d, diameter ≤ 2\n", g.N(), g.M())
+	fmt.Printf("optimal bandwidth (λ_{2,1}):        %d channels 0..%d\n", exact.Span, exact.Span)
+	fmt.Printf("chained TSP heuristic:              %d\n", heur.Span)
+	fmt.Printf("classical greedy first-fit:         %d (+%d channels wasted)\n",
+		greedySpan, greedySpan-exact.Span)
+
+	fmt.Println("\nchannel assignment (optimal):")
+	for v, ch := range exact.Labeling {
+		fmt.Printf("  transmitter %2d -> channel %2d\n", v, ch)
+	}
+
+	// Double-check: no interference constraint violated.
+	if err := lpltsp.Verify(g, p, exact.Labeling); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nno interference constraints violated ✓")
+}

@@ -1,0 +1,83 @@
+package lpltsp
+
+import (
+	"lpltsp/internal/graph"
+	"lpltsp/internal/rng"
+)
+
+// Deterministic generators for the classical graph families and the seeded
+// random workloads used by the experiments. All random generators are pure
+// functions of their seed.
+
+// PathGraph returns the path P_n.
+func PathGraph(n int) *Graph { return graph.Path(n) }
+
+// CycleGraph returns the cycle C_n (n ≥ 3).
+func CycleGraph(n int) *Graph { return graph.Cycle(n) }
+
+// CompleteGraph returns K_n.
+func CompleteGraph(n int) *Graph { return graph.Complete(n) }
+
+// StarGraph returns the star K_{1,n-1} with center 0.
+func StarGraph(n int) *Graph { return graph.Star(n) }
+
+// WheelGraph returns the wheel on n vertices (hub 0 + cycle, n ≥ 4).
+func WheelGraph(n int) *Graph { return graph.Wheel(n) }
+
+// CompleteMultipartiteGraph returns the complete multipartite graph with
+// the given part sizes.
+func CompleteMultipartiteGraph(sizes ...int) *Graph {
+	return graph.CompleteMultipartite(sizes...)
+}
+
+// RandomGNP returns an Erdős–Rényi G(n,p) graph from the given seed.
+func RandomGNP(seed uint64, n int, p float64) *Graph {
+	return graph.GNP(rng.New(seed), n, p)
+}
+
+// RandomSmallDiameter returns a connected random graph with diameter
+// guaranteed ≤ k (backbone tree of depth ⌊k/2⌋ plus extra random edges
+// with probability extra). This is the workload family of the paper's
+// setting: small diameter, otherwise unstructured.
+func RandomSmallDiameter(seed uint64, n, k int, extra float64) *Graph {
+	return graph.RandomSmallDiameter(rng.New(seed), n, k, extra)
+}
+
+// RandomDiameter2 returns a connected random graph with diameter ≤ 2
+// (universal vertex + random edges).
+func RandomDiameter2(seed uint64, n int, p float64) *Graph {
+	return graph.RandomDiameter2(rng.New(seed), n, p)
+}
+
+// RandomCograph returns a random cograph (modular-width 2).
+func RandomCograph(seed uint64, n int) *Graph {
+	return graph.RandomCograph(rng.New(seed), n)
+}
+
+// RandomLowND returns a random graph with neighborhood diversity at most
+// len(sizes): each class a clique or independent set, classes fully joined
+// or fully separated at random.
+func RandomLowND(seed uint64, sizes []int, cliqueProb, joinProb float64) *Graph {
+	return graph.RandomNDGraph(rng.New(seed), sizes, cliqueProb, joinProb)
+}
+
+// RandomTreeGraph returns a random recursive tree on n vertices.
+func RandomTreeGraph(seed uint64, n int) *Graph {
+	return graph.RandomTree(rng.New(seed), n)
+}
+
+// Figure1Graph returns the 5-vertex diameter-3 running example from the
+// paper's Figure 1.
+func Figure1Graph() *Graph { return graph.Figure1Graph() }
+
+// GriggsYehGadget builds the Theorem 3 hardness construction: the
+// complement of g plus a universal vertex. λ_{2,1} of the gadget is
+// n+1 exactly when g has a Hamiltonian path.
+func GriggsYehGadget(g *Graph) *Graph { return graph.GriggsYehGadget(g) }
+
+// HamPathGadget builds the Theorem 1 construction from g and a vertex v,
+// returning the gadget and its two pendant terminals w, w': g has a
+// Hamiltonian cycle iff the gadget has a Hamiltonian path from w to w'.
+func HamPathGadget(g *Graph, v int) (gadget *Graph, w, wPrime int) {
+	return graph.HamPathGadget(g, v)
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallConfig() Config {
+	return Config{Seed: 99, Trials: 6, Scale: 1}
+}
+
+// TestAllTablesRender runs every experiment at reduced scale and checks
+// each renders a non-empty table.
+func TestAllTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	tables := All(smallConfig())
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", tab.ID)
+		}
+		var buf bytes.Buffer
+		tab.Fprint(&buf)
+		out := buf.String()
+		if !strings.Contains(out, tab.ID) || !strings.Contains(out, tab.Header[0]) {
+			t.Fatalf("%s rendered badly:\n%s", tab.ID, out)
+		}
+	}
+}
+
+// TestCorrectnessExperimentsAllAgree asserts that every agreement counter
+// in the correctness experiments is x/x — the paper's equivalences hold on
+// every sampled instance.
+func TestCorrectnessExperimentsAllAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	if failures := Verify(smallConfig()); len(failures) > 0 {
+		t.Fatalf("experiment disagreements:\n%s", strings.Join(failures, "\n"))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Header: []string{"a", "long-header"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"X — demo", "long-header", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

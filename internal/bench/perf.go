@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"lpltsp/internal/core"
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/stats"
+	"lpltsp/internal/tsp"
+)
+
+// Config scales the experiment sweeps. DefaultConfig is what cmd/lplbench
+// uses; bench_test.go passes smaller values under -short.
+type Config struct {
+	Seed   uint64
+	Trials int // trials per parameter point
+	Scale  int // 0 = full sweeps, 1 = reduced sweeps
+}
+
+// DefaultConfig returns the full-size configuration.
+func DefaultConfig() Config { return Config{Seed: 2023, Trials: 20} }
+
+func (c Config) trials(full int) int {
+	if c.Trials > 0 && c.Trials < full {
+		return c.Trials
+	}
+	return full
+}
+
+// E1Reduction measures the wall time of the Theorem 2 reduction across a
+// size sweep and fits the empirical growth exponent against n·m.
+func E1Reduction(cfg Config) *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "reduction build time (Theorem 2: O(nm))",
+		Header: []string{"n", "m", "k", "reduce-time", "ns/(n·m)"},
+	}
+	sizes := []int{100, 200, 400, 800, 1600}
+	if cfg.Scale > 0 {
+		sizes = []int{50, 100, 200}
+	}
+	r := rng.New(cfg.Seed)
+	var logNM, logT []float64
+	for _, n := range sizes {
+		k := 4
+		g := graph.RandomSmallDiameter(r, n, k, 4.0/float64(n))
+		p := labeling.Vector{2, 2, 1, 1}
+		// Warm once, then time the best of 3 (reduces scheduler noise).
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			if _, err := core.Reduce(g, p); err != nil {
+				t.AddNote("n=%d: %v", n, err)
+				break
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		nm := float64(n) * float64(g.M())
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(g.M()), fmt.Sprint(k), fmtDur(best),
+			fmtF(float64(best.Nanoseconds())/nm))
+		logNM = append(logNM, math.Log(nm))
+		logT = append(logT, math.Log(float64(best.Nanoseconds())))
+	}
+	t.AddNote("log-log slope of time vs n·m: %.2f (1.00 = exactly O(nm))",
+		stats.Slope(logNM, logT))
+	return t
+}
+
+// E3HeldKarp measures the exact solver's exponential scaling (Corollary 1:
+// O(2ⁿn²)) and compares with the reduction-free brute-force baseline.
+func E3HeldKarp(cfg Config) *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "exact λ_p: Held–Karp via reduction vs direct brute force (Corollary 1)",
+		Header: []string{"n", "HK-time", "×prev", "brute-time", "λ agreement"},
+	}
+	lo, hi := 8, 19
+	if cfg.Scale > 0 {
+		lo, hi = 8, 14
+	}
+	r := rng.New(cfg.Seed + 3)
+	prev := time.Duration(0)
+	for n := lo; n <= hi; n++ {
+		g := graph.RandomSmallDiameter(r, n, 3, 0.3)
+		p := labeling.Vector{2, 2, 1}
+		start := time.Now()
+		res, err := core.Solve(g, p, &core.Options{Algorithm: tsp.AlgoHeldKarp})
+		hkTime := time.Since(start)
+		if err != nil {
+			t.AddNote("n=%d: %v", n, err)
+			continue
+		}
+		ratio := "-"
+		if prev > 0 {
+			ratio = fmtF(float64(hkTime) / float64(prev))
+		}
+		prev = hkTime
+		bruteCell, agree := "(skipped)", "-"
+		if n <= labeling.BruteForceMaxN {
+			bs := time.Now()
+			_, span, err := labeling.BruteForceExact(g, p)
+			if err == nil {
+				bruteCell = fmtDur(time.Since(bs))
+				if span == res.Span {
+					agree = "yes"
+				} else {
+					agree = fmt.Sprintf("NO (%d vs %d)", res.Span, span)
+				}
+			}
+		}
+		t.AddRow(fmt.Sprint(n), fmtDur(hkTime), ratio, bruteCell, agree)
+	}
+	t.AddNote("×prev should hover near 2 (the 2ⁿ factor); small n is fixed-cost dominated")
+	return t
+}
+
+// E4Approx measures the Christofides-path approximation ratio against the
+// exact optimum (Corollary 1: ≤ 1.5).
+func E4Approx(cfg Config) *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "1.5-approximation quality (Corollary 1, Christofides/Hoogeveen path)",
+		Header: []string{"n", "k", "trials", "mean-ratio", "max-ratio", "exact-hits"},
+	}
+	sizes := []int{8, 12, 16, 18}
+	if cfg.Scale > 0 {
+		sizes = []int{8, 12}
+	}
+	r := rng.New(cfg.Seed + 4)
+	worst := 0.0
+	for _, n := range sizes {
+		for _, k := range []int{2, 3} {
+			var ratios []float64
+			hits := 0
+			trials := cfg.trials(20)
+			for trial := 0; trial < trials; trial++ {
+				g := graph.RandomSmallDiameter(r, n, k, 0.3)
+				p := randomP(r, k)
+				opt, err := core.Lambda(g, p)
+				if err != nil {
+					continue
+				}
+				apx, err := core.Approximate(g, p)
+				if err != nil {
+					continue
+				}
+				rat := stats.Ratio(float64(apx.Span), float64(opt))
+				ratios = append(ratios, rat)
+				if apx.Span == opt {
+					hits++
+				}
+				if rat > worst {
+					worst = rat
+				}
+			}
+			s := stats.Summarize(ratios)
+			t.AddRow(fmt.Sprint(n), fmt.Sprint(k), fmt.Sprint(s.N),
+				fmtF(s.Mean), fmtF(s.Max), fmt.Sprintf("%d/%d", hits, s.N))
+		}
+	}
+	t.AddNote("paper guarantee: max-ratio ≤ 1.5; measured worst = %.3f", worst)
+	return t
+}
+
+// E5Heuristics compares the TSP-engine family (the paper's practical
+// claim) against the exact optimum and the classical greedy-labeling
+// baseline.
+func E5Heuristics(cfg Config) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "TSP heuristic engines vs classical greedy labeling (practical claim, §I-A)",
+		Header: []string{"engine", "mean-ratio", "max-ratio", "opt-hits", "mean-time"},
+	}
+	n, k := 16, 3
+	trials := cfg.trials(25)
+	if cfg.Scale > 0 {
+		n, trials = 12, 10
+	}
+	r := rng.New(cfg.Seed + 5)
+	type acc struct {
+		ratios []float64
+		hits   int
+		total  time.Duration
+	}
+	engines := []tsp.Algorithm{
+		tsp.AlgoNearestNeighbor, tsp.AlgoGreedyEdge, tsp.AlgoTwoOpt,
+		tsp.AlgoChristofides, tsp.AlgoChained,
+	}
+	accs := make(map[string]*acc)
+	for _, e := range engines {
+		accs[string(e)] = &acc{}
+	}
+	accs["greedy-labeling"] = &acc{}
+	for trial := 0; trial < trials; trial++ {
+		g := graph.RandomSmallDiameter(r, n, k, 0.3)
+		p := randomP(r, k)
+		opt, err := core.Lambda(g, p)
+		if err != nil {
+			continue
+		}
+		for _, e := range engines {
+			start := time.Now()
+			res, err := core.Solve(g, p, &core.Options{
+				Algorithm: e,
+				Chained:   &tsp.ChainedOptions{Restarts: 4, Kicks: 30, Seed: cfg.Seed + uint64(trial)},
+			})
+			el := time.Since(start)
+			if err != nil {
+				continue
+			}
+			a := accs[string(e)]
+			a.ratios = append(a.ratios, stats.Ratio(float64(res.Span), float64(opt)))
+			if res.Span == opt {
+				a.hits++
+			}
+			a.total += el
+		}
+		start := time.Now()
+		_, span, err := labeling.GreedyFirstFit(g, p, labeling.OrderDegree)
+		el := time.Since(start)
+		if err == nil {
+			a := accs["greedy-labeling"]
+			a.ratios = append(a.ratios, stats.Ratio(float64(span), float64(opt)))
+			if span == opt {
+				a.hits++
+			}
+			a.total += el
+		}
+	}
+	order := append([]string{}, "greedy-labeling")
+	for _, e := range engines {
+		order = append(order, string(e))
+	}
+	for _, name := range order {
+		a := accs[name]
+		s := stats.Summarize(a.ratios)
+		mt := time.Duration(0)
+		if s.N > 0 {
+			mt = a.total / time.Duration(s.N)
+		}
+		t.AddRow(name, fmtF(s.Mean), fmtF(s.Max),
+			fmt.Sprintf("%d/%d", a.hits, s.N), fmtDur(mt))
+	}
+	t.AddNote("n=%d, k=%d, %d instances; ratio is span/λ (1.000 = optimal)", n, k, trials)
+	return t
+}
+
+func randomP(r *rng.RNG, k int) labeling.Vector {
+	pmin := 1 + r.Intn(3)
+	p := make(labeling.Vector, k)
+	for i := range p {
+		p[i] = pmin + r.Intn(pmin+1)
+	}
+	p[r.Intn(k)] = pmin
+	return p
+}

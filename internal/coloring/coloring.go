@@ -1,0 +1,239 @@
+// Package coloring implements graph coloring: greedy and DSATUR
+// heuristics, an exact branch-and-bound chromatic number, and the
+// neighborhood-diversity FPT coloring that powers Theorem 4
+// (L(1,…,1)-LABELING is FPT in modular-width, via COLORING of Gᵏ
+// parameterized by nd).
+//
+// A proper coloring of Gᵏ with c colors is exactly an L(1,…,1)-labeling
+// (k ones) with span c−1.
+package coloring
+
+import (
+	"fmt"
+	"sort"
+
+	"lpltsp/internal/graph"
+)
+
+// Coloring maps each vertex to a color in 0..c-1.
+type Coloring []int
+
+// NumColors returns the number of distinct colors used (max+1).
+func (c Coloring) NumColors() int {
+	m := -1
+	for _, x := range c {
+		if x > m {
+			m = x
+		}
+	}
+	return m + 1
+}
+
+// Verify checks that c is a proper coloring of g.
+func Verify(g *graph.Graph, c Coloring) error {
+	if len(c) != g.N() {
+		return fmt.Errorf("coloring: %d colors for %d vertices", len(c), g.N())
+	}
+	for v, cv := range c {
+		if cv < 0 {
+			return fmt.Errorf("coloring: vertex %d has negative color", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		if c[e[0]] == c[e[1]] {
+			return fmt.Errorf("coloring: edge {%d,%d} monochromatic (color %d)", e[0], e[1], c[e[0]])
+		}
+	}
+	return nil
+}
+
+// Greedy colors vertices in the given order with first-fit.
+func Greedy(g *graph.Graph, order []int) Coloring {
+	n := g.N()
+	c := make(Coloring, n)
+	for i := range c {
+		c[i] = -1
+	}
+	forbidden := make([]int, n+1)
+	stamp := 0
+	for _, v := range order {
+		stamp++
+		for _, u := range g.Neighbors(v) {
+			if cu := c[u]; cu >= 0 {
+				forbidden[cu] = stamp
+			}
+		}
+		col := 0
+		for forbidden[col] == stamp {
+			col++
+		}
+		c[v] = col
+	}
+	return c
+}
+
+// GreedyDegreeOrder colors by decreasing degree (Welsh–Powell).
+func GreedyDegreeOrder(g *graph.Graph) Coloring {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Degree(order[a]) > g.Degree(order[b])
+	})
+	return Greedy(g, order)
+}
+
+// DSATUR colors by the maximum-saturation heuristic (Brélaz).
+func DSATUR(g *graph.Graph) Coloring {
+	n := g.N()
+	c := make(Coloring, n)
+	for i := range c {
+		c[i] = -1
+	}
+	if n == 0 {
+		return c
+	}
+	satSets := make([]map[int]struct{}, n)
+	for i := range satSets {
+		satSets[i] = make(map[int]struct{})
+	}
+	colored := 0
+	for colored < n {
+		// Pick uncolored vertex with max saturation, tie-break by degree.
+		best, bestSat, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if c[v] >= 0 {
+				continue
+			}
+			sat, deg := len(satSets[v]), g.Degree(v)
+			if sat > bestSat || (sat == bestSat && deg > bestDeg) {
+				best, bestSat, bestDeg = v, sat, deg
+			}
+		}
+		col := 0
+		for {
+			if _, bad := satSets[best][col]; !bad {
+				break
+			}
+			col++
+		}
+		c[best] = col
+		for _, u := range g.Neighbors(best) {
+			if c[u] < 0 {
+				satSets[u][col] = struct{}{}
+			}
+		}
+		colored++
+	}
+	return c
+}
+
+// ExactMaxN caps the exact chromatic-number search.
+const ExactMaxN = 30
+
+// Exact computes the chromatic number and an optimal coloring by iterative
+// deepening with a DSATUR-ordered branch and bound.
+func Exact(g *graph.Graph) (Coloring, int, error) {
+	n := g.N()
+	if n > ExactMaxN {
+		return nil, 0, fmt.Errorf("coloring: exact limited to n <= %d, got %d", ExactMaxN, n)
+	}
+	if n == 0 {
+		return Coloring{}, 0, nil
+	}
+	ub := DSATUR(g).NumColors()
+	lb := cliqueLB(g)
+	for target := lb; target <= ub; target++ {
+		if c := tryColor(g, target); c != nil {
+			return c, target, nil
+		}
+	}
+	c := DSATUR(g)
+	return c, c.NumColors(), nil // unreachable in practice
+}
+
+// tryColor searches for a proper coloring with exactly ≤ target colors.
+func tryColor(g *graph.Graph, target int) Coloring {
+	n := g.N()
+	c := make(Coloring, n)
+	for i := range c {
+		c[i] = -1
+	}
+	// Order by decreasing degree for stronger early pruning.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Degree(order[a]) > g.Degree(order[b])
+	})
+	var rec func(idx, used int) bool
+	rec = func(idx, used int) bool {
+		if idx == n {
+			return true
+		}
+		v := order[idx]
+		var mask uint64
+		for _, u := range g.Neighbors(v) {
+			if cu := c[u]; cu >= 0 {
+				mask |= 1 << uint(cu)
+			}
+		}
+		limit := used + 1 // symmetry breaking: at most one brand-new color
+		if limit > target {
+			limit = target
+		}
+		for col := 0; col < limit; col++ {
+			if mask&(1<<uint(col)) != 0 {
+				continue
+			}
+			c[v] = col
+			nu := used
+			if col == used {
+				nu++
+			}
+			if rec(idx+1, nu) {
+				return true
+			}
+			c[v] = -1
+		}
+		return false
+	}
+	if rec(0, 0) {
+		return c
+	}
+	return nil
+}
+
+// cliqueLB returns the size of a greedy clique (a chromatic lower bound).
+func cliqueLB(g *graph.Graph) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	bestV, bestD := 0, -1
+	for v := 0; v < n; v++ {
+		if d := g.Degree(v); d > bestD {
+			bestV, bestD = v, d
+		}
+	}
+	clique := []int{bestV}
+	for v := 0; v < n; v++ {
+		if v == bestV {
+			continue
+		}
+		ok := true
+		for _, c := range clique {
+			if !g.HasEdge(v, c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, v)
+		}
+	}
+	return len(clique)
+}

@@ -1,0 +1,183 @@
+package coloring
+
+import (
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/rng"
+)
+
+func TestVerify(t *testing.T) {
+	g := graph.Cycle(4)
+	if err := Verify(g, Coloring{0, 1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, Coloring{0, 0, 1, 1}); err == nil {
+		t.Fatal("monochromatic edge must fail")
+	}
+	if err := Verify(g, Coloring{0, 1, 0}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if err := Verify(g, Coloring{0, -1, 0, 1}); err == nil {
+		t.Fatal("negative color must fail")
+	}
+}
+
+func TestExactKnownChromaticNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		chi  int
+	}{
+		{"empty5", graph.New(5), 1},
+		{"K1", graph.Complete(1), 1},
+		{"K4", graph.Complete(4), 4},
+		{"K7", graph.Complete(7), 7},
+		{"P6", graph.Path(6), 2},
+		{"C5", graph.Cycle(5), 3},
+		{"C6", graph.Cycle(6), 2},
+		{"C7", graph.Cycle(7), 3},
+		{"Petersen-like W6", graph.Wheel(6), 4}, // odd cycle C5 + hub
+		{"W7", graph.Wheel(7), 3},               // even cycle C6 + hub
+		{"Star9", graph.Star(9), 2},
+		{"K33", graph.CompleteMultipartite(3, 3), 2},
+		{"K222", graph.CompleteMultipartite(2, 2, 2), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			col, chi, err := Exact(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chi != tc.chi {
+				t.Fatalf("χ = %d, want %d", chi, tc.chi)
+			}
+			if err := Verify(tc.g, col); err != nil {
+				t.Fatal(err)
+			}
+			if col.NumColors() != chi {
+				t.Fatalf("coloring uses %d colors, claimed %d", col.NumColors(), chi)
+			}
+		})
+	}
+}
+
+func TestHeuristicsProper(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		g := graph.GNP(r, 1+r.Intn(40), 0.3)
+		order := r.Perm(g.N())
+		for name, col := range map[string]Coloring{
+			"greedy": Greedy(g, order),
+			"wp":     GreedyDegreeOrder(g),
+			"dsatur": DSATUR(g),
+		} {
+			if err := Verify(g, col); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestDSATURNotWorseThanExactPlusSlack(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		g := graph.GNP(r, 2+r.Intn(12), 0.4)
+		_, chi, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := DSATUR(g).NumColors(); d < chi {
+			t.Fatalf("DSATUR %d below χ %d — exact solver is wrong", d, chi)
+		}
+	}
+}
+
+func TestNDExactMatchesExact(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 40; trial++ {
+		// Graphs with small nd by construction.
+		ell := 2 + r.Intn(4)
+		sizes := make([]int, ell)
+		for i := range sizes {
+			sizes[i] = 1 + r.Intn(4)
+		}
+		g := graph.RandomNDGraph(r, sizes, 0.5, 0.5)
+		col, chi, err := NDExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, col); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if col.NumColors() != chi {
+			t.Fatalf("trial %d: claimed %d colors, used %d", trial, chi, col.NumColors())
+		}
+		if g.N() <= 16 {
+			_, want, err := Exact(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chi != want {
+				t.Fatalf("trial %d: NDExact χ=%d, Exact χ=%d", trial, chi, want)
+			}
+		}
+	}
+}
+
+func TestNDExactOnClassicGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		chi  int
+	}{
+		{"K5", graph.Complete(5), 5},
+		{"empty4", graph.New(4), 1},
+		{"K33", graph.CompleteMultipartite(3, 3), 2},
+		{"K231", graph.CompleteMultipartite(2, 3, 1), 3},
+		{"star", graph.Star(7), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			col, chi, err := NDExact(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chi != tc.chi {
+				t.Fatalf("χ = %d, want %d", chi, tc.chi)
+			}
+			if err := Verify(tc.g, col); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestNDExactOddCycleQuotient(t *testing.T) {
+	// C5 has nd = 5 (all classes singletons); its quotient IS C5, whose
+	// multicoloring with unit demands is χ(C5) = 3 — exercises the
+	// non-clique-bound case of the multicoloring recursion.
+	col, chi, err := NDExact(graph.Cycle(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi != 3 {
+		t.Fatalf("χ(C5) = %d, want 3", chi)
+	}
+	if err := Verify(graph.Cycle(5), col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactRejectsLarge(t *testing.T) {
+	if _, _, err := Exact(graph.New(ExactMaxN + 1)); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestNDExactRejectsHugeDiversity(t *testing.T) {
+	r := rng.New(4)
+	g := graph.GNP(r, NDMaxClasses+10, 0.5) // almost surely nd = n
+	if _, _, err := NDExact(g); err == nil {
+		t.Skip("random graph happened to have small nd")
+	}
+}

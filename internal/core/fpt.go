@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"lpltsp/internal/coloring"
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+)
+
+// L1Exact computes λ_1(G) for p = (1,…,1) of dimension k exactly, FPT in
+// the neighborhood diversity of Gᵏ (Theorem 4): an L(1,…,1)-labeling is a
+// proper coloring of Gᵏ, nd(Gᵏ) ≤ nd(G²) ≤ mw(G) for k ≥ 2 (Proposition
+// 2), and coloring is FPT in nd. Returns the labeling and the span
+// (= χ(Gᵏ) − 1). Works on all graphs, no diameter condition.
+func L1Exact(g *graph.Graph, k int) (labeling.Labeling, int, error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("core: L1Exact needs k >= 1")
+	}
+	pk := g.Power(k)
+	col, chi, err := coloring.NDExact(pk)
+	if err != nil {
+		return nil, 0, err
+	}
+	lab := make(labeling.Labeling, len(col))
+	copy(lab, col)
+	if chi == 0 {
+		return lab, 0, nil
+	}
+	return lab, chi - 1, nil
+}
+
+// PmaxApprox is Corollary 3: a pmax-approximation for L(p)-LABELING on
+// general graphs, FPT in modular-width. It scales an optimal
+// L(1,…,1)-labeling by pmax: λ_p ≤ λ_{pmax·1} = pmax·λ_1, and any
+// L(1)-labeling times pmax is a valid L(p)-labeling.
+func PmaxApprox(g *graph.Graph, p labeling.Vector) (labeling.Labeling, int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	_, pmax := p.MinMax()
+	lab1, span1, err := L1Exact(g, p.K())
+	if err != nil {
+		return nil, 0, err
+	}
+	lab := make(labeling.Labeling, len(lab1))
+	for v, x := range lab1 {
+		lab[v] = pmax * x
+	}
+	return lab, pmax * span1, nil
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+)
+
+// TestL1ExactMatchesBruteForce: Theorem 4's engine agrees with the
+// definition-level oracle on random graphs (no diameter condition).
+func TestL1ExactMatchesBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(8)
+		k := 1 + r.Intn(3)
+		g := graph.RandomConnected(r, n, 0.3)
+		lab, span, err := L1Exact(g, k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := labeling.Verify(g, labeling.Ones(k), lab); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, want, err := labeling.BruteForceExact(g, labeling.Ones(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if span != want {
+			t.Fatalf("trial %d (n=%d,k=%d): FPT span %d, brute %d", trial, n, k, span, want)
+		}
+	}
+}
+
+// TestL1ExactViaReductionAgreement: on small-diameter graphs both the
+// TSP reduction and the coloring route compute λ_1.
+func TestL1ExactViaReductionAgreement(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + r.Intn(2)
+		g := graph.RandomSmallDiameter(r, 3+r.Intn(8), k, 0.3)
+		_, span, err := L1Exact(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaTSP, err := Lambda(g, labeling.Ones(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if span != viaTSP {
+			t.Fatalf("trial %d: coloring route %d != reduction route %d", trial, span, viaTSP)
+		}
+	}
+}
+
+// TestPmaxApprox: Corollary 3 — the scaled L(1) labeling is valid and
+// within pmax of the optimum.
+func TestPmaxApprox(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + r.Intn(2)
+		n := 2 + r.Intn(8)
+		g := graph.RandomSmallDiameter(r, n, k, 0.3)
+		p := randomVector(r, k)
+		lab, span, err := PmaxApprox(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := labeling.Verify(g, p, lab); err != nil {
+			t.Fatalf("trial %d: scaled labeling invalid: %v", trial, err)
+		}
+		opt, err := Lambda(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, pmax := p.MinMax()
+		if span < opt {
+			t.Fatalf("approximation below optimum: %d < %d", span, opt)
+		}
+		if opt > 0 && span > pmax*opt {
+			t.Fatalf("trial %d: approx %d exceeds pmax·opt = %d·%d", trial, span, pmax, opt)
+		}
+	}
+}
+
+// TestDiameter2MatchesExact: Corollary 2 — the partition-into-paths route
+// equals the reduction route on diameter-2 graphs, for both p ≤ q and
+// p > q.
+func TestDiameter2MatchesExact(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(10)
+		g := graph.RandomDiameter2(r, n, 0.35)
+		var p, q int
+		if trial%2 == 0 {
+			p = 1 + r.Intn(3)
+			q = p + r.Intn(p+1) // q in [p, 2p]
+		} else {
+			q = 1 + r.Intn(3)
+			p = q + r.Intn(q+1) // p in [q, 2q]
+		}
+		res, err := SolveDiameter2(g, p, q)
+		if err != nil {
+			t.Fatalf("trial %d (p=%d,q=%d): %v", trial, p, q, err)
+		}
+		pv := labeling.Vector{p, q}
+		if err := labeling.Verify(g, pv, res.Labeling); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Labeling.Span() != res.Span {
+			t.Fatalf("span accounting: %d vs %d", res.Labeling.Span(), res.Span)
+		}
+		want, err := Lambda(g, pv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Span != want {
+			t.Fatalf("trial %d (n=%d,p=%d,q=%d): corollary-2 %d != reduction %d",
+				trial, n, p, q, res.Span, want)
+		}
+	}
+}
+
+func TestDiameter2Preconditions(t *testing.T) {
+	if _, err := SolveDiameter2(graph.Path(5), 2, 1); err == nil {
+		t.Fatal("diameter > 2 must fail")
+	}
+	if _, err := SolveDiameter2(graph.Complete(3), 3, 1); err == nil {
+		t.Fatal("p > 2q must fail the reduction condition")
+	}
+	if _, err := SolveDiameter2(graph.Complete(3), -1, 1); err == nil {
+		t.Fatal("negative p must fail")
+	}
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	if _, err := SolveDiameter2(g, 2, 1); err == nil {
+		t.Fatal("disconnected must fail")
+	}
+}
+
+func TestDiameter2ComplementCase(t *testing.T) {
+	// p > q exercises the complement route explicitly: K4 with p=2,q=1 —
+	// all pairs adjacent, complement edgeless, so s = n paths and
+	// λ = (n−1)q + (p−q)(n−1) = (n−1)p.
+	res, err := SolveDiameter2(graph.Complete(4), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OnComplement {
+		t.Fatal("p > q must partition the complement")
+	}
+	if res.Span != 6 {
+		t.Fatalf("λ_{2,1}(K4) = %d, want 6", res.Span)
+	}
+	if len(res.Paths) != 4 {
+		t.Fatalf("complement of K4 needs 4 singleton paths, got %d", len(res.Paths))
+	}
+}
+
+func TestDiameter2L11TriviallySolvable(t *testing.T) {
+	// The paper notes L(1,1) on diameter-2 graphs is trivial: G² complete,
+	// λ = n−1.
+	r := rng.New(5)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(9)
+		g := graph.RandomDiameter2(r, n, 0.3)
+		res, err := SolveDiameter2(g, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Span != n-1 {
+			t.Fatalf("L(1,1) diameter-2: span %d, want %d", res.Span, n-1)
+		}
+	}
+}
+
+// TestLambdaCographMatchesOtherRoutes: the cotree route equals the
+// partition-DP route and the reduction route on small random cographs,
+// and scales to n in the hundreds.
+func TestLambdaCographMatchesOtherRoutes(t *testing.T) {
+	r := rng.New(70)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(12)
+		g := graph.RandomCograph(r, n)
+		var p, q int
+		if trial%2 == 0 {
+			p, q = 1, 2
+		} else {
+			p, q = 2, 1
+		}
+		got, err := LambdaCograph(g, p, q)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := SolveDiameter2(g, p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != res.Span {
+			t.Fatalf("trial %d (n=%d,p=%d,q=%d): cotree %d != partition %d",
+				trial, n, p, q, got, res.Span)
+		}
+		want, err := Lambda(g, labeling.Vector{p, q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: cotree %d != reduction %d", trial, got, want)
+		}
+	}
+	// Large-scale smoke: exact λ for a 500-vertex cograph in well under a
+	// second — far beyond both the DP and Held–Karp.
+	big := graph.RandomCograph(rng.New(71), 500)
+	if _, err := LambdaCograph(big, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambdaCographRejections(t *testing.T) {
+	if _, err := LambdaCograph(graph.Path(4), 1, 2); err == nil {
+		t.Fatal("P4 must be rejected (not a cograph)")
+	}
+	if _, err := LambdaCograph(graph.Complete(3), 5, 1); err == nil {
+		t.Fatal("condition violation must be rejected")
+	}
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	if _, err := LambdaCograph(g, 1, 2); err == nil {
+		t.Fatal("disconnected must be rejected")
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/tsp"
+)
+
+// TestClaim1OrderingForm checks Claim 1 in its ordering form: under the
+// theorem's hypotheses, λ_p(G,π) — the minimum span over labelings
+// nondecreasing along π, computed directly from the definition — equals
+// the weight of π as a Hamiltonian path of the reduced instance H, for
+// EVERY ordering π.
+func TestClaim1OrderingForm(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 2 + r.Intn(3)
+		n := 2 + r.Intn(10)
+		g := graph.RandomSmallDiameter(r, n, k, 0.3)
+		p := randomVector(r, k)
+		red, err := Reduce(g, p)
+		if err != nil {
+			return false
+		}
+		pi := r.Perm(n)
+		_, span, err := labeling.ExactForOrdering(g, p, pi)
+		if err != nil {
+			return false
+		}
+		return int64(span) == red.PathWeight(tsp.Tour(pi))
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaleInvariance: λ_{c·p} = c·λ_p (the identity Corollary 3 uses).
+func TestScaleInvariance(t *testing.T) {
+	r := rng.New(61)
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + r.Intn(2)
+		n := 2 + r.Intn(8)
+		g := graph.RandomSmallDiameter(r, n, k, 0.3)
+		p := randomVector(r, k)
+		c := 2 + r.Intn(3)
+		lam, err := Lambda(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lamScaled, err := Lambda(g, p.Scale(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lamScaled != c*lam {
+			t.Fatalf("trial %d: λ_{%d·p}=%d but %d·λ_p=%d (p=%v)",
+				trial, c, lamScaled, c, c*lam, p)
+		}
+	}
+}
+
+// TestMonotoneInP: pointwise-larger p never decreases λ.
+func TestMonotoneInP(t *testing.T) {
+	r := rng.New(62)
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + r.Intn(2)
+		n := 2 + r.Intn(8)
+		g := graph.RandomSmallDiameter(r, n, k, 0.3)
+		p := randomVector(r, k)
+		q := make(labeling.Vector, k)
+		pminQ, pmaxQ := 1<<30, 0
+		for i := range q {
+			q[i] = p[i] + r.Intn(2)
+			if q[i] < pminQ {
+				pminQ = q[i]
+			}
+			if q[i] > pmaxQ {
+				pmaxQ = q[i]
+			}
+		}
+		if pmaxQ > 2*pminQ {
+			continue // q must also satisfy the reduction condition
+		}
+		lp, err := Lambda(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lq, err := Lambda(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lq < lp {
+			t.Fatalf("trial %d: λ decreased from %d to %d when p grew %v→%v",
+				trial, lp, lq, p, q)
+		}
+	}
+}
+
+// TestReductionWeightsMatchDistances: every off-diagonal weight of H is
+// exactly p at the BFS distance (property form of the construction).
+func TestReductionWeightsMatchDistances(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 2 + r.Intn(3)
+		n := 2 + r.Intn(15)
+		g := graph.RandomSmallDiameter(r, n, k, 0.25)
+		p := randomVector(r, k)
+		red, err := Reduce(g, p)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					if red.Instance.Weight(u, v) != 0 {
+						return false
+					}
+					continue
+				}
+				d := int(red.Dist.Dist(u, v))
+				if red.Instance.Weight(u, v) != int64(p[d-1]) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabelingFromTourRejectsBadTours covers the failure-injection path.
+func TestLabelingFromTourRejectsBadTours(t *testing.T) {
+	g := graph.Complete(4)
+	red, err := Reduce(g, labeling.L21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []tsp.Tour{
+		{0, 1, 2},       // short
+		{0, 1, 2, 2},    // repeat
+		{0, 1, 2, 7},    // out of range
+		{0, 1, 2, 3, 0}, // long
+	} {
+		if _, _, err := red.LabelingFromTour(bad); err == nil {
+			t.Fatalf("tour %v must be rejected", bad)
+		}
+	}
+	if _, err := red.TourFromLabeling(labeling.Labeling{0, 1}); err == nil {
+		t.Fatal("short labeling must be rejected")
+	}
+}
+
+// TestTourFromLabelingSortsStably checks orderings are by (label, id).
+func TestTourFromLabelingSortsStably(t *testing.T) {
+	g := graph.Complete(3)
+	red, err := Reduce(g, labeling.Ones(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tour, err := red.TourFromLabeling(labeling.Labeling{5, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tsp.Tour{1, 0, 2}
+	for i := range want {
+		if tour[i] != want[i] {
+			t.Fatalf("tour %v, want %v", tour, want)
+		}
+	}
+}

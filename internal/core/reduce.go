@@ -1,0 +1,117 @@
+// Package core implements the paper's primary contribution: the O(nm)
+// reduction from L(p)-LABELING on graphs of diameter at most k = dim(p)
+// to METRIC PATH TSP (Theorem 2), the recovery of an optimal labeling from
+// a Hamiltonian path via prefix sums (Claim 1), and the solver pipeline
+// that runs any TSP engine through the reduction (Corollary 1 and the
+// paper's practical claim).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/tsp"
+)
+
+// Reduction-applicability errors. Callers can test with errors.Is.
+var (
+	// ErrDisconnected is returned for disconnected inputs (distance, and
+	// hence the reduction weight, is undefined across components).
+	ErrDisconnected = errors.New("core: graph is disconnected")
+	// ErrDiameterExceedsK is returned when diam(G) > len(p), so some edge
+	// weight p_d would be undefined (Theorem 2's hypothesis fails).
+	ErrDiameterExceedsK = errors.New("core: graph diameter exceeds dim(p)")
+	// ErrConditionViolated is returned when pmax > 2·pmin, in which case
+	// the reduced weights need not be metric and Claim 1's argument
+	// breaks.
+	ErrConditionViolated = errors.New("core: pmax > 2*pmin violates the reduction condition")
+)
+
+// Reduction holds the reduced METRIC PATH TSP instance H together with the
+// data needed to map its tours back to labelings of G.
+type Reduction struct {
+	G        *graph.Graph
+	P        labeling.Vector
+	Instance *tsp.Instance
+	Dist     *graph.DistMatrix
+	Diameter int
+}
+
+// Reduce builds the weighted complete graph H of Theorem 2:
+// w(u,v) = p_d where d = dist_G(u,v). It verifies the theorem's
+// hypotheses — connectivity, diam(G) ≤ len(p), and pmax ≤ 2·pmin — and
+// returns a typed error when one fails. Running time is O(nm) for the
+// n BFS sweeps plus O(n²) to fill the matrix.
+func Reduce(g *graph.Graph, p labeling.Vector) (*Reduction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.SatisfiesReductionCondition() {
+		pmin, pmax := p.MinMax()
+		return nil, fmt.Errorf("%w (pmin=%d, pmax=%d)", ErrConditionViolated, pmin, pmax)
+	}
+	n := g.N()
+	dm := g.AllPairsDistances()
+	diam, disconnected := dm.Max()
+	if disconnected {
+		return nil, ErrDisconnected
+	}
+	k := p.K()
+	if diam > k {
+		return nil, fmt.Errorf("%w (diameter %d > k=%d)", ErrDiameterExceedsK, diam, k)
+	}
+	ins := tsp.NewInstance(n)
+	for u := 0; u < n; u++ {
+		row := dm.Row(u)
+		for v := u + 1; v < n; v++ {
+			ins.SetWeight(u, v, int64(p[int(row[v])-1]))
+		}
+	}
+	return &Reduction{G: g, P: p, Instance: ins, Dist: dm, Diameter: diam}, nil
+}
+
+// LabelingFromTour converts a Hamiltonian path of H into the minimum-span
+// L(p)-labeling for that vertex ordering via Claim 1's prefix sums:
+// l(tour[0]) = 0 and l(tour[i]) = Σ_{t<i} w(tour[t], tour[t+1]). The span
+// equals the path's weight.
+func (r *Reduction) LabelingFromTour(t tsp.Tour) (labeling.Labeling, int, error) {
+	if err := r.Instance.ValidateTour(t); err != nil {
+		return nil, 0, err
+	}
+	n := len(t)
+	l := make(labeling.Labeling, n)
+	var acc int64
+	for i := 1; i < n; i++ {
+		acc += r.Instance.Weight(t[i-1], t[i])
+		l[t[i]] = int(acc)
+	}
+	return l, int(acc), nil
+}
+
+// TourFromLabeling converts a labeling into the vertex ordering sorted by
+// label (ties broken by vertex id), i.e. the permutation π for which l is
+// an L(p)-labeling for π. Used by the roundtrip property tests.
+func (r *Reduction) TourFromLabeling(l labeling.Labeling) (tsp.Tour, error) {
+	n := r.G.N()
+	if len(l) != n {
+		return nil, fmt.Errorf("core: labeling has %d entries for %d vertices", len(l), n)
+	}
+	t := make(tsp.Tour, n)
+	for i := range t {
+		t[i] = i
+	}
+	// Stable insertion by (label, id); n is small enough in all callers,
+	// and sort.Slice would allocate a closure anyway.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && (l[t[j]] < l[t[j-1]] || (l[t[j]] == l[t[j-1]] && t[j] < t[j-1])); j-- {
+			t[j], t[j-1] = t[j-1], t[j]
+		}
+	}
+	return t, nil
+}
+
+// PathWeight returns the weight of tour t in the reduced instance H —
+// by Claim 1, exactly the span of LabelingFromTour(t).
+func (r *Reduction) PathWeight(t tsp.Tour) int64 { return r.Instance.PathCost(t) }

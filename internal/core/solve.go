@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/tsp"
+)
+
+// Result is the outcome of solving an L(p)-LABELING instance through the
+// TSP reduction.
+type Result struct {
+	Labeling labeling.Labeling
+	Span     int
+	Tour     tsp.Tour
+	// Exact reports whether the engine guarantees optimality (Held–Karp /
+	// branch and bound), i.e. Span == λ_p(G).
+	Exact bool
+	// Algorithm is the TSP engine that produced the tour.
+	Algorithm tsp.Algorithm
+	// ReduceTime and SolveTime split the wall time between building H
+	// and solving path TSP on it (experiment E1).
+	ReduceTime, SolveTime time.Duration
+}
+
+// Options configures Solve.
+type Options struct {
+	// Algorithm selects the TSP engine; default tsp.AlgoExact.
+	Algorithm tsp.Algorithm
+	// Chained configures the chained heuristic engine.
+	Chained *tsp.ChainedOptions
+	// Verify re-checks the produced labeling against the definition
+	// (O(n²)); cheap insurance, on by default in the public API.
+	Verify bool
+}
+
+// Solve solves L(p)-LABELING on g through the reduction: Reduce → path-TSP
+// engine → Claim 1 labeling recovery. The preconditions of Theorem 2 are
+// enforced by Reduce.
+func Solve(g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
+	algo := tsp.AlgoExact
+	var chained *tsp.ChainedOptions
+	verify := false
+	if opts != nil {
+		if opts.Algorithm != "" {
+			algo = opts.Algorithm
+		}
+		chained = opts.Chained
+		verify = opts.Verify
+	}
+	t0 := time.Now()
+	red, err := Reduce(g, p)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	tour, _, err := tsp.Solve(red.Instance, algo, &tsp.SolveOptions{Chained: chained})
+	if err != nil {
+		return nil, fmt.Errorf("core: tsp engine %q: %w", algo, err)
+	}
+	t2 := time.Now()
+	lab, span, err := red.LabelingFromTour(tour)
+	if err != nil {
+		return nil, err
+	}
+	if verify {
+		if err := labeling.VerifyWithMatrix(red.Dist, p, lab); err != nil {
+			return nil, fmt.Errorf("core: internal error, produced labeling invalid: %w", err)
+		}
+	}
+	exact := algo == tsp.AlgoExact || algo == tsp.AlgoHeldKarp || algo == tsp.AlgoBnB
+	return &Result{
+		Labeling:   lab,
+		Span:       span,
+		Tour:       tour,
+		Exact:      exact,
+		Algorithm:  algo,
+		ReduceTime: t1.Sub(t0),
+		SolveTime:  t2.Sub(t1),
+	}, nil
+}
+
+// Lambda computes λ_p(G) exactly through the reduction (Corollary 1:
+// O(2ⁿn²) via Held–Karp). It is the reduction-based counterpart of
+// labeling.BruteForceExact.
+func Lambda(g *graph.Graph, p labeling.Vector) (int, error) {
+	res, err := Solve(g, p, &Options{Algorithm: tsp.AlgoExact})
+	if err != nil {
+		return 0, err
+	}
+	return res.Span, nil
+}
+
+// Approximate computes a 1.5-approximate solution in polynomial time via
+// the Christofides/Hoogeveen path pipeline (Corollary 1's second half).
+func Approximate(g *graph.Graph, p labeling.Vector) (*Result, error) {
+	return Solve(g, p, &Options{Algorithm: tsp.AlgoChristofides, Verify: true})
+}
+
+// Heuristic computes a solution with the chained local-search engine (the
+// paper's "use LK-style TSP heuristics" practical recipe).
+func Heuristic(g *graph.Graph, p labeling.Vector, chained *tsp.ChainedOptions) (*Result, error) {
+	return Solve(g, p, &Options{Algorithm: tsp.AlgoChained, Chained: chained, Verify: true})
+}

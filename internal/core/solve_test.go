@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/tsp"
+)
+
+func TestSolveReportsTimings(t *testing.T) {
+	g := graph.RandomSmallDiameter(rng.New(1), 12, 3, 0.3)
+	res, err := Solve(g, labeling.Vector{2, 2, 1}, &Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTime <= 0 || res.SolveTime <= 0 {
+		t.Fatalf("timings not recorded: reduce=%v solve=%v", res.ReduceTime, res.SolveTime)
+	}
+}
+
+func TestSolveUnknownEngine(t *testing.T) {
+	g := graph.Complete(4)
+	_, err := Solve(g, labeling.L21(), &Options{Algorithm: tsp.Algorithm("bogus")})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want engine error naming the algorithm, got %v", err)
+	}
+}
+
+func TestSolvePropagatesEngineLimits(t *testing.T) {
+	// Held–Karp forced on an instance beyond its size cap.
+	g := graph.RandomDiameter2(rng.New(2), tsp.HeldKarpMaxN+2, 0.3)
+	_, err := Solve(g, labeling.L21(), &Options{Algorithm: tsp.AlgoHeldKarp})
+	if err == nil {
+		t.Fatal("expected size-limit error from the forced DP engine")
+	}
+	// But heuristic engines handle the same instance fine.
+	res, err := Solve(g, labeling.L21(), &Options{Algorithm: tsp.AlgoTwoOpt, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.Verify(g, labeling.L21(), res.Labeling); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveZeroVector(t *testing.T) {
+	// p = (0,0): everything may share label 0; λ = 0.
+	g := graph.RandomDiameter2(rng.New(3), 8, 0.4)
+	res, err := Solve(g, labeling.Vector{0, 0}, &Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Span != 0 {
+		t.Fatalf("λ_(0,0) = %d, want 0", res.Span)
+	}
+}
+
+func TestSolveK1Dimension(t *testing.T) {
+	// k = 1: only complete graphs pass the diameter gate; L(p1) on K_n is
+	// spreading labels p1 apart: λ = (n−1)·p1.
+	res, err := Solve(graph.Complete(5), labeling.Vector{3}, &Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Span != 12 {
+		t.Fatalf("λ_(3)(K5) = %d, want 12", res.Span)
+	}
+	if _, err := Solve(graph.Star(4), labeling.Vector{3}, nil); err == nil {
+		t.Fatal("star has diameter 2 > k=1; must be rejected")
+	}
+}
+
+// TestBnBEngineOnMidSize: the BnB engine certifies instances past the
+// Held–Karp cap and agrees with heuristic+verification sanity.
+func TestBnBEngineOnMidSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BnB on n≈26 is slow in short mode")
+	}
+	g := graph.RandomDiameter2(rng.New(4), tsp.HeldKarpMaxN+2, 0.4)
+	res, err := Solve(g, labeling.L21(), &Options{Algorithm: tsp.AlgoBnB, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("BnB must report exactness")
+	}
+	// Cross-check with the Corollary 2 route (diameter-2 instance).
+	want, err := SolveDiameter2(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Span != want.Span {
+		t.Fatalf("BnB %d != partition route %d", res.Span, want.Span)
+	}
+}

@@ -1,0 +1,61 @@
+// Package dsu implements a disjoint-set union (union–find) structure with
+// union by rank and path halving. It is used by Kruskal's MST, by the
+// Eulerian-trail connectivity checks, and by the path-partition heuristics.
+package dsu
+
+// DSU is a disjoint-set forest over elements 0..n-1.
+type DSU struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+// Find returns the canonical representative of x's set.
+func (d *DSU) Find(x int) int {
+	p := d.parent
+	for p[x] != int32(x) {
+		p[x] = p[p[x]] // path halving
+		x = int(p[x])
+	}
+	return x
+}
+
+// Union merges the sets containing x and y. It reports whether a merge
+// happened (false if they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = int32(rx)
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }

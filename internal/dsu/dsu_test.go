@@ -1,0 +1,73 @@
+package dsu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lpltsp/internal/rng"
+)
+
+func TestBasic(t *testing.T) {
+	d := New(5)
+	if d.Sets() != 5 || d.Len() != 5 {
+		t.Fatal("initial state")
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("first union must merge")
+	}
+	if d.Union(0, 1) {
+		t.Fatal("second union must not merge")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Fatal("Same incorrect")
+	}
+	d.Union(2, 3)
+	d.Union(1, 3)
+	if d.Sets() != 2 {
+		t.Fatalf("sets = %d, want 2", d.Sets())
+	}
+	if !d.Same(0, 3) {
+		t.Fatal("transitive union")
+	}
+}
+
+// TestAgainstNaive compares against a quadratic reference implementation.
+func TestAgainstNaive(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(40)
+		d := New(n)
+		label := make([]int, n) // naive: component labels
+		for i := range label {
+			label[i] = i
+		}
+		for op := 0; op < 60; op++ {
+			x, y := r.Intn(n), r.Intn(n)
+			if r.Bool() {
+				merged := d.Union(x, y)
+				if merged != (label[x] != label[y]) {
+					return false
+				}
+				if merged {
+					old, nw := label[x], label[y]
+					for i := range label {
+						if label[i] == old {
+							label[i] = nw
+						}
+					}
+				}
+			} else if d.Same(x, y) != (label[x] == label[y]) {
+				return false
+			}
+		}
+		// Set count agreement.
+		distinct := map[int]bool{}
+		for _, l := range label {
+			distinct[l] = true
+		}
+		return d.Sets() == len(distinct)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

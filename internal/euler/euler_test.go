@@ -1,0 +1,165 @@
+package euler
+
+import (
+	"testing"
+
+	"lpltsp/internal/rng"
+)
+
+func checkWalk(t *testing.T, m *Multigraph, walk []int, start int, wantEdges int) {
+	t.Helper()
+	if walk[0] != start {
+		t.Fatalf("walk starts at %d, want %d", walk[0], start)
+	}
+	if len(walk) != wantEdges+1 {
+		t.Fatalf("walk length %d, want %d edges", len(walk)-1, wantEdges)
+	}
+}
+
+func TestCircuitTriangle(t *testing.T) {
+	m := NewMultigraph(3)
+	m.AddEdge(0, 1)
+	m.AddEdge(1, 2)
+	m.AddEdge(2, 0)
+	walk, err := m.Circuit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWalk(t, m, walk, 0, 3)
+	if walk[len(walk)-1] != 0 {
+		t.Fatal("circuit must return to start")
+	}
+}
+
+func TestCircuitWithParallelEdges(t *testing.T) {
+	m := NewMultigraph(2)
+	m.AddEdge(0, 1)
+	m.AddEdge(0, 1) // parallel
+	walk, err := m.Circuit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWalk(t, m, walk, 0, 2)
+}
+
+func TestCircuitOddDegreeFails(t *testing.T) {
+	m := NewMultigraph(2)
+	m.AddEdge(0, 1)
+	if _, err := m.Circuit(0); err == nil {
+		t.Fatal("odd degrees must fail")
+	}
+}
+
+func TestCircuitDisconnectedFails(t *testing.T) {
+	m := NewMultigraph(6)
+	m.AddEdge(0, 1)
+	m.AddEdge(1, 2)
+	m.AddEdge(2, 0)
+	m.AddEdge(3, 4)
+	m.AddEdge(4, 5)
+	m.AddEdge(5, 3)
+	if _, err := m.Circuit(0); err == nil {
+		t.Fatal("disconnected edge set must fail")
+	}
+}
+
+func TestTrail(t *testing.T) {
+	// Path 0-1-2-3: trail from 0 to 3.
+	m := NewMultigraph(4)
+	m.AddEdge(0, 1)
+	m.AddEdge(1, 2)
+	m.AddEdge(2, 3)
+	walk, err := m.Trail(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWalk(t, m, walk, 0, 3)
+	if walk[len(walk)-1] != 3 {
+		t.Fatalf("trail ends at %d, want 3", walk[len(walk)-1])
+	}
+}
+
+func TestTrailParityChecks(t *testing.T) {
+	m := NewMultigraph(3)
+	m.AddEdge(0, 1)
+	m.AddEdge(1, 2)
+	if _, err := m.Trail(0, 1); err == nil {
+		t.Fatal("wrong endpoints must fail")
+	}
+	if _, err := m.Trail(0, 0); err == nil {
+		t.Fatal("equal endpoints must fail")
+	}
+}
+
+// TestRandomEulerian builds random even-degree connected multigraphs and
+// verifies every edge is used exactly once.
+func TestRandomEulerian(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(10)
+		m := NewMultigraph(n)
+		// Union of random closed walks → all degrees even, connected
+		// through vertex 0.
+		for w := 0; w < 3; w++ {
+			prev := 0
+			steps := 2 + r.Intn(5)
+			walk := []int{0}
+			for s := 0; s < steps; s++ {
+				nxt := r.Intn(n)
+				for nxt == prev {
+					nxt = r.Intn(n)
+				}
+				m.AddEdge(prev, nxt)
+				walk = append(walk, nxt)
+				prev = nxt
+			}
+			if prev != 0 {
+				m.AddEdge(prev, 0)
+			}
+		}
+		walk, err := m.Circuit(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(walk) != m.EdgeCount()+1 {
+			t.Fatalf("trial %d: walk misses edges", trial)
+		}
+		// Every consecutive pair must be a real edge; count multiplicity.
+		type pair [2]int
+		mult := map[pair]int{}
+		for e := 0; e < m.EdgeCount(); e++ {
+			a, b := int(m.to[2*e+1]), int(m.to[2*e])
+			if a > b {
+				a, b = b, a
+			}
+			mult[pair{a, b}]++
+		}
+		for i := 1; i < len(walk); i++ {
+			a, b := walk[i-1], walk[i]
+			if a > b {
+				a, b = b, a
+			}
+			if mult[pair{a, b}] == 0 {
+				t.Fatalf("trial %d: walk step %d-%d not an available edge", trial, a, b)
+			}
+			mult[pair{a, b}]--
+		}
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultigraph(2).AddEdge(1, 1)
+}
+
+func TestEmptyWalk(t *testing.T) {
+	m := NewMultigraph(1)
+	walk, err := m.Circuit(0)
+	if err != nil || len(walk) != 1 || walk[0] != 0 {
+		t.Fatalf("empty circuit: %v %v", walk, err)
+	}
+}

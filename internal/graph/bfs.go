@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Unreachable is the distance reported between vertices in different
+// connected components.
+const Unreachable = ^uint16(0)
+
+// DistMatrix is a dense n×n matrix of BFS distances. Distances are uint16;
+// Unreachable marks disconnected pairs. The diagonal is 0.
+type DistMatrix struct {
+	N int
+	d []uint16
+}
+
+// Dist returns dist(u,v).
+func (m *DistMatrix) Dist(u, v int) uint16 { return m.d[u*m.N+v] }
+
+// Row returns the distance row of u (shared storage; do not modify).
+func (m *DistMatrix) Row(u int) []uint16 { return m.d[u*m.N : (u+1)*m.N] }
+
+// Max returns the largest finite distance in the matrix (the diameter for a
+// connected graph) and whether any pair is unreachable.
+func (m *DistMatrix) Max() (max int, disconnected bool) {
+	for _, x := range m.d {
+		if x == Unreachable {
+			disconnected = true
+		} else if int(x) > max {
+			max = int(x)
+		}
+	}
+	return max, disconnected
+}
+
+// BFSFrom writes BFS distances from src into dist (length n, reused across
+// calls), using queue as scratch space (length ≥ n). It returns the number
+// of vertices reached (including src).
+func (g *Graph) BFSFrom(src int, dist []uint16, queue []int32) int {
+	g.Normalize()
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue[0] = int32(src)
+	head, tail := 0, 1
+	for head < tail {
+		u := queue[head]
+		head++
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				queue[tail] = v
+				tail++
+			}
+		}
+	}
+	return tail
+}
+
+// AllPairsDistances computes the full BFS distance matrix. BFS sources are
+// distributed over GOMAXPROCS workers; each worker owns its queue buffer
+// and writes disjoint rows, so no locking is needed. Total work is O(nm).
+func (g *Graph) AllPairsDistances() *DistMatrix {
+	g.Normalize()
+	n := g.N()
+	m := &DistMatrix{N: n, d: make([]uint16, n*n)}
+	if n == 0 {
+		return m
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next int32
+	var mu sync.Mutex
+	grab := func(chunk int32) (int32, int32) {
+		mu.Lock()
+		lo := next
+		next += chunk
+		mu.Unlock()
+		hi := lo + chunk
+		if hi > int32(n) {
+			hi = int32(n)
+		}
+		return lo, hi
+	}
+	const chunk = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			queue := make([]int32, n)
+			for {
+				lo, hi := grab(chunk)
+				if lo >= int32(n) {
+					return
+				}
+				for s := lo; s < hi; s++ {
+					g.BFSFrom(int(s), m.d[int(s)*n:int(s)*n+n], queue)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return m
+}
+
+// IsConnected reports whether g is connected. Empty graphs are connected.
+func (g *Graph) IsConnected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	dist := make([]uint16, n)
+	queue := make([]int32, n)
+	return g.BFSFrom(0, dist, queue) == n
+}
+
+// Diameter returns the diameter of g (max finite distance) and whether g is
+// connected. For a disconnected graph the diameter of the largest distances
+// among connected pairs is returned with connected=false.
+func (g *Graph) Diameter() (diam int, connected bool) {
+	n := g.N()
+	if n == 0 {
+		return 0, true
+	}
+	dm := g.AllPairsDistances()
+	max, disc := dm.Max()
+	return max, !disc
+}
+
+// Eccentricity returns the eccentricity of u (max distance from u), and
+// whether u reaches all vertices.
+func (g *Graph) Eccentricity(u int) (ecc int, reachesAll bool) {
+	n := g.N()
+	dist := make([]uint16, n)
+	queue := make([]int32, n)
+	reached := g.BFSFrom(u, dist, queue)
+	for _, d := range dist {
+		if d != Unreachable && int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc, reached == n
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted ascending, ordered by smallest vertex.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	dist := make([]uint16, n)
+	queue := make([]int32, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		reached := g.BFSFrom(s, dist, queue)
+		members := make([]int, 0, reached)
+		for v := 0; v < n; v++ {
+			if dist[v] != Unreachable && comp[v] < 0 {
+				comp[v] = len(comps)
+				members = append(members, v)
+			}
+		}
+		comps = append(comps, members)
+	}
+	return comps
+}

@@ -1,0 +1,75 @@
+package graph
+
+// Hardness-construction gadgets from the paper. The library reproduces the
+// constructions (not the W[1]-hardness proofs themselves) so that
+// experiment E11 can verify the claimed equivalences with exact oracles.
+
+// HamPathGadget implements the construction in the proof of Theorem 1:
+// given G and an arbitrary vertex v, add a false twin v' of v and two
+// pendant vertices w (adjacent to v) and w' (adjacent to v'). Then G has a
+// Hamiltonian cycle iff the returned graph has a Hamiltonian path from w to
+// w'. It returns the gadget graph and the indices of w and w'.
+//
+// Vertex layout: 0..n-1 are the original vertices, n = v', n+1 = w,
+// n+2 = w'.
+func HamPathGadget(g *Graph, v int) (gadget *Graph, w, wPrime int) {
+	g.Normalize()
+	n := g.N()
+	if v < 0 || v >= n {
+		panic("graph: HamPathGadget vertex out of range")
+	}
+	h := New(n + 3)
+	for _, e := range g.Edges() {
+		h.AddEdge(e[0], e[1])
+	}
+	vPrime := n
+	for _, u := range g.Neighbors(v) {
+		h.AddEdge(vPrime, int(u)) // false twin: same neighborhood, not adjacent to v
+	}
+	w, wPrime = n+1, n+2
+	h.AddEdge(w, v)
+	h.AddEdge(wPrime, vPrime)
+	h.Normalize()
+	return h, w, wPrime
+}
+
+// GriggsYehGadget implements the reduction used in the proof of Theorem 3
+// (originally Griggs & Yeh): given a HAMILTONIAN PATH instance G on n
+// vertices, return H = Ḡ plus a universal vertex x (index n). H has
+// diameter ≤ 2 (when it is not complete) and
+//
+//	λ_{2,1}(H) == n+1  ⇔  G has a Hamiltonian path,
+//
+// because under the paper's reduction a Hamiltonian path of the weighted
+// complete graph on V(H) has weight (n+1)−1 plus one extra unit for each
+// consecutive pair adjacent in H, and ordering x first followed by a
+// Hamiltonian path of G makes every later consecutive pair a distance-2
+// pair of H.
+func GriggsYehGadget(g *Graph) *Graph {
+	comp := g.Complement()
+	n := comp.N()
+	h := New(n + 1)
+	for _, e := range comp.Edges() {
+		h.AddEdge(e[0], e[1])
+	}
+	for v := 0; v < n; v++ {
+		h.AddEdge(n, v)
+	}
+	h.Normalize()
+	return h
+}
+
+// Figure1Graph returns the 5-vertex diameter-3 graph used in Figure 1 of
+// the paper (vertices a,b,c,d,e = 0..4): edges a–b, b–c, a–c, c–d, d–e.
+// It is the running example for the reduction to METRIC PATH TSP with
+// p = (p1,p2,p3).
+func Figure1Graph() *Graph {
+	g := New(5)
+	g.AddEdge(0, 1) // a-b
+	g.AddEdge(1, 2) // b-c
+	g.AddEdge(0, 2) // a-c
+	g.AddEdge(2, 3) // c-d
+	g.AddEdge(3, 4) // d-e
+	g.Normalize()
+	return g
+}

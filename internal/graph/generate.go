@@ -1,0 +1,324 @@
+package graph
+
+import (
+	"fmt"
+
+	"lpltsp/internal/rng"
+)
+
+// Path returns the path graph P_n (v0-v1-…-v_{n-1}).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	g.Normalize()
+	return g
+}
+
+// Cycle returns the cycle graph C_n. n must be ≥ 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs n >= 3")
+	}
+	g := Path(n)
+	g.AddEdge(n-1, 0)
+	g.Normalize()
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	g.Normalize()
+	return g
+}
+
+// Wheel returns the wheel W_n: a cycle on vertices 1..n-1 plus hub 0
+// adjacent to all of them. n must be ≥ 4.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic("graph: wheel needs n >= 4")
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+		j := i + 1
+		if j == n {
+			j = 1
+		}
+		g.AddEdge(i, j)
+	}
+	g.Normalize()
+	return g
+}
+
+// CompleteMultipartite returns the complete multipartite graph with the
+// given part sizes (every pair of vertices in different parts adjacent).
+// Its neighborhood diversity is at most len(sizes).
+func CompleteMultipartite(sizes ...int) *Graph {
+	n := 0
+	for _, s := range sizes {
+		if s < 0 {
+			panic("graph: negative part size")
+		}
+		n += s
+	}
+	g := New(n)
+	start := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		start[i+1] = start[i] + s
+	}
+	for i := range sizes {
+		for j := i + 1; j < len(sizes); j++ {
+			for u := start[i]; u < start[i+1]; u++ {
+				for v := start[j]; v < start[j+1]; v++ {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// GNP returns an Erdős–Rényi random graph G(n,p).
+func GNP(r *rng.RNG, n int, p float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// GNM returns a uniform random graph with exactly n vertices and m edges.
+// m must not exceed n(n-1)/2.
+func GNM(r *rng.RNG, n, m int) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d", m, maxM))
+	}
+	g := New(n)
+	seen := make(map[[2]int]bool, m)
+	for len(seen) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		g.AddEdge(u, v)
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices
+// (random Prüfer-like attachment: vertex i attaches to a uniform earlier
+// vertex; this is a random recursive tree, adequate for workloads).
+func RandomTree(r *rng.RNG, n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, r.Intn(v))
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomConnected returns a connected G(n,p)-like graph: a random spanning
+// tree plus independent p-edges.
+func RandomConnected(r *rng.RNG, n int, p float64) *Graph {
+	g := New(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(perm[i], perm[r.Intn(i)])
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomSmallDiameter returns a connected random graph whose diameter is
+// guaranteed to be at most max(k,1). Construction: a random tree of depth
+// ⌊k/2⌋ from a root (so eccentricity of the root ≤ ⌊k/2⌋, hence diameter
+// ≤ 2⌊k/2⌋ ≤ k) plus independent extra edges with probability extra.
+// For k == 1 it returns K_n.
+func RandomSmallDiameter(r *rng.RNG, n, k int, extra float64) *Graph {
+	if n <= 0 {
+		return New(n)
+	}
+	if k <= 1 {
+		return Complete(n)
+	}
+	depth := k / 2
+	g := New(n)
+	level := make([]int, n) // level[v] = BFS depth of v in the backbone tree
+	// Vertices join in order; vertex v attaches to a uniformly random
+	// earlier vertex of level < depth.
+	var eligible []int // vertices with level < depth
+	eligible = append(eligible, 0)
+	for v := 1; v < n; v++ {
+		parent := eligible[r.Intn(len(eligible))]
+		g.AddEdge(v, parent)
+		level[v] = level[parent] + 1
+		if level[v] < depth {
+			eligible = append(eligible, v)
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < extra {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomDiameter2 returns a connected random graph with diameter ≤ 2:
+// a universal vertex 0 plus independent p-edges among the rest. For the
+// diameter to be exactly 2 at least one non-edge must remain; callers who
+// need that should check and retry (or use small p).
+func RandomDiameter2(r *rng.RNG, n int, p float64) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	for u := 1; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomSplit returns a random split graph: a clique on the first c
+// vertices, an independent set on the rest, and each clique–independent
+// pair adjacent with probability p (each independent vertex gets at least
+// one clique neighbor, keeping the graph connected with diameter ≤ 3).
+func RandomSplit(r *rng.RNG, c, s int, p float64) *Graph {
+	g := New(c + s)
+	for u := 0; u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	for i := 0; i < s; i++ {
+		v := c + i
+		attached := false
+		for u := 0; u < c; u++ {
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+				attached = true
+			}
+		}
+		if !attached && c > 0 {
+			g.AddEdge(r.Intn(c), v)
+		}
+	}
+	g.Normalize()
+	return g
+}
+
+// RandomCograph returns a random cograph on n vertices, built by the
+// standard recursive union/join process. Cographs have clique-width ≤ 2 and
+// small modular-width; they exercise the FPT machinery.
+func RandomCograph(r *rng.RNG, n int) *Graph {
+	g := New(n)
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	var build func(vs []int, join bool)
+	build = func(vs []int, join bool) {
+		if len(vs) <= 1 {
+			return
+		}
+		cut := 1 + r.Intn(len(vs)-1)
+		left, right := vs[:cut], vs[cut:]
+		if join {
+			for _, u := range left {
+				for _, v := range right {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		build(left, r.Bool())
+		build(right, r.Bool())
+	}
+	build(vs, true) // top-level join keeps it connected
+	g.Normalize()
+	return g
+}
+
+// RandomNDGraph returns a graph with neighborhood diversity at most
+// len(sizes): class i has sizes[i] vertices and is a clique with probability
+// cliqueProb (else independent); classes i<j are fully joined with
+// probability joinProb (else fully non-adjacent). The type structure makes
+// nd exact by construction up to class merging.
+func RandomNDGraph(r *rng.RNG, sizes []int, cliqueProb, joinProb float64) *Graph {
+	n := 0
+	start := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		n += s
+		start[i+1] = start[i] + s
+	}
+	g := New(n)
+	for i, s := range sizes {
+		if s > 1 && r.Float64() < cliqueProb {
+			for u := start[i]; u < start[i+1]; u++ {
+				for v := u + 1; v < start[i+1]; v++ {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	for i := range sizes {
+		for j := i + 1; j < len(sizes); j++ {
+			if r.Float64() < joinProb {
+				for u := start[i]; u < start[i+1]; u++ {
+					for v := start[j]; v < start[j+1]; v++ {
+						g.AddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	g.Normalize()
+	return g
+}

@@ -1,0 +1,227 @@
+// Package graph provides the undirected-graph substrate used by the whole
+// library: adjacency-list graphs, breadth-first search, a parallel all-pairs
+// distance matrix, graph powers and complements, generators for the workload
+// suites, the hardness gadgets from the paper, and a small text I/O format.
+//
+// Vertices are the integers 0..N()-1. Graphs are simple (no loops, no
+// parallel edges) and undirected. The representation is a compact adjacency
+// list; call Normalize (done automatically by the query methods that need
+// it) after mutating to sort and deduplicate neighbor lists.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..n-1.
+//
+// The zero value is an empty graph on zero vertices. Mutation methods
+// (AddEdge) may leave neighbor lists unsorted; query methods normalize
+// lazily. Graph is not safe for concurrent mutation; concurrent reads after
+// Normalize are safe.
+type Graph struct {
+	adj        [][]int32
+	m          int
+	normalized bool
+}
+
+// New returns an edgeless graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]int32, n), normalized: true}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u,v}. Loops are rejected with a
+// panic; duplicate edges are detected during Normalize and collapse, keeping
+// M accurate. For bulk construction prefer adding all edges then querying.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, len(g.adj)))
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	g.normalized = false
+}
+
+// Normalize sorts neighbor lists and removes duplicate edges. It is
+// idempotent and called lazily by query methods that need sorted lists.
+func (g *Graph) Normalize() {
+	if g.normalized {
+		return
+	}
+	total := 0
+	for u := range g.adj {
+		a := g.adj[u]
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		w := 0
+		for i, x := range a {
+			if i == 0 || x != a[i-1] {
+				a[w] = x
+				w++
+			}
+		}
+		g.adj[u] = a[:w]
+		total += w
+	}
+	g.m = total / 2
+	g.normalized = true
+}
+
+// Neighbors returns the neighbor list of u. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 {
+	g.Normalize()
+	return g.adj[u]
+}
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int {
+	g.Normalize()
+	return len(g.adj[u])
+}
+
+// MaxDegree returns the maximum degree Δ(G), or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	g.Normalize()
+	d := 0
+	for u := range g.adj {
+		if len(g.adj[u]) > d {
+			d = len(g.adj[u])
+		}
+	}
+	return d
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	g.Normalize()
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		v = u
+	}
+	t := int32(v)
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == t
+}
+
+// Edges returns all edges as pairs with u < v, in lexicographic order.
+func (g *Graph) Edges() [][2]int {
+	g.Normalize()
+	es := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if int(v) > u {
+				es = append(es, [2]int{u, int(v)})
+			}
+		}
+	}
+	return es
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	g.Normalize()
+	h := &Graph{adj: make([][]int32, len(g.adj)), m: g.m, normalized: true}
+	for u := range g.adj {
+		h.adj[u] = append([]int32(nil), g.adj[u]...)
+	}
+	return h
+}
+
+// Complement returns the complement graph Ḡ.
+func (g *Graph) Complement() *Graph {
+	g.Normalize()
+	n := g.N()
+	h := New(n)
+	for u := 0; u < n; u++ {
+		a := g.adj[u]
+		i := 0
+		for v := u + 1; v < n; v++ {
+			for i < len(a) && int(a[i]) < v {
+				i++
+			}
+			if i < len(a) && int(a[i]) == v {
+				continue
+			}
+			h.AddEdge(u, v)
+		}
+	}
+	h.Normalize()
+	return h
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices, whose
+// vertex i corresponds to vs[i]. Duplicate vertices in vs panic.
+func (g *Graph) InducedSubgraph(vs []int) *Graph {
+	g.Normalize()
+	idx := make(map[int]int, len(vs))
+	for i, v := range vs {
+		if _, dup := idx[v]; dup {
+			panic("graph: duplicate vertex in induced subgraph")
+		}
+		idx[v] = i
+	}
+	h := New(len(vs))
+	for i, v := range vs {
+		for _, w := range g.adj[v] {
+			if j, ok := idx[int(w)]; ok && j > i {
+				h.AddEdge(i, j)
+			}
+		}
+	}
+	h.Normalize()
+	return h
+}
+
+// Power returns the k-th power Gᵏ: vertices at distance ≤ k become adjacent.
+// k must be ≥ 1.
+func (g *Graph) Power(k int) *Graph {
+	if k < 1 {
+		panic("graph: power k must be >= 1")
+	}
+	n := g.N()
+	h := New(n)
+	if k == 1 {
+		return g.Clone()
+	}
+	dm := g.AllPairsDistances()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if d := dm.Dist(u, v); d != Unreachable && int(d) <= k {
+				h.AddEdge(u, v)
+			}
+		}
+	}
+	h.Normalize()
+	return h
+}
+
+// String returns a short human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.N(), g.M())
+}

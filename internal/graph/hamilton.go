@@ -1,0 +1,126 @@
+package graph
+
+import "math/bits"
+
+// Exact Hamiltonicity checkers (bitmask dynamic programming, O(2ⁿ·n²)).
+// They exist to verify the hardness gadgets of Theorems 1 and 3 end-to-end:
+// the gadget constructions claim equivalences with HAMILTONIAN CYCLE/PATH,
+// and experiment E11 checks those equivalences with these oracles.
+
+// HasHamiltonianPath reports whether g has a Hamiltonian path (between any
+// pair of endpoints). Exponential; intended for n ≤ ~22.
+func (g *Graph) HasHamiltonianPath() bool {
+	n := g.N()
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	return g.hamPathDP(-1, -1)
+}
+
+// HasHamiltonianPathBetween reports whether g has a Hamiltonian path with
+// endpoints s and t (s ≠ t).
+func (g *Graph) HasHamiltonianPathBetween(s, t int) bool {
+	n := g.N()
+	if n == 0 || s == t {
+		return false
+	}
+	if n == 1 {
+		return s == 0 && t == 0
+	}
+	return g.hamPathDP(s, t)
+}
+
+// HasHamiltonianCycle reports whether g has a Hamiltonian cycle.
+func (g *Graph) HasHamiltonianCycle() bool {
+	n := g.N()
+	if n < 3 {
+		return false
+	}
+	g.Normalize()
+	// Fix vertex 0 on the cycle; DP over paths starting at 0, closing back.
+	reach := g.pathsFrom(0)
+	full := (uint32(1) << n) - 1
+	for _, v := range g.adj[0] {
+		if reach[full]&(uint32(1)<<uint(v)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hamPathDP runs the subset DP. s == -1 means any start; t == -1 means any
+// end. Requires 2 ≤ n ≤ 30 (practically ≤ 24).
+func (g *Graph) hamPathDP(s, t int) bool {
+	g.Normalize()
+	n := g.N()
+	if n > 30 {
+		panic("graph: Hamiltonicity DP limited to n <= 30")
+	}
+	full := (uint32(1) << n) - 1
+	if s >= 0 {
+		reach := g.pathsFrom(s)
+		ends := reach[full]
+		if t >= 0 {
+			return ends&(uint32(1)<<uint(t)) != 0
+		}
+		return ends != 0
+	}
+	// Any start: a Hamiltonian path exists iff one exists starting at the
+	// vertex 0...no — try every start from the smaller side: starting from
+	// each vertex is O(n·2ⁿ·n); instead run the "any endpoint" DP directly.
+	reach := g.pathsAnyStart()
+	return reach[full] != 0
+}
+
+// pathsFrom returns dp where dp[mask] is the bitset of vertices v such that
+// some path visiting exactly mask starts at s and ends at v.
+func (g *Graph) pathsFrom(s int) []uint32 {
+	n := g.N()
+	dp := make([]uint32, uint32(1)<<n)
+	dp[uint32(1)<<uint(s)] = uint32(1) << uint(s)
+	g.fillPathDP(dp)
+	return dp
+}
+
+// pathsAnyStart is pathsFrom with every singleton seeded.
+func (g *Graph) pathsAnyStart() []uint32 {
+	n := g.N()
+	dp := make([]uint32, uint32(1)<<n)
+	for v := 0; v < n; v++ {
+		dp[uint32(1)<<uint(v)] = uint32(1) << uint(v)
+	}
+	g.fillPathDP(dp)
+	return dp
+}
+
+func (g *Graph) fillPathDP(dp []uint32) {
+	n := g.N()
+	nbMask := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		var m uint32
+		for _, w := range g.adj[v] {
+			m |= uint32(1) << uint(w)
+		}
+		nbMask[v] = m
+	}
+	for mask := uint32(1); mask < uint32(len(dp)); mask++ {
+		ends := dp[mask]
+		if ends == 0 {
+			continue
+		}
+		rest := ends
+		for rest != 0 {
+			v := bits.TrailingZeros32(rest)
+			rest &= rest - 1
+			ext := nbMask[v] &^ mask
+			for ext != 0 {
+				w := bits.TrailingZeros32(ext)
+				ext &= ext - 1
+				dp[mask|uint32(1)<<uint(w)] |= uint32(1) << uint(w)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text format is a minimal DIMACS-like edge list:
+//
+//	c optional comment lines
+//	p edge <n> <m>
+//	e <u> <v>          (1-based vertex indices, m lines)
+//
+// Plain "<n> <m>\n<u> <v>..." 0-based edge lists are also accepted by Read
+// when the first non-comment line has two integers and no "p" header.
+
+// Write serializes g in DIMACS edge format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	g.Normalize()
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "e %d %d\n", e[0]+1, e[1]+1); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in DIMACS edge format (1-based) or a bare
+// "n m" + 0-based edge-list format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text == "c" || strings.HasPrefix(text, "c ") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "p":
+			if len(fields) != 4 || fields[1] != "edge" {
+				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", line, text)
+			}
+			var n, m int
+			if _, err := fmt.Sscanf(fields[2]+" "+fields[3], "%d %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			g = New(n)
+		case fields[0] == "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before problem line", line)
+			}
+			var u, v int
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &u, &v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			g.AddEdge(u-1, v-1)
+		default:
+			var a, b int
+			if _, err := fmt.Sscanf(text, "%d %d", &a, &b); err != nil {
+				return nil, fmt.Errorf("graph: line %d: unrecognized line %q", line, text)
+			}
+			if g == nil {
+				g = New(a) // bare header: "n m"
+			} else {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	g.Normalize()
+	return g, nil
+}
+
+// MustParse parses a graph from a string, panicking on error. Test helper.
+func MustParse(s string) *Graph {
+	g, err := Read(strings.NewReader(s))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

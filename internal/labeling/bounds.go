@@ -1,0 +1,91 @@
+package labeling
+
+import "lpltsp/internal/graph"
+
+// Lower and upper bounds on λ_p used for sanity checks, branch-and-bound
+// seeding, and the experiment tables.
+
+// PathLowerBound returns the trivial reduction-side lower bound for
+// connected graphs with diam ≤ k: every Hamiltonian path of H has n−1
+// edges of weight ≥ pmin, so λ_p ≥ (n−1)·pmin. Valid whenever the
+// reduction applies; returns 0 otherwise-shaped inputs (n ≤ 1).
+func PathLowerBound(n int, p Vector) int {
+	if n <= 1 {
+		return 0
+	}
+	pmin, _ := p.MinMax()
+	return (n - 1) * pmin
+}
+
+// CliqueLowerBound returns (ω̃−1)·pmin where ω̃ is the size of a greedily
+// found clique in the k-th power Gᵏ: all its vertices are pairwise within
+// distance k, so their labels pairwise differ by ≥ pmin, forcing span
+// ≥ (ω̃−1)·pmin. A heuristic (not maximum) clique still yields a valid
+// lower bound.
+func CliqueLowerBound(g *graph.Graph, p Vector) int {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	pk := g.Power(len(p))
+	// Greedy clique grown from the highest-degree vertex of Gᵏ.
+	best := 0
+	for _, start := range []int{maxDegVertex(pk)} {
+		clique := []int{start}
+		for v := 0; v < n; v++ {
+			if v == start {
+				continue
+			}
+			ok := true
+			for _, c := range clique {
+				if !pk.HasEdge(v, c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, v)
+			}
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+	}
+	pmin, _ := p.MinMax()
+	return (best - 1) * pmin
+}
+
+func maxDegVertex(g *graph.Graph) int {
+	best, bestD := 0, -1
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > bestD {
+			best, bestD = v, d
+		}
+	}
+	return best
+}
+
+// GriggsYehUpperBound21 returns the classical Δ²+2Δ upper bound on
+// λ_{2,1}(G) (Griggs & Yeh 1992). It applies to p = (2,1) only.
+func GriggsYehUpperBound21(g *graph.Graph) int {
+	d := g.MaxDegree()
+	return d*d + 2*d
+}
+
+// GreedyUpperBound runs the first-fit heuristic in all three orders and
+// returns the best span found — a cheap valid upper bound for any graph
+// and p.
+func GreedyUpperBound(g *graph.Graph, p Vector) int {
+	best := -1
+	for _, ord := range []GreedyOrder{OrderDegree, OrderBFS, OrderNatural} {
+		if _, span, err := GreedyFirstFit(g, p, ord); err == nil {
+			if best < 0 || span < best {
+				best = span
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,62 @@
+package labeling
+
+// Known closed-form λ_{2,1} values for the classical graph classes the
+// paper cites as polynomially solvable (Griggs & Yeh). These are the
+// golden values experiment E12 checks the exact engines against.
+
+// PathLambda21 returns λ_{2,1}(P_n).
+func PathLambda21(n int) int {
+	switch {
+	case n <= 0:
+		return 0
+	case n == 1:
+		return 0
+	case n == 2:
+		return 2
+	case n <= 4:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// CycleLambda21 returns λ_{2,1}(C_n) = 4 for every n ≥ 3.
+func CycleLambda21(n int) int {
+	if n < 3 {
+		panic("labeling: cycle needs n >= 3")
+	}
+	return 4
+}
+
+// CompleteLambda21 returns λ_{2,1}(K_n) = 2(n−1).
+func CompleteLambda21(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * (n - 1)
+}
+
+// StarLambda21 returns λ_{2,1}(K_{1,n−1}) = n for a star on n ≥ 2 vertices
+// (hub plus n−1 leaves: leaves pairwise at distance 2 get distinct labels
+// 2..n, hub gets 0).
+func StarLambda21(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if n == 2 {
+		return 2
+	}
+	return n
+}
+
+// WheelLambda21 returns λ_{2,1}(W_n) for the wheel on n ≥ 6 total vertices
+// (hub + cycle C_{n−1}): the value is n, realized by putting the hub at one
+// end of a Hamiltonian path of the complement of C_{n−1}.
+// (W_4 = K_4 has λ = 6 and W_5 has λ = 6; both are handled by the exact
+// engine in tests rather than by formula.)
+func WheelLambda21(n int) int {
+	if n < 6 {
+		panic("labeling: wheel formula valid for n >= 6")
+	}
+	return n
+}

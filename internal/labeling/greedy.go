@@ -1,0 +1,106 @@
+package labeling
+
+import (
+	"sort"
+
+	"lpltsp/internal/graph"
+)
+
+// GreedyOrder names a vertex ordering strategy for the first-fit heuristic.
+type GreedyOrder string
+
+const (
+	// OrderDegree processes vertices by decreasing degree (classic
+	// frequency-assignment heuristic order).
+	OrderDegree GreedyOrder = "degree"
+	// OrderBFS processes vertices in breadth-first order from vertex 0.
+	OrderBFS GreedyOrder = "bfs"
+	// OrderNatural processes vertices 0,1,2,…
+	OrderNatural GreedyOrder = "natural"
+)
+
+// GreedyFirstFit is the classical baseline the paper's TSP engines are
+// compared against: process vertices in the given order and give each the
+// smallest nonnegative label consistent with all already-labeled vertices
+// within the distance horizon. It works on any graph and any p.
+func GreedyFirstFit(g *graph.Graph, p Vector, order GreedyOrder) (Labeling, int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := g.N()
+	if n == 0 {
+		return Labeling{}, 0, nil
+	}
+	dm := g.AllPairsDistances()
+	pi := greedyOrdering(g, order)
+	k := len(p)
+	l := make(Labeling, n)
+	for i := range l {
+		l[i] = -1
+	}
+	span := 0
+	// forbidden[x] is scratch marking labels excluded for the current
+	// vertex. Intervals [l(u)-p_d+1, l(u)+p_d-1] are excluded.
+	for _, v := range pi {
+		row := dm.Row(v)
+		type iv struct{ lo, hi int }
+		var excluded []iv
+		for u := 0; u < n; u++ {
+			if l[u] < 0 || u == v {
+				continue
+			}
+			d := int(row[u])
+			if row[u] == graph.Unreachable || d > k || p[d-1] == 0 {
+				continue
+			}
+			excluded = append(excluded, iv{l[u] - p[d-1] + 1, l[u] + p[d-1] - 1})
+		}
+		sort.Slice(excluded, func(a, b int) bool { return excluded[a].lo < excluded[b].lo })
+		lab := 0
+		for _, e := range excluded {
+			if e.hi < lab {
+				continue
+			}
+			if e.lo > lab {
+				break // gap found
+			}
+			lab = e.hi + 1
+		}
+		l[v] = lab
+		if lab > span {
+			span = lab
+		}
+	}
+	return l, span, nil
+}
+
+func greedyOrdering(g *graph.Graph, order GreedyOrder) []int {
+	n := g.N()
+	pi := make([]int, n)
+	for i := range pi {
+		pi[i] = i
+	}
+	switch order {
+	case OrderDegree:
+		sort.SliceStable(pi, func(a, b int) bool {
+			return g.Degree(pi[a]) > g.Degree(pi[b])
+		})
+	case OrderBFS:
+		if n == 0 {
+			return pi
+		}
+		dist := make([]uint16, n)
+		queue := make([]int32, n)
+		g.BFSFrom(0, dist, queue)
+		sort.SliceStable(pi, func(a, b int) bool {
+			da, db := dist[pi[a]], dist[pi[b]]
+			if da != db {
+				return da < db
+			}
+			return pi[a] < pi[b]
+		})
+	case OrderNatural:
+		// identity
+	}
+	return pi
+}

@@ -1,0 +1,158 @@
+// Package labeling defines the L(p)-labeling problem — the
+// distance-constrained graph labeling the paper studies — together with
+// validity checking, independent exact baselines, greedy heuristics,
+// classical closed-form values, and general bounds.
+//
+// For a graph G and a vector p = (p1,…,pk), a labeling l: V → ℕ∪{0} is an
+// L(p)-labeling iff |l(u)−l(v)| ≥ p_d for every pair u,v at distance
+// d ≤ k. The span is max_v l(v); L(p)-LABELING asks for the minimum span
+// λ_p(G).
+package labeling
+
+import (
+	"fmt"
+
+	"lpltsp/internal/graph"
+)
+
+// Vector is the distance-constraint vector p = (p1,…,pk): vertices at
+// distance d must receive labels at least p[d-1] apart.
+type Vector []int
+
+// L21 is the classical p = (2,1) of frequency assignment.
+func L21() Vector { return Vector{2, 1} }
+
+// Ones returns the all-ones vector of dimension k (L(1,…,1)-labeling,
+// equivalent to coloring Gᵏ).
+func Ones(k int) Vector {
+	v := make(Vector, k)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Validate checks that p is a usable constraint vector.
+func (p Vector) Validate() error {
+	if len(p) == 0 {
+		return fmt.Errorf("labeling: empty constraint vector")
+	}
+	for d, pd := range p {
+		if pd < 0 {
+			return fmt.Errorf("labeling: p[%d] = %d is negative", d+1, pd)
+		}
+	}
+	return nil
+}
+
+// K returns the dimension of p (the distance horizon).
+func (p Vector) K() int { return len(p) }
+
+// MinMax returns pmin and pmax.
+func (p Vector) MinMax() (pmin, pmax int) {
+	pmin, pmax = p[0], p[0]
+	for _, x := range p[1:] {
+		if x < pmin {
+			pmin = x
+		}
+		if x > pmax {
+			pmax = x
+		}
+	}
+	return pmin, pmax
+}
+
+// SatisfiesReductionCondition reports whether pmax ≤ 2·pmin, the hypothesis
+// of Theorem 2.
+func (p Vector) SatisfiesReductionCondition() bool {
+	pmin, pmax := p.MinMax()
+	return pmax <= 2*pmin
+}
+
+// Scale returns c·p. Used by Corollary 3 (λ_{cp} = c·λ_p).
+func (p Vector) Scale(c int) Vector {
+	q := make(Vector, len(p))
+	for i, x := range p {
+		q[i] = c * x
+	}
+	return q
+}
+
+// Labeling assigns a nonnegative label to every vertex.
+type Labeling []int
+
+// Span returns max label, or 0 for an empty labeling.
+func (l Labeling) Span() int {
+	s := 0
+	for _, x := range l {
+		if x > s {
+			s = x
+		}
+	}
+	return s
+}
+
+// Verify checks that l is a valid L(p)-labeling of g: correct length,
+// nonnegative labels, and every pair at distance d ≤ len(p) separated by at
+// least p_d. O(n²) after the distance matrix.
+func Verify(g *graph.Graph, p Vector, l Labeling) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n := g.N()
+	if len(l) != n {
+		return fmt.Errorf("labeling: labeling has %d entries for %d vertices", len(l), n)
+	}
+	for v, x := range l {
+		if x < 0 {
+			return fmt.Errorf("labeling: vertex %d has negative label %d", v, x)
+		}
+	}
+	dm := g.AllPairsDistances()
+	k := len(p)
+	for u := 0; u < n; u++ {
+		row := dm.Row(u)
+		for v := u + 1; v < n; v++ {
+			d := int(row[v])
+			if row[v] == graph.Unreachable || d > k {
+				continue
+			}
+			diff := l[u] - l[v]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff < p[d-1] {
+				return fmt.Errorf("labeling: |l(%d)−l(%d)| = %d < p_%d = %d (distance %d)",
+					u, v, diff, d, p[d-1], d)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyWithMatrix is Verify with a precomputed distance matrix (hot paths).
+func VerifyWithMatrix(dm *graph.DistMatrix, p Vector, l Labeling) error {
+	n := dm.N
+	if len(l) != n {
+		return fmt.Errorf("labeling: labeling has %d entries for %d vertices", len(l), n)
+	}
+	k := len(p)
+	for u := 0; u < n; u++ {
+		row := dm.Row(u)
+		for v := u + 1; v < n; v++ {
+			d := int(row[v])
+			if row[v] == graph.Unreachable || d > k {
+				continue
+			}
+			diff := l[u] - l[v]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff < p[d-1] {
+				return fmt.Errorf("labeling: |l(%d)−l(%d)| = %d < p_%d = %d (distance %d)",
+					u, v, diff, d, p[d-1], d)
+			}
+		}
+	}
+	return nil
+}

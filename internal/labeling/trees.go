@@ -1,0 +1,254 @@
+package labeling
+
+import (
+	"fmt"
+
+	"lpltsp/internal/graph"
+)
+
+// Exact L(2,1)-labeling of trees, in the style of Chang & Kuo (1996) —
+// the polynomial class the paper contrasts with its graph-agnostic TSP
+// approach ("the polynomial-time solvability for trees depends on not a
+// tree-like structure but the tree structure itself").
+//
+// Facts used: for any graph, λ_{2,1} ≥ Δ+1; for trees, λ_{2,1} ≤ Δ+2
+// (Griggs & Yeh), so only the decision "is span Δ+1 feasible?" is needed.
+// Feasibility is decided bottom-up: feas[v][a][b] says the subtree hanging
+// below edge (parent(v), v) can be labeled with l(parent(v)) = a and
+// l(v) = b. Computing feas[v][a][b] asks whether the children of v can be
+// assigned distinct labels, each at distance ≥ 2 from b and ≠ a, whose own
+// subtrees are feasible — a bipartite matching between children and
+// labels.
+
+// TreeLambda21 returns λ_{2,1} of a tree together with an optimal
+// labeling. It errors if g is not a tree (connected, m = n−1).
+func TreeLambda21(g *graph.Graph) (Labeling, int, error) {
+	n := g.N()
+	if n == 0 {
+		return Labeling{}, 0, nil
+	}
+	if g.M() != n-1 || !g.IsConnected() {
+		return nil, 0, fmt.Errorf("labeling: not a tree (n=%d, m=%d, connected=%v)",
+			n, g.M(), g.IsConnected())
+	}
+	if n == 1 {
+		return Labeling{0}, 0, nil
+	}
+	delta := g.MaxDegree()
+	// Try span Δ+1 first; Δ+2 always works for trees.
+	for _, span := range []int{delta + 1, delta + 2} {
+		if lab := treeLabel(g, span); lab != nil {
+			if err := Verify(g, L21(), lab); err != nil {
+				return nil, 0, fmt.Errorf("labeling: internal error: %w", err)
+			}
+			return lab, span, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("labeling: internal error: tree not labelable with Δ+2 = %d", delta+2)
+}
+
+// treeLabel attempts to build an L(2,1)-labeling of the tree with labels
+// in 0..span; nil if infeasible.
+func treeLabel(g *graph.Graph, span int) Labeling {
+	n := g.N()
+	s := span + 1 // number of labels
+	// Root at 0; compute parent and a reverse-BFS (post) order.
+	parent := make([]int, n)
+	order := make([]int, 0, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[0] = -1
+	queue := []int{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range g.Neighbors(v) {
+			if parent[u] == -2 {
+				parent[u] = v
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	children := make([][]int, n)
+	for v := 1; v < n; v++ {
+		children[parent[v]] = append(children[parent[v]], v)
+	}
+
+	// feas[v][a*s+b]: subtree below edge (parent(v), v) is labelable with
+	// parent label a and v's label b. Only defined for |a-b| ≥ 2.
+	feas := make([][]bool, n)
+	for v := range feas {
+		feas[v] = make([]bool, s*s)
+	}
+	// Process in reverse BFS order (children before parents).
+	for idx := n - 1; idx >= 1; idx-- {
+		v := order[idx]
+		for a := 0; a < s; a++ {
+			for b := 0; b < s; b++ {
+				if abs(a-b) < 2 {
+					continue
+				}
+				feas[v][a*s+b] = childrenMatch(v, b, a, s, children, feas) >= 0
+			}
+		}
+	}
+	// Root: try every label; children must match with "parent label" = -1
+	// (encoded as a = b so no exclusion… use a sentinel outside range).
+	for b := 0; b < s; b++ {
+		if m := childrenMatch(0, b, -10, s, children, feas); m >= 0 {
+			// Feasible: reconstruct top-down.
+			lab := make(Labeling, n)
+			lab[0] = b
+			var assign func(v int, aLabel, vLabel int) bool
+			assign = func(v, aLabel, vLabel int) bool {
+				match := childrenAssignment(v, vLabel, aLabel, s, children, feas)
+				if match == nil {
+					return false
+				}
+				for i, c := range children[v] {
+					lab[c] = match[i]
+					if !assign(c, vLabel, match[i]) {
+						return false
+					}
+				}
+				return true
+			}
+			if assign(0, -10, b) {
+				return lab
+			}
+		}
+	}
+	return nil
+}
+
+// childrenMatch reports (≥ 0) whether the children of v can each get a
+// distinct label ℓ with |ℓ−b| ≥ 2, ℓ ≠ a, and feas[child][b][ℓ]. Returns
+// the matching size or -1 if some child is unmatchable.
+func childrenMatch(v, b, a, s int, children [][]int, feas [][]bool) int {
+	match := childrenAssignment(v, b, a, s, children, feas)
+	if match == nil {
+		return -1
+	}
+	return len(match)
+}
+
+// childrenAssignment returns, for each child of v in order, its assigned
+// label — or nil if no full assignment exists. Bipartite matching by
+// augmenting paths (children on the left, labels on the right).
+func childrenAssignment(v, b, a, s int, children [][]int, feas [][]bool) []int {
+	kids := children[v]
+	if len(kids) == 0 {
+		return []int{}
+	}
+	// allowed[i] lists labels usable by child i.
+	allowed := make([][]int, len(kids))
+	for i, c := range kids {
+		for l := 0; l < s; l++ {
+			if abs(l-b) < 2 || l == a {
+				continue
+			}
+			if feas[c][b*s+l] {
+				allowed[i] = append(allowed[i], l)
+			}
+		}
+		if len(allowed[i]) == 0 {
+			return nil
+		}
+	}
+	labelOwner := make([]int, s)
+	for i := range labelOwner {
+		labelOwner[i] = -1
+	}
+	childLabel := make([]int, len(kids))
+	for i := range childLabel {
+		childLabel[i] = -1
+	}
+	visited := make([]bool, s)
+	var augment func(i int) bool
+	augment = func(i int) bool {
+		for _, l := range allowed[i] {
+			if visited[l] {
+				continue
+			}
+			visited[l] = true
+			if labelOwner[l] < 0 || augment(labelOwner[l]) {
+				labelOwner[l] = i
+				childLabel[i] = l
+				return true
+			}
+		}
+		return false
+	}
+	for i := range kids {
+		for j := range visited {
+			visited[j] = false
+		}
+		if !augment(i) {
+			return nil
+		}
+	}
+	return childLabel
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// PathLabeling21 returns an optimal L(2,1)-labeling of P_n by the
+// classical periodic construction, span PathLambda21(n).
+func PathLabeling21(n int) Labeling {
+	lab := make(Labeling, n)
+	switch {
+	case n <= 1:
+		// all zero
+	case n == 2:
+		lab[1] = 2
+	case n <= 4:
+		// 0,2 span 3 patterns: 1,3,0,2 works for n=4 (check: |1-3|=2 ok,
+		// |3-0|=3, |0-2|=2; distance 2: |1-0|=1 ok, |3-2|=1 ok).
+		pattern := []int{1, 3, 0, 2}
+		copy(lab, pattern[:n])
+	default:
+		// Period-4 pattern 0,2,4,… : 0,2,4 repeating with shift — the
+		// classical span-4 labeling of long paths: 0,2,4,0,2,4,…  fails at
+		// distance 2 (0 vs 4 fine, 2 vs 0 diff 2 fine at distance 2? needs
+		// only ≥1). Check pairs: adjacent diffs 2,2,4 ≥2 ✓; distance-2
+		// diffs 4,2,2 ≥1 ✓.
+		for i := range lab {
+			lab[i] = (i % 3) * 2
+		}
+	}
+	return lab
+}
+
+// CycleLabeling21 returns an optimal span-4 L(2,1)-labeling of C_n
+// (n ≥ 3).
+func CycleLabeling21(n int) Labeling {
+	if n < 3 {
+		panic("labeling: cycle needs n >= 3")
+	}
+	lab := make(Labeling, n)
+	// Base period-3 pattern 0,2,4 works when n ≡ 0 (mod 3); otherwise the
+	// wrap-around violates constraints and the tail is patched with the
+	// classical end gadgets.
+	for i := range lab {
+		lab[i] = (i % 3) * 2
+	}
+	switch n % 3 {
+	case 1:
+		// Prefix (0,2,4)^{(n−4)/3} then the end gadget 0,3,1,4 (n = 4 is
+		// the gadget alone).
+		copy(lab[n-4:], []int{0, 3, 1, 4})
+	case 2:
+		// Prefix (0,2,4)^{(n−5)/3} then the end gadget 0,2,4,1,3; the
+		// gadget's first three entries coincide with the base pattern, so
+		// only the last two positions change.
+		copy(lab[n-2:], []int{1, 3})
+	}
+	return lab
+}

@@ -1,0 +1,145 @@
+package labeling
+
+import (
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/rng"
+)
+
+func TestTreeLambda21VsBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(10)
+		g := graph.RandomTree(r, n)
+		lab, span, err := TreeLambda21(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(g, L21(), lab); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, want, err := BruteForceExact(g, L21())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if span != want {
+			t.Fatalf("trial %d (n=%d): tree algorithm %d != brute force %d", trial, n, span, want)
+		}
+	}
+}
+
+func TestTreeLambda21LargeTreesInChangKuoRange(t *testing.T) {
+	// For every tree, λ ∈ {Δ+1, Δ+2} (Chang–Kuo / Griggs–Yeh).
+	r := rng.New(2)
+	for trial := 0; trial < 15; trial++ {
+		n := 20 + r.Intn(150)
+		g := graph.RandomTree(r, n)
+		lab, span, err := TreeLambda21(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, L21(), lab); err != nil {
+			t.Fatal(err)
+		}
+		d := g.MaxDegree()
+		if span != d+1 && span != d+2 {
+			t.Fatalf("trial %d: tree λ = %d outside {Δ+1, Δ+2} = {%d,%d}", trial, span, d+1, d+2)
+		}
+	}
+}
+
+func TestTreeLambda21KnownValues(t *testing.T) {
+	// Stars: λ(K_{1,m}) = m+1 = Δ+1.
+	for m := 2; m <= 8; m++ {
+		_, span, err := TreeLambda21(graph.Star(m + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if span != m+1 {
+			t.Fatalf("star with %d leaves: λ = %d, want %d", m, span, m+1)
+		}
+	}
+	// Paths: P2 → 2, P3,P4 → 3, P5+ → 4 = Δ+2.
+	for n := 2; n <= 10; n++ {
+		_, span, err := TreeLambda21(graph.Path(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if span != PathLambda21(n) {
+			t.Fatalf("P%d: λ = %d, want %d", n, span, PathLambda21(n))
+		}
+	}
+	// Spider with three long legs: Δ = 3, λ should be Δ+1 or Δ+2.
+	g := graph.New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(0, 5)
+	g.AddEdge(5, 6)
+	_, span, err := TreeLambda21(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, _ := BruteForceExact(g, L21())
+	if span != want {
+		t.Fatalf("spider: %d vs brute %d", span, want)
+	}
+}
+
+func TestTreeLambda21RejectsNonTrees(t *testing.T) {
+	if _, _, err := TreeLambda21(graph.Cycle(4)); err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if _, _, err := TreeLambda21(g); err == nil {
+		t.Fatal("forest must be rejected")
+	}
+}
+
+func TestTreeTrivialSizes(t *testing.T) {
+	lab, span, err := TreeLambda21(graph.New(0))
+	if err != nil || span != 0 || len(lab) != 0 {
+		t.Fatal("empty tree")
+	}
+	lab, span, err = TreeLambda21(graph.New(1))
+	if err != nil || span != 0 || lab[0] != 0 {
+		t.Fatal("single vertex")
+	}
+	_, span, err = TreeLambda21(graph.Path(2))
+	if err != nil || span != 2 {
+		t.Fatalf("P2: %d %v", span, err)
+	}
+}
+
+func TestPathLabeling21Construction(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		lab := PathLabeling21(n)
+		if n == 0 {
+			continue
+		}
+		g := graph.Path(n)
+		if err := Verify(g, L21(), lab); err != nil {
+			t.Fatalf("P%d: %v", n, err)
+		}
+		if lab.Span() != PathLambda21(n) {
+			t.Fatalf("P%d: constructed span %d, formula %d", n, lab.Span(), PathLambda21(n))
+		}
+	}
+}
+
+func TestCycleLabeling21Construction(t *testing.T) {
+	for n := 3; n <= 60; n++ {
+		lab := CycleLabeling21(n)
+		g := graph.Cycle(n)
+		if err := Verify(g, L21(), lab); err != nil {
+			t.Fatalf("C%d (%v): %v", n, lab, err)
+		}
+		if lab.Span() != 4 {
+			t.Fatalf("C%d: constructed span %d, want 4", n, lab.Span())
+		}
+	}
+}

@@ -1,0 +1,627 @@
+// Package matching implements maximum-weight matching in general graphs by
+// the primal-dual blossom method (Edmonds' algorithm in the O(n³)
+// formulation popularized by Galil and by van Rantwijk's reference
+// implementation), plus a minimum-weight perfect-matching wrapper used by
+// the Christofides TSP heuristic.
+//
+// All computations are exact over int64; input weights are doubled
+// internally so every dual update is integral.
+package matching
+
+// Edge is an undirected weighted edge for the matcher.
+type Edge struct {
+	I, J int
+	W    int64
+}
+
+const none = -1
+
+// matcher carries the full blossom state. Vertex ids are 0..nv-1; blossom
+// ids are nv..2*nv-1. Indices into "endpoint space" are 2k and 2k+1 for
+// edge k.
+type matcher struct {
+	nv       int
+	edges    []Edge // weights pre-doubled
+	maxCard  bool
+	endpoint []int   // endpoint[p] = edges[p/2].{I,J} for p even/odd
+	neighb   [][]int // neighb[v] = endpoints p with endpoint[p^1] == v
+
+	mate     []int // vertex -> endpoint of matched edge, or none
+	label    []int // 0 free, 1 S, 2 T (+4 marker during scan)
+	labelEnd []int
+	inBloss  []int // vertex -> top-level blossom
+	bParent  []int
+	bChild   [][]int
+	bBase    []int
+	bEndps   [][]int
+	bestEdge []int
+	bBestEdg [][]int
+	unused   []int
+	dual     []int64
+	allowed  []bool
+	queue    []int
+}
+
+// MaxWeightMatching computes a maximum-weight matching of the given graph
+// on n vertices. If maxCardinality is true, only maximum-cardinality
+// matchings are considered (among which a maximum-weight one is returned).
+// The result maps each vertex to its partner, or -1 if unmatched.
+func MaxWeightMatching(n int, edges []Edge, maxCardinality bool) []int {
+	m := &matcher{nv: n, maxCard: maxCardinality}
+	m.edges = make([]Edge, len(edges))
+	var maxW int64
+	for k, e := range edges {
+		if e.I == e.J || e.I < 0 || e.J < 0 || e.I >= n || e.J >= n {
+			panic("matching: bad edge")
+		}
+		m.edges[k] = Edge{e.I, e.J, 2 * e.W} // double for integrality
+		if m.edges[k].W > maxW {
+			maxW = m.edges[k].W
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	m.init(maxW)
+	m.run()
+	out := make([]int, n)
+	for v := range out {
+		if m.mate[v] == none {
+			out[v] = -1
+		} else {
+			out[v] = m.endpoint[m.mate[v]]
+		}
+	}
+	return out
+}
+
+func (m *matcher) init(maxW int64) {
+	nv, ne := m.nv, len(m.edges)
+	m.endpoint = make([]int, 2*ne)
+	m.neighb = make([][]int, nv)
+	for k, e := range m.edges {
+		m.endpoint[2*k] = e.I
+		m.endpoint[2*k+1] = e.J
+		m.neighb[e.I] = append(m.neighb[e.I], 2*k+1)
+		m.neighb[e.J] = append(m.neighb[e.J], 2*k)
+	}
+	m.mate = fill(nv, none)
+	m.label = make([]int, 2*nv)
+	m.labelEnd = fill(2*nv, none)
+	m.inBloss = make([]int, nv)
+	for v := range m.inBloss {
+		m.inBloss[v] = v
+	}
+	m.bParent = fill(2*nv, none)
+	m.bChild = make([][]int, 2*nv)
+	m.bBase = fill(2*nv, none)
+	for v := 0; v < nv; v++ {
+		m.bBase[v] = v
+	}
+	m.bEndps = make([][]int, 2*nv)
+	m.bestEdge = fill(2*nv, none)
+	m.bBestEdg = make([][]int, 2*nv)
+	m.unused = make([]int, 0, nv)
+	for b := nv; b < 2*nv; b++ {
+		m.unused = append(m.unused, b)
+	}
+	m.dual = make([]int64, 2*nv)
+	for v := 0; v < nv; v++ {
+		m.dual[v] = maxW
+	}
+	m.allowed = make([]bool, ne)
+}
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func (m *matcher) slack(k int) int64 {
+	e := m.edges[k]
+	return m.dual[e.I] + m.dual[e.J] - 2*e.W
+}
+
+// blossomLeaves appends all vertex leaves of blossom b to buf.
+func (m *matcher) blossomLeaves(b int, buf []int) []int {
+	if b < m.nv {
+		return append(buf, b)
+	}
+	for _, t := range m.bChild[b] {
+		buf = m.blossomLeaves(t, buf)
+	}
+	return buf
+}
+
+// assignLabel labels the top-level blossom of w with label t reached
+// through endpoint p.
+func (m *matcher) assignLabel(w, t, p int) {
+	b := m.inBloss[w]
+	m.label[w] = t
+	m.label[b] = t
+	m.labelEnd[w] = p
+	m.labelEnd[b] = p
+	m.bestEdge[w] = none
+	m.bestEdge[b] = none
+	if t == 1 {
+		m.queue = m.blossomLeaves(b, m.queue)
+	} else if t == 2 {
+		base := m.bBase[b]
+		m.assignLabel(m.endpoint[m.mate[base]], 1, m.mate[base]^1)
+	}
+}
+
+// scanBlossom traces back from v and w to find the lowest common ancestor
+// blossom base of an alternating-tree cycle; returns -1 if v and w are in
+// different trees (an augmenting path was found).
+func (m *matcher) scanBlossom(v, w int) int {
+	var path []int
+	base := none
+	for v != none || w != none {
+		b := m.inBloss[v]
+		if m.label[b]&4 != 0 {
+			base = m.bBase[b]
+			break
+		}
+		path = append(path, b)
+		m.label[b] |= 4
+		if m.labelEnd[b] == none {
+			v = none
+		} else {
+			v = m.endpoint[m.labelEnd[b]]
+			b = m.inBloss[v]
+			v = m.endpoint[m.labelEnd[b]]
+		}
+		if w != none {
+			v, w = w, v
+		}
+	}
+	for _, b := range path {
+		m.label[b] &^= 4
+	}
+	return base
+}
+
+// addBlossom shrinks the cycle through edge k with base vertex "base" into
+// a new blossom.
+func (m *matcher) addBlossom(base, k int) {
+	v, w := m.edges[k].I, m.edges[k].J
+	bb := m.inBloss[base]
+	bv := m.inBloss[v]
+	bw := m.inBloss[w]
+	b := m.unused[len(m.unused)-1]
+	m.unused = m.unused[:len(m.unused)-1]
+	m.bBase[b] = base
+	m.bParent[b] = none
+	m.bParent[bb] = b
+	var path, endps []int
+	for bv != bb {
+		m.bParent[bv] = b
+		path = append(path, bv)
+		endps = append(endps, m.labelEnd[bv])
+		v = m.endpoint[m.labelEnd[bv]]
+		bv = m.inBloss[v]
+	}
+	path = append(path, bb)
+	reverse(path)
+	reverse(endps)
+	endps = append(endps, 2*k)
+	for bw != bb {
+		m.bParent[bw] = b
+		path = append(path, bw)
+		endps = append(endps, m.labelEnd[bw]^1)
+		w = m.endpoint[m.labelEnd[bw]]
+		bw = m.inBloss[w]
+	}
+	m.bChild[b] = path
+	m.bEndps[b] = endps
+	m.label[b] = 1
+	m.labelEnd[b] = m.labelEnd[bb]
+	m.dual[b] = 0
+	var leaves []int
+	leaves = m.blossomLeaves(b, leaves)
+	for _, lv := range leaves {
+		if m.label[m.inBloss[lv]] == 2 {
+			m.queue = append(m.queue, lv)
+		}
+		m.inBloss[lv] = b
+	}
+	// Recompute best-edge lists for delta3.
+	bestTo := fill(2*m.nv, none)
+	for _, sub := range path {
+		var lists [][]int
+		if m.bBestEdg[sub] == nil {
+			var subLeaves []int
+			subLeaves = m.blossomLeaves(sub, subLeaves[:0])
+			for _, lv := range subLeaves {
+				ks := make([]int, len(m.neighb[lv]))
+				for i, p := range m.neighb[lv] {
+					ks[i] = p / 2
+				}
+				lists = append(lists, ks)
+			}
+		} else {
+			lists = [][]int{m.bBestEdg[sub]}
+		}
+		for _, list := range lists {
+			for _, k2 := range list {
+				j := m.edges[k2].J
+				if m.inBloss[j] == b {
+					j = m.edges[k2].I
+				}
+				bj := m.inBloss[j]
+				if bj != b && m.label[bj] == 1 &&
+					(bestTo[bj] == none || m.slack(k2) < m.slack(bestTo[bj])) {
+					bestTo[bj] = k2
+				}
+			}
+		}
+		m.bBestEdg[sub] = nil
+		m.bestEdge[sub] = none
+	}
+	var be []int
+	for _, k2 := range bestTo {
+		if k2 != none {
+			be = append(be, k2)
+		}
+	}
+	m.bBestEdg[b] = be
+	m.bestEdge[b] = none
+	for _, k2 := range be {
+		if m.bestEdge[b] == none || m.slack(k2) < m.slack(m.bestEdge[b]) {
+			m.bestEdge[b] = k2
+		}
+	}
+}
+
+// expandBlossom undoes the shrinking of blossom b. If endStage, recursively
+// expands sub-blossoms with zero dual.
+func (m *matcher) expandBlossom(b int, endStage bool) {
+	for _, s := range m.bChild[b] {
+		m.bParent[s] = none
+		if s < m.nv {
+			m.inBloss[s] = s
+		} else if endStage && m.dual[s] == 0 {
+			m.expandBlossom(s, endStage)
+		} else {
+			var leaves []int
+			leaves = m.blossomLeaves(s, leaves)
+			for _, lv := range leaves {
+				m.inBloss[lv] = s
+			}
+		}
+	}
+	if !endStage && m.label[b] == 2 {
+		entryChild := m.inBloss[m.endpoint[m.labelEnd[b]^1]]
+		j := indexOf(m.bChild[b], entryChild)
+		var jstep, endptrick int
+		if j&1 != 0 {
+			j -= len(m.bChild[b])
+			jstep = 1
+			endptrick = 0
+		} else {
+			jstep = -1
+			endptrick = 1
+		}
+		p := m.labelEnd[b]
+		for j != 0 {
+			m.label[m.endpoint[p^1]] = 0
+			m.label[m.endpoint[at(m.bEndps[b], j-endptrick)^endptrick^1]] = 0
+			m.assignLabel(m.endpoint[p^1], 2, p)
+			m.allowed[at(m.bEndps[b], j-endptrick)/2] = true
+			j += jstep
+			p = at(m.bEndps[b], j-endptrick) ^ endptrick
+			m.allowed[p/2] = true
+			j += jstep
+		}
+		bv := at(m.bChild[b], j)
+		m.label[m.endpoint[p^1]] = 2
+		m.label[bv] = 2
+		m.labelEnd[m.endpoint[p^1]] = p
+		m.labelEnd[bv] = p
+		m.bestEdge[bv] = none
+		j += jstep
+		for at(m.bChild[b], j) != entryChild {
+			bv := at(m.bChild[b], j)
+			if m.label[bv] == 1 {
+				j += jstep
+				continue
+			}
+			var leaves []int
+			leaves = m.blossomLeaves(bv, leaves)
+			var lv int
+			for _, lv = range leaves {
+				if m.label[lv] != 0 {
+					break
+				}
+			}
+			if m.label[lv] != 0 {
+				m.label[lv] = 0
+				m.label[m.endpoint[m.mate[m.bBase[bv]]]] = 0
+				m.assignLabel(lv, 2, m.labelEnd[lv])
+			}
+			j += jstep
+		}
+	}
+	m.label[b] = none
+	m.labelEnd[b] = none
+	m.bChild[b] = nil
+	m.bEndps[b] = nil
+	m.bBase[b] = none
+	m.bBestEdg[b] = nil
+	m.bestEdge[b] = none
+	m.unused = append(m.unused, b)
+}
+
+// augmentBlossom swaps matched/unmatched edges inside blossom b so that
+// vertex v becomes the base.
+func (m *matcher) augmentBlossom(b, v int) {
+	t := v
+	for m.bParent[t] != b {
+		t = m.bParent[t]
+	}
+	if t >= m.nv {
+		m.augmentBlossom(t, v)
+	}
+	i := indexOf(m.bChild[b], t)
+	j := i
+	var jstep, endptrick int
+	if i&1 != 0 {
+		j -= len(m.bChild[b])
+		jstep = 1
+		endptrick = 0
+	} else {
+		jstep = -1
+		endptrick = 1
+	}
+	for j != 0 {
+		j += jstep
+		t = at(m.bChild[b], j)
+		p := at(m.bEndps[b], j-endptrick) ^ endptrick
+		if t >= m.nv {
+			m.augmentBlossom(t, m.endpoint[p])
+		}
+		j += jstep
+		t = at(m.bChild[b], j)
+		if t >= m.nv {
+			m.augmentBlossom(t, m.endpoint[p^1])
+		}
+		m.mate[m.endpoint[p]] = p ^ 1
+		m.mate[m.endpoint[p^1]] = p
+	}
+	m.bChild[b] = rotate(m.bChild[b], i)
+	m.bEndps[b] = rotate(m.bEndps[b], i)
+	m.bBase[b] = m.bBase[m.bChild[b][0]]
+}
+
+// augmentMatching flips the matching along the augmenting path through
+// edge k.
+func (m *matcher) augmentMatching(k int) {
+	v, w := m.edges[k].I, m.edges[k].J
+	for _, sp := range [2][2]int{{v, 2*k + 1}, {w, 2 * k}} {
+		s, p := sp[0], sp[1]
+		for {
+			bs := m.inBloss[s]
+			if bs >= m.nv {
+				m.augmentBlossom(bs, s)
+			}
+			m.mate[s] = p
+			if m.labelEnd[bs] == none {
+				break
+			}
+			t := m.endpoint[m.labelEnd[bs]]
+			bt := m.inBloss[t]
+			s = m.endpoint[m.labelEnd[bt]]
+			j := m.endpoint[m.labelEnd[bt]^1]
+			if bt >= m.nv {
+				m.augmentBlossom(bt, j)
+			}
+			m.mate[j] = m.labelEnd[bt]
+			p = m.labelEnd[bt] ^ 1
+		}
+	}
+}
+
+func (m *matcher) run() {
+	nv := m.nv
+	for stage := 0; stage < nv; stage++ {
+		for i := range m.label {
+			m.label[i] = 0
+		}
+		for i := range m.bestEdge {
+			m.bestEdge[i] = none
+		}
+		for b := nv; b < 2*nv; b++ {
+			m.bBestEdg[b] = nil
+		}
+		for i := range m.allowed {
+			m.allowed[i] = false
+		}
+		m.queue = m.queue[:0]
+		for v := 0; v < nv; v++ {
+			if m.mate[v] == none && m.label[m.inBloss[v]] == 0 {
+				m.assignLabel(v, 1, none)
+			}
+		}
+		augmented := false
+		for {
+			for len(m.queue) > 0 && !augmented {
+				v := m.queue[len(m.queue)-1]
+				m.queue = m.queue[:len(m.queue)-1]
+				for _, p := range m.neighb[v] {
+					k := p / 2
+					w := m.endpoint[p]
+					if m.inBloss[v] == m.inBloss[w] {
+						continue
+					}
+					var kslack int64
+					if !m.allowed[k] {
+						kslack = m.slack(k)
+						if kslack <= 0 {
+							m.allowed[k] = true
+						}
+					}
+					if m.allowed[k] {
+						if m.label[m.inBloss[w]] == 0 {
+							m.assignLabel(w, 2, p^1)
+						} else if m.label[m.inBloss[w]] == 1 {
+							base := m.scanBlossom(v, w)
+							if base >= 0 {
+								m.addBlossom(base, k)
+							} else {
+								m.augmentMatching(k)
+								augmented = true
+								break
+							}
+						} else if m.label[w] == 0 {
+							m.label[w] = 2
+							m.labelEnd[w] = p ^ 1
+						}
+					} else if m.label[m.inBloss[w]] == 1 {
+						b := m.inBloss[v]
+						if m.bestEdge[b] == none || kslack < m.slack(m.bestEdge[b]) {
+							m.bestEdge[b] = k
+						}
+					} else if m.label[w] == 0 {
+						if m.bestEdge[w] == none || kslack < m.slack(m.bestEdge[w]) {
+							m.bestEdge[w] = k
+						}
+					}
+				}
+			}
+			if augmented {
+				break
+			}
+			// Dual update.
+			deltaType := -1
+			var delta int64
+			deltaEdge, deltaBlossom := none, none
+			if !m.maxCard {
+				deltaType = 1
+				delta = minDual(m.dual[:nv])
+			}
+			for v := 0; v < nv; v++ {
+				if m.label[m.inBloss[v]] == 0 && m.bestEdge[v] != none {
+					d := m.slack(m.bestEdge[v])
+					if deltaType == -1 || d < delta {
+						delta = d
+						deltaType = 2
+						deltaEdge = m.bestEdge[v]
+					}
+				}
+			}
+			for b := 0; b < 2*nv; b++ {
+				if m.bParent[b] == none && m.label[b] == 1 && m.bestEdge[b] != none {
+					kslack := m.slack(m.bestEdge[b])
+					d := kslack / 2
+					if deltaType == -1 || d < delta {
+						delta = d
+						deltaType = 3
+						deltaEdge = m.bestEdge[b]
+					}
+				}
+			}
+			for b := nv; b < 2*nv; b++ {
+				if m.bBase[b] >= 0 && m.bParent[b] == none && m.label[b] == 2 &&
+					(deltaType == -1 || m.dual[b] < delta) {
+					delta = m.dual[b]
+					deltaType = 4
+					deltaBlossom = b
+				}
+			}
+			if deltaType == -1 {
+				// No further improvement possible (max-cardinality mode).
+				deltaType = 1
+				delta = minDual(m.dual[:nv])
+				if delta < 0 {
+					delta = 0
+				}
+			}
+			for v := 0; v < nv; v++ {
+				switch m.label[m.inBloss[v]] {
+				case 1:
+					m.dual[v] -= delta
+				case 2:
+					m.dual[v] += delta
+				}
+			}
+			for b := nv; b < 2*nv; b++ {
+				if m.bBase[b] >= 0 && m.bParent[b] == none {
+					switch m.label[b] {
+					case 1:
+						m.dual[b] += delta
+					case 2:
+						m.dual[b] -= delta
+					}
+				}
+			}
+			switch deltaType {
+			case 1:
+				goto stageDone
+			case 2:
+				m.allowed[deltaEdge] = true
+				i := m.edges[deltaEdge].I
+				if m.label[m.inBloss[i]] == 0 {
+					i = m.edges[deltaEdge].J
+				}
+				m.queue = append(m.queue, i)
+			case 3:
+				m.allowed[deltaEdge] = true
+				m.queue = append(m.queue, m.edges[deltaEdge].I)
+			case 4:
+				m.expandBlossom(deltaBlossom, false)
+			}
+		}
+	stageDone:
+		if !augmented {
+			break
+		}
+		for b := nv; b < 2*nv; b++ {
+			if m.bParent[b] == none && m.bBase[b] >= 0 &&
+				m.label[b] == 1 && m.dual[b] == 0 {
+				m.expandBlossom(b, true)
+			}
+		}
+	}
+}
+
+func minDual(ds []int64) int64 {
+	min := ds[0]
+	for _, d := range ds[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func indexOf(s []int, x int) int {
+	for i, v := range s {
+		if v == x {
+			return i
+		}
+	}
+	panic("matching: element not found in blossom child list")
+}
+
+// at indexes s with Python-style negative wraparound, which the blossom
+// traversal loops rely on.
+func at(s []int, i int) int {
+	if i < 0 {
+		i += len(s)
+	}
+	return s[i]
+}
+
+func rotate(s []int, i int) []int {
+	return append(append([]int(nil), s[i:]...), s[:i]...)
+}

@@ -1,0 +1,51 @@
+package matching
+
+import (
+	"testing"
+
+	"lpltsp/internal/rng"
+)
+
+func TestGreedyPerfectValid(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 * (1 + r.Intn(10))
+		w := make([][]int64, n)
+		for i := range w {
+			w[i] = make([]int64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				x := int64(1 + r.Intn(40))
+				w[i][j], w[j][i] = x, x
+			}
+		}
+		wf := func(i, j int) int64 { return w[i][j] }
+		mate, total, err := GreedyPerfect(n, wf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMatching(t, mate)
+		for v, u := range mate {
+			if u < 0 {
+				t.Fatalf("vertex %d unmatched", v)
+			}
+		}
+		if got := matchWeight(mate, wf); got != total {
+			t.Fatalf("reported %d, recomputed %d", total, got)
+		}
+		// Never better than the exact minimum.
+		if n <= 12 {
+			_, opt := BruteForceMinPerfect(n, wf)
+			if total < opt {
+				t.Fatalf("greedy %d below optimum %d", total, opt)
+			}
+		}
+	}
+}
+
+func TestGreedyPerfectOddN(t *testing.T) {
+	if _, _, err := GreedyPerfect(3, func(i, j int) int64 { return 1 }); err == nil {
+		t.Fatal("odd n must fail")
+	}
+}

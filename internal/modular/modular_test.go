@@ -1,0 +1,217 @@
+package modular
+
+import (
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/rng"
+)
+
+func TestNDClassics(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		nd   int
+	}{
+		{"K5", graph.Complete(5), 1},
+		{"empty4", graph.New(4), 1},
+		{"star6", graph.Star(6), 2}, // hub vs leaves
+		{"K33", graph.CompleteMultipartite(3, 3), 2},
+		{"K2_3_1", graph.CompleteMultipartite(2, 3, 1), 3},
+		{"P4", graph.Path(4), 4}, // all singleton types
+		{"C5", graph.Cycle(5), 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nd, part := ND(tc.g)
+			if nd != tc.nd {
+				t.Fatalf("nd = %d, want %d", nd, tc.nd)
+			}
+			checkPartition(t, tc.g, part)
+		})
+	}
+}
+
+// checkPartition verifies the defining property of the nd partition:
+// classes are cliques or independent sets of twins.
+func checkPartition(t *testing.T, g *graph.Graph, p *NDPartition) {
+	t.Helper()
+	covered := 0
+	for ci, cls := range p.Classes {
+		covered += len(cls)
+		for i := 0; i < len(cls); i++ {
+			if p.ClassOf[cls[i]] != ci {
+				t.Fatalf("ClassOf inconsistent for %d", cls[i])
+			}
+			for j := i + 1; j < len(cls); j++ {
+				u, v := cls[i], cls[j]
+				if g.HasEdge(u, v) != p.IsClique[ci] {
+					t.Fatalf("class %d: edge (%d,%d)=%v but IsClique=%v",
+						ci, u, v, g.HasEdge(u, v), p.IsClique[ci])
+				}
+				if !twins(g, u, v) {
+					t.Fatalf("class %d: %d and %d are not twins", ci, u, v)
+				}
+			}
+		}
+	}
+	if covered != g.N() {
+		t.Fatalf("partition covers %d of %d vertices", covered, g.N())
+	}
+}
+
+func TestNDRandomNDGraphRespectsBound(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		ell := 2 + r.Intn(5)
+		sizes := make([]int, ell)
+		for i := range sizes {
+			sizes[i] = 1 + r.Intn(4)
+		}
+		g := graph.RandomNDGraph(r, sizes, 0.5, 0.5)
+		nd, part := ND(g)
+		if nd > ell {
+			t.Fatalf("trial %d: nd = %d > construction bound %d", trial, nd, ell)
+		}
+		checkPartition(t, g, part)
+	}
+}
+
+func TestDecomposeKinds(t *testing.T) {
+	// Disconnected → parallel root.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if root := Decompose(g); root.Kind != Parallel || len(root.Children) != 2 {
+		t.Fatalf("parallel root expected, got %v with %d children", root.Kind, len(root.Children))
+	}
+	// Complete → series root.
+	if root := Decompose(graph.Complete(4)); root.Kind != Series {
+		t.Fatalf("series root expected, got %v", root.Kind)
+	}
+	// P4 → prime root with 4 leaf children.
+	if root := Decompose(graph.Path(4)); root.Kind != Prime || len(root.Children) != 4 {
+		t.Fatalf("P4: got %v with %d children", root.Kind, len(root.Children))
+	}
+	// Single vertex → leaf.
+	if root := Decompose(graph.New(1)); root.Kind != Leaf {
+		t.Fatalf("leaf expected, got %v", root.Kind)
+	}
+}
+
+func TestDecomposeNontrivialModule(t *testing.T) {
+	// P4 with vertex 3 replaced by a true-twin pair {3,4}: {3,4} is a
+	// module; the quotient is prime P4 with a non-leaf child.
+	g := graph.New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 4)
+	g.AddEdge(3, 4)
+	root := Decompose(g)
+	if root.Kind != Prime || len(root.Children) != 4 {
+		t.Fatalf("got %v with %d children", root.Kind, len(root.Children))
+	}
+	foundPair := false
+	for _, c := range root.Children {
+		if len(c.Vertices) == 2 {
+			foundPair = true
+			if c.Vertices[0] != 3 || c.Vertices[1] != 4 {
+				t.Fatalf("wrong module: %v", c.Vertices)
+			}
+			if c.Kind != Series {
+				t.Fatalf("twin pair should be a series node, got %v", c.Kind)
+			}
+		}
+	}
+	if !foundPair {
+		t.Fatal("module {3,4} not found")
+	}
+}
+
+func TestWidthClassics(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		mw   int
+	}{
+		{"K6", graph.Complete(6), 2}, // cograph
+		{"empty5", graph.New(5), 2},  // cograph
+		{"star7", graph.Star(7), 2},  // cograph
+		{"P4", graph.Path(4), 4},     // prime on 4 vertices
+		{"P6", graph.Path(6), 6},     // prime
+		{"C5", graph.Cycle(5), 5},    // prime
+		{"C6", graph.Cycle(6), 6},    // prime
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Width(tc.g); got != tc.mw {
+				t.Fatalf("mw = %d, want %d", got, tc.mw)
+			}
+		})
+	}
+}
+
+func TestCographWidth2(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomCograph(r, 2+r.Intn(15))
+		if w := Width(g); w != 2 {
+			t.Fatalf("cograph mw = %d, want 2", w)
+		}
+	}
+}
+
+// TestProposition1: mw(G) = mw(Ḡ).
+func TestProposition1(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 25; trial++ {
+		g := graph.GNP(r, 2+r.Intn(12), 0.4)
+		if mwG, mwC := Width(g), Width(g.Complement()); mwG != mwC {
+			t.Fatalf("trial %d: mw(G)=%d, mw(Ḡ)=%d", trial, mwG, mwC)
+		}
+	}
+}
+
+// TestProposition2: nd(G²) ≤ mw(G) for connected G.
+func TestProposition2(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 25; trial++ {
+		g := graph.RandomConnected(r, 2+r.Intn(12), 0.3)
+		nd2, _ := ND(g.Power(2))
+		if mw := Width(g); nd2 > mw {
+			t.Fatalf("trial %d: nd(G²)=%d > mw(G)=%d", trial, nd2, mw)
+		}
+	}
+}
+
+// TestNDMonotoneUnderPowers: nd(G) ≥ nd(Gᵏ) (cited from Fiala et al.).
+func TestNDMonotoneUnderPowers(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomConnected(r, 2+r.Intn(12), 0.3)
+		nd1, _ := ND(g)
+		for k := 2; k <= 4; k++ {
+			ndk, _ := ND(g.Power(k))
+			if ndk > nd1 {
+				t.Fatalf("trial %d: nd(G^%d)=%d > nd(G)=%d", trial, k, ndk, nd1)
+			}
+		}
+	}
+}
+
+func TestModuleClosure(t *testing.T) {
+	// In P4 = 0-1-2-3, the closure of {1,2} is everything (prime), and
+	// closure of a twin pair stays small.
+	p4 := graph.Path(4)
+	if got := moduleClosure(p4, 1, 2); len(got) != 4 {
+		t.Fatalf("closure of {1,2} in P4: %v", got)
+	}
+	g := graph.New(4) // star with twin leaves
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	if got := moduleClosure(g, 1, 2); len(got) != 2 {
+		t.Fatalf("closure of twin leaves: %v", got)
+	}
+}

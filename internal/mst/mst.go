@@ -1,0 +1,102 @@
+// Package mst computes minimum spanning trees. Two variants are provided:
+// a dense Prim for complete metric instances (the TSP reduction's weighted
+// graphs, O(n²) time and O(n) extra space) and a Kruskal for sparse edge
+// lists. Both are used by Christofides and by the 1-tree lower bound of the
+// branch-and-bound TSP solver.
+package mst
+
+import (
+	"sort"
+
+	"lpltsp/internal/dsu"
+)
+
+// Edge is a weighted undirected edge.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// PrimDense computes an MST of the complete graph on n vertices whose
+// weights are given by w(i,j). It returns parent pointers (parent[0] = -1,
+// vertex 0 is the root) and the total weight. n must be ≥ 1.
+func PrimDense(n int, w func(i, j int) int64) (parent []int, total int64) {
+	if n < 1 {
+		panic("mst: PrimDense needs n >= 1")
+	}
+	const inf = int64(1) << 62
+	parent = make([]int, n)
+	best := make([]int64, n)
+	inTree := make([]bool, n)
+	for i := range best {
+		best[i] = inf
+		parent[i] = -1
+	}
+	best[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u, bu := -1, inf
+		for v := 0; v < n; v++ {
+			if !inTree[v] && best[v] < bu {
+				u, bu = v, best[v]
+			}
+		}
+		inTree[u] = true
+		total += bu
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if wv := w(u, v); wv < best[v] {
+					best[v] = wv
+					parent[v] = u
+				}
+			}
+		}
+	}
+	return parent, total
+}
+
+// Kruskal computes a minimum spanning forest of the given edges over n
+// vertices. It returns the chosen edges and total weight. If the graph is
+// connected the result is a spanning tree with n-1 edges.
+func Kruskal(n int, edges []Edge) (tree []Edge, total int64) {
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W < sorted[j].W })
+	d := dsu.New(n)
+	tree = make([]Edge, 0, n-1)
+	for _, e := range sorted {
+		if d.Union(e.U, e.V) {
+			tree = append(tree, e)
+			total += e.W
+			if len(tree) == n-1 {
+				break
+			}
+		}
+	}
+	return tree, total
+}
+
+// OneTreeBound computes the Held–Karp style 1-tree lower bound for a TSP
+// cycle on the complete graph with weights w: an MST on vertices {1..n-1}
+// plus the two cheapest edges incident to vertex 0. For n < 3 it returns
+// the trivial tour cost. The bound is a valid lower bound on any
+// Hamiltonian cycle.
+func OneTreeBound(n int, w func(i, j int) int64) int64 {
+	if n < 2 {
+		return 0
+	}
+	if n == 2 {
+		return 2 * w(0, 1)
+	}
+	// MST over 1..n-1 (shift indices by one).
+	_, t := PrimDense(n-1, func(i, j int) int64 { return w(i+1, j+1) })
+	var b1, b2 int64 = 1 << 62, 1 << 62
+	for v := 1; v < n; v++ {
+		wv := w(0, v)
+		if wv < b1 {
+			b2 = b1
+			b1 = wv
+		} else if wv < b2 {
+			b2 = wv
+		}
+	}
+	return t + b1 + b2
+}

@@ -1,0 +1,164 @@
+package pathpart
+
+import (
+	"fmt"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/modular"
+)
+
+// Constructive counterpart of CographCount: build an actual minimum path
+// cover of a cograph from its cotree. The join step realizes the
+// recurrence pc(A∗B) = max(1, pcA−|B|, pcB−|A|):
+//
+//   - A-heavy (pcA−|B| = t ≥ 1): break B into singleton connectors and
+//     splice them between consecutive A paths — one long spliced path
+//     plus the pcA−|B|−1 untouched A paths.
+//   - symmetric when B-heavy;
+//   - t = 1: split the smaller-count side's paths into contiguous pieces
+//     (its own edges stay usable inside a piece) and alternate
+//     path/piece/path/… into a single Hamiltonian path.
+//
+// Every junction alternates sides, so it is a join edge; pieces keep
+// their side's internal edges. The tests verify both validity (Verify)
+// and minimality (length == CographCount == the 2ⁿ DP on small n).
+
+// CographPaths returns a minimum path cover of the cograph g. It errors
+// on non-cographs.
+func CographPaths(g *graph.Graph) ([][]int, error) {
+	if g.N() == 0 {
+		return nil, nil
+	}
+	return cographPathsNode(modular.Decompose(g))
+}
+
+func cographPathsNode(nd *modular.MDNode) ([][]int, error) {
+	switch nd.Kind {
+	case modular.Leaf:
+		return [][]int{{nd.Vertices[0]}}, nil
+	case modular.Parallel:
+		var all [][]int
+		for _, c := range nd.Children {
+			ps, err := cographPathsNode(c)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ps...)
+		}
+		return all, nil
+	case modular.Series:
+		var acc [][]int
+		for i, c := range nd.Children {
+			ps, err := cographPathsNode(c)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				acc = ps
+				continue
+			}
+			acc = joinPaths(acc, ps)
+		}
+		return acc, nil
+	default:
+		return nil, fmt.Errorf("pathpart: not a cograph (prime node over %d vertices)",
+			len(nd.Vertices))
+	}
+}
+
+// joinPaths merges path covers of A and B into a minimum path cover of
+// the join A∗B.
+func joinPaths(pa, pb [][]int) [][]int {
+	a, b := totalVertices(pa), totalVertices(pb)
+	pcA, pcB := len(pa), len(pb)
+	t := joinPC(pcA, a, pcB, b)
+	switch {
+	case t == pcA-b && t > 1:
+		return spliceHeavy(pa, pb)
+	case t == pcB-a && t > 1:
+		return spliceHeavy(pb, pa)
+	default: // t == 1: build a single Hamiltonian path
+		if pcA >= pcB {
+			return [][]int{alternate(pa, pb)}
+		}
+		return [][]int{alternate(pb, pa)}
+	}
+}
+
+// spliceHeavy handles the heavy side: connectors (all vertices of the
+// light side, as singletons) splice heavy paths; result has
+// len(heavy) − totalVertices(light) paths.
+func spliceHeavy(heavy, light [][]int) [][]int {
+	var connectors []int
+	for _, p := range light {
+		connectors = append(connectors, p...)
+	}
+	// One long chain consuming all connectors and len(connectors)+1
+	// heavy paths.
+	var chain []int
+	chain = append(chain, heavy[0]...)
+	for i, c := range connectors {
+		chain = append(chain, c)
+		chain = append(chain, heavy[i+1]...)
+	}
+	out := [][]int{chain}
+	out = append(out, heavy[len(connectors)+1:]...)
+	return out
+}
+
+// alternate builds one Hamiltonian path of the join when many = the side
+// with at least as many paths: many's paths alternate with contiguous
+// pieces of few's paths.
+func alternate(many, few [][]int) []int {
+	pcM := len(many)
+	// Number of pieces needed from the few side: pcM−1 if its own path
+	// count allows (pieces must be ≥ len(few)), else pcM (chain ends with
+	// a piece).
+	piecesNeeded := pcM - 1
+	if piecesNeeded < len(few) {
+		piecesNeeded = pcM
+	}
+	pieces := splitIntoPieces(few, piecesNeeded)
+	var out []int
+	for i, p := range many {
+		out = append(out, p...)
+		if i < len(pieces) {
+			out = append(out, pieces[i]...)
+		}
+	}
+	return out
+}
+
+// splitIntoPieces splits a path list into exactly k nonempty contiguous
+// pieces (k ≥ len(paths), k ≤ total vertices).
+func splitIntoPieces(paths [][]int, k int) [][]int {
+	pieces := make([][]int, 0, k)
+	for _, p := range paths {
+		pieces = append(pieces, p)
+	}
+	for len(pieces) < k {
+		// Split the first piece with ≥ 2 vertices.
+		split := -1
+		for i, p := range pieces {
+			if len(p) >= 2 {
+				split = i
+				break
+			}
+		}
+		if split < 0 {
+			break // cannot split further; callers guarantee k ≤ total
+		}
+		p := pieces[split]
+		pieces[split] = p[:1]
+		pieces = append(pieces, p[1:])
+	}
+	return pieces
+}
+
+func totalVertices(paths [][]int) int {
+	n := 0
+	for _, p := range paths {
+		n += len(p)
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package pathpart
+
+import (
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/rng"
+)
+
+// TestCographPathsValidAndMinimum is the constructive closure of the
+// recurrence: the built cover must verify AND achieve the recurrence
+// count, which on small n also equals the exact DP.
+func TestCographPathsValidAndMinimum(t *testing.T) {
+	r := rng.New(10)
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + r.Intn(16)
+		g := graph.RandomCograph(r, n)
+		paths, err := CographPaths(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(g, paths); err != nil {
+			t.Fatalf("trial %d (n=%d): invalid cover: %v", trial, n, err)
+		}
+		count, err := CographCount(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != count {
+			t.Fatalf("trial %d (n=%d): constructed %d paths, recurrence says %d",
+				trial, n, len(paths), count)
+		}
+		if n <= ExactMaxN {
+			want, err := Count(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(paths) != want {
+				t.Fatalf("trial %d: constructed %d, DP %d", trial, len(paths), want)
+			}
+		}
+	}
+}
+
+func TestCographPathsLargeScale(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 8; trial++ {
+		n := 200 + r.Intn(600)
+		g := graph.RandomCograph(r, n)
+		paths, err := CographPaths(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, paths); err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		count, err := CographCount(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != count {
+			t.Fatalf("trial %d (n=%d): constructed %d, recurrence %d", trial, n, len(paths), count)
+		}
+	}
+}
+
+func TestCographPathsClassics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K6", graph.Complete(6), 1},
+		{"empty5", graph.New(5), 5},
+		{"star6", graph.Star(6), 4},
+		{"K33", graph.CompleteMultipartite(3, 3), 1},
+		{"K14", graph.CompleteMultipartite(1, 4), 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			paths, err := CographPaths(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(tc.g, paths); err != nil {
+				t.Fatal(err)
+			}
+			if len(paths) != tc.want {
+				t.Fatalf("%d paths, want %d: %v", len(paths), tc.want, paths)
+			}
+		})
+	}
+}
+
+func TestCographPathsRejectsNonCograph(t *testing.T) {
+	if _, err := CographPaths(graph.Path(4)); err == nil {
+		t.Fatal("P4 must be rejected")
+	}
+}

@@ -1,0 +1,213 @@
+// Package pathpart solves PARTITION INTO PATHS: partition the vertices of
+// a graph into a minimum number of vertex-disjoint simple paths (isolated
+// vertices count as length-0 paths).
+//
+// The paper's Corollary 2 shows that L(p,q)-LABELING on diameter-2 graphs
+// is equivalent to this problem (on G when p ≤ q, on the complement when
+// p > q): λ = (n−1)p + (q−p)·(s−1) where s is the minimum number of paths.
+// The cited FPT algorithm for modular-width (Gajarský et al.) is replaced
+// by an exact Held–Karp-style subset DP plus a greedy heuristic for large
+// n (see DESIGN.md §4).
+package pathpart
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lpltsp/internal/graph"
+)
+
+// ExactMaxN caps the subset DP (O(2ⁿ·n²) time, O(2ⁿ·n) space).
+const ExactMaxN = 22
+
+// Exact returns a minimum partition of V(g) into paths, each path as a
+// vertex sequence. Works on any graph (including disconnected ones).
+func Exact(g *graph.Graph) ([][]int, error) {
+	n := g.N()
+	if n > ExactMaxN {
+		return nil, fmt.Errorf("pathpart: exact limited to n <= %d, got %d", ExactMaxN, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// dp[mask*n+v] = minimum number of paths needed to cover exactly the
+	// vertices of mask, where the current (last) path ends at v.
+	size := 1 << uint(n)
+	const inf = int32(1 << 29)
+	dp := make([]int32, size*n)
+	par := make([]int32, size*n) // encodes predecessor state
+	for i := range dp {
+		dp[i] = inf
+		par[i] = -1
+	}
+	nb := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		var m uint32
+		for _, u := range g.Neighbors(v) {
+			m |= 1 << uint(u)
+		}
+		nb[v] = m
+	}
+	for v := 0; v < n; v++ {
+		dp[(1<<uint(v))*n+v] = 1
+	}
+	for mask := 1; mask < size; mask++ {
+		base := mask * n
+		rest := mask
+		for rest != 0 {
+			v := bits.TrailingZeros32(uint32(rest))
+			rest &= rest - 1
+			cur := dp[base+v]
+			if cur >= inf {
+				continue
+			}
+			// Extend the current path along an edge v-u.
+			ext := nb[v] &^ uint32(mask)
+			for ext != 0 {
+				u := bits.TrailingZeros32(ext)
+				ext &= ext - 1
+				nm := mask | 1<<uint(u)
+				if cur < dp[nm*n+u] {
+					dp[nm*n+u] = cur
+					par[nm*n+u] = int32(base + v) // same path
+				}
+			}
+			// Or close this path and start a new one at any u ∉ mask.
+			out := uint32((size - 1) &^ mask)
+			for out != 0 {
+				u := bits.TrailingZeros32(out)
+				out &= out - 1
+				nm := mask | 1<<uint(u)
+				if cur+1 < dp[nm*n+u] {
+					dp[nm*n+u] = cur + 1
+					par[nm*n+u] = int32(-(base + v) - 2) // new path marker
+				}
+			}
+		}
+	}
+	full := size - 1
+	bestV, best := -1, inf
+	for v := 0; v < n; v++ {
+		if dp[full*n+v] < best {
+			best = dp[full*n+v]
+			bestV = v
+		}
+	}
+	// Reconstruct.
+	var paths [][]int
+	cur := []int{bestV}
+	state := full*n + bestV
+	for {
+		p := par[state]
+		if p == -1 {
+			paths = append(paths, reversed(cur))
+			break
+		}
+		if p >= 0 {
+			// Same path: the previous endpoint is p%n.
+			cur = append(cur, int(p)%n)
+			state = int(p)
+		} else {
+			// new path started at v; close it and continue from encoded state
+			paths = append(paths, reversed(cur))
+			prev := int(-p - 2)
+			cur = []int{prev % n}
+			state = prev
+		}
+	}
+	return paths, nil
+}
+
+func reversed(s []int) []int {
+	out := make([]int, len(s))
+	for i, x := range s {
+		out[len(s)-1-i] = x
+	}
+	return out
+}
+
+// Count returns just the minimum number of paths.
+func Count(g *graph.Graph) (int, error) {
+	paths, err := Exact(g)
+	if err != nil {
+		return 0, err
+	}
+	return len(paths), nil
+}
+
+// Greedy returns a (not necessarily minimum) partition into paths: grow a
+// path greedily from each unused vertex, preferring low-degree endpoints.
+// Used for instances beyond the exact DP's reach.
+func Greedy(g *graph.Graph) [][]int {
+	n := g.N()
+	used := make([]bool, n)
+	var paths [][]int
+	// Process vertices by increasing degree: pendant vertices should be
+	// path endpoints.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.Degree(order[j]) < g.Degree(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, s := range order {
+		if used[s] {
+			continue
+		}
+		path := []int{s}
+		used[s] = true
+		// Extend forward then backward.
+		for dir := 0; dir < 2; dir++ {
+			for {
+				end := path[len(path)-1]
+				next := -1
+				for _, u := range g.Neighbors(end) {
+					if !used[u] && (next == -1 || g.Degree(int(u)) < g.Degree(next)) {
+						next = int(u)
+					}
+				}
+				if next < 0 {
+					break
+				}
+				used[next] = true
+				path = append(path, next)
+			}
+			path = reversed(path)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// Verify checks that paths is a partition of V(g) into vertex-disjoint
+// simple paths whose consecutive vertices are adjacent in g.
+func Verify(g *graph.Graph, paths [][]int) error {
+	n := g.N()
+	seen := make([]bool, n)
+	count := 0
+	for pi, p := range paths {
+		if len(p) == 0 {
+			return fmt.Errorf("pathpart: path %d is empty", pi)
+		}
+		for i, v := range p {
+			if v < 0 || v >= n {
+				return fmt.Errorf("pathpart: path %d vertex %d out of range", pi, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("pathpart: vertex %d appears twice", v)
+			}
+			seen[v] = true
+			count++
+			if i > 0 && !g.HasEdge(p[i-1], v) {
+				return fmt.Errorf("pathpart: path %d uses non-edge {%d,%d}", pi, p[i-1], v)
+			}
+		}
+	}
+	if count != n {
+		return fmt.Errorf("pathpart: %d of %d vertices covered", count, n)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package pathpart
+
+import (
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/rng"
+)
+
+func TestExactClassics(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		s    int
+	}{
+		{"P5", graph.Path(5), 1},
+		{"C6", graph.Cycle(6), 1},
+		{"K4", graph.Complete(4), 1},
+		{"empty4", graph.New(4), 4},
+		{"star5", graph.Star(5), 3}, // hub + 4 leaves: one P3 + 2 singles
+		{"star4", graph.Star(4), 2}, // P3 + single leaf
+		{"two-K2", twoEdges(), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			paths, err := Exact(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(tc.g, paths); err != nil {
+				t.Fatal(err)
+			}
+			if len(paths) != tc.s {
+				t.Fatalf("min paths = %d, want %d (%v)", len(paths), tc.s, paths)
+			}
+		})
+	}
+}
+
+func twoEdges() *graph.Graph {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	return g
+}
+
+// bruteMinPaths enumerates all partitions into paths via recursion on edge
+// subsets forming a linear forest; equivalently n - (max edges of a
+// spanning linear forest).
+func bruteMinPaths(g *graph.Graph) int {
+	n := g.N()
+	edges := g.Edges()
+	deg := make([]int, n)
+	best := n
+	// DSU-free cycle check via DFS on chosen edges each time (n tiny).
+	var chosen [][2]int
+	var rec func(idx int)
+	rec = func(idx int) {
+		if cnt := n - len(chosen); cnt < best {
+			if isLinearForest(n, chosen) {
+				best = cnt
+			}
+		}
+		if idx == len(edges) {
+			return
+		}
+		// skip
+		rec(idx + 1)
+		// take
+		e := edges[idx]
+		if deg[e[0]] < 2 && deg[e[1]] < 2 {
+			deg[e[0]]++
+			deg[e[1]]++
+			chosen = append(chosen, e)
+			if isLinearForest(n, chosen) {
+				rec(idx + 1)
+			}
+			chosen = chosen[:len(chosen)-1]
+			deg[e[0]]--
+			deg[e[1]]--
+		}
+	}
+	rec(0)
+	return best
+}
+
+func isLinearForest(n int, edges [][2]int) bool {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+		if deg[e[0]] > 2 || deg[e[1]] > 2 {
+			return false
+		}
+		ra, rb := find(e[0]), find(e[1])
+		if ra == rb {
+			return false // cycle
+		}
+		parent[ra] = rb
+	}
+	return true
+}
+
+func TestExactVsBrute(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(7)
+		g := graph.GNP(r, n, 0.4)
+		paths, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, paths); err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteMinPaths(g); len(paths) != want {
+			t.Fatalf("trial %d: exact %d, brute %d", trial, len(paths), want)
+		}
+	}
+}
+
+func TestGreedyValidAndNotBelowOptimum(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(14)
+		g := graph.GNP(r, n, 0.3)
+		paths := Greedy(g)
+		if err := Verify(g, paths); err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) < len(exact) {
+			t.Fatalf("greedy %d below optimum %d", len(paths), len(exact))
+		}
+	}
+}
+
+func TestGreedyLargeGraph(t *testing.T) {
+	r := rng.New(3)
+	g := graph.RandomConnected(r, 300, 0.02)
+	paths := Greedy(g)
+	if err := Verify(g, paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactRejectsLarge(t *testing.T) {
+	if _, err := Exact(graph.New(ExactMaxN + 1)); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestVerifyCatchesBadPartitions(t *testing.T) {
+	g := graph.Path(4)
+	if err := Verify(g, [][]int{{0, 1}, {2}}); err == nil {
+		t.Fatal("missing vertex must fail")
+	}
+	if err := Verify(g, [][]int{{0, 1}, {1, 2, 3}}); err == nil {
+		t.Fatal("repeated vertex must fail")
+	}
+	if err := Verify(g, [][]int{{0, 2}, {1, 3}}); err == nil {
+		t.Fatal("non-edge step must fail")
+	}
+	if err := Verify(g, [][]int{{0, 1, 2, 3}, {}}); err == nil {
+		t.Fatal("empty path must fail")
+	}
+}

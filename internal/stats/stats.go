@@ -1,0 +1,102 @@
+// Package stats provides the small set of summary statistics the benchmark
+// harness reports: mean, standard deviation, min/max, quantiles, and a
+// least-squares slope used to fit empirical growth rates.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds summary statistics of a sample.
+type Summary struct {
+	N           int
+	Mean, Std   float64
+	Min, Max    float64
+	Median, P90 float64
+	Sum         float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	for _, x := range sorted {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted sample
+// using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Slope returns the least-squares slope of y against x. It is used to fit
+// log-log growth exponents in the scaling experiments. Returns 0 if the xs
+// have no variance or the lengths mismatch.
+func Slope(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	n := float64(len(x))
+	mx, my := sx/n, sy/n
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Ratio returns a/b, or NaN when b == 0; convenient for approximation-ratio
+// tables where the optimum can legitimately be 0 (single-vertex graphs).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return a / b
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Sum != 15 {
+		t.Fatalf("%+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Median != 7 || one.P90 != 7 {
+		t.Fatalf("%+v", one)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 10}
+	if q := Quantile(xs, 0.5); q != 5 {
+		t.Fatalf("q50 = %v", q)
+	}
+	if q := Quantile(xs, 0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 10 {
+		t.Fatalf("q100 = %v", q)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty sample")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestSlope(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // slope 2
+	if s := Slope(x, y); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("slope = %v", s)
+	}
+	if s := Slope([]float64{1, 1}, []float64{2, 3}); s != 0 {
+		t.Fatal("degenerate x must give 0")
+	}
+	if s := Slope(x, y[:3]); s != 0 {
+		t.Fatal("length mismatch must give 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != 1.5 {
+		t.Fatal("ratio")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Fatal("0/0 convention")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("x/0 must be NaN")
+	}
+}

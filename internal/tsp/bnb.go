@@ -1,0 +1,110 @@
+package tsp
+
+import (
+	"fmt"
+
+	"lpltsp/internal/mst"
+)
+
+// BnBMaxN bounds the branch-and-bound solver; beyond it the search tree is
+// impractical without stronger bounding machinery.
+const BnBMaxN = 36
+
+// BranchAndBoundPath solves PATH TSP with free endpoints exactly by
+// depth-first branch and bound. The lower bound for a partial path is its
+// cost plus an MST over the unvisited vertices together with the cheapest
+// connection from the current endpoint; the initial upper bound comes from
+// the chained heuristic. It extends the exact range past Held–Karp's
+// memory limit (n ≤ BnBMaxN instead of n ≤ HeldKarpMaxN).
+func BranchAndBoundPath(ins *Instance) (Tour, int64, error) {
+	n := ins.n
+	if n > BnBMaxN {
+		return nil, 0, fmt.Errorf("tsp: branch and bound limited to n <= %d, got %d", BnBMaxN, n)
+	}
+	if n <= 3 {
+		return HeldKarpPath(ins)
+	}
+	ub, ubCost := ChainedLocalSearch(ins, &ChainedOptions{Restarts: 4, Kicks: 30, Seed: 12345})
+	s := &bnbState{
+		ins:   ins,
+		best:  ub.Clone(),
+		bestC: ubCost,
+		cur:   make(Tour, 0, n),
+		used:  make([]bool, n),
+	}
+	// Free endpoints: try each start vertex. Symmetry halves the work
+	// (a path and its reverse have equal cost), so only starts with
+	// index ≤ the other endpoint need exploring; simplest correct pruning
+	// is to try all starts — the bound prunes aggressively anyway.
+	for start := 0; start < n; start++ {
+		s.cur = append(s.cur[:0], start)
+		s.used[start] = true
+		s.dfs(start, 0)
+		s.used[start] = false
+	}
+	return s.best, s.bestC, nil
+}
+
+type bnbState struct {
+	ins   *Instance
+	best  Tour
+	bestC int64
+	cur   Tour
+	used  []bool
+}
+
+func (s *bnbState) dfs(last int, cost int64) {
+	n := s.ins.n
+	if len(s.cur) == n {
+		if cost < s.bestC {
+			s.bestC = cost
+			copy(s.best, s.cur)
+		}
+		return
+	}
+	if cost+s.lowerBound(last) >= s.bestC {
+		return
+	}
+	// Branch on unvisited vertices in increasing edge-weight order.
+	row := s.ins.Row(last)
+	order := make([]int, 0, n-len(s.cur))
+	for v := 0; v < n; v++ {
+		if !s.used[v] {
+			order = append(order, v)
+		}
+	}
+	// Insertion sort by row weight (lists are small near the leaves).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && row[order[j]] < row[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, v := range order {
+		s.used[v] = true
+		s.cur = append(s.cur, v)
+		s.dfs(v, cost+row[v])
+		s.cur = s.cur[:len(s.cur)-1]
+		s.used[v] = false
+	}
+}
+
+// lowerBound returns a lower bound on completing the path from `last`
+// through all unvisited vertices: MST over unvisited ∪ {last} (any
+// completion is a spanning connected subgraph of that set).
+func (s *bnbState) lowerBound(last int) int64 {
+	n := s.ins.n
+	rest := make([]int, 0, n-len(s.cur)+1)
+	rest = append(rest, last)
+	for v := 0; v < n; v++ {
+		if !s.used[v] {
+			rest = append(rest, v)
+		}
+	}
+	if len(rest) <= 1 {
+		return 0
+	}
+	_, total := mst.PrimDense(len(rest), func(i, j int) int64 {
+		return s.ins.Weight(rest[i], rest[j])
+	})
+	return total
+}

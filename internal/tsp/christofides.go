@@ -1,0 +1,137 @@
+package tsp
+
+import (
+	"fmt"
+
+	"lpltsp/internal/euler"
+	"lpltsp/internal/matching"
+	"lpltsp/internal/mst"
+)
+
+// ChristofidesCycle computes a Hamiltonian cycle by the classical
+// Christofides pipeline: MST → minimum-weight perfect matching on the
+// odd-degree vertices → Eulerian circuit → shortcut. On metric instances
+// the result is at most 1.5× the optimal cycle.
+func ChristofidesCycle(ins *Instance) (Tour, int64, error) {
+	n := ins.n
+	if n <= 2 {
+		return identity(n), ins.CycleCost(identity(n)), nil
+	}
+	parent, _ := mst.PrimDense(n, func(i, j int) int64 { return ins.Weight(i, j) })
+	deg := make([]int, n)
+	mg := euler.NewMultigraph(n)
+	for v := 1; v < n; v++ {
+		mg.AddEdge(v, parent[v])
+		deg[v]++
+		deg[parent[v]]++
+	}
+	var odd []int
+	for v := 0; v < n; v++ {
+		if deg[v]%2 == 1 {
+			odd = append(odd, v)
+		}
+	}
+	if len(odd) > 0 {
+		mate, _, err := matching.MinWeightPerfect(len(odd), func(i, j int) int64 {
+			return ins.Weight(odd[i], odd[j])
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("tsp: christofides matching: %w", err)
+		}
+		for i, j := range mate {
+			if i < j {
+				mg.AddEdge(odd[i], odd[j])
+			}
+		}
+	}
+	walk, err := mg.Circuit(0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("tsp: christofides euler: %w", err)
+	}
+	tour := shortcut(walk, n)
+	return tour, ins.CycleCost(tour), nil
+}
+
+// ChristofidesPath computes a Hamiltonian path with free endpoints by the
+// Hoogeveen variant of Christofides: build an MST T, then find a
+// minimum-weight matching on the odd-degree vertices of T that leaves
+// exactly two of them unmatched (via two zero-cost dummy vertices); T plus
+// the matching has exactly two odd vertices, so an Eulerian trail exists
+// and is shortcut to a Hamiltonian path. On metric instances this is the
+// 1.5-approximation for PATH TSP with free ends that Corollary 1 needs.
+func ChristofidesPath(ins *Instance) (Tour, int64, error) {
+	n := ins.n
+	if n <= 2 {
+		return identity(n), ins.PathCost(identity(n)), nil
+	}
+	parent, _ := mst.PrimDense(n, func(i, j int) int64 { return ins.Weight(i, j) })
+	deg := make([]int, n)
+	mg := euler.NewMultigraph(n)
+	for v := 1; v < n; v++ {
+		mg.AddEdge(v, parent[v])
+		deg[v]++
+		deg[parent[v]]++
+	}
+	var odd []int
+	for v := 0; v < n; v++ {
+		if deg[v]%2 == 1 {
+			odd = append(odd, v)
+		}
+	}
+	// A tree always has an even number ≥ 2 of odd-degree vertices.
+	// Matching instance: odd vertices plus two dummies D1, D2. Dummies
+	// connect to every odd vertex with weight 0; no dummy–dummy edge, so
+	// exactly two odd vertices end up dummy-matched (= trail endpoints).
+	k := len(odd)
+	var sparse []matching.Edge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			sparse = append(sparse, matching.Edge{I: i, J: j, W: ins.Weight(odd[i], odd[j])})
+		}
+	}
+	d1, d2 := k, k+1
+	for i := 0; i < k; i++ {
+		sparse = append(sparse, matching.Edge{I: i, J: d1, W: 0})
+		sparse = append(sparse, matching.Edge{I: i, J: d2, W: 0})
+	}
+	mate, _, err := matching.MinWeightPerfectSparse(k+2, sparse)
+	if err != nil {
+		return nil, 0, fmt.Errorf("tsp: christofides-path matching: %w", err)
+	}
+	endA, endB := -1, -1
+	for i := 0; i < k; i++ {
+		switch mate[i] {
+		case d1:
+			endA = odd[i]
+		case d2:
+			endB = odd[i]
+		default:
+			if i < mate[i] {
+				mg.AddEdge(odd[i], odd[mate[i]])
+			}
+		}
+	}
+	if endA < 0 || endB < 0 {
+		return nil, 0, fmt.Errorf("tsp: christofides-path: dummies not both matched")
+	}
+	walk, err := mg.Trail(endA, endB)
+	if err != nil {
+		return nil, 0, fmt.Errorf("tsp: christofides-path euler: %w", err)
+	}
+	tour := shortcut(walk, n)
+	return tour, ins.PathCost(tour), nil
+}
+
+// shortcut removes repeated vertices from an Eulerian walk, keeping first
+// occurrences (valid on metric instances by the triangle inequality).
+func shortcut(walk []int, n int) Tour {
+	seen := make([]bool, n)
+	tour := make(Tour, 0, n)
+	for _, v := range walk {
+		if !seen[v] {
+			seen[v] = true
+			tour = append(tour, v)
+		}
+	}
+	return tour
+}

@@ -1,0 +1,163 @@
+package tsp
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"lpltsp/internal/dsu"
+)
+
+// NearestNeighborFrom builds a Hamiltonian path greedily from start.
+func NearestNeighborFrom(ins *Instance, start int) Tour {
+	n := ins.n
+	tour := make(Tour, 0, n)
+	visited := make([]bool, n)
+	cur := start
+	visited[cur] = true
+	tour = append(tour, cur)
+	for len(tour) < n {
+		row := ins.Row(cur)
+		best, bestW := -1, int64(0)
+		for v := 0; v < n; v++ {
+			if !visited[v] && (best == -1 || row[v] < bestW) {
+				best, bestW = v, row[v]
+			}
+		}
+		visited[best] = true
+		tour = append(tour, best)
+		cur = best
+	}
+	return tour
+}
+
+// NearestNeighborBest runs NearestNeighborFrom from every start vertex in
+// parallel and returns the cheapest resulting path.
+func NearestNeighborBest(ins *Instance) (Tour, int64) {
+	n := ins.n
+	if n == 0 {
+		return Tour{}, 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	type result struct {
+		tour Tour
+		cost int64
+	}
+	results := make(chan result, workers)
+	var next int64
+	var mu sync.Mutex
+	grab := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return -1
+		}
+		s := int(next)
+		next++
+		return s
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var best Tour
+			bestC := int64(-1)
+			for {
+				s := grab()
+				if s < 0 {
+					break
+				}
+				t := NearestNeighborFrom(ins, s)
+				c := ins.PathCost(t)
+				if bestC < 0 || c < bestC {
+					best, bestC = t, c
+				}
+			}
+			if bestC >= 0 {
+				results <- result{best, bestC}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	var best Tour
+	bestC := int64(-1)
+	for r := range results {
+		if bestC < 0 || r.cost < bestC {
+			best, bestC = r.tour, r.cost
+		}
+	}
+	return best, bestC
+}
+
+// GreedyEdgePath builds a Hamiltonian path by repeatedly taking the
+// globally cheapest edge whose addition keeps the partial solution a
+// disjoint union of simple paths (degree ≤ 2, no cycle). The n-1 accepted
+// edges form a single Hamiltonian path.
+func GreedyEdgePath(ins *Instance) Tour {
+	n := ins.n
+	if n <= 1 {
+		return identity(n)
+	}
+	type edge struct {
+		w    int64
+		u, v int32
+	}
+	edges := make([]edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		row := ins.Row(i)
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, edge{row[j], int32(i), int32(j)})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].w < edges[b].w })
+	deg := make([]int8, n)
+	d := dsu.New(n)
+	adj := make([][2]int32, n)
+	for i := range adj {
+		adj[i] = [2]int32{-1, -1}
+	}
+	taken := 0
+	for _, e := range edges {
+		if taken == n-1 {
+			break
+		}
+		u, v := int(e.u), int(e.v)
+		if deg[u] >= 2 || deg[v] >= 2 || d.Same(u, v) {
+			continue
+		}
+		d.Union(u, v)
+		adj[u][deg[u]] = int32(v)
+		adj[v][deg[v]] = int32(u)
+		deg[u]++
+		deg[v]++
+		taken++
+	}
+	// Walk the single path from one endpoint.
+	start := 0
+	for v := 0; v < n; v++ {
+		if deg[v] <= 1 {
+			start = v
+			break
+		}
+	}
+	tour := make(Tour, 0, n)
+	prev := int32(-1)
+	cur := int32(start)
+	for len(tour) < n {
+		tour = append(tour, int(cur))
+		next := adj[cur][0]
+		if next == prev || next == -1 {
+			next = adj[cur][1]
+		}
+		prev, cur = cur, next
+		if cur == -1 {
+			break
+		}
+	}
+	return tour
+}

@@ -1,0 +1,204 @@
+package tsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// Held–Karp exact dynamic programming over vertex subsets: O(2ⁿ·n²) time,
+// O(2ⁿ·n) space. This is the algorithm behind Corollary 1 of the paper: via
+// the reduction, L(p)-LABELING on diameter-≤k graphs is solved exactly in
+// O(2ⁿ·n²).
+//
+// The DP is parallelized per subset-cardinality layer: all masks with the
+// same popcount depend only on the previous layer, so each layer is split
+// across GOMAXPROCS workers with no locking (each worker writes disjoint
+// dp rows).
+
+// HeldKarpMaxN bounds the instance size accepted by the exact DP; above it
+// the dp table (2ⁿ·n int32 + 2ⁿ·n int8) would exceed a few GiB.
+const HeldKarpMaxN = 24
+
+// HeldKarpPath solves METRIC PATH TSP with free endpoints exactly.
+// It returns an optimal Hamiltonian path and its cost.
+func HeldKarpPath(ins *Instance) (Tour, int64, error) {
+	return heldKarp(ins, -1, -1, false)
+}
+
+// HeldKarpPathBetween solves PATH TSP with fixed endpoints s and t.
+func HeldKarpPathBetween(ins *Instance, s, t int) (Tour, int64, error) {
+	if s == t {
+		return nil, 0, fmt.Errorf("tsp: path endpoints must differ")
+	}
+	return heldKarp(ins, s, t, false)
+}
+
+// HeldKarpCycle solves TSP (Hamiltonian cycle) exactly.
+func HeldKarpCycle(ins *Instance) (Tour, int64, error) {
+	return heldKarp(ins, -1, -1, true)
+}
+
+func heldKarp(ins *Instance, s, t int, cycle bool) (Tour, int64, error) {
+	n := ins.n
+	if n > HeldKarpMaxN {
+		return nil, 0, fmt.Errorf("tsp: Held–Karp limited to n <= %d, got %d", HeldKarpMaxN, n)
+	}
+	switch n {
+	case 0:
+		return Tour{}, 0, nil
+	case 1:
+		return Tour{0}, 0, nil
+	case 2:
+		if cycle {
+			return Tour{0, 1}, 2 * ins.Weight(0, 1), nil
+		}
+		if s >= 0 {
+			return Tour{s, t}, ins.Weight(s, t), nil
+		}
+		return Tour{0, 1}, ins.Weight(0, 1), nil
+	}
+	if cycle {
+		s = 0 // fix rotation
+	}
+
+	size := 1 << uint(n)
+	dp := make([]int32, size*n)
+	par := make([]int8, size*n)
+	const inf32 = int32(math.MaxInt32 / 2)
+	for i := range dp {
+		dp[i] = inf32
+	}
+	// Seed singletons.
+	if s >= 0 {
+		dp[(1<<uint(s))*n+s] = 0
+	} else {
+		for v := 0; v < n; v++ {
+			dp[(1<<uint(v))*n+v] = 0
+		}
+	}
+
+	// Precompute weight rows as int32 (all reduced-instance weights are
+	// tiny; general instances must fit int32 or we fall back with an error).
+	w32 := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w := ins.Weight(i, j)
+			if w > math.MaxInt32/4 {
+				return nil, 0, fmt.Errorf("tsp: weight %d too large for Held–Karp int32 DP", w)
+			}
+			w32[i*n+j] = int32(w)
+		}
+	}
+
+	// Layer-by-layer processing (masks grouped by popcount), parallel
+	// within a layer.
+	masks := make([]int, 0, 1<<16)
+	workers := runtime.GOMAXPROCS(0)
+	for sz := 2; sz <= n; sz++ {
+		masks = masks[:0]
+		// Gosper's hack enumerates all n-bit masks with popcount sz.
+		m := (1 << uint(sz)) - 1
+		for m < size {
+			masks = append(masks, m)
+			c := m & -m
+			r := m + c
+			m = (((r ^ m) >> 2) / c) | r
+		}
+		processLayer(masks, dp, par, w32, n, workers)
+	}
+
+	full := size - 1
+	// Extract optimum.
+	best := inf32
+	bestEnd := -1
+	for v := 0; v < n; v++ {
+		c := dp[full*n+v]
+		if c >= inf32 {
+			continue
+		}
+		if cycle {
+			c += w32[v*n+0]
+		}
+		if t >= 0 && v != t {
+			continue
+		}
+		if c < best {
+			best = c
+			bestEnd = v
+		}
+	}
+	if bestEnd < 0 {
+		return nil, 0, fmt.Errorf("tsp: no feasible tour (unexpected for complete instance)")
+	}
+	// Reconstruct.
+	tour := make(Tour, n)
+	mask := full
+	v := bestEnd
+	for i := n - 1; i >= 0; i-- {
+		tour[i] = v
+		p := int(par[mask*n+v])
+		mask &^= 1 << uint(v)
+		v = p
+	}
+	return tour, int64(best), nil
+}
+
+// processLayer relaxes every mask in the layer: dp[mask][v] =
+// min over u in mask\{v} of dp[mask^v][u] + w(u,v).
+func processLayer(masks []int, dp []int32, par []int8, w32 []int32, n, workers int) {
+	if len(masks) < 64 || workers <= 1 {
+		layerChunk(masks, dp, par, w32, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(masks) + workers - 1) / workers
+	for lo := 0; lo < len(masks); lo += chunk {
+		hi := lo + chunk
+		if hi > len(masks) {
+			hi = len(masks)
+		}
+		wg.Add(1)
+		go func(ms []int) {
+			defer wg.Done()
+			layerChunk(ms, dp, par, w32, n)
+		}(masks[lo:hi])
+	}
+	wg.Wait()
+}
+
+func layerChunk(masks []int, dp []int32, par []int8, w32 []int32, n int) {
+	const inf32 = int32(math.MaxInt32 / 2)
+	for _, mask := range masks {
+		base := mask * n
+		rest := mask
+		for rest != 0 {
+			v := trailingZeros(rest)
+			rest &= rest - 1
+			prev := mask &^ (1 << uint(v))
+			pbase := prev * n
+			wrow := w32[v*n:]
+			best := inf32
+			bestU := int8(-1)
+			scan := prev
+			for scan != 0 {
+				u := trailingZeros(scan)
+				scan &= scan - 1
+				if c := dp[pbase+u]; c < inf32 {
+					if c += wrow[u]; c < best {
+						best = c
+						bestU = int8(u)
+					}
+				}
+			}
+			if bestU >= 0 {
+				dp[base+v] = best
+				par[base+v] = bestU
+			}
+		}
+	}
+}
+
+func trailingZeros(x int) int { return bits.TrailingZeros32(uint32(x)) }

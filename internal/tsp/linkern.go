@@ -1,0 +1,159 @@
+package tsp
+
+import (
+	"runtime"
+	"sync"
+
+	"lpltsp/internal/rng"
+)
+
+// ChainedOptions configures the chained local-search heuristic.
+type ChainedOptions struct {
+	// Restarts is the number of independent chains (each from its own
+	// construction). Default: GOMAXPROCS.
+	Restarts int
+	// Kicks is the number of double-bridge perturbations per chain.
+	// Default: 40.
+	Kicks int
+	// Seed seeds the perturbation RNG. Chains derive independent streams.
+	Seed uint64
+}
+
+func (o *ChainedOptions) defaults() ChainedOptions {
+	d := ChainedOptions{Restarts: runtime.GOMAXPROCS(0), Kicks: 40, Seed: 1}
+	if o == nil {
+		return d
+	}
+	if o.Restarts > 0 {
+		d.Restarts = o.Restarts
+	}
+	if o.Kicks > 0 {
+		d.Kicks = o.Kicks
+	}
+	if o.Seed != 0 {
+		d.Seed = o.Seed
+	}
+	return d
+}
+
+// ChainedLocalSearch is the library's stand-in for chained Lin–Kernighan:
+// greedy-edge construction, 2-opt + Or-opt to a local optimum, then
+// repeated double-bridge kicks with re-optimization, keeping the best path
+// found. Chains run in parallel; the overall best is returned.
+func ChainedLocalSearch(ins *Instance, opts *ChainedOptions) (Tour, int64) {
+	o := opts.defaults()
+	n := ins.n
+	if n <= 3 {
+		t, _, _ := HeldKarpPath(ins)
+		return t, ins.PathCost(t)
+	}
+	root := rng.New(o.Seed)
+	seeds := make([]*rng.RNG, o.Restarts)
+	for i := range seeds {
+		seeds[i] = root.Split()
+	}
+
+	type result struct {
+		tour Tour
+		cost int64
+	}
+	results := make(chan result, o.Restarts)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > o.Restarts {
+		workers = o.Restarts
+	}
+	var mu sync.Mutex
+	next := 0
+	grab := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= o.Restarts {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				chain := grab()
+				if chain < 0 {
+					return
+				}
+				r := seeds[chain]
+				var t Tour
+				if chain == 0 {
+					t = GreedyEdgePath(ins)
+				} else if chain == 1 {
+					t, _ = NearestNeighborBest(ins)
+				} else {
+					t = Tour(r.Perm(n))
+				}
+				// Exhaustive 2-opt on small instances; neighbor-list
+				// 2-opt with don't-look bits once O(n²) sweeps start to
+				// dominate.
+				optimize := func(tr Tour) {
+					if n <= 160 {
+						TwoOptPath(ins, tr)
+					} else {
+						TwoOptPathFast(ins, tr, 12)
+					}
+					OrOptPath(ins, tr)
+				}
+				optimize(t)
+				best := t.Clone()
+				bestC := ins.PathCost(best)
+				cur := t
+				for kick := 0; kick < o.Kicks; kick++ {
+					doubleBridge(cur, r)
+					optimize(cur)
+					c := ins.PathCost(cur)
+					if c < bestC {
+						bestC = c
+						copy(best, cur)
+					} else {
+						copy(cur, best) // restart kick from the best
+					}
+				}
+				results <- result{best, bestC}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	var best Tour
+	bestC := int64(-1)
+	for res := range results {
+		if bestC < 0 || res.cost < bestC {
+			best, bestC = res.tour, res.cost
+		}
+	}
+	return best, bestC
+}
+
+// doubleBridge applies the classic 4-opt double-bridge perturbation adapted
+// to the path objective: the tour is cut into four consecutive segments
+// A B C D and reassembled as A C B D.
+func doubleBridge(t Tour, r *rng.RNG) {
+	n := len(t)
+	if n < 8 {
+		// Tiny tours: swap two random vertices instead.
+		i, j := r.Intn(n), r.Intn(n)
+		t[i], t[j] = t[j], t[i]
+		return
+	}
+	// 1 ≤ p1 < p2 < p3 < n
+	p1 := 1 + r.Intn(n-3)
+	p2 := p1 + 1 + r.Intn(n-p1-2)
+	p3 := p2 + 1 + r.Intn(n-p2-1)
+	out := make(Tour, 0, n)
+	out = append(out, t[:p1]...)
+	out = append(out, t[p2:p3]...)
+	out = append(out, t[p1:p2]...)
+	out = append(out, t[p3:]...)
+	copy(t, out)
+}

@@ -1,0 +1,175 @@
+package tsp
+
+// Local-search moves for the PATH objective. These are the inner moves of
+// the chained heuristic engine (linkern.go), standing in for the
+// Lin–Kernighan implementations (Concorde, LKH) the paper suggests using
+// as practical engines.
+
+// TwoOptPath improves the tour in place with first-improvement 2-opt
+// sweeps (segment reversal) until a local optimum. Returns the cost delta
+// applied (≤ 0).
+func TwoOptPath(ins *Instance, t Tour) int64 {
+	n := len(t)
+	var total int64
+	if n < 3 {
+		return 0
+	}
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			var prev int
+			hasPrev := i > 0
+			if hasPrev {
+				prev = t[i-1]
+			}
+			for j := i + 1; j < n; j++ {
+				var next int
+				hasNext := j < n-1
+				if hasNext {
+					next = t[j+1]
+				}
+				var delta int64
+				if hasPrev {
+					delta += ins.Weight(prev, t[j]) - ins.Weight(prev, t[i])
+				}
+				if hasNext {
+					delta += ins.Weight(t[i], next) - ins.Weight(t[j], next)
+				}
+				if delta < 0 {
+					reverseSeg(t, i, j)
+					total += delta
+					improved = true
+					if hasPrev {
+						prev = t[i-1]
+					}
+				}
+			}
+		}
+	}
+	return total
+}
+
+// OrOptPath improves the tour in place by relocating segments of length
+// 1..3 (optionally reversed) to better positions, first-improvement, until
+// a local optimum. Returns the cost delta applied (≤ 0).
+func OrOptPath(ins *Instance, t Tour) int64 {
+	n := len(t)
+	var total int64
+	if n < 3 {
+		return 0
+	}
+	improved := true
+	for improved {
+		improved = false
+		for segLen := 1; segLen <= 3 && segLen < n; segLen++ {
+			for i := 0; i+segLen <= n; i++ {
+				d, apply := bestRelocation(ins, t, i, segLen)
+				if d < 0 {
+					apply()
+					total += d
+					improved = true
+				}
+			}
+		}
+	}
+	return total
+}
+
+// bestRelocation evaluates moving t[i:i+L] to every other gap position,
+// forward or reversed, and returns the best improving delta with an
+// applier. The applier mutates t.
+func bestRelocation(ins *Instance, t Tour, i, L int) (int64, func()) {
+	n := len(t)
+	j := i + L // segment is t[i:j]
+	segFirst, segLast := t[i], t[j-1]
+
+	// Cost of removing the segment.
+	var removeGain int64
+	hasPrev, hasNext := i > 0, j < n
+	switch {
+	case hasPrev && hasNext:
+		removeGain = ins.Weight(t[i-1], segFirst) + ins.Weight(segLast, t[j]) - ins.Weight(t[i-1], t[j])
+	case hasPrev:
+		removeGain = ins.Weight(t[i-1], segFirst)
+	case hasNext:
+		removeGain = ins.Weight(segLast, t[j])
+	default:
+		return 0, nil // segment is the whole tour
+	}
+
+	bestDelta := int64(0)
+	bestPos, bestRev := -1, false
+	// Insert between rest[k-1] and rest[k] where rest = t without segment.
+	// Positions are expressed in rest-coordinates 0..n-L.
+	restLen := n - L
+	restAt := func(k int) int {
+		if k < i {
+			return t[k]
+		}
+		return t[k+L]
+	}
+	for k := 0; k <= restLen; k++ {
+		if k == i {
+			continue // original position
+		}
+		var before, after int
+		hasBefore, hasAfter := k > 0, k < restLen
+		if hasBefore {
+			before = restAt(k - 1)
+		}
+		if hasAfter {
+			after = restAt(k)
+		}
+		var base int64
+		if hasBefore && hasAfter {
+			base = ins.Weight(before, after)
+		}
+		for _, rev := range [2]bool{false, true} {
+			first, last := segFirst, segLast
+			if rev {
+				first, last = last, first
+			}
+			var addCost int64
+			if hasBefore {
+				addCost += ins.Weight(before, first)
+			}
+			if hasAfter {
+				addCost += ins.Weight(last, after)
+			}
+			delta := addCost - base - removeGain
+			if delta < bestDelta {
+				bestDelta = delta
+				bestPos, bestRev = k, rev
+			}
+		}
+	}
+	if bestPos < 0 {
+		return 0, nil
+	}
+	pos, rev := bestPos, bestRev
+	return bestDelta, func() {
+		seg := make([]int, L)
+		copy(seg, t[i:j])
+		if rev {
+			for a, b := 0, L-1; a < b; a, b = a+1, b-1 {
+				seg[a], seg[b] = seg[b], seg[a]
+			}
+		}
+		rest := make([]int, 0, len(t)-L)
+		rest = append(rest, t[:i]...)
+		rest = append(rest, t[j:]...)
+		out := t[:0]
+		out = append(out, rest[:pos]...)
+		out = append(out, seg...)
+		out = append(out, rest[pos:]...)
+	}
+}
+
+func reverseSeg(t Tour, i, j int) {
+	for i < j {
+		t[i], t[j] = t[j], t[i]
+		i++
+		j--
+	}
+}

@@ -1,0 +1,83 @@
+package tsp
+
+import "fmt"
+
+// Algorithm names a path-TSP solving strategy exposed by Solve and by the
+// public lpltsp API.
+type Algorithm string
+
+const (
+	// AlgoExact picks Held–Karp for n ≤ HeldKarpMaxN, else branch and
+	// bound for n ≤ BnBMaxN, else errors.
+	AlgoExact Algorithm = "exact"
+	// AlgoHeldKarp forces the O(2ⁿn²) dynamic program.
+	AlgoHeldKarp Algorithm = "heldkarp"
+	// AlgoBnB forces branch and bound.
+	AlgoBnB Algorithm = "bnb"
+	// AlgoChristofides is the 1.5-approximation pipeline (path variant).
+	AlgoChristofides Algorithm = "christofides"
+	// AlgoChained is the chained local-search heuristic (LK stand-in).
+	AlgoChained Algorithm = "chained"
+	// AlgoTwoOpt is greedy-edge construction plus 2-opt + Or-opt.
+	AlgoTwoOpt Algorithm = "2opt"
+	// AlgoNearestNeighbor is multi-start nearest neighbor only.
+	AlgoNearestNeighbor Algorithm = "nn"
+	// AlgoGreedyEdge is greedy edge construction only.
+	AlgoGreedyEdge Algorithm = "greedy"
+)
+
+// Algorithms lists all registered algorithm names.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoExact, AlgoHeldKarp, AlgoBnB, AlgoChristofides,
+		AlgoChained, AlgoTwoOpt, AlgoNearestNeighbor, AlgoGreedyEdge,
+	}
+}
+
+// SolveOptions tunes Solve.
+type SolveOptions struct {
+	// Chained configures AlgoChained (optional).
+	Chained *ChainedOptions
+}
+
+// Solve computes a Hamiltonian path of ins with the requested algorithm
+// and returns the path and its cost. Exact algorithms return a guaranteed
+// optimum; heuristics return their best-found path.
+func Solve(ins *Instance, algo Algorithm, opts *SolveOptions) (Tour, int64, error) {
+	if ins.n == 0 {
+		return Tour{}, 0, nil
+	}
+	switch algo {
+	case AlgoExact:
+		if ins.n <= HeldKarpMaxN {
+			return HeldKarpPath(ins)
+		}
+		return BranchAndBoundPath(ins)
+	case AlgoHeldKarp:
+		return HeldKarpPath(ins)
+	case AlgoBnB:
+		return BranchAndBoundPath(ins)
+	case AlgoChristofides:
+		return ChristofidesPath(ins)
+	case AlgoChained:
+		var co *ChainedOptions
+		if opts != nil {
+			co = opts.Chained
+		}
+		t, c := ChainedLocalSearch(ins, co)
+		return t, c, nil
+	case AlgoTwoOpt:
+		t := GreedyEdgePath(ins)
+		TwoOptPath(ins, t)
+		OrOptPath(ins, t)
+		return t, ins.PathCost(t), nil
+	case AlgoNearestNeighbor:
+		t, c := NearestNeighborBest(ins)
+		return t, c, nil
+	case AlgoGreedyEdge:
+		t := GreedyEdgePath(ins)
+		return t, ins.PathCost(t), nil
+	default:
+		return nil, 0, fmt.Errorf("tsp: unknown algorithm %q", algo)
+	}
+}

@@ -1,0 +1,106 @@
+package tsp
+
+// ThreeOptPath improves the tour in place with first-improvement 3-opt
+// moves for the path objective until a local optimum, returning the
+// applied delta (≤ 0). A 3-opt move removes three edges (i−1,i), (j−1,j),
+// (k−1,k) of the path and reconnects the three segments; the reconnection
+// cases not already reachable by a single 2-opt reversal are the segment
+// exchange and the double reversal, both tried here. O(n³) per sweep —
+// use as a polishing pass after TwoOptPath/OrOptPath on moderate n.
+func ThreeOptPath(ins *Instance, t Tour) int64 {
+	n := len(t)
+	var total int64
+	if n < 5 {
+		return 0
+	}
+	improved := true
+	for improved {
+		improved = false
+		// Segments: A = t[:i], B = t[i:j], C = t[j:k], D = t[k:]
+		// (A and D may be empty heads/tails of the path). We try the two
+		// pure 3-opt reconnections:
+		//   swap:      A C B D
+		//   swap+rev:  A rev(C) rev(B) D
+		for i := 0; i < n-1 && !improved; i++ {
+			for j := i + 1; j < n && !improved; j++ {
+				for k := j + 1; k <= n && !improved; k++ {
+					if delta := try3opt(ins, t, i, j, k); delta < 0 {
+						total += delta
+						improved = true
+					}
+				}
+			}
+		}
+	}
+	return total
+}
+
+// try3opt evaluates the two reconnections for cut points (i,j,k) and
+// applies the better one if improving. Returns the applied delta (0 if
+// none).
+func try3opt(ins *Instance, t Tour, i, j, k int) int64 {
+	n := len(t)
+	// Boundary vertices: a = last of A (or -1), d = first of D (or -1).
+	a, d := -1, -1
+	if i > 0 {
+		a = t[i-1]
+	}
+	if k < n {
+		d = t[k]
+	}
+	bFirst, bLast := t[i], t[j-1]
+	cFirst, cLast := t[j], t[k-1]
+
+	cur := ins.Weight(bLast, cFirst) // the B|C junction always breaks
+	if a >= 0 {
+		cur += ins.Weight(a, bFirst)
+	}
+	if d >= 0 {
+		cur += ins.Weight(cLast, d)
+	}
+
+	// Case 1: A C B D — junctions a|cFirst, cLast|bFirst, bLast|d.
+	case1 := ins.Weight(cLast, bFirst)
+	if a >= 0 {
+		case1 += ins.Weight(a, cFirst)
+	}
+	if d >= 0 {
+		case1 += ins.Weight(bLast, d)
+	}
+	// Case 2: A rev(C) rev(B) D — junctions a|cLast, cFirst|bLast,
+	// bFirst|d.
+	case2 := ins.Weight(cFirst, bLast)
+	if a >= 0 {
+		case2 += ins.Weight(a, cLast)
+	}
+	if d >= 0 {
+		case2 += ins.Weight(bFirst, d)
+	}
+
+	best := case1
+	rev := false
+	if case2 < best {
+		best = case2
+		rev = true
+	}
+	delta := best - cur
+	if delta >= 0 {
+		return 0
+	}
+	// Apply: rebuild t[i:k].
+	segB := append([]int(nil), t[i:j]...)
+	segC := append([]int(nil), t[j:k]...)
+	if rev {
+		reverseInts(segB)
+		reverseInts(segC)
+	}
+	copy(t[i:], segC)
+	copy(t[i+len(segC):], segB)
+	return delta
+}
+
+func reverseInts(s []int) {
+	for a, b := 0, len(s)-1; a < b; a, b = a+1, b-1 {
+		s[a], s[b] = s[b], s[a]
+	}
+}

@@ -1,0 +1,84 @@
+package tsp
+
+import (
+	"testing"
+
+	"lpltsp/internal/rng"
+)
+
+func TestThreeOptNeverWorsens(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(25)
+		ins := randomInstance(r, n, 60)
+		tour := Tour(r.Perm(n))
+		before := ins.PathCost(tour)
+		delta := ThreeOptPath(ins, tour)
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		after := ins.PathCost(tour)
+		if after != before+delta {
+			t.Fatalf("delta accounting: before=%d delta=%d after=%d", before, delta, after)
+		}
+		if after > before {
+			t.Fatalf("3-opt worsened: %d -> %d", before, after)
+		}
+	}
+}
+
+func TestThreeOptImprovesSomeTwoOptLocalOptima(t *testing.T) {
+	// Statistically, 3-opt must strictly improve at least one 2-opt local
+	// optimum across many random instances; otherwise the move set adds
+	// nothing and the ablation table would be vacuous.
+	r := rng.New(32)
+	improved := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 10 + r.Intn(10)
+		ins := randomInstance(r, n, 50)
+		tour := Tour(r.Perm(n))
+		TwoOptPath(ins, tour)
+		if ThreeOptPath(ins, tour) < 0 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("3-opt never improved a 2-opt local optimum in 60 trials")
+	}
+}
+
+func TestThreeOptTinyTours(t *testing.T) {
+	r := rng.New(33)
+	for n := 0; n < 5; n++ {
+		ins := randomInstance(r, n, 10)
+		tour := Tour(r.Perm(n))
+		if d := ThreeOptPath(ins, tour); d != 0 {
+			t.Fatalf("n=%d: expected no-op, got %d", n, d)
+		}
+	}
+}
+
+func TestChristofidesGreedyMatchingValid(t *testing.T) {
+	r := rng.New(34)
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(20)
+		ins := randomMetricInstance(r, n, 1+r.Intn(3))
+		tour, cost, err := ChristofidesPathGreedyMatching(ins)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		if cost != ins.PathCost(tour) {
+			t.Fatal("cost mismatch")
+		}
+		// On [lo,2lo] metrics any Hamiltonian path is ≤ 2×opt.
+		if n <= 12 {
+			_, opt, _ := HeldKarpPath(ins)
+			if float64(cost) > 2*float64(opt)+1e-9 {
+				t.Fatalf("greedy-matching variant exceeded 2×opt: %d vs %d", cost, opt)
+			}
+		}
+	}
+}

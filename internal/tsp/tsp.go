@@ -1,0 +1,145 @@
+// Package tsp implements the traveling-salesman machinery the paper's
+// reduction targets: symmetric TSP instances, Hamiltonian cycle and path
+// objectives, exact solvers (Held–Karp dynamic programming, branch and
+// bound), the Christofides / Hoogeveen approximation pipeline, and a
+// chained local-search heuristic family (2-opt, Or-opt, double-bridge
+// restarts) standing in for Lin–Kernighan-style engines.
+//
+// The paper reduces L(p)-LABELING on diameter-≤k graphs to METRIC PATH TSP
+// (free endpoints); everything here therefore supports the path objective
+// natively, with cycle variants provided for completeness and tests.
+package tsp
+
+import "fmt"
+
+// Instance is a symmetric TSP instance on n vertices with int64 weights,
+// stored dense. The diagonal is 0. Instances produced by the labeling
+// reduction satisfy the triangle inequality (weights within [pmin, 2pmin]).
+type Instance struct {
+	n int
+	w []int64
+}
+
+// NewInstance returns an instance with all weights zero.
+func NewInstance(n int) *Instance {
+	if n < 0 {
+		panic("tsp: negative size")
+	}
+	return &Instance{n: n, w: make([]int64, n*n)}
+}
+
+// N returns the number of vertices.
+func (ins *Instance) N() int { return ins.n }
+
+// Weight returns w(i,j).
+func (ins *Instance) Weight(i, j int) int64 { return ins.w[i*ins.n+j] }
+
+// SetWeight sets w(i,j) = w(j,i) = x.
+func (ins *Instance) SetWeight(i, j int, x int64) {
+	if i == j {
+		panic("tsp: diagonal weight must stay zero")
+	}
+	ins.w[i*ins.n+j] = x
+	ins.w[j*ins.n+i] = x
+}
+
+// Row returns the weight row of i (shared storage; read-only).
+func (ins *Instance) Row(i int) []int64 { return ins.w[i*ins.n : (i+1)*ins.n] }
+
+// MinMaxWeight returns the smallest and largest off-diagonal weights.
+// For n < 2 it returns (0, 0).
+func (ins *Instance) MinMaxWeight() (min, max int64) {
+	if ins.n < 2 {
+		return 0, 0
+	}
+	min = ins.Weight(0, 1)
+	for i := 0; i < ins.n; i++ {
+		for j := 0; j < ins.n; j++ {
+			if i == j {
+				continue
+			}
+			w := ins.Weight(i, j)
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+		}
+	}
+	return min, max
+}
+
+// IsMetric reports whether the weights satisfy the triangle inequality.
+// O(n³); intended for tests and validation, not hot paths.
+func (ins *Instance) IsMetric() bool {
+	n := ins.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			wij := ins.Weight(i, j)
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if ins.Weight(i, k)+ins.Weight(k, j) < wij {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Tour is a permutation of 0..n-1. Interpreted as a Hamiltonian path in
+// visit order, or as a Hamiltonian cycle with an implicit closing edge.
+type Tour []int
+
+// PathCost returns the weight of the Hamiltonian path t[0]-t[1]-…-t[n-1].
+func (ins *Instance) PathCost(t Tour) int64 {
+	var c int64
+	for i := 0; i+1 < len(t); i++ {
+		c += ins.Weight(t[i], t[i+1])
+	}
+	return c
+}
+
+// CycleCost returns PathCost plus the closing edge t[n-1]→t[0].
+func (ins *Instance) CycleCost(t Tour) int64 {
+	if len(t) < 2 {
+		return 0
+	}
+	return ins.PathCost(t) + ins.Weight(t[len(t)-1], t[0])
+}
+
+// ValidateTour checks that t is a permutation of 0..n-1.
+func (ins *Instance) ValidateTour(t Tour) error {
+	if len(t) != ins.n {
+		return fmt.Errorf("tsp: tour length %d != n %d", len(t), ins.n)
+	}
+	seen := make([]bool, ins.n)
+	for _, v := range t {
+		if v < 0 || v >= ins.n {
+			return fmt.Errorf("tsp: tour vertex %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("tsp: tour repeats vertex %d", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Clone returns a copy of the tour.
+func (t Tour) Clone() Tour { return append(Tour(nil), t...) }
+
+// identity returns the identity tour on n vertices.
+func identity(n int) Tour {
+	t := make(Tour, n)
+	for i := range t {
+		t[i] = i
+	}
+	return t
+}

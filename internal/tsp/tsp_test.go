@@ -1,0 +1,382 @@
+package tsp
+
+import (
+	"testing"
+
+	"lpltsp/internal/rng"
+)
+
+// randomInstance returns a random symmetric instance with weights in
+// [1, maxW].
+func randomInstance(r *rng.RNG, n int, maxW int) *Instance {
+	ins := NewInstance(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ins.SetWeight(i, j, int64(1+r.Intn(maxW)))
+		}
+	}
+	return ins
+}
+
+// randomMetricInstance returns a random instance with weights in
+// {lo..2lo}, which satisfies the triangle inequality (as the paper's
+// reduced instances do).
+func randomMetricInstance(r *rng.RNG, n int, lo int) *Instance {
+	ins := NewInstance(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ins.SetWeight(i, j, int64(lo+r.Intn(lo+1)))
+		}
+	}
+	return ins
+}
+
+// brutePath finds the optimal Hamiltonian path by enumerating all
+// permutations (free endpoints).
+func brutePath(ins *Instance) int64 {
+	n := ins.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := int64(-1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			c := ins.PathCost(perm)
+			if best < 0 || c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func bruteCycle(ins *Instance) int64 {
+	n := ins.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := int64(-1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			c := ins.CycleCost(perm)
+			if best < 0 || c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(1) // fix rotation
+	return best
+}
+
+func TestHeldKarpPathVsBruteForce(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(8)
+		ins := randomInstance(r, n, 30)
+		tour, cost, err := HeldKarpPath(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		if got := ins.PathCost(tour); got != cost {
+			t.Fatalf("reported cost %d != recomputed %d", cost, got)
+		}
+		if want := brutePath(ins); cost != want {
+			t.Fatalf("trial %d n=%d: HK path %d, brute %d", trial, n, cost, want)
+		}
+	}
+}
+
+func TestHeldKarpCycleVsBruteForce(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(6)
+		ins := randomInstance(r, n, 25)
+		tour, cost, err := HeldKarpCycle(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		if got := ins.CycleCost(tour); got != cost {
+			t.Fatalf("reported cycle cost %d != recomputed %d", cost, got)
+		}
+		if want := bruteCycle(ins); cost != want {
+			t.Fatalf("trial %d n=%d: HK cycle %d, brute %d", trial, n, cost, want)
+		}
+	}
+}
+
+func TestHeldKarpPathBetween(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(6)
+		ins := randomInstance(r, n, 20)
+		s := r.Intn(n)
+		tt := r.Intn(n)
+		if s == tt {
+			continue
+		}
+		tour, cost, err := HeldKarpPathBetween(ins, s, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tour[0] != s && tour[n-1] != s {
+			t.Fatalf("endpoint s=%d not at either end of %v", s, tour)
+		}
+		if tour[0] != tt && tour[n-1] != tt {
+			t.Fatalf("endpoint t=%d not at either end of %v", tt, tour)
+		}
+		// Fixed-endpoint optimum is ≥ free optimum.
+		_, free, _ := HeldKarpPath(ins)
+		if cost < free {
+			t.Fatalf("fixed-endpoint cost %d below free-endpoint optimum %d", cost, free)
+		}
+	}
+}
+
+func TestHeldKarpSmallSizes(t *testing.T) {
+	ins := NewInstance(0)
+	tour, cost, err := HeldKarpPath(ins)
+	if err != nil || len(tour) != 0 || cost != 0 {
+		t.Fatalf("n=0: %v %v %v", tour, cost, err)
+	}
+	ins = NewInstance(1)
+	tour, cost, err = HeldKarpPath(ins)
+	if err != nil || len(tour) != 1 || cost != 0 {
+		t.Fatalf("n=1: %v %v %v", tour, cost, err)
+	}
+	ins = NewInstance(2)
+	ins.SetWeight(0, 1, 7)
+	_, cost, err = HeldKarpPath(ins)
+	if err != nil || cost != 7 {
+		t.Fatalf("n=2: cost %d err %v", cost, err)
+	}
+}
+
+func TestHeldKarpRejectsHugeN(t *testing.T) {
+	ins := NewInstance(HeldKarpMaxN + 1)
+	if _, _, err := HeldKarpPath(ins); err == nil {
+		t.Fatal("expected size-limit error")
+	}
+}
+
+func TestBranchAndBoundMatchesHeldKarp(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(9)
+		ins := randomMetricInstance(r, n, 1+r.Intn(3))
+		_, hk, err := HeldKarpPath(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tour, bb, err := BranchAndBoundPath(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		if hk != bb {
+			t.Fatalf("trial %d n=%d: BnB %d != HK %d", trial, n, bb, hk)
+		}
+	}
+}
+
+func TestChristofidesPathRatio(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + r.Intn(9)
+		ins := randomMetricInstance(r, n, 1+r.Intn(4))
+		if !ins.IsMetric() {
+			t.Fatal("generator must be metric")
+		}
+		tour, cost, err := ChristofidesPath(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		_, opt, _ := HeldKarpPath(ins)
+		if float64(cost) > 1.5*float64(opt)+1e-9 {
+			t.Fatalf("trial %d n=%d: christofides-path %d > 1.5×opt (%d)", trial, n, cost, opt)
+		}
+	}
+}
+
+func TestChristofidesCycleRatio(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + r.Intn(8)
+		ins := randomMetricInstance(r, n, 2)
+		tour, cost, err := ChristofidesCycle(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		_, opt, _ := HeldKarpCycle(ins)
+		if float64(cost) > 1.5*float64(opt)+1e-9 {
+			t.Fatalf("trial %d n=%d: christofides %d > 1.5×opt (%d)", trial, n, cost, opt)
+		}
+	}
+}
+
+func TestTwoOptNeverWorsens(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(30)
+		ins := randomInstance(r, n, 100)
+		tour := Tour(r.Perm(n))
+		before := ins.PathCost(tour)
+		delta := TwoOptPath(ins, tour)
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		after := ins.PathCost(tour)
+		if after != before+delta {
+			t.Fatalf("delta accounting: before=%d delta=%d after=%d", before, delta, after)
+		}
+		if after > before {
+			t.Fatalf("2-opt worsened: %d -> %d", before, after)
+		}
+	}
+}
+
+func TestOrOptNeverWorsens(t *testing.T) {
+	r := rng.New(8)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(30)
+		ins := randomInstance(r, n, 100)
+		tour := Tour(r.Perm(n))
+		before := ins.PathCost(tour)
+		delta := OrOptPath(ins, tour)
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		after := ins.PathCost(tour)
+		if after != before+delta {
+			t.Fatalf("delta accounting: before=%d delta=%d after=%d", before, delta, after)
+		}
+		if after > before {
+			t.Fatalf("or-opt worsened: %d -> %d", before, after)
+		}
+	}
+}
+
+func TestChainedFindsOptimumOnSmall(t *testing.T) {
+	r := rng.New(9)
+	misses := 0
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(8)
+		ins := randomMetricInstance(r, n, 2)
+		_, opt, _ := HeldKarpPath(ins)
+		tour, cost := ChainedLocalSearch(ins, &ChainedOptions{Restarts: 4, Kicks: 25, Seed: uint64(trial) + 1})
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		if cost < opt {
+			t.Fatalf("heuristic beat the optimum: %d < %d", cost, opt)
+		}
+		if cost != opt {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Fatalf("chained search missed the optimum on %d/20 small metric instances", misses)
+	}
+}
+
+func TestConstructionValidity(t *testing.T) {
+	r := rng.New(10)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(40)
+		ins := randomInstance(r, n, 50)
+		for _, tour := range []Tour{
+			NearestNeighborFrom(ins, 0),
+			GreedyEdgePath(ins),
+		} {
+			if err := ins.ValidateTour(tour); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+		tour, cost := NearestNeighborBest(ins)
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatal(err)
+		}
+		if cost != ins.PathCost(tour) {
+			t.Fatal("NearestNeighborBest cost mismatch")
+		}
+	}
+}
+
+func TestSolveDispatch(t *testing.T) {
+	r := rng.New(11)
+	ins := randomMetricInstance(r, 9, 2)
+	_, opt, _ := HeldKarpPath(ins)
+	for _, algo := range Algorithms() {
+		tour, cost, err := Solve(ins, algo, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if cost < opt {
+			t.Fatalf("%s returned cost %d below optimum %d", algo, cost, opt)
+		}
+		if cost != ins.PathCost(tour) {
+			t.Fatalf("%s: reported cost %d != path cost %d", algo, cost, ins.PathCost(tour))
+		}
+	}
+	if _, _, err := Solve(ins, "nope", nil); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestIsMetric(t *testing.T) {
+	ins := NewInstance(3)
+	ins.SetWeight(0, 1, 1)
+	ins.SetWeight(1, 2, 1)
+	ins.SetWeight(0, 2, 3) // violates triangle inequality
+	if ins.IsMetric() {
+		t.Fatal("expected non-metric")
+	}
+	ins.SetWeight(0, 2, 2)
+	if !ins.IsMetric() {
+		t.Fatal("expected metric")
+	}
+}
+
+func TestMinMaxWeight(t *testing.T) {
+	ins := NewInstance(3)
+	ins.SetWeight(0, 1, 2)
+	ins.SetWeight(1, 2, 5)
+	ins.SetWeight(0, 2, 3)
+	min, max := ins.MinMaxWeight()
+	if min != 2 || max != 5 {
+		t.Fatalf("min=%d max=%d, want 2 and 5", min, max)
+	}
+}

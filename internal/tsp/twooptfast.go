@@ -1,0 +1,147 @@
+package tsp
+
+import "sort"
+
+// TwoOptPathFast is the neighbor-list variant of TwoOptPath for larger
+// instances: each vertex keeps its K nearest neighbors and carries a
+// don't-look bit; only moves whose first new edge connects a vertex to one
+// of its near neighbors are examined. This is the classical engineering of
+// Lin–Kernighan-style 2-opt (Bentley) and makes the sweep close to linear
+// per pass in practice. Returns the applied delta (≤ 0).
+//
+// The result is a 2-opt local optimum with respect to the restricted
+// neighborhood only; TwoOptPath (exhaustive) remains the reference
+// implementation and the two agree on small instances in tests.
+func TwoOptPathFast(ins *Instance, t Tour, k int) int64 {
+	n := len(t)
+	if n < 3 {
+		return 0
+	}
+	if k <= 0 {
+		k = 10
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	neighbors := nearestNeighbors(ins, k)
+	pos := make([]int, n) // pos[v] = index of v in t
+	for i, v := range t {
+		pos[v] = i
+	}
+	dontLook := make([]bool, n)
+	queue := make([]int, n)
+	inQueue := make([]bool, n)
+	head, tail := 0, 0
+	push := func(v int) {
+		if !inQueue[v] {
+			inQueue[v] = true
+			queue[tail%n] = v
+			tail++
+		}
+	}
+	for v := 0; v < n; v++ {
+		push(v)
+	}
+	var total int64
+	for head < tail {
+		v := queue[head%n]
+		head++
+		inQueue[v] = false
+		if dontLook[v] {
+			continue
+		}
+		improvedHere := false
+		// Try 2-opt moves that create the edge {v,w} for a near neighbor
+		// w. With i < j the two ways to create (t[i],t[j]) are:
+		//   A: reverse t[i+1..j]  — junctions (t[i],t[j]) and (t[i+1],t[j+1])
+		//   B: reverse t[i..j-1]  — junctions (t[i-1],t[j-1]) and (t[i],t[j])
+		// A handles suffix reversals (j = n−1), B handles prefix
+		// reversals (i = 0); together they cover the full path 2-opt
+		// neighborhood.
+		for _, w := range neighbors[v] {
+			i, j := pos[v], pos[int(w)]
+			if i > j {
+				i, j = j, i
+			}
+			if j-i < 1 {
+				continue
+			}
+			newEdge := ins.Weight(t[i], t[j])
+			// Move A.
+			deltaA := newEdge - ins.Weight(t[i], t[i+1])
+			if j+1 < n {
+				deltaA += ins.Weight(t[i+1], t[j+1]) - ins.Weight(t[j], t[j+1])
+			}
+			// Move B.
+			deltaB := newEdge - ins.Weight(t[j-1], t[j])
+			if i > 0 {
+				deltaB += ins.Weight(t[i-1], t[j-1]) - ins.Weight(t[i-1], t[i])
+			}
+			var lo, hi int
+			var delta int64
+			switch {
+			case deltaA < 0 && deltaA <= deltaB:
+				lo, hi, delta = i+1, j, deltaA
+			case deltaB < 0:
+				lo, hi, delta = i, j-1, deltaB
+			default:
+				continue
+			}
+			reverseSeg(t, lo, hi)
+			for x := lo; x <= hi; x++ {
+				pos[t[x]] = x
+			}
+			total += delta
+			improvedHere = true
+			// Wake the endpoints of every changed edge.
+			for _, u := range [2]int{v, int(w)} {
+				dontLook[u] = false
+				push(u)
+			}
+			for _, x := range [4]int{lo - 1, lo, hi, hi + 1} {
+				if x >= 0 && x < n {
+					dontLook[t[x]] = false
+					push(t[x])
+				}
+			}
+		}
+		if !improvedHere {
+			dontLook[v] = true
+		} else {
+			push(v)
+		}
+	}
+	return total
+}
+
+// nearestNeighbors returns, for each vertex, its k nearest other vertices
+// by weight (ties broken by index).
+func nearestNeighbors(ins *Instance, k int) [][]int32 {
+	n := ins.n
+	out := make([][]int32, n)
+	idx := make([]int32, n)
+	for v := 0; v < n; v++ {
+		row := ins.Row(v)
+		cnt := 0
+		for u := 0; u < n; u++ {
+			if u != v {
+				idx[cnt] = int32(u)
+				cnt++
+			}
+		}
+		cand := idx[:cnt]
+		sort.Slice(cand, func(a, b int) bool {
+			wa, wb := row[cand[a]], row[cand[b]]
+			if wa != wb {
+				return wa < wb
+			}
+			return cand[a] < cand[b]
+		})
+		kk := k
+		if kk > cnt {
+			kk = cnt
+		}
+		out[v] = append([]int32(nil), cand[:kk]...)
+	}
+	return out
+}

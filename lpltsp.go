@@ -1,0 +1,189 @@
+// Package lpltsp solves distance-constrained graph labeling problems
+// (L(p₁,…,p_k)-LABELING) on small-diameter graphs by reduction to METRIC
+// PATH TSP, implementing the algorithm suite of
+//
+//	Hanaka, Ono, Sugiyama: "Solving Distance-constrained Labeling
+//	Problems for Small Diameter Graphs via TSP", IPDPS 2023
+//	(arXiv:2303.01290).
+//
+// An L(p)-labeling assigns nonnegative integer labels to vertices so that
+// vertices at distance d receive labels differing by at least p_d; the
+// goal is to minimize the span (largest label). For p = (2,1) this is the
+// classical frequency-assignment problem. When the graph's diameter is at
+// most k = len(p) and pmax ≤ 2·pmin, the problem is equivalent to finding
+// a minimum-weight Hamiltonian path of the complete graph weighted by
+// w(u,v) = p_{dist(u,v)} (Theorem 2); this package builds that reduction
+// and drives exact, approximate, and heuristic TSP engines through it.
+//
+// # Quick start
+//
+//	g := lpltsp.NewGraph(4)
+//	g.AddEdge(0, 1)
+//	g.AddEdge(1, 2)
+//	g.AddEdge(2, 3)
+//	g.AddEdge(3, 0)
+//	res, err := lpltsp.Solve(g, lpltsp.L21(), nil) // exact λ_{2,1}(C4) = 4
+//
+// Beyond the core reduction the package exposes the paper's companion
+// results: the 1.5-approximation and O(2ⁿn²) exact algorithm (Corollary
+// 1), the PARTITION INTO PATHS equivalence on diameter-2 graphs
+// (Corollary 2), the FPT algorithm for L(1,…,1) via coloring powers
+// (Theorem 4), the pmax-approximation (Corollary 3), and the graph
+// parameters nd and mw with their propositions.
+package lpltsp
+
+import (
+	"io"
+
+	"lpltsp/internal/core"
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/modular"
+	"lpltsp/internal/tsp"
+)
+
+// Graph is a simple undirected graph on vertices 0..N()-1.
+type Graph = graph.Graph
+
+// NewGraph returns an edgeless graph on n vertices. Add edges with
+// AddEdge; all query methods normalize lazily.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Vector is the constraint vector p = (p1,…,pk).
+type Vector = labeling.Vector
+
+// Labeling assigns a label to every vertex.
+type Labeling = labeling.Labeling
+
+// Result is a solver outcome: the labeling, its span, the underlying
+// Hamiltonian path, and provenance.
+type Result = core.Result
+
+// Options configures Solve. Zero value = exact engine with no extras.
+type Options = core.Options
+
+// Algorithm names a TSP engine; see the Algo* constants.
+type Algorithm = tsp.Algorithm
+
+// TSP engine names accepted in Options.Algorithm.
+const (
+	// AlgoExact picks Held–Karp or branch and bound automatically.
+	AlgoExact = tsp.AlgoExact
+	// AlgoHeldKarp is the O(2ⁿn²) dynamic program of Corollary 1.
+	AlgoHeldKarp = tsp.AlgoHeldKarp
+	// AlgoBnB is branch and bound with MST lower bounds.
+	AlgoBnB = tsp.AlgoBnB
+	// AlgoChristofides is the polynomial 1.5-approximation of Corollary 1.
+	AlgoChristofides = tsp.AlgoChristofides
+	// AlgoChained is the chained local-search heuristic (the paper's
+	// "use Lin–Kernighan-style engines" recipe).
+	AlgoChained = tsp.AlgoChained
+	// AlgoTwoOpt is greedy construction + 2-opt + Or-opt.
+	AlgoTwoOpt = tsp.AlgoTwoOpt
+	// AlgoNearestNeighbor is multi-start nearest neighbor.
+	AlgoNearestNeighbor = tsp.AlgoNearestNeighbor
+	// AlgoGreedyEdge is greedy edge construction.
+	AlgoGreedyEdge = tsp.AlgoGreedyEdge
+)
+
+// Algorithms lists all engine names.
+func Algorithms() []Algorithm { return tsp.Algorithms() }
+
+// ChainedOptions tunes the chained heuristic engine.
+type ChainedOptions = tsp.ChainedOptions
+
+// L21 returns the classical p = (2,1).
+func L21() Vector { return labeling.L21() }
+
+// Ones returns p = (1,…,1) of dimension k.
+func Ones(k int) Vector { return labeling.Ones(k) }
+
+// Reduction-applicability errors (test with errors.Is).
+var (
+	ErrDisconnected      = core.ErrDisconnected
+	ErrDiameterExceedsK  = core.ErrDiameterExceedsK
+	ErrConditionViolated = core.ErrConditionViolated
+)
+
+// Solve computes an L(p)-labeling of g through the TSP reduction. With nil
+// options the exact engine is used and the result's Span equals λ_p(g).
+// Requires g connected, diam(g) ≤ len(p), and pmax ≤ 2·pmin; typed errors
+// report violated preconditions.
+func Solve(g *Graph, p Vector, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{Verify: true}
+	}
+	return core.Solve(g, p, opts)
+}
+
+// Lambda returns λ_p(g), the minimum span, computed exactly (Corollary 1).
+func Lambda(g *Graph, p Vector) (int, error) { return core.Lambda(g, p) }
+
+// Approximate returns a labeling with span at most 1.5·λ_p(g) in
+// polynomial time (Corollary 1, Christofides/Hoogeveen pipeline).
+func Approximate(g *Graph, p Vector) (*Result, error) { return core.Approximate(g, p) }
+
+// Heuristic runs the chained local-search engine (pass nil for defaults).
+func Heuristic(g *Graph, p Vector, opts *ChainedOptions) (*Result, error) {
+	return core.Heuristic(g, p, opts)
+}
+
+// Verify checks that l is a valid L(p)-labeling of g.
+func Verify(g *Graph, p Vector, l Labeling) error { return labeling.Verify(g, p, l) }
+
+// BruteForceExact computes λ_p(g) by ordering enumeration, independent of
+// the reduction and of its preconditions (n ≤ 11). Intended for
+// cross-validation.
+func BruteForceExact(g *Graph, p Vector) (Labeling, int, error) {
+	return labeling.BruteForceExact(g, p)
+}
+
+// GreedyFirstFit is the classical first-fit baseline in decreasing-degree
+// order. Valid on any graph and p.
+func GreedyFirstFit(g *Graph, p Vector) (Labeling, int, error) {
+	return labeling.GreedyFirstFit(g, p, labeling.OrderDegree)
+}
+
+// TreeLambda21 solves L(2,1)-LABELING exactly on trees (Chang–Kuo-style
+// Δ+1/Δ+2 decision with a matching-based feasibility DP) — the
+// class-specific polynomial algorithm the paper contrasts with the
+// diameter-gated TSP route. Errors if g is not a tree.
+func TreeLambda21(g *Graph) (Labeling, int, error) { return labeling.TreeLambda21(g) }
+
+// Diameter2Result is the Corollary 2 outcome; see SolveDiameter2.
+type Diameter2Result = core.Diameter2Result
+
+// SolveDiameter2 solves L(p,q)-LABELING on a diameter-≤2 graph via the
+// PARTITION INTO PATHS equivalence (Corollary 2). Exact for
+// n ≤ 22, heuristic beyond.
+func SolveDiameter2(g *Graph, p, q int) (*Diameter2Result, error) {
+	return core.SolveDiameter2(g, p, q)
+}
+
+// LambdaCograph computes λ_{p,q} exactly for a connected cograph of any
+// size via the cotree path-cover recurrence (connected cographs have
+// diameter ≤ 2, so Corollary 2 applies; no 2ⁿ machinery needed).
+func LambdaCograph(g *Graph, p, q int) (int, error) { return core.LambdaCograph(g, p, q) }
+
+// L1Exact computes λ for p = (1,…,1) of dimension k exactly, FPT in the
+// neighborhood diversity of gᵏ (Theorem 4). No diameter condition.
+func L1Exact(g *Graph, k int) (Labeling, int, error) { return core.L1Exact(g, k) }
+
+// PmaxApprox returns a pmax-approximate labeling for any p on any graph,
+// FPT in modular-width (Corollary 3).
+func PmaxApprox(g *Graph, p Vector) (Labeling, int, error) { return core.PmaxApprox(g, p) }
+
+// NeighborhoodDiversity returns nd(g).
+func NeighborhoodDiversity(g *Graph) int {
+	nd, _ := modular.ND(g)
+	return nd
+}
+
+// ModularWidth returns mw(g) from the modular decomposition tree.
+func ModularWidth(g *Graph) int { return modular.Width(g) }
+
+// ReadGraph parses a graph in DIMACS edge format or a bare edge list.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// WriteGraph serializes a graph in DIMACS edge format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }

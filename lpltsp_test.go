@@ -1,0 +1,240 @@
+package lpltsp_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lpltsp"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := lpltsp.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	res, err := lpltsp.Solve(g, lpltsp.L21(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Span != 4 { // λ_{2,1}(C4) = 4
+		t.Fatalf("λ_{2,1}(C4) = %d, want 4", res.Span)
+	}
+	if !res.Exact {
+		t.Fatal("default engine must be exact")
+	}
+	if err := lpltsp.Verify(g, lpltsp.L21(), res.Labeling); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	if _, err := lpltsp.Solve(lpltsp.PathGraph(9), lpltsp.L21(), nil); !errors.Is(err, lpltsp.ErrDiameterExceedsK) {
+		t.Fatalf("want ErrDiameterExceedsK, got %v", err)
+	}
+	if _, err := lpltsp.Solve(lpltsp.CompleteGraph(3), lpltsp.Vector{5, 1}, nil); !errors.Is(err, lpltsp.ErrConditionViolated) {
+		t.Fatalf("want ErrConditionViolated, got %v", err)
+	}
+	g := lpltsp.NewGraph(2)
+	if _, err := lpltsp.Solve(g, lpltsp.L21(), nil); !errors.Is(err, lpltsp.ErrDisconnected) {
+		t.Fatalf("want ErrDisconnected, got %v", err)
+	}
+}
+
+func TestPublicEnginesAgreeOnOptimalityOrder(t *testing.T) {
+	g := lpltsp.RandomSmallDiameter(7, 13, 3, 0.3)
+	p := lpltsp.Vector{2, 2, 1}
+	opt, err := lpltsp.Lambda(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apx, err := lpltsp.Approximate(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heu, err := lpltsp.Heuristic(g, p, &lpltsp.ChainedOptions{Restarts: 2, Kicks: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apx.Span < opt || heu.Span < opt {
+		t.Fatalf("non-exact engines beat exact: opt=%d apx=%d heu=%d", opt, apx.Span, heu.Span)
+	}
+	if float64(apx.Span) > 1.5*float64(opt) {
+		t.Fatalf("approximation ratio exceeded: %d vs %d", apx.Span, opt)
+	}
+}
+
+func TestPublicBruteForceAgreement(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := lpltsp.RandomSmallDiameter(seed, 2+int(seed%6), 2, 0.4)
+		opt, err := lpltsp.Lambda(g, lpltsp.L21())
+		if err != nil {
+			return false
+		}
+		_, brute, err := lpltsp.BruteForceExact(g, lpltsp.L21())
+		return err == nil && opt == brute
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDiameter2AndFPT(t *testing.T) {
+	g := lpltsp.RandomDiameter2(11, 10, 0.3)
+	res, err := lpltsp.SolveDiameter2(g, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lpltsp.Lambda(g, lpltsp.Vector{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Span != want {
+		t.Fatalf("corollary-2 %d != exact %d", res.Span, want)
+	}
+	lab, span, err := lpltsp.L1Exact(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lpltsp.Verify(g, lpltsp.Ones(2), lab); err != nil {
+		t.Fatal(err)
+	}
+	wantL1, err := lpltsp.Lambda(g, lpltsp.Ones(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != wantL1 {
+		t.Fatalf("Theorem 4 route %d != reduction %d", span, wantL1)
+	}
+	if _, _, err := lpltsp.PmaxApprox(g, lpltsp.L21()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicParametersAndIO(t *testing.T) {
+	g := lpltsp.CompleteMultipartiteGraph(2, 3)
+	if nd := lpltsp.NeighborhoodDiversity(g); nd != 2 {
+		t.Fatalf("nd = %d, want 2", nd)
+	}
+	if mw := lpltsp.ModularWidth(g); mw != 2 {
+		t.Fatalf("mw = %d, want 2", mw)
+	}
+	var buf bytes.Buffer
+	if err := lpltsp.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := lpltsp.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestPublicGadgets(t *testing.T) {
+	g := lpltsp.CycleGraph(5)
+	gadget, w, wp := lpltsp.HamPathGadget(g, 0)
+	if !gadget.HasHamiltonianPathBetween(w, wp) {
+		t.Fatal("C5 has a Hamiltonian cycle, gadget must have the w→w' path")
+	}
+	gy := lpltsp.GriggsYehGadget(lpltsp.PathGraph(4))
+	span, err := lpltsp.Lambda(gy, lpltsp.L21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 5 { // P4 has a Hamiltonian path, n=4 → λ = n+1 = 5
+		t.Fatalf("Griggs–Yeh gadget λ = %d, want 5", span)
+	}
+}
+
+func TestPublicGreedyBaseline(t *testing.T) {
+	g := lpltsp.WheelGraph(8)
+	lab, span, err := lpltsp.GreedyFirstFit(g, lpltsp.L21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lpltsp.Verify(g, lpltsp.L21(), lab); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := lpltsp.Lambda(g, lpltsp.L21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span < opt {
+		t.Fatalf("greedy %d below optimum %d", span, opt)
+	}
+}
+
+func TestFigure1Example(t *testing.T) {
+	g := lpltsp.Figure1Graph()
+	res, err := lpltsp.Solve(g, lpltsp.Vector{2, 2, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Span < 4*1 { // at least (n−1)·pmin
+		t.Fatalf("implausible span %d", res.Span)
+	}
+}
+
+func TestAlgorithmsListed(t *testing.T) {
+	algos := lpltsp.Algorithms()
+	if len(algos) < 6 {
+		t.Fatalf("expected a full engine roster, got %v", algos)
+	}
+	seen := map[lpltsp.Algorithm]bool{}
+	for _, a := range algos {
+		seen[a] = true
+	}
+	for _, want := range []lpltsp.Algorithm{lpltsp.AlgoExact, lpltsp.AlgoChristofides, lpltsp.AlgoChained} {
+		if !seen[want] {
+			t.Fatalf("engine %s missing from roster", want)
+		}
+	}
+}
+
+func TestPublicTreeAlgorithm(t *testing.T) {
+	g := lpltsp.RandomTreeGraph(3, 10)
+	lab, span, err := lpltsp.TreeLambda21(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lpltsp.Verify(g, lpltsp.L21(), lab); err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := lpltsp.BruteForceExact(g, lpltsp.L21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != want {
+		t.Fatalf("tree algorithm %d != brute force %d", span, want)
+	}
+	if _, _, err := lpltsp.TreeLambda21(lpltsp.CycleGraph(5)); err == nil {
+		t.Fatal("cycle must be rejected by the tree solver")
+	}
+}
+
+func TestPublicLambdaCograph(t *testing.T) {
+	g := lpltsp.RandomCograph(5, 300)
+	got, err := lpltsp.LambdaCograph(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < (g.N()-1)*1 {
+		t.Fatalf("λ=%d below the (n−1)·pmin lower bound", got)
+	}
+	small := lpltsp.RandomCograph(6, 10)
+	want, err := lpltsp.Lambda(small, lpltsp.Vector{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	via, err := lpltsp.LambdaCograph(small, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if via != want {
+		t.Fatalf("cotree %d != reduction %d", via, want)
+	}
+}
