@@ -1,22 +1,31 @@
-// Command lplsolve solves an L(p)-LABELING instance read from a graph
-// file (DIMACS edge format or a bare "n m" edge list) via the TSP
-// reduction.
+// Command lplsolve solves L(p)-LABELING instances read from graph files
+// (DIMACS edge format or a bare "n m" edge list) via the TSP reduction.
 //
 // Usage:
 //
 //	lplsolve -p 2,1 -algo exact graph.col
 //	cat graph.col | lplsolve -p 2,2,1 -algo chained
+//	lplsolve -p 2,1 -timeout 5s -algo portfolio big.col
+//	lplsolve -p 2,1 -algo portfolio -workers 4 a.col b.col c.col
 //
-// The output reports the span, whether it is provably optimal, the vertex
-// ordering (Hamiltonian path of the reduced instance), and the labeling.
+// With one input (file or stdin) the output reports the span, whether it
+// is provably optimal, the vertex ordering (Hamiltonian path of the
+// reduced instance), and the labeling. With several input files the
+// instances are streamed through a bounded worker pool (batch mode) and
+// one summary line is printed per instance as it completes.
+//
+// -timeout bounds each solve; anytime engines (bnb, chained, 2opt, 3opt,
+// portfolio) return their best labeling found so far when it fires.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lpltsp"
 )
@@ -24,11 +33,13 @@ import (
 func main() {
 	var (
 		pFlag    = flag.String("p", "2,1", "constraint vector p, comma-separated (e.g. 2,1)")
-		algoFlag = flag.String("algo", "exact", "engine: exact|heldkarp|bnb|christofides|chained|2opt|nn|greedy")
+		algoFlag = flag.String("algo", "exact", "engine: exact|heldkarp|bnb|christofides|chained|2opt|3opt|nn|greedy|portfolio")
+		timeout  = flag.Duration("timeout", 0, "deadline per instance (0 = none); anytime engines return their incumbent")
+		workers  = flag.Int("workers", 0, "concurrent instances in batch mode (0 = half the CPUs; each solve parallelizes internally)")
 		seed     = flag.Uint64("seed", 1, "seed for randomized engines")
 		restarts = flag.Int("restarts", 0, "chained engine restarts (0 = auto)")
 		kicks    = flag.Int("kicks", 0, "chained engine kicks per restart (0 = auto)")
-		quiet    = flag.Bool("q", false, "print only the span")
+		quiet    = flag.Bool("q", false, "print only the span (one line per instance in batch mode)")
 	)
 	flag.Parse()
 
@@ -36,24 +47,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	opts := &lpltsp.Options{
+		Algorithm: lpltsp.Algorithm(*algoFlag),
+		Chained:   &lpltsp.ChainedOptions{Restarts: *restarts, Kicks: *kicks, Seed: *seed},
+		Verify:    true,
+		Deadline:  *timeout,
+	}
+	ctx := context.Background()
+
+	if flag.NArg() > 1 {
+		os.Exit(runBatch(ctx, flag.Args(), p, opts, *workers, *quiet))
+	}
+
 	in := os.Stdin
-	if flag.NArg() > 0 {
+	name := "<stdin>"
+	if flag.NArg() == 1 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
 		in = f
+		name = flag.Arg(0)
 	}
 	g, err := lpltsp.ReadGraph(in)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("%s: %w", name, err))
 	}
-	res, err := lpltsp.Solve(g, p, &lpltsp.Options{
-		Algorithm: lpltsp.Algorithm(*algoFlag),
-		Chained:   &lpltsp.ChainedOptions{Restarts: *restarts, Kicks: *kicks, Seed: *seed},
-		Verify:    true,
-	})
+	res, err := lpltsp.SolveContext(ctx, g, p, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,7 +83,8 @@ func main() {
 		return
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
-	fmt.Printf("p: %v  engine: %s  exact: %v\n", p, res.Algorithm, res.Exact)
+	fmt.Printf("p: %v  engine: %s%s  exact: %v%s\n",
+		p, res.Algorithm, winnerSuffix(res), res.Exact, truncatedSuffix(res))
 	fmt.Printf("span: %d\n", res.Span)
 	fmt.Printf("reduce: %v  solve: %v\n", res.ReduceTime, res.SolveTime)
 	fmt.Printf("ordering: %v\n", []int(res.Tour))
@@ -70,6 +92,69 @@ func main() {
 	for v, l := range res.Labeling {
 		fmt.Printf("  %4d -> %d\n", v, l)
 	}
+}
+
+// runBatch streams the named graph files through SolveBatch and prints one
+// line per instance as it finishes. Files are parsed lazily inside the
+// worker pool, so only ~workers graphs are in memory at once; a file that
+// fails to load is reported as a failed instance (like a failed solve)
+// without aborting the rest of the batch. Returns the process exit code.
+func runBatch(ctx context.Context, files []string, p lpltsp.Vector, opts *lpltsp.Options, workers int, quiet bool) int {
+	t0 := time.Now()
+	failed := 0
+	items := make([]lpltsp.BatchItem, 0, len(files))
+	for _, path := range files {
+		items = append(items, lpltsp.BatchItem{
+			ID:   path,
+			P:    p,
+			Load: func() (*lpltsp.Graph, error) { return readGraphFile(path) },
+		})
+	}
+	for br := range lpltsp.SolveBatch(ctx, items, &lpltsp.BatchOptions{Workers: workers, Options: opts}) {
+		switch {
+		case br.Err != nil:
+			failed++
+			fmt.Fprintf(os.Stderr, "lplsolve: %s: %v\n", br.ID, br.Err)
+		case quiet:
+			fmt.Printf("%s %d\n", br.ID, br.Result.Span)
+		default:
+			fmt.Printf("%s: span=%d engine=%s%s exact=%v%s n=%d solve=%v\n",
+				br.ID, br.Result.Span, br.Result.Algorithm, winnerSuffix(br.Result),
+				br.Result.Exact, truncatedSuffix(br.Result),
+				len(br.Result.Labeling), br.Result.SolveTime.Round(time.Microsecond))
+		}
+	}
+	if !quiet {
+		fmt.Printf("batch: %d instances, %d failed, wall %v\n",
+			len(files), failed, time.Since(t0).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readGraphFile(path string) (*lpltsp.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lpltsp.ReadGraph(f)
+}
+
+func winnerSuffix(res *lpltsp.Result) string {
+	if res.Winner != "" && res.Winner != res.Algorithm {
+		return fmt.Sprintf(" (won by %s)", res.Winner)
+	}
+	return ""
+}
+
+func truncatedSuffix(res *lpltsp.Result) string {
+	if res.Truncated {
+		return "  (deadline: best-so-far)"
+	}
+	return ""
 }
 
 func parseVector(s string) (lpltsp.Vector, error) {

@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lpltsp"
+)
 
 func TestParseVector(t *testing.T) {
 	p, err := parseVector("2,1")
@@ -16,5 +24,33 @@ func TestParseVector(t *testing.T) {
 	}
 	if _, err := parseVector(""); err == nil {
 		t.Fatal("expected error for empty string")
+	}
+}
+
+// TestRunBatchPortfolio drives the multi-file batch path end to end: two
+// generated graphs through -algo portfolio with a deadline.
+func TestRunBatchPortfolio(t *testing.T) {
+	dir := t.TempDir()
+	var files []string
+	for i, n := range []int{12, 16} {
+		g := lpltsp.RandomSmallDiameter(uint64(i+1), n, 2, 0.4)
+		path := filepath.Join(dir, "g"+string(rune('0'+i))+".col")
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lpltsp.WriteGraph(f, g); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		files = append(files, path)
+	}
+	opts := &lpltsp.Options{
+		Algorithm: lpltsp.AlgoPortfolio,
+		Verify:    true,
+		Deadline:  5 * time.Second,
+	}
+	if code := runBatch(context.Background(), files, lpltsp.L21(), opts, 2, true); code != 0 {
+		t.Fatalf("runBatch exit code %d", code)
 	}
 }

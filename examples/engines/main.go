@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,6 +28,7 @@ func main() {
 		lpltsp.AlgoNearestNeighbor,
 		lpltsp.AlgoGreedyEdge,
 		lpltsp.AlgoTwoOpt,
+		lpltsp.AlgoThreeOpt,
 		lpltsp.AlgoChristofides,
 		lpltsp.AlgoChained,
 	} {
@@ -42,7 +44,19 @@ func main() {
 		fmt.Printf("%-22s %8d %12v\n", algo, res.Span, time.Since(start).Round(time.Microsecond))
 	}
 
+	// The portfolio races the engines above under one deadline and keeps
+	// the best verified labeling — the serving-path way to run them.
 	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	res, err := lpltsp.Portfolio(ctx, g, p)
+	cancel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8d %12v  (won by %s)\n",
+		"portfolio(2s)", res.Span, time.Since(start).Round(time.Microsecond), res.Winner)
+
+	start = time.Now()
 	_, span, err := lpltsp.GreedyFirstFit(g, p)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module lpltsp
+
+go 1.24

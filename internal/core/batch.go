@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+)
+
+// BatchItem is one instance of a batch solve: a graph, its constraint
+// vector, and a caller-chosen identifier (a file name, a request id) that
+// is echoed back on the result stream.
+type BatchItem struct {
+	ID string
+	G  *graph.Graph
+	P  labeling.Vector
+	// Load, when non-nil, supplies the graph lazily inside the worker
+	// just before solving, so a large batch holds only ~Workers graphs in
+	// memory instead of all of them (G is ignored in that case). A Load
+	// error is reported as the item's BatchResult.Err.
+	Load func() (*graph.Graph, error)
+}
+
+// BatchResult is one element of the SolveBatch result stream. Exactly one
+// of Result/Err is set. Index is the item's position in the input slice,
+// so consumers can reorder the stream if they need input order.
+type BatchResult struct {
+	Index  int
+	ID     string
+	Result *Result
+	Err    error
+}
+
+// BatchOptions configures SolveBatch.
+type BatchOptions struct {
+	// Workers bounds the number of instances solved concurrently.
+	// Default: half of GOMAXPROCS (at least 1) — each solve already fans
+	// out internally (parallel APSP, chained restarts, portfolio racing),
+	// so one batch worker per core would oversubscribe the CPU and
+	// multiply peak memory by live distance matrices.
+	Workers int
+	// Options is applied to every item (Algorithm may be AlgoPortfolio;
+	// Deadline bounds each item individually).
+	Options *Options
+}
+
+// SolveBatch solves many labeling instances through one bounded worker
+// pool and streams results on the returned channel as they complete (not
+// in input order; BatchResult.Index recovers input order). The channel is
+// closed after the last result. Without cancellation every input item
+// yields exactly one BatchResult. Cancelling ctx ends the stream early:
+// the intake stops, in-flight solves stop at their engines' cancellation
+// checkpoints, their results (including anytime best-so-far labelings)
+// are still delivered, and the channel closes.
+//
+// The consumer MUST read the channel until it closes, including after
+// cancelling ctx — the pool's goroutines block on delivery otherwise.
+func SolveBatch(ctx context.Context, items []BatchItem, opts *BatchOptions) <-chan BatchResult {
+	workers := runtime.GOMAXPROCS(0) / 2
+	if workers < 1 {
+		workers = 1
+	}
+	var solveOpts *Options
+	if opts != nil {
+		if opts.Workers > 0 {
+			workers = opts.Workers
+		}
+		solveOpts = opts.Options
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make(chan BatchResult, workers+1)
+	if len(items) == 0 {
+		close(out)
+		return out
+	}
+
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range feed {
+				it := items[idx]
+				br := BatchResult{Index: idx, ID: it.ID}
+				g := it.G
+				if it.Load != nil {
+					g, br.Err = it.Load()
+				}
+				if br.Err == nil {
+					br.Result, br.Err = SolveContext(ctx, g, it.P, solveOpts)
+				}
+				// Unconditional send: a cancelled run's anytime results
+				// must still reach a draining consumer (see the
+				// read-until-close contract above).
+				out <- br
+			}
+		}()
+	}
+	go func() {
+		defer close(feed)
+		for idx := range items {
+			select {
+			case feed <- idx:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/tsp"
+)
+
+// DefaultPortfolioEngines returns the engine roster Portfolio races when
+// the caller does not name one: the exact engine (when the instance is
+// within its reach) alongside the approximation and the anytime
+// heuristics, so the race ends as soon as optimality is proven and always
+// has a fast finisher for the deadline case.
+func DefaultPortfolioEngines(n int) []tsp.Algorithm {
+	if n <= tsp.BnBMaxN {
+		return []tsp.Algorithm{tsp.AlgoExact, tsp.AlgoChristofides, tsp.AlgoChained, tsp.AlgoTwoOpt}
+	}
+	return []tsp.Algorithm{tsp.AlgoChristofides, tsp.AlgoChained, tsp.AlgoTwoOpt, tsp.AlgoNearestNeighbor}
+}
+
+// Portfolio solves L(p)-LABELING by racing several TSP engines over one
+// shared reduction. All engines run concurrently under a child context;
+// the first exact engine to finish cancels the rest, and when the parent
+// context expires the anytime engines surrender their incumbents. The best
+// valid labeling across all finishers is returned, and it is always
+// re-verified against the distance matrix before being handed out. All
+// spawned goroutines are joined before Portfolio returns, so a cancelled
+// race leaks nothing.
+//
+// Engines that error (size limits, cancellation without an incumbent) are
+// dropped from the race; an error is returned only when no engine produced
+// a labeling at all.
+func Portfolio(ctx context.Context, g *graph.Graph, p labeling.Vector, engines ...tsp.Algorithm) (*Result, error) {
+	return portfolio(ctx, g, p, nil, engines)
+}
+
+// portfolio is Portfolio with engine tuning (reached through
+// Options.Chained when dispatching via SolveContext).
+func portfolio(ctx context.Context, g *graph.Graph, p labeling.Vector, chained *tsp.ChainedOptions, engines []tsp.Algorithm) (*Result, error) {
+	t0 := time.Now()
+	red, err := ReduceContext(ctx, g, p)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	if len(engines) == 0 {
+		engines = DefaultPortfolioEngines(g.N())
+	}
+
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type entry struct {
+		algo  tsp.Algorithm
+		tour  tsp.Tour
+		stats tsp.Stats
+		err   error
+	}
+	results := make(chan entry, len(engines))
+	var wg sync.WaitGroup
+	for _, algo := range engines {
+		wg.Add(1)
+		go func(algo tsp.Algorithm) {
+			defer wg.Done()
+			tour, stats, err := tsp.SolveContext(raceCtx, red.Instance, algo, &tsp.SolveOptions{Chained: chained})
+			results <- entry{algo: algo, tour: tour, stats: stats, err: err}
+		}(algo)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var best *entry
+	var engineErrs []error
+	for e := range results {
+		if e.err != nil {
+			engineErrs = append(engineErrs, fmt.Errorf("core: portfolio engine %q: %w", e.algo, e.err))
+			continue
+		}
+		e := e
+		if best == nil || e.stats.Cost < best.stats.Cost ||
+			(e.stats.Cost == best.stats.Cost && e.stats.Optimal && !best.stats.Optimal) {
+			best = &e
+		}
+		if e.stats.Optimal && !e.stats.Truncated {
+			// Proven optimum: nothing can beat it, stop the others. Keep
+			// draining so every goroutine is joined before returning.
+			cancel()
+		}
+	}
+	if best == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: portfolio produced no labeling: %w", err)
+		}
+		if len(engineErrs) > 0 {
+			return nil, errors.Join(engineErrs...)
+		}
+		return nil, fmt.Errorf("core: portfolio ran no engines")
+	}
+	t2 := time.Now()
+	// The race mixes engines of very different trust levels, so the winner
+	// is always verified, not just when the caller asks.
+	res, err := red.resultFromTour(best.tour, best.algo, best.stats, true)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = AlgoPortfolio
+	res.Winner = best.algo
+	res.ReduceTime = t1.Sub(t0)
+	res.SolveTime = t2.Sub(t1)
+	return res, nil
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/tsp"
+)
+
+// TestPortfolioMatchesExactOnSmallInstances: when the exact engine is in
+// the race and finishes, the portfolio span is λ_p(G).
+func TestPortfolioMatchesExactOnSmallInstances(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomSmallDiameter(r, 12, 3, 0.3)
+		p := labeling.Vector{2, 2, 1}
+		opt, err := Lambda(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Portfolio(context.Background(), g, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Span != opt {
+			t.Fatalf("trial %d: portfolio span %d, λ=%d (winner %s)", trial, res.Span, opt, res.Winner)
+		}
+		if !res.Exact {
+			t.Fatalf("trial %d: exact engine won but Exact not set", trial)
+		}
+		if res.Algorithm != AlgoPortfolio {
+			t.Fatalf("trial %d: Algorithm = %s, want %s", trial, res.Algorithm, AlgoPortfolio)
+		}
+		if err := labeling.Verify(g, p, res.Labeling); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestPortfolioVerifyCleanPerEngine is the table-driven contract over the
+// registry: a single-engine portfolio must hand back a Verify-clean
+// labeling for every registered engine.
+func TestPortfolioVerifyCleanPerEngine(t *testing.T) {
+	r := rng.New(43)
+	g := graph.RandomSmallDiameter(r, 14, 3, 0.3)
+	p := labeling.Vector{2, 2, 1}
+	for _, algo := range tsp.Algorithms() {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			res, err := Portfolio(context.Background(), g, p, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := labeling.Verify(g, p, res.Labeling); err != nil {
+				t.Fatal(err)
+			}
+			if res.Winner != algo {
+				t.Fatalf("winner %s, want %s", res.Winner, algo)
+			}
+		})
+	}
+}
+
+// TestPortfolioUnderDeadlineOnLargeGraph is the acceptance scenario: a
+// 200-vertex instance under a 2-second deadline must come back with a
+// verified labeling.
+func TestPortfolioUnderDeadlineOnLargeGraph(t *testing.T) {
+	r := rng.New(47)
+	g := graph.RandomSmallDiameter(r, 200, 3, 0.02)
+	p := labeling.Vector{2, 2, 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := Portfolio(ctx, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Fatalf("portfolio overran its deadline: %v", elapsed)
+	}
+	if err := labeling.Verify(g, p, res.Labeling); err != nil {
+		t.Fatal(err)
+	}
+	if res.Span <= 0 {
+		t.Fatalf("implausible span %d", res.Span)
+	}
+}
+
+// TestPortfolioDoesNotLeakGoroutines cancels a race mid-flight and checks
+// the goroutine count settles back to the baseline.
+func TestPortfolioDoesNotLeakGoroutines(t *testing.T) {
+	r := rng.New(53)
+	g := graph.RandomSmallDiameter(r, 120, 3, 0.05)
+	p := labeling.Vector{2, 2, 1}
+	baseline := runtime.NumGoroutine()
+	for trial := 0; trial < 3; trial++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_, err := Portfolio(ctx, g, p)
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+}
+
+// TestPortfolioCancelledBeforeStart: a pre-cancelled context fails fast
+// with the context error, not a hang.
+func TestPortfolioCancelledBeforeStart(t *testing.T) {
+	r := rng.New(59)
+	g := graph.RandomSmallDiameter(r, 20, 3, 0.2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Portfolio(ctx, g, labeling.L21()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSolveContextDeadlineOption(t *testing.T) {
+	r := rng.New(61)
+	g := graph.RandomSmallDiameter(r, 150, 3, 0.03)
+	p := labeling.Vector{2, 2, 1}
+	res, err := Solve(g, p, &Options{Algorithm: tsp.AlgoChained, Verify: true, Deadline: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := labeling.Verify(g, p, res.Labeling); err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("deadline-bounded chained run must not claim exactness")
+	}
+}
+
+// TestSolveOptionsPortfolioDispatch: Options.Algorithm = AlgoPortfolio
+// routes through the portfolio (the lplsolve -algo portfolio path).
+func TestSolveOptionsPortfolioDispatch(t *testing.T) {
+	r := rng.New(67)
+	g := graph.RandomSmallDiameter(r, 12, 2, 0.4)
+	res, err := Solve(g, labeling.L21(), &Options{Algorithm: AlgoPortfolio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != AlgoPortfolio || res.Winner == "" {
+		t.Fatalf("Algorithm=%s Winner=%s", res.Algorithm, res.Winner)
+	}
+	opt, err := Lambda(g, labeling.L21())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Span != opt {
+		t.Fatalf("portfolio span %d, λ=%d", res.Span, opt)
+	}
+}
+
+func TestSolveBatchStreamsEveryItem(t *testing.T) {
+	r := rng.New(71)
+	var items []BatchItem
+	for i := 0; i < 9; i++ {
+		g := graph.RandomSmallDiameter(r, 10+i, 3, 0.3)
+		items = append(items, BatchItem{ID: string(rune('a' + i)), G: g, P: labeling.Vector{2, 2, 1}})
+	}
+	// One deliberately failing item: disconnected graph.
+	items = append(items, BatchItem{ID: "disconnected", G: graph.New(4), P: labeling.L21()})
+
+	seen := make(map[int]bool)
+	var failures int
+	for br := range SolveBatch(context.Background(), items, &BatchOptions{Workers: 3, Options: &Options{Verify: true}}) {
+		if seen[br.Index] {
+			t.Fatalf("item %d reported twice", br.Index)
+		}
+		seen[br.Index] = true
+		if br.ID != items[br.Index].ID {
+			t.Fatalf("item %d: ID %q, want %q", br.Index, br.ID, items[br.Index].ID)
+		}
+		if br.Err != nil {
+			if !errors.Is(br.Err, ErrDisconnected) {
+				t.Fatalf("item %s: %v", br.ID, br.Err)
+			}
+			failures++
+			continue
+		}
+		if err := labeling.Verify(items[br.Index].G, items[br.Index].P, br.Result.Labeling); err != nil {
+			t.Fatalf("item %s: %v", br.ID, err)
+		}
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("got %d results for %d items", len(seen), len(items))
+	}
+	if failures != 1 {
+		t.Fatalf("expected exactly the disconnected item to fail, got %d failures", failures)
+	}
+}
+
+func TestSolveBatchPortfolioOptions(t *testing.T) {
+	r := rng.New(73)
+	var items []BatchItem
+	for i := 0; i < 4; i++ {
+		g := graph.RandomSmallDiameter(r, 12, 2, 0.4)
+		items = append(items, BatchItem{ID: "g", G: g, P: labeling.L21()})
+	}
+	count := 0
+	for br := range SolveBatch(context.Background(), items, &BatchOptions{
+		Workers: 2,
+		Options: &Options{Algorithm: AlgoPortfolio, Deadline: 2 * time.Second},
+	}) {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+		if br.Result.Algorithm != AlgoPortfolio {
+			t.Fatalf("algorithm %s", br.Result.Algorithm)
+		}
+		count++
+	}
+	if count != len(items) {
+		t.Fatalf("got %d results, want %d", count, len(items))
+	}
+}
+
+// TestSolveBatchCancellation: cancelling the batch context closes the
+// stream promptly without deadlocking producers.
+func TestSolveBatchCancellation(t *testing.T) {
+	r := rng.New(79)
+	var items []BatchItem
+	for i := 0; i < 40; i++ {
+		g := graph.RandomSmallDiameter(r, 60, 3, 0.1)
+		items = append(items, BatchItem{ID: "x", G: g, P: labeling.Vector{2, 2, 1}})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := SolveBatch(ctx, items, &BatchOptions{Workers: 2, Options: &Options{Algorithm: tsp.AlgoChained}})
+	got := 0
+	for br := range ch {
+		got++
+		if got == 3 {
+			cancel()
+		}
+		_ = br
+	}
+	cancel()
+	if got >= len(items) {
+		t.Fatalf("cancellation did not shorten the stream: %d results", got)
+	}
+}
+
+// TestSolveBatchLazyLoad: items with a Load callback are materialized
+// inside the workers, and a failing loader surfaces as the item's error.
+func TestSolveBatchLazyLoad(t *testing.T) {
+	r := rng.New(83)
+	items := []BatchItem{
+		{ID: "lazy-ok", P: labeling.L21(), Load: func() (*graph.Graph, error) {
+			return graph.RandomSmallDiameter(r, 10, 2, 0.4), nil
+		}},
+		{ID: "lazy-bad", P: labeling.L21(), Load: func() (*graph.Graph, error) {
+			return nil, errors.New("parse failed")
+		}},
+	}
+	var ok, bad int
+	for br := range SolveBatch(context.Background(), items, nil) {
+		switch br.ID {
+		case "lazy-ok":
+			if br.Err != nil {
+				t.Fatal(br.Err)
+			}
+			ok++
+		case "lazy-bad":
+			if br.Err == nil || br.Err.Error() != "parse failed" {
+				t.Fatalf("want loader error, got %v", br.Err)
+			}
+			bad++
+		}
+	}
+	if ok != 1 || bad != 1 {
+		t.Fatalf("ok=%d bad=%d", ok, bad)
+	}
+}
+
+// TestSolveBatchEmpty: the zero-item batch closes immediately.
+func TestSolveBatchEmpty(t *testing.T) {
+	select {
+	case _, ok := <-SolveBatch(context.Background(), nil, nil):
+		if ok {
+			t.Fatal("unexpected result from empty batch")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("empty batch did not close its channel")
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -45,6 +46,18 @@ type Reduction struct {
 // returns a typed error when one fails. Running time is O(nm) for the
 // n BFS sweeps plus O(n²) to fill the matrix.
 func Reduce(g *graph.Graph, p labeling.Vector) (*Reduction, error) {
+	return ReduceContext(context.Background(), g, p)
+}
+
+// ReduceContext is Reduce with cooperative cancellation: the parallel APSP
+// (the reduction's dominant O(nm) phase) checks ctx at every source chunk,
+// and the remaining phases check it at their boundaries. The graph is
+// normalized before the APSP fan-out, so a Reduction may be shared
+// read-only by concurrently racing engines afterwards.
+func ReduceContext(ctx context.Context, g *graph.Graph, p labeling.Vector) (*Reduction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,7 +66,10 @@ func Reduce(g *graph.Graph, p labeling.Vector) (*Reduction, error) {
 		return nil, fmt.Errorf("%w (pmin=%d, pmax=%d)", ErrConditionViolated, pmin, pmax)
 	}
 	n := g.N()
-	dm := g.AllPairsDistances()
+	dm, err := g.AllPairsDistancesContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	diam, disconnected := dm.Max()
 	if disconnected {
 		return nil, ErrDisconnected
@@ -61,6 +77,9 @@ func Reduce(g *graph.Graph, p labeling.Vector) (*Reduction, error) {
 	k := p.K()
 	if diam > k {
 		return nil, fmt.Errorf("%w (diameter %d > k=%d)", ErrDiameterExceedsK, diam, k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ins := tsp.NewInstance(n)
 	for u := 0; u < n; u++ {

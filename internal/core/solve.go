@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,17 +10,31 @@ import (
 	"lpltsp/internal/tsp"
 )
 
+// AlgoPortfolio is the meta-engine name accepted by Options.Algorithm (and
+// the lplsolve -algo flag): instead of a single TSP engine it races a
+// roster of exact and heuristic engines concurrently and keeps the best
+// verified labeling. It is resolved here, not in the tsp registry, because
+// it composes registered engines rather than being one.
+const AlgoPortfolio tsp.Algorithm = "portfolio"
+
 // Result is the outcome of solving an L(p)-LABELING instance through the
 // TSP reduction.
 type Result struct {
 	Labeling labeling.Labeling
 	Span     int
 	Tour     tsp.Tour
-	// Exact reports whether the engine guarantees optimality (Held–Karp /
-	// branch and bound), i.e. Span == λ_p(G).
+	// Exact reports whether the engine proved optimality (an exact engine
+	// ran to completion), i.e. Span == λ_p(G).
 	Exact bool
-	// Algorithm is the TSP engine that produced the tour.
+	// Truncated reports that the engine stopped at a deadline or
+	// cancellation and returned its best-so-far (anytime) labeling.
+	Truncated bool
+	// Algorithm is the engine name the caller asked for; for portfolio
+	// runs, Winner names the engine whose tour won the race.
 	Algorithm tsp.Algorithm
+	Winner    tsp.Algorithm
+	// Stats carries the TSP engine's run statistics.
+	Stats tsp.Stats
 	// ReduceTime and SolveTime split the wall time between building H
 	// and solving path TSP on it (experiment E1).
 	ReduceTime, SolveTime time.Duration
@@ -27,58 +42,103 @@ type Result struct {
 
 // Options configures Solve.
 type Options struct {
-	// Algorithm selects the TSP engine; default tsp.AlgoExact.
+	// Algorithm selects the TSP engine (any name registered in the tsp
+	// engine registry, or AlgoPortfolio); default tsp.AlgoExact.
 	Algorithm tsp.Algorithm
+	// Engines is the portfolio roster when Algorithm is AlgoPortfolio;
+	// empty means a size-appropriate default roster.
+	Engines []tsp.Algorithm
 	// Chained configures the chained heuristic engine.
 	Chained *tsp.ChainedOptions
 	// Verify re-checks the produced labeling against the definition
 	// (O(n²)); cheap insurance, on by default in the public API.
 	Verify bool
+	// Deadline bounds the whole solve (reduction plus engine) when
+	// positive; anytime engines return their incumbent labeling with
+	// Result.Truncated set when it expires.
+	Deadline time.Duration
+}
+
+func (o *Options) algorithm() tsp.Algorithm {
+	if o != nil && o.Algorithm != "" {
+		return o.Algorithm
+	}
+	return tsp.AlgoExact
 }
 
 // Solve solves L(p)-LABELING on g through the reduction: Reduce → path-TSP
 // engine → Claim 1 labeling recovery. The preconditions of Theorem 2 are
 // enforced by Reduce.
 func Solve(g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
-	algo := tsp.AlgoExact
+	return SolveContext(context.Background(), g, p, opts)
+}
+
+// SolveContext is Solve under a context: cancellation and deadlines
+// propagate through the reduction into the engine's cooperative
+// checkpoints. Options.Deadline, when set, further bounds the solve.
+func SolveContext(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
+	if opts != nil && opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	algo := opts.algorithm()
+	if algo == AlgoPortfolio {
+		var engines []tsp.Algorithm
+		var chained *tsp.ChainedOptions
+		if opts != nil {
+			engines = opts.Engines
+			chained = opts.Chained
+		}
+		return portfolio(ctx, g, p, chained, engines)
+	}
 	var chained *tsp.ChainedOptions
 	verify := false
 	if opts != nil {
-		if opts.Algorithm != "" {
-			algo = opts.Algorithm
-		}
 		chained = opts.Chained
 		verify = opts.Verify
 	}
 	t0 := time.Now()
-	red, err := Reduce(g, p)
+	red, err := ReduceContext(ctx, g, p)
 	if err != nil {
 		return nil, err
 	}
 	t1 := time.Now()
-	tour, _, err := tsp.Solve(red.Instance, algo, &tsp.SolveOptions{Chained: chained})
+	tour, stats, err := tsp.SolveContext(ctx, red.Instance, algo, &tsp.SolveOptions{Chained: chained})
 	if err != nil {
 		return nil, fmt.Errorf("core: tsp engine %q: %w", algo, err)
 	}
 	t2 := time.Now()
-	lab, span, err := red.LabelingFromTour(tour)
+	res, err := red.resultFromTour(tour, algo, stats, verify)
+	if err != nil {
+		return nil, err
+	}
+	res.ReduceTime = t1.Sub(t0)
+	res.SolveTime = t2.Sub(t1)
+	return res, nil
+}
+
+// resultFromTour recovers the labeling from an engine tour and assembles a
+// Result (without timings).
+func (r *Reduction) resultFromTour(tour tsp.Tour, algo tsp.Algorithm, stats tsp.Stats, verify bool) (*Result, error) {
+	lab, span, err := r.LabelingFromTour(tour)
 	if err != nil {
 		return nil, err
 	}
 	if verify {
-		if err := labeling.VerifyWithMatrix(red.Dist, p, lab); err != nil {
+		if err := labeling.VerifyWithMatrix(r.Dist, r.P, lab); err != nil {
 			return nil, fmt.Errorf("core: internal error, produced labeling invalid: %w", err)
 		}
 	}
-	exact := algo == tsp.AlgoExact || algo == tsp.AlgoHeldKarp || algo == tsp.AlgoBnB
 	return &Result{
-		Labeling:   lab,
-		Span:       span,
-		Tour:       tour,
-		Exact:      exact,
-		Algorithm:  algo,
-		ReduceTime: t1.Sub(t0),
-		SolveTime:  t2.Sub(t1),
+		Labeling:  lab,
+		Span:      span,
+		Tour:      tour,
+		Exact:     stats.Optimal && !stats.Truncated,
+		Truncated: stats.Truncated,
+		Algorithm: algo,
+		Winner:    algo,
+		Stats:     stats,
 	}, nil
 }
 

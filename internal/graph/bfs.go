@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -40,6 +41,13 @@ func (m *DistMatrix) Max() (max int, disconnected bool) {
 // of vertices reached (including src).
 func (g *Graph) BFSFrom(src int, dist []uint16, queue []int32) int {
 	g.Normalize()
+	return g.bfsFrom(src, dist, queue)
+}
+
+// bfsFrom is BFSFrom without the lazy-normalization entry point. It is the
+// form used inside parallel fan-outs: the caller normalizes once up-front,
+// and the workers touch only immutable adjacency data.
+func (g *Graph) bfsFrom(src int, dist []uint16, queue []int32) int {
 	for i := range dist {
 		dist[i] = Unreachable
 	}
@@ -61,15 +69,26 @@ func (g *Graph) BFSFrom(src int, dist []uint16, queue []int32) int {
 	return tail
 }
 
-// AllPairsDistances computes the full BFS distance matrix. BFS sources are
-// distributed over GOMAXPROCS workers; each worker owns its queue buffer
-// and writes disjoint rows, so no locking is needed. Total work is O(nm).
+// AllPairsDistances computes the full BFS distance matrix. The graph is
+// normalized once before any goroutine starts; BFS sources are then
+// distributed over GOMAXPROCS workers, each owning its queue buffer and
+// writing disjoint rows, so no locking is needed. Total work is O(nm).
 func (g *Graph) AllPairsDistances() *DistMatrix {
+	m, _ := g.AllPairsDistancesContext(context.Background())
+	return m
+}
+
+// AllPairsDistancesContext is AllPairsDistances with a cancellation
+// checkpoint at every source-chunk grab: the O(nm) fan-out is the dominant
+// cost of the labeling reduction, so deadline-bounded solves need to be
+// able to interrupt it. A partial matrix is useless, so cancellation
+// returns ctx.Err() and no matrix.
+func (g *Graph) AllPairsDistancesContext(ctx context.Context) (*DistMatrix, error) {
 	g.Normalize()
 	n := g.N()
 	m := &DistMatrix{N: n, d: make([]uint16, n*n)}
 	if n == 0 {
-		return m
+		return m, nil
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -96,18 +115,26 @@ func (g *Graph) AllPairsDistances() *DistMatrix {
 			defer wg.Done()
 			queue := make([]int32, n)
 			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
 				lo, hi := grab(chunk)
 				if lo >= int32(n) {
 					return
 				}
 				for s := lo; s < hi; s++ {
-					g.BFSFrom(int(s), m.d[int(s)*n:int(s)*n+n], queue)
+					g.bfsFrom(int(s), m.d[int(s)*n:int(s)*n+n], queue)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return m
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // IsConnected reports whether g is connected. Empty graphs are connected.

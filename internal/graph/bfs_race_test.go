@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesOnUnnormalizedGraph is the regression test for the
+// lazy-normalization race: several goroutines issue distance queries on a
+// graph that has not been normalized yet, so all of them reach Normalize
+// concurrently. Run with -race.
+func TestConcurrentQueriesOnUnnormalizedGraph(t *testing.T) {
+	build := func() *Graph {
+		g := New(64)
+		for u := 0; u < 63; u++ {
+			g.AddEdge(u, u+1)
+			g.AddEdge(u, (u*7+3)%64)
+			// Duplicate edges keep the graph un-normalized until queried.
+			g.AddEdge(u, u+1)
+		}
+		return g
+	}
+
+	ref := build()
+	ref.Normalize()
+	wantM := ref.M()
+
+	for trial := 0; trial < 10; trial++ {
+		g := build()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				switch w % 4 {
+				case 0:
+					g.AllPairsDistances()
+				case 1:
+					dist := make([]uint16, g.N())
+					queue := make([]int32, g.N())
+					g.BFSFrom(w%g.N(), dist, queue)
+				case 2:
+					g.Degree(w % g.N())
+				default:
+					g.HasEdge(0, 1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if g.M() != wantM {
+			t.Fatalf("trial %d: M=%d after concurrent normalization, want %d", trial, g.M(), wantM)
+		}
+	}
+}
+
+// TestAllPairsDistancesMatchesSerialBFS pins the parallel matrix against
+// row-by-row serial BFS.
+func TestAllPairsDistancesMatchesSerialBFS(t *testing.T) {
+	g := New(40)
+	for u := 0; u < 39; u++ {
+		g.AddEdge(u, u+1)
+	}
+	g.AddEdge(0, 20)
+	g.AddEdge(5, 35)
+	dm := g.AllPairsDistances()
+	dist := make([]uint16, g.N())
+	queue := make([]int32, g.N())
+	for s := 0; s < g.N(); s++ {
+		g.BFSFrom(s, dist, queue)
+		for v := 0; v < g.N(); v++ {
+			if dm.Dist(s, v) != dist[v] {
+				t.Fatalf("dist(%d,%d): matrix %d, serial %d", s, v, dm.Dist(s, v), dist[v])
+			}
+		}
+	}
+}

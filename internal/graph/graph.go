@@ -12,18 +12,22 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is a simple undirected graph on vertices 0..n-1.
 //
 // The zero value is an empty graph on zero vertices. Mutation methods
 // (AddEdge) may leave neighbor lists unsorted; query methods normalize
-// lazily. Graph is not safe for concurrent mutation; concurrent reads after
-// Normalize are safe.
+// lazily. Graph is not safe for concurrent mutation, but lazy normalization
+// itself is guarded, so concurrent queries (which may each trigger
+// Normalize) are safe as long as no goroutine is mutating the graph.
 type Graph struct {
 	adj        [][]int32
 	m          int
-	normalized bool
+	normalized atomic.Bool
+	normMu     sync.Mutex
 }
 
 // New returns an edgeless graph on n vertices.
@@ -31,14 +35,21 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Graph{adj: make([][]int32, n), normalized: true}
+	g := &Graph{adj: make([][]int32, n)}
+	g.normalized.Store(true)
+	return g
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.adj) }
 
-// M returns the number of edges.
-func (g *Graph) M() int { return g.m }
+// M returns the number of edges. Like the other query methods it
+// normalizes first (duplicate AddEdge calls collapse), which also makes it
+// safe against a concurrently running lazy normalization.
+func (g *Graph) M() int {
+	g.Normalize()
+	return g.m
+}
 
 // AddEdge inserts the undirected edge {u,v}. Loops are rejected with a
 // panic; duplicate edges are detected during Normalize and collapse, keeping
@@ -53,13 +64,20 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.adj[v] = append(g.adj[v], int32(u))
 	g.m++
-	g.normalized = false
+	g.normalized.Store(false)
 }
 
 // Normalize sorts neighbor lists and removes duplicate edges. It is
 // idempotent and called lazily by query methods that need sorted lists.
+// Concurrent callers are serialized, so racing queries on a not-yet
+// normalized graph are safe (mutation must still be exclusive).
 func (g *Graph) Normalize() {
-	if g.normalized {
+	if g.normalized.Load() {
+		return
+	}
+	g.normMu.Lock()
+	defer g.normMu.Unlock()
+	if g.normalized.Load() {
 		return
 	}
 	total := 0
@@ -77,7 +95,7 @@ func (g *Graph) Normalize() {
 		total += w
 	}
 	g.m = total / 2
-	g.normalized = true
+	g.normalized.Store(true)
 }
 
 // Neighbors returns the neighbor list of u. The returned slice is owned by
@@ -146,7 +164,8 @@ func (g *Graph) Edges() [][2]int {
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	g.Normalize()
-	h := &Graph{adj: make([][]int32, len(g.adj)), m: g.m, normalized: true}
+	h := &Graph{adj: make([][]int32, len(g.adj)), m: g.m}
+	h.normalized.Store(true)
 	for u := range g.adj {
 		h.adj[u] = append([]int32(nil), g.adj[u]...)
 	}

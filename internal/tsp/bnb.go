@@ -1,6 +1,7 @@
 package tsp
 
 import (
+	"context"
 	"fmt"
 
 	"lpltsp/internal/mst"
@@ -17,15 +18,54 @@ const BnBMaxN = 36
 // the chained heuristic. It extends the exact range past Held–Karp's
 // memory limit (n ≤ BnBMaxN instead of n ≤ HeldKarpMaxN).
 func BranchAndBoundPath(ins *Instance) (Tour, int64, error) {
+	t, st, err := branchAndBoundPath(context.Background(), ins, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, st.Cost, nil
+}
+
+// BranchAndBoundPathContext is the anytime form of BranchAndBoundPath: when
+// ctx is cancelled mid-search it stops promptly and returns the incumbent
+// tour (initially the chained-heuristic warm start) with Stats.Truncated
+// set instead of erroring. Stats.Optimal is set only when the search tree
+// was exhausted.
+func BranchAndBoundPathContext(ctx context.Context, ins *Instance) (Tour, Stats, error) {
+	return branchAndBoundPath(ctx, ins, nil)
+}
+
+func branchAndBoundPath(ctx context.Context, ins *Instance, warm *ChainedOptions) (Tour, Stats, error) {
 	n := ins.n
 	if n > BnBMaxN {
-		return nil, 0, fmt.Errorf("tsp: branch and bound limited to n <= %d, got %d", BnBMaxN, n)
+		return nil, Stats{}, fmt.Errorf("tsp: branch and bound limited to n <= %d, got %d", BnBMaxN, n)
 	}
 	if n <= 3 {
-		return HeldKarpPath(ins)
+		t, c, err := heldKarp(ctx, ins, -1, -1, false)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Honor the anytime contract even here: any permutation
+				// of ≤ 3 vertices is a valid incumbent.
+				t = identity(n)
+				return t, Stats{Cost: ins.PathCost(t), Truncated: true}, nil
+			}
+			return nil, Stats{}, err
+		}
+		return t, Stats{Cost: c, Optimal: true}, nil
 	}
-	ub, ubCost := ChainedLocalSearch(ins, &ChainedOptions{Restarts: 4, Kicks: 30, Seed: 12345})
+	// The warm start exists only to seed the upper bound; unless the
+	// caller explicitly tuned the chained engine (nonzero restarts/kicks),
+	// use a deliberately light configuration — full chained defaults
+	// (GOMAXPROCS chains) can dominate the n ≤ 36 search they prime.
+	if warm == nil || (warm.Restarts == 0 && warm.Kicks == 0) {
+		seed := uint64(12345)
+		if warm != nil && warm.Seed != 0 {
+			seed = warm.Seed
+		}
+		warm = &ChainedOptions{Restarts: 4, Kicks: 30, Seed: seed}
+	}
+	ub, ubCost, _ := chainedLocalSearch(ctx, ins, warm)
 	s := &bnbState{
+		ctx:   ctx,
 		ins:   ins,
 		best:  ub.Clone(),
 		bestC: ubCost,
@@ -36,24 +76,44 @@ func BranchAndBoundPath(ins *Instance) (Tour, int64, error) {
 	// (a path and its reverse have equal cost), so only starts with
 	// index ≤ the other endpoint need exploring; simplest correct pruning
 	// is to try all starts — the bound prunes aggressively anyway.
-	for start := 0; start < n; start++ {
+	for start := 0; start < n && !s.stopped; start++ {
 		s.cur = append(s.cur[:0], start)
 		s.used[start] = true
 		s.dfs(start, 0)
 		s.used[start] = false
 	}
-	return s.best, s.bestC, nil
+	return s.best, Stats{
+		Cost:      s.bestC,
+		Optimal:   !s.stopped,
+		Truncated: s.stopped,
+		Nodes:     s.nodes,
+	}, nil
 }
 
 type bnbState struct {
-	ins   *Instance
-	best  Tour
-	bestC int64
-	cur   Tour
-	used  []bool
+	ctx     context.Context
+	ins     *Instance
+	best    Tour
+	bestC   int64
+	cur     Tour
+	used    []bool
+	nodes   int64
+	stopped bool
 }
 
+// ctxCheckInterval is how many expanded nodes pass between cooperative
+// cancellation checks; a power of two so the test is a mask.
+const ctxCheckInterval = 1024
+
 func (s *bnbState) dfs(last int, cost int64) {
+	if s.stopped {
+		return
+	}
+	s.nodes++
+	if s.nodes&(ctxCheckInterval-1) == 0 && canceled(s.ctx) {
+		s.stopped = true
+		return
+	}
 	n := s.ins.n
 	if len(s.cur) == n {
 		if cost < s.bestC {
@@ -80,6 +140,9 @@ func (s *bnbState) dfs(last int, cost int64) {
 		}
 	}
 	for _, v := range order {
+		if s.stopped {
+			return
+		}
 		s.used[v] = true
 		s.cur = append(s.cur, v)
 		s.dfs(v, cost+row[v])

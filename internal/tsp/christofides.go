@@ -1,6 +1,7 @@
 package tsp
 
 import (
+	"context"
 	"fmt"
 
 	"lpltsp/internal/euler"
@@ -13,9 +14,16 @@ import (
 // odd-degree vertices → Eulerian circuit → shortcut. On metric instances
 // the result is at most 1.5× the optimal cycle.
 func ChristofidesCycle(ins *Instance) (Tour, int64, error) {
+	return christofidesCycle(context.Background(), ins)
+}
+
+func christofidesCycle(ctx context.Context, ins *Instance) (Tour, int64, error) {
 	n := ins.n
 	if n <= 2 {
 		return identity(n), ins.CycleCost(identity(n)), nil
+	}
+	if canceled(ctx) {
+		return nil, 0, ctx.Err()
 	}
 	parent, _ := mst.PrimDense(n, func(i, j int) int64 { return ins.Weight(i, j) })
 	deg := make([]int, n)
@@ -32,6 +40,9 @@ func ChristofidesCycle(ins *Instance) (Tour, int64, error) {
 		}
 	}
 	if len(odd) > 0 {
+		if canceled(ctx) {
+			return nil, 0, ctx.Err()
+		}
 		mate, _, err := matching.MinWeightPerfect(len(odd), func(i, j int) int64 {
 			return ins.Weight(odd[i], odd[j])
 		})
@@ -60,9 +71,20 @@ func ChristofidesCycle(ins *Instance) (Tour, int64, error) {
 // and is shortcut to a Hamiltonian path. On metric instances this is the
 // 1.5-approximation for PATH TSP with free ends that Corollary 1 needs.
 func ChristofidesPath(ins *Instance) (Tour, int64, error) {
+	return christofidesPath(context.Background(), ins)
+}
+
+// christofidesPath is ChristofidesPath with cancellation checkpoints
+// between pipeline stages (MST, matching, Eulerian trail). The pipeline
+// has no meaningful incumbent before the final shortcut, so a cancelled
+// context yields ctx.Err().
+func christofidesPath(ctx context.Context, ins *Instance) (Tour, int64, error) {
 	n := ins.n
 	if n <= 2 {
 		return identity(n), ins.PathCost(identity(n)), nil
+	}
+	if canceled(ctx) {
+		return nil, 0, ctx.Err()
 	}
 	parent, _ := mst.PrimDense(n, func(i, j int) int64 { return ins.Weight(i, j) })
 	deg := make([]int, n)
@@ -94,6 +116,9 @@ func ChristofidesPath(ins *Instance) (Tour, int64, error) {
 		sparse = append(sparse, matching.Edge{I: i, J: d1, W: 0})
 		sparse = append(sparse, matching.Edge{I: i, J: d2, W: 0})
 	}
+	if canceled(ctx) {
+		return nil, 0, ctx.Err()
+	}
 	mate, _, err := matching.MinWeightPerfectSparse(k+2, sparse)
 	if err != nil {
 		return nil, 0, fmt.Errorf("tsp: christofides-path matching: %w", err)
@@ -113,6 +138,9 @@ func ChristofidesPath(ins *Instance) (Tour, int64, error) {
 	}
 	if endA < 0 || endB < 0 {
 		return nil, 0, fmt.Errorf("tsp: christofides-path: dummies not both matched")
+	}
+	if canceled(ctx) {
+		return nil, 0, ctx.Err()
 	}
 	walk, err := mg.Trail(endA, endB)
 	if err != nil {

@@ -1,6 +1,7 @@
 package tsp
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -34,9 +35,18 @@ func NearestNeighborFrom(ins *Instance, start int) Tour {
 // NearestNeighborBest runs NearestNeighborFrom from every start vertex in
 // parallel and returns the cheapest resulting path.
 func NearestNeighborBest(ins *Instance) (Tour, int64) {
+	t, c, _ := nearestNeighborBest(context.Background(), ins)
+	return t, c
+}
+
+// nearestNeighborBest is NearestNeighborBest with a cancellation
+// checkpoint between start vertices; at least one start is always
+// completed, so a valid tour comes back even under an expired context. It
+// additionally reports how many starts completed.
+func nearestNeighborBest(ctx context.Context, ins *Instance) (Tour, int64, int64) {
 	n := ins.n
 	if n == 0 {
-		return Tour{}, 0
+		return Tour{}, 0, 0
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -60,12 +70,14 @@ func NearestNeighborBest(ins *Instance) (Tour, int64) {
 		return s
 	}
 	var wg sync.WaitGroup
+	var started int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var best Tour
 			bestC := int64(-1)
+			var done int64
 			for {
 				s := grab()
 				if s < 0 {
@@ -73,13 +85,20 @@ func NearestNeighborBest(ins *Instance) (Tour, int64) {
 				}
 				t := NearestNeighborFrom(ins, s)
 				c := ins.PathCost(t)
+				done++
 				if bestC < 0 || c < bestC {
 					best, bestC = t, c
+				}
+				if canceled(ctx) {
+					break
 				}
 			}
 			if bestC >= 0 {
 				results <- result{best, bestC}
 			}
+			mu.Lock()
+			started += done
+			mu.Unlock()
 		}()
 	}
 	wg.Wait()
@@ -91,7 +110,9 @@ func NearestNeighborBest(ins *Instance) (Tour, int64) {
 			best, bestC = r.tour, r.cost
 		}
 	}
-	return best, bestC
+	// Every worker completes its first grabbed start before checking ctx,
+	// so at least one result always arrives and best is never nil here.
+	return best, bestC, started
 }
 
 // GreedyEdgePath builds a Hamiltonian path by repeatedly taking the

@@ -1,0 +1,226 @@
+package tsp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lpltsp/internal/rng"
+)
+
+// engineTestInstance builds an instance with weights in {lo..hi} where
+// hi ≤ 2·lo, which guarantees the triangle inequality (same argument as
+// the labeling reduction's weight band).
+func engineTestInstance(seed uint64, n int) *Instance {
+	r := rng.New(seed)
+	ins := NewInstance(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ins.SetWeight(i, j, int64(1+r.Intn(2))) // weights in {1,2}
+		}
+	}
+	return ins
+}
+
+func TestRegistryResolvesAllEngines(t *testing.T) {
+	ins := engineTestInstance(3, 12)
+	_, opt, err := HeldKarpPath(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := Algorithms()
+	if len(algos) < 8 {
+		t.Fatalf("registry has %d engines, want at least the paper's eight: %v", len(algos), algos)
+	}
+	for _, algo := range algos {
+		eng, err := New(algo, nil)
+		if err != nil {
+			t.Fatalf("New(%s): %v", algo, err)
+		}
+		if eng.Name() != algo {
+			t.Fatalf("engine registered as %q names itself %q", algo, eng.Name())
+		}
+		tour, stats, err := eng.Solve(context.Background(), ins, ObjectivePath)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if got := ins.PathCost(tour); got != stats.Cost {
+			t.Fatalf("%s: Stats.Cost %d != PathCost %d", algo, stats.Cost, got)
+		}
+		if stats.Cost < opt {
+			t.Fatalf("%s: cost %d below optimum %d", algo, stats.Cost, opt)
+		}
+		if stats.Optimal && stats.Cost != opt {
+			t.Fatalf("%s claims optimality at cost %d, optimum is %d", algo, stats.Cost, opt)
+		}
+	}
+}
+
+func TestLookupUnknownAlgorithm(t *testing.T) {
+	if _, err := Lookup(Algorithm("bogus")); err == nil {
+		t.Fatal("Lookup(bogus) must error")
+	}
+	if _, _, err := Solve(engineTestInstance(1, 6), Algorithm("bogus"), nil); err == nil {
+		t.Fatal("Solve with unknown algorithm must error")
+	}
+}
+
+func TestSolveMatchesEngineDispatch(t *testing.T) {
+	ins := engineTestInstance(9, 14)
+	for _, algo := range []Algorithm{AlgoExact, AlgoChristofides, AlgoGreedyEdge} {
+		tour, cost, err := Solve(ins, algo, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if cost != ins.PathCost(tour) {
+			t.Fatalf("%s: reported cost %d != recomputed %d", algo, cost, ins.PathCost(tour))
+		}
+	}
+}
+
+// TestEnginesReturnPromptlyAfterCancel is the cancellation-semantics
+// contract, table-driven over the registry: with an already-cancelled
+// context every engine must return within a small bound, either with a
+// context error (no incumbent) or with a valid anytime tour.
+func TestEnginesReturnPromptlyAfterCancel(t *testing.T) {
+	ins := engineTestInstance(5, 20) // within every engine's size limit
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range Algorithms() {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			start := time.Now()
+			tour, stats, err := SolveContext(ctx, ins, algo, nil)
+			elapsed := time.Since(start)
+			if elapsed > 3*time.Second {
+				t.Fatalf("engine took %v to notice a cancelled context", elapsed)
+			}
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("non-context error after cancel: %v", err)
+				}
+				return
+			}
+			// Anytime path: the tour must still be valid and priced.
+			if verr := ins.ValidateTour(tour); verr != nil {
+				t.Fatalf("anytime tour invalid: %v", verr)
+			}
+			if stats.Cost != ins.PathCost(tour) {
+				t.Fatalf("anytime Stats.Cost %d != PathCost %d", stats.Cost, ins.PathCost(tour))
+			}
+			if stats.Optimal && !stats.Truncated {
+				// A cancelled run may legitimately complete (tiny work),
+				// but then it must have actually proven optimality.
+				_, opt, _ := HeldKarpPath(ins)
+				if stats.Cost != opt {
+					t.Fatalf("claimed optimal cost %d, optimum %d", stats.Cost, opt)
+				}
+			}
+		})
+	}
+}
+
+// TestBnBAnytimeDeadline forces branch and bound past its deadline and
+// checks it surrenders a valid incumbent instead of erroring.
+func TestBnBAnytimeDeadline(t *testing.T) {
+	ins := engineTestInstance(11, 34)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	tour, stats, err := BranchAndBoundPathContext(ctx, ins)
+	if err != nil {
+		t.Fatalf("anytime BnB errored: %v", err)
+	}
+	if err := ins.ValidateTour(tour); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Optimal && stats.Truncated {
+		t.Fatal("a truncated run must not claim optimality")
+	}
+	if stats.Cost != ins.PathCost(tour) {
+		t.Fatalf("Stats.Cost %d != PathCost %d", stats.Cost, ins.PathCost(tour))
+	}
+}
+
+// TestBnBCompletesOptimal pins the completed-search case: Stats.Optimal is
+// set and matches Held–Karp.
+func TestBnBCompletesOptimal(t *testing.T) {
+	ins := engineTestInstance(13, 12)
+	tour, stats, err := BranchAndBoundPathContext(context.Background(), ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Optimal || stats.Truncated {
+		t.Fatalf("uninterrupted BnB must prove optimality: %+v", stats)
+	}
+	_, opt, _ := HeldKarpPath(ins)
+	if stats.Cost != opt || ins.PathCost(tour) != opt {
+		t.Fatalf("BnB cost %d, optimum %d", stats.Cost, opt)
+	}
+}
+
+// TestChainedAnytimeUnderDeadline checks the chained engine yields a valid
+// tour even when the deadline expires immediately.
+func TestChainedAnytimeUnderDeadline(t *testing.T) {
+	ins := engineTestInstance(17, 120)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tour, cost := ChainedLocalSearchContext(ctx, ins, &ChainedOptions{Restarts: 4, Kicks: 50, Seed: 2})
+	if err := ins.ValidateTour(tour); err != nil {
+		t.Fatal(err)
+	}
+	if cost != ins.PathCost(tour) {
+		t.Fatalf("cost %d != recomputed %d", cost, ins.PathCost(tour))
+	}
+}
+
+func TestHeldKarpCancelReturnsContextError(t *testing.T) {
+	ins := engineTestInstance(19, 18)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := HeldKarpPathContext(ctx, ins); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestUnsupportedObjective(t *testing.T) {
+	ins := engineTestInstance(23, 8)
+	for _, algo := range []Algorithm{AlgoChained, AlgoTwoOpt, AlgoNearestNeighbor, AlgoGreedyEdge, AlgoBnB} {
+		eng, err := New(algo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := eng.Solve(context.Background(), ins, ObjectiveCycle); !errors.Is(err, ErrUnsupportedObjective) {
+			t.Fatalf("%s cycle: want ErrUnsupportedObjective, got %v", algo, err)
+		}
+	}
+	// Held–Karp and Christofides do support cycles.
+	for _, algo := range []Algorithm{AlgoHeldKarp, AlgoChristofides} {
+		eng, err := New(algo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tour, _, err := eng.Solve(context.Background(), ins, ObjectiveCycle)
+		if err != nil {
+			t.Fatalf("%s cycle: %v", algo, err)
+		}
+		if err := ins.ValidateTour(tour); err != nil {
+			t.Fatalf("%s cycle: %v", algo, err)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register must panic")
+		}
+	}()
+	Register(AlgoExact, func(*SolveOptions) Engine { return exactEngine{} })
+}

@@ -1,6 +1,7 @@
 package tsp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -25,7 +26,14 @@ const HeldKarpMaxN = 24
 // HeldKarpPath solves METRIC PATH TSP with free endpoints exactly.
 // It returns an optimal Hamiltonian path and its cost.
 func HeldKarpPath(ins *Instance) (Tour, int64, error) {
-	return heldKarp(ins, -1, -1, false)
+	return heldKarp(context.Background(), ins, -1, -1, false)
+}
+
+// HeldKarpPathContext is HeldKarpPath with cooperative cancellation: the DP
+// checks ctx between subset-cardinality layers and returns ctx.Err() when
+// cancelled (the DP has no meaningful incumbent before completion).
+func HeldKarpPathContext(ctx context.Context, ins *Instance) (Tour, int64, error) {
+	return heldKarp(ctx, ins, -1, -1, false)
 }
 
 // HeldKarpPathBetween solves PATH TSP with fixed endpoints s and t.
@@ -33,15 +41,15 @@ func HeldKarpPathBetween(ins *Instance, s, t int) (Tour, int64, error) {
 	if s == t {
 		return nil, 0, fmt.Errorf("tsp: path endpoints must differ")
 	}
-	return heldKarp(ins, s, t, false)
+	return heldKarp(context.Background(), ins, s, t, false)
 }
 
 // HeldKarpCycle solves TSP (Hamiltonian cycle) exactly.
 func HeldKarpCycle(ins *Instance) (Tour, int64, error) {
-	return heldKarp(ins, -1, -1, true)
+	return heldKarp(context.Background(), ins, -1, -1, true)
 }
 
-func heldKarp(ins *Instance, s, t int, cycle bool) (Tour, int64, error) {
+func heldKarp(ctx context.Context, ins *Instance, s, t int, cycle bool) (Tour, int64, error) {
 	n := ins.n
 	if n > HeldKarpMaxN {
 		return nil, 0, fmt.Errorf("tsp: Held–Karp limited to n <= %d, got %d", HeldKarpMaxN, n)
@@ -64,12 +72,27 @@ func heldKarp(ins *Instance, s, t int, cycle bool) (Tour, int64, error) {
 		s = 0 // fix rotation
 	}
 
+	if canceled(ctx) {
+		return nil, 0, ctx.Err()
+	}
 	size := 1 << uint(n)
 	dp := make([]int32, size*n)
 	par := make([]int8, size*n)
 	const inf32 = int32(math.MaxInt32 / 2)
-	for i := range dp {
-		dp[i] = inf32
+	// The table is ~2 GiB at n = HeldKarpMaxN; faulting it in during this
+	// fill can take longer than whole layers, so the fill gets its own
+	// cancellation checkpoints.
+	for lo := 0; lo < len(dp); lo += 1 << 22 {
+		if canceled(ctx) {
+			return nil, 0, ctx.Err()
+		}
+		hi := lo + 1<<22
+		if hi > len(dp) {
+			hi = len(dp)
+		}
+		for i := lo; i < hi; i++ {
+			dp[i] = inf32
+		}
 	}
 	// Seed singletons.
 	if s >= 0 {
@@ -98,6 +121,9 @@ func heldKarp(ins *Instance, s, t int, cycle bool) (Tour, int64, error) {
 	masks := make([]int, 0, 1<<16)
 	workers := runtime.GOMAXPROCS(0)
 	for sz := 2; sz <= n; sz++ {
+		if canceled(ctx) {
+			return nil, 0, ctx.Err()
+		}
 		masks = masks[:0]
 		// Gosper's hack enumerates all n-bit masks with popcount sz.
 		m := (1 << uint(sz)) - 1
@@ -107,7 +133,13 @@ func heldKarp(ins *Instance, s, t int, cycle bool) (Tour, int64, error) {
 			r := m + c
 			m = (((r ^ m) >> 2) / c) | r
 		}
-		processLayer(masks, dp, par, w32, n, workers)
+		if !processLayer(ctx, masks, dp, par, w32, n, workers) {
+			// A chunk bailed out mid-layer, so this layer's dp rows are
+			// unusable. (A cancellation that lands after the final layer
+			// completed does NOT discard the finished DP — the optimum is
+			// already computed and reconstruction is cheap.)
+			return nil, 0, ctx.Err()
+		}
 	}
 
 	full := size - 1
@@ -147,31 +179,52 @@ func heldKarp(ins *Instance, s, t int, cycle bool) (Tour, int64, error) {
 }
 
 // processLayer relaxes every mask in the layer: dp[mask][v] =
-// min over u in mask\{v} of dp[mask^v][u] + w(u,v).
-func processLayer(masks []int, dp []int32, par []int8, w32 []int32, n, workers int) {
+// min over u in mask\{v} of dp[mask^v][u] + w(u,v). Large layers are split
+// into bounded slices so a cancelled context is noticed mid-layer (the
+// middle layers near n = HeldKarpMaxN hold millions of masks — far too
+// much work to run uninterruptibly between layer-boundary checks).
+// processLayer reports whether the layer was fully relaxed (false means a
+// chunk noticed cancellation and bailed early).
+func processLayer(ctx context.Context, masks []int, dp []int32, par []int8, w32 []int32, n, workers int) bool {
 	if len(masks) < 64 || workers <= 1 {
-		layerChunk(masks, dp, par, w32, n)
-		return
+		return layerChunk(ctx, masks, dp, par, w32, n)
 	}
 	var wg sync.WaitGroup
 	chunk := (len(masks) + workers - 1) / workers
-	for lo := 0; lo < len(masks); lo += chunk {
+	nchunks := (len(masks) + chunk - 1) / chunk
+	oks := make([]bool, nchunks)
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
 		hi := lo + chunk
 		if hi > len(masks) {
 			hi = len(masks)
 		}
 		wg.Add(1)
-		go func(ms []int) {
+		go func(ms []int, ok *bool) {
 			defer wg.Done()
-			layerChunk(ms, dp, par, w32, n)
-		}(masks[lo:hi])
+			*ok = layerChunk(ctx, ms, dp, par, w32, n)
+		}(masks[lo:hi], &oks[c])
 	}
 	wg.Wait()
+	for _, ok := range oks {
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
-func layerChunk(masks []int, dp []int32, par []int8, w32 []int32, n int) {
+// layerChunkCtxStride is how many masks each worker relaxes between
+// cancellation checks (a mask costs O(n²), so this is ~1M ops).
+const layerChunkCtxStride = 4096
+
+// layerChunk reports whether it relaxed every mask (false = cancelled).
+func layerChunk(ctx context.Context, masks []int, dp []int32, par []int8, w32 []int32, n int) bool {
 	const inf32 = int32(math.MaxInt32 / 2)
-	for _, mask := range masks {
+	for mi, mask := range masks {
+		if mi&(layerChunkCtxStride-1) == 0 && canceled(ctx) {
+			return false
+		}
 		base := mask * n
 		rest := mask
 		for rest != 0 {
@@ -199,6 +252,7 @@ func layerChunk(masks []int, dp []int32, par []int8, w32 []int32, n int) {
 			}
 		}
 	}
+	return true
 }
 
 func trailingZeros(x int) int { return bits.TrailingZeros32(uint32(x)) }

@@ -1,6 +1,7 @@
 package tsp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -41,11 +42,38 @@ func (o *ChainedOptions) defaults() ChainedOptions {
 // repeated double-bridge kicks with re-optimization, keeping the best path
 // found. Chains run in parallel; the overall best is returned.
 func ChainedLocalSearch(ins *Instance, opts *ChainedOptions) (Tour, int64) {
+	t, c, _ := chainedLocalSearch(context.Background(), ins, opts)
+	return t, c
+}
+
+// ChainedLocalSearchContext is the anytime form of ChainedLocalSearch:
+// chains check ctx between kicks (and the inner sweeps check it between
+// passes), so after cancellation the best tour found so far is returned
+// promptly. Even with an already-expired context a valid construction tour
+// comes back — the engine never returns an empty result on a nonempty
+// instance.
+func ChainedLocalSearchContext(ctx context.Context, ins *Instance, opts *ChainedOptions) (Tour, int64) {
+	t, c, _ := chainedLocalSearch(ctx, ins, opts)
+	return t, c
+}
+
+// chainedLocalSearch returns the best tour, its cost, and the number of
+// chains that ran to completion (== o.Restarts when nothing was cut
+// short, which is how the engine distinguishes a truncated run from a
+// deadline that fired just after convergence).
+func chainedLocalSearch(ctx context.Context, ins *Instance, opts *ChainedOptions) (Tour, int64, int64) {
 	o := opts.defaults()
 	n := ins.n
 	if n <= 3 {
 		t, _, _ := HeldKarpPath(ins)
-		return t, ins.PathCost(t)
+		return t, ins.PathCost(t), int64(o.Restarts)
+	}
+	if canceled(ctx) {
+		// Deadline already blown: hand back the cheapest construction so
+		// the caller still gets an anytime result promptly. (Greedy-edge
+		// would sort all n² edges — too much work past a deadline.)
+		t := NearestNeighborFrom(ins, 0)
+		return t, ins.PathCost(t), 0
 	}
 	root := rng.New(o.Seed)
 	seeds := make([]*rng.RNG, o.Restarts)
@@ -54,8 +82,9 @@ func ChainedLocalSearch(ins *Instance, opts *ChainedOptions) (Tour, int64) {
 	}
 
 	type result struct {
-		tour Tour
-		cost int64
+		tour     Tour
+		cost     int64
+		finished bool
 	}
 	results := make(chan result, o.Restarts)
 	var wg sync.WaitGroup
@@ -81,7 +110,7 @@ func ChainedLocalSearch(ins *Instance, opts *ChainedOptions) (Tour, int64) {
 			defer wg.Done()
 			for {
 				chain := grab()
-				if chain < 0 {
+				if chain < 0 || canceled(ctx) {
 					return
 				}
 				r := seeds[chain]
@@ -89,28 +118,36 @@ func ChainedLocalSearch(ins *Instance, opts *ChainedOptions) (Tour, int64) {
 				if chain == 0 {
 					t = GreedyEdgePath(ins)
 				} else if chain == 1 {
-					t, _ = NearestNeighborBest(ins)
+					t, _, _ = nearestNeighborBest(ctx, ins)
 				} else {
 					t = Tour(r.Perm(n))
 				}
 				// Exhaustive 2-opt on small instances; neighbor-list
 				// 2-opt with don't-look bits once O(n²) sweeps start to
-				// dominate.
-				optimize := func(tr Tour) {
+				// dominate. Reports whether every descent converged.
+				optimize := func(tr Tour) bool {
+					var ok1, ok2 bool
 					if n <= 160 {
-						TwoOptPath(ins, tr)
+						_, ok1 = twoOptPath(ctx, ins, tr)
 					} else {
-						TwoOptPathFast(ins, tr, 12)
+						_, ok1 = twoOptPathFast(ctx, ins, tr, 12)
 					}
-					OrOptPath(ins, tr)
+					_, ok2 = orOptPath(ctx, ins, tr)
+					return ok1 && ok2
 				}
-				optimize(t)
+				finished := optimize(t)
 				best := t.Clone()
 				bestC := ins.PathCost(best)
 				cur := t
 				for kick := 0; kick < o.Kicks; kick++ {
+					if canceled(ctx) {
+						finished = false
+						break
+					}
 					doubleBridge(cur, r)
-					optimize(cur)
+					if !optimize(cur) {
+						finished = false
+					}
 					c := ins.PathCost(cur)
 					if c < bestC {
 						bestC = c
@@ -119,7 +156,7 @@ func ChainedLocalSearch(ins *Instance, opts *ChainedOptions) (Tour, int64) {
 						copy(cur, best) // restart kick from the best
 					}
 				}
-				results <- result{best, bestC}
+				results <- result{best, bestC, finished}
 			}
 		}()
 	}
@@ -127,12 +164,21 @@ func ChainedLocalSearch(ins *Instance, opts *ChainedOptions) (Tour, int64) {
 	close(results)
 	var best Tour
 	bestC := int64(-1)
+	var completed int64
 	for res := range results {
+		if res.finished {
+			completed++
+		}
 		if bestC < 0 || res.cost < bestC {
 			best, bestC = res.tour, res.cost
 		}
 	}
-	return best, bestC
+	if best == nil {
+		// All chains were cancelled before producing a tour.
+		best = NearestNeighborFrom(ins, 0)
+		bestC = ins.PathCost(best)
+	}
+	return best, bestC, completed
 }
 
 // doubleBridge applies the classic 4-opt double-bridge perturbation adapted

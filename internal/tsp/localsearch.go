@@ -1,21 +1,37 @@
 package tsp
 
+import "context"
+
 // Local-search moves for the PATH objective. These are the inner moves of
 // the chained heuristic engine (linkern.go), standing in for the
 // Lin–Kernighan implementations (Concorde, LKH) the paper suggests using
-// as practical engines.
+// as practical engines. Each move family exposes a context-free form that
+// runs to a local optimum and a context form that additionally checks for
+// cancellation between sweeps, so a deadline interrupts the descent at a
+// consistent (always-valid) tour.
 
 // TwoOptPath improves the tour in place with first-improvement 2-opt
 // sweeps (segment reversal) until a local optimum. Returns the cost delta
 // applied (≤ 0).
 func TwoOptPath(ins *Instance, t Tour) int64 {
+	d, _ := twoOptPath(context.Background(), ins, t)
+	return d
+}
+
+// twoOptPath is TwoOptPath with a cancellation checkpoint between sweeps
+// (the tour is always left in a valid state). It reports, along with the applied delta, whether the descent
+// ran to a local optimum (false means it was cut short by ctx).
+func twoOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 	n := len(t)
 	var total int64
 	if n < 3 {
-		return 0
+		return 0, true
 	}
 	improved := true
 	for improved {
+		if canceled(ctx) {
+			return total, false
+		}
 		improved = false
 		for i := 0; i < n-1; i++ {
 			var prev int
@@ -47,20 +63,31 @@ func TwoOptPath(ins *Instance, t Tour) int64 {
 			}
 		}
 	}
-	return total
+	return total, true
 }
 
 // OrOptPath improves the tour in place by relocating segments of length
 // 1..3 (optionally reversed) to better positions, first-improvement, until
 // a local optimum. Returns the cost delta applied (≤ 0).
 func OrOptPath(ins *Instance, t Tour) int64 {
+	d, _ := orOptPath(context.Background(), ins, t)
+	return d
+}
+
+// orOptPath is OrOptPath with a cancellation checkpoint between sweeps. It
+// reports, along with the applied delta, whether the descent ran to a
+// local optimum (false means it was cut short by ctx).
+func orOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 	n := len(t)
 	var total int64
 	if n < 3 {
-		return 0
+		return 0, true
 	}
 	improved := true
 	for improved {
+		if canceled(ctx) {
+			return total, false
+		}
 		improved = false
 		for segLen := 1; segLen <= 3 && segLen < n; segLen++ {
 			for i := 0; i+segLen <= n; i++ {
@@ -73,7 +100,7 @@ func OrOptPath(ins *Instance, t Tour) int64 {
 			}
 		}
 	}
-	return total
+	return total, true
 }
 
 // bestRelocation evaluates moving t[i:i+L] to every other gap position,

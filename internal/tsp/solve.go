@@ -1,9 +1,11 @@
 package tsp
 
-import "fmt"
+import "context"
 
-// Algorithm names a path-TSP solving strategy exposed by Solve and by the
-// public lpltsp API.
+// Algorithm names a path-TSP solving strategy. Every Algorithm constant
+// below is backed by an Engine in the registry (engine.go); dispatch goes
+// through Lookup, so external packages can Register additional engines and
+// have them picked up by Solve, the core portfolio, and the CLIs.
 type Algorithm string
 
 const (
@@ -12,72 +14,54 @@ const (
 	AlgoExact Algorithm = "exact"
 	// AlgoHeldKarp forces the O(2ⁿn²) dynamic program.
 	AlgoHeldKarp Algorithm = "heldkarp"
-	// AlgoBnB forces branch and bound.
+	// AlgoBnB forces branch and bound (anytime: yields its incumbent on
+	// deadline).
 	AlgoBnB Algorithm = "bnb"
 	// AlgoChristofides is the 1.5-approximation pipeline (path variant).
 	AlgoChristofides Algorithm = "christofides"
-	// AlgoChained is the chained local-search heuristic (LK stand-in).
+	// AlgoChained is the chained local-search heuristic (LK stand-in;
+	// anytime).
 	AlgoChained Algorithm = "chained"
 	// AlgoTwoOpt is greedy-edge construction plus 2-opt + Or-opt.
 	AlgoTwoOpt Algorithm = "2opt"
+	// AlgoThreeOpt is AlgoTwoOpt plus a final 3-opt polishing pass.
+	AlgoThreeOpt Algorithm = "3opt"
 	// AlgoNearestNeighbor is multi-start nearest neighbor only.
 	AlgoNearestNeighbor Algorithm = "nn"
 	// AlgoGreedyEdge is greedy edge construction only.
 	AlgoGreedyEdge Algorithm = "greedy"
 )
 
-// Algorithms lists all registered algorithm names.
-func Algorithms() []Algorithm {
-	return []Algorithm{
-		AlgoExact, AlgoHeldKarp, AlgoBnB, AlgoChristofides,
-		AlgoChained, AlgoTwoOpt, AlgoNearestNeighbor, AlgoGreedyEdge,
-	}
-}
-
-// SolveOptions tunes Solve.
+// SolveOptions tunes Solve and the engine factories.
 type SolveOptions struct {
-	// Chained configures AlgoChained (optional).
+	// Chained configures AlgoChained (and the branch-and-bound warm start).
 	Chained *ChainedOptions
 }
 
 // Solve computes a Hamiltonian path of ins with the requested algorithm
 // and returns the path and its cost. Exact algorithms return a guaranteed
-// optimum; heuristics return their best-found path.
+// optimum; heuristics return their best-found path. It is the
+// context-free form of SolveContext.
 func Solve(ins *Instance, algo Algorithm, opts *SolveOptions) (Tour, int64, error) {
+	t, st, err := SolveContext(context.Background(), ins, algo, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, st.Cost, nil
+}
+
+// SolveContext resolves algo through the engine registry and solves the
+// path objective under ctx. Cancellation is cooperative: anytime engines
+// (branch and bound, chained, the local-search family) return their best
+// incumbent with Stats.Truncated set; engines without an incumbent return
+// ctx.Err().
+func SolveContext(ctx context.Context, ins *Instance, algo Algorithm, opts *SolveOptions) (Tour, Stats, error) {
 	if ins.n == 0 {
-		return Tour{}, 0, nil
+		return Tour{}, Stats{Optimal: true}, nil
 	}
-	switch algo {
-	case AlgoExact:
-		if ins.n <= HeldKarpMaxN {
-			return HeldKarpPath(ins)
-		}
-		return BranchAndBoundPath(ins)
-	case AlgoHeldKarp:
-		return HeldKarpPath(ins)
-	case AlgoBnB:
-		return BranchAndBoundPath(ins)
-	case AlgoChristofides:
-		return ChristofidesPath(ins)
-	case AlgoChained:
-		var co *ChainedOptions
-		if opts != nil {
-			co = opts.Chained
-		}
-		t, c := ChainedLocalSearch(ins, co)
-		return t, c, nil
-	case AlgoTwoOpt:
-		t := GreedyEdgePath(ins)
-		TwoOptPath(ins, t)
-		OrOptPath(ins, t)
-		return t, ins.PathCost(t), nil
-	case AlgoNearestNeighbor:
-		t, c := NearestNeighborBest(ins)
-		return t, c, nil
-	case AlgoGreedyEdge:
-		t := GreedyEdgePath(ins)
-		return t, ins.PathCost(t), nil
-	default:
-		return nil, 0, fmt.Errorf("tsp: unknown algorithm %q", algo)
+	eng, err := New(algo, opts)
+	if err != nil {
+		return nil, Stats{}, err
 	}
+	return eng.Solve(ctx, ins, ObjectivePath)
 }

@@ -1,5 +1,7 @@
 package tsp
 
+import "context"
+
 // ThreeOptPath improves the tour in place with first-improvement 3-opt
 // moves for the path objective until a local optimum, returning the
 // applied delta (≤ 0). A 3-opt move removes three edges (i−1,i), (j−1,j),
@@ -8,13 +10,26 @@ package tsp
 // exchange and the double reversal, both tried here. O(n³) per sweep —
 // use as a polishing pass after TwoOptPath/OrOptPath on moderate n.
 func ThreeOptPath(ins *Instance, t Tour) int64 {
+	d, _ := threeOptPath(context.Background(), ins, t)
+	return d
+}
+
+// threeOptPath is ThreeOptPath with a cancellation checkpoint between
+// applied moves (each sweep restarts after a move, so the check bounds
+// work to one O(n³) scan past cancellation on the instance sizes this
+// pass targets). It reports, along with the applied delta, whether the
+// descent ran to a local optimum (false means it was cut short by ctx).
+func threeOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 	n := len(t)
 	var total int64
 	if n < 5 {
-		return 0
+		return 0, true
 	}
 	improved := true
 	for improved {
+		if canceled(ctx) {
+			return total, false
+		}
 		improved = false
 		// Segments: A = t[:i], B = t[i:j], C = t[j:k], D = t[k:]
 		// (A and D may be empty heads/tails of the path). We try the two
@@ -32,7 +47,7 @@ func ThreeOptPath(ins *Instance, t Tour) int64 {
 			}
 		}
 	}
-	return total
+	return total, true
 }
 
 // try3opt evaluates the two reconnections for cut points (i,j,k) and

@@ -1,6 +1,9 @@
 package tsp
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // TwoOptPathFast is the neighbor-list variant of TwoOptPath for larger
 // instances: each vertex keeps its K nearest neighbors and carries a
@@ -13,9 +16,17 @@ import "sort"
 // neighborhood only; TwoOptPath (exhaustive) remains the reference
 // implementation and the two agree on small instances in tests.
 func TwoOptPathFast(ins *Instance, t Tour, k int) int64 {
+	d, _ := twoOptPathFast(context.Background(), ins, t, k)
+	return d
+}
+
+// twoOptPathFast is TwoOptPathFast with a cancellation checkpoint every
+// few hundred queue pops. It reports, along with the applied delta,
+// whether the queue drained to a (restricted-neighborhood) local optimum.
+func twoOptPathFast(ctx context.Context, ins *Instance, t Tour, k int) (int64, bool) {
 	n := len(t)
 	if n < 3 {
-		return 0
+		return 0, true
 	}
 	if k <= 0 {
 		k = 10
@@ -43,7 +54,12 @@ func TwoOptPathFast(ins *Instance, t Tour, k int) int64 {
 		push(v)
 	}
 	var total int64
+	pops := 0
 	for head < tail {
+		pops++
+		if pops&255 == 0 && canceled(ctx) {
+			return total, false
+		}
 		v := queue[head%n]
 		head++
 		inQueue[v] = false
@@ -111,7 +127,7 @@ func TwoOptPathFast(ins *Instance, t Tour, k int) int64 {
 			push(v)
 		}
 	}
-	return total
+	return total, true
 }
 
 // nearestNeighbors returns, for each vertex, its k nearest other vertices

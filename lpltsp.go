@@ -24,6 +24,36 @@
 //	g.AddEdge(3, 0)
 //	res, err := lpltsp.Solve(g, lpltsp.L21(), nil) // exact λ_{2,1}(C4) = 4
 //
+// # Deadlines, portfolios, and batches
+//
+// Every solver entry point has a context form. The TSP engines behind the
+// reduction check for cancellation cooperatively, and the anytime engines
+// (branch and bound, the chained local search, the 2-opt family) return
+// their best-so-far labeling when the deadline fires instead of failing:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	res, err := lpltsp.SolveContext(ctx, g, p, &lpltsp.Options{Algorithm: lpltsp.AlgoChained})
+//
+// Portfolio races exact and heuristic engines concurrently over one shared
+// reduction and returns the best verified labeling — the exact engine
+// ends the race when it finishes, the heuristics cover the case where the
+// deadline fires first:
+//
+//	res, err := lpltsp.Portfolio(ctx, g, p) // or Options{Algorithm: lpltsp.AlgoPortfolio}
+//
+// SolveBatch pushes many instances through a bounded worker pool and
+// streams results as they complete:
+//
+//	items := []lpltsp.BatchItem{{ID: "a", G: g1, P: p}, {ID: "b", G: g2, P: p}}
+//	for br := range lpltsp.SolveBatch(ctx, items, nil) {
+//		// br.ID, br.Result, br.Err
+//	}
+//
+// Engines are pluggable: everything under Options.Algorithm is resolved
+// through a registry, so an external package can register a new engine
+// and have Solve, Portfolio, and the CLIs pick it up by name.
+//
 // Beyond the core reduction the package exposes the paper's companion
 // results: the 1.5-approximation and O(2ⁿn²) exact algorithm (Corollary
 // 1), the PARTITION INTO PATHS equivalence on diameter-2 graphs
@@ -33,6 +63,7 @@
 package lpltsp
 
 import (
+	"context"
 	"io"
 
 	"lpltsp/internal/core"
@@ -80,13 +111,19 @@ const (
 	AlgoChained = tsp.AlgoChained
 	// AlgoTwoOpt is greedy construction + 2-opt + Or-opt.
 	AlgoTwoOpt = tsp.AlgoTwoOpt
+	// AlgoThreeOpt is AlgoTwoOpt plus a 3-opt polishing pass.
+	AlgoThreeOpt = tsp.AlgoThreeOpt
 	// AlgoNearestNeighbor is multi-start nearest neighbor.
 	AlgoNearestNeighbor = tsp.AlgoNearestNeighbor
 	// AlgoGreedyEdge is greedy edge construction.
 	AlgoGreedyEdge = tsp.AlgoGreedyEdge
+	// AlgoPortfolio races a roster of engines concurrently and keeps the
+	// best verified labeling (see Portfolio).
+	AlgoPortfolio = core.AlgoPortfolio
 )
 
-// Algorithms lists all engine names.
+// Algorithms lists all registered engine names (AlgoPortfolio is a
+// meta-engine composed of these and is not listed).
 func Algorithms() []Algorithm { return tsp.Algorithms() }
 
 // ChainedOptions tunes the chained heuristic engine.
@@ -110,10 +147,53 @@ var (
 // Requires g connected, diam(g) ≤ len(p), and pmax ≤ 2·pmin; typed errors
 // report violated preconditions.
 func Solve(g *Graph, p Vector, opts *Options) (*Result, error) {
+	return SolveContext(context.Background(), g, p, opts)
+}
+
+// SolveContext is Solve under a context: cancellation and Options.Deadline
+// propagate into the TSP engine's cooperative checkpoints, and anytime
+// engines return their incumbent labeling (Result.Truncated) when the
+// deadline fires.
+func SolveContext(ctx context.Context, g *Graph, p Vector, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{Verify: true}
 	}
-	return core.Solve(g, p, opts)
+	return core.SolveContext(ctx, g, p, opts)
+}
+
+// Portfolio races exact and heuristic TSP engines concurrently over one
+// shared reduction and returns the best labeling found, always verified.
+// With no explicit engines a size-appropriate roster is used. The race
+// ends when an exact engine finishes (its result is optimal) or when ctx
+// expires (the best anytime incumbent wins).
+func Portfolio(ctx context.Context, g *Graph, p Vector, engines ...Algorithm) (*Result, error) {
+	return core.Portfolio(ctx, g, p, engines...)
+}
+
+// BatchItem is one instance of a SolveBatch: a graph, its constraint
+// vector, and an identifier echoed back on the result stream.
+type BatchItem = core.BatchItem
+
+// BatchResult is one element of the SolveBatch result stream.
+type BatchResult = core.BatchResult
+
+// BatchOptions configures SolveBatch (worker-pool size and per-item solve
+// options).
+type BatchOptions = core.BatchOptions
+
+// SolveBatch solves many labeling instances through a bounded worker pool
+// and streams results on the returned channel as they complete; see
+// core.SolveBatch for the cancellation contract. As with Solve, omitted
+// solve options default to the exact engine with verification on.
+func SolveBatch(ctx context.Context, items []BatchItem, opts *BatchOptions) <-chan BatchResult {
+	var o BatchOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Options == nil {
+		o.Options = &Options{Verify: true}
+	}
+	return core.SolveBatch(ctx, items, &o)
 }
 
 // Lambda returns λ_p(g), the minimum span, computed exactly (Corollary 1).
