@@ -9,6 +9,7 @@
 package lpltsp_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -27,6 +28,8 @@ import (
 )
 
 // BenchmarkE1Reduction measures the O(nm) reduction build (Theorem 2).
+// Since PR 2 the reduction hands back a compact weight-class instance — a
+// view over the distance matrix — so bytes/op is the APSP matrix alone.
 func BenchmarkE1Reduction(b *testing.B) {
 	for _, n := range []int{100, 200, 400, 800} {
 		g := lpltsp.RandomSmallDiameter(1, n, 4, 4.0/float64(n))
@@ -39,6 +42,55 @@ func BenchmarkE1Reduction(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkE1ReductionDense reconstructs the pre-PR-2 representation
+// (APSP plus a dense n²·int64 weight matrix) for comparison against
+// BenchmarkE1Reduction: the compact path should be ≥4× smaller in
+// bytes/op and skip the matrix-fill time entirely.
+func BenchmarkE1ReductionDense(b *testing.B) {
+	for _, n := range []int{100, 200, 400, 800} {
+		g := lpltsp.RandomSmallDiameter(1, n, 4, 4.0/float64(n))
+		p := lpltsp.Vector{2, 2, 1, 1}
+		b.Run(fmt.Sprintf("n=%d/m=%d", n, g.M()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dm := g.AllPairsDistances()
+				ins := tsp.NewInstance(n)
+				for u := 0; u < n; u++ {
+					row := dm.Row(u)
+					for v := u + 1; v < n; v++ {
+						ins.SetWeight(u, v, int64(p[int(row[v])-1]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchSteadyState measures SolveBatch throughput and allocation
+// discipline once the engine scratch pools are warm: repeated batches over
+// the same worker pool should allocate only per-result state, not
+// per-instance engine buffers.
+func BenchmarkBatchSteadyState(b *testing.B) {
+	const items = 16
+	its := make([]lpltsp.BatchItem, items)
+	for i := range its {
+		its[i] = lpltsp.BatchItem{
+			ID: fmt.Sprintf("g%d", i),
+			G:  lpltsp.RandomSmallDiameter(uint64(i+1), 120, 3, 0.08),
+			P:  lpltsp.Vector{2, 2, 1},
+		}
+	}
+	opts := &lpltsp.BatchOptions{Options: &lpltsp.Options{Algorithm: lpltsp.AlgoTwoOpt}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for br := range lpltsp.SolveBatch(context.Background(), its, opts) {
+			if br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
 	}
 }
 

@@ -57,6 +57,13 @@ type BatchOptions struct {
 //
 // The consumer MUST read the channel until it closes, including after
 // cancelling ctx — the pool's goroutines block on delivery otherwise.
+//
+// Memory behavior: every item's reduction builds a compact weight-class
+// instance over its own distance matrix (no n²·int64 weight copy), and
+// the TSP engines draw their hot-path scratch from package-level pools
+// shared across all workers. Steady-state batch throughput therefore
+// allocates per item only the result (labeling, tour, distance matrix),
+// not per-solve engine state.
 func SolveBatch(ctx context.Context, items []BatchItem, opts *BatchOptions) <-chan BatchResult {
 	workers := runtime.GOMAXPROCS(0) / 2
 	if workers < 1 {

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/tsp"
+)
+
+// These tests prove the compact weight-class representation built by
+// ReduceContext is observationally equivalent to the dense int64 instance
+// it replaced, across the full engine registry on randomized reduced
+// instances.
+
+func randomReduction(t *testing.T, r *rng.RNG, n, k int) *Reduction {
+	t.Helper()
+	g := graph.RandomSmallDiameter(r, n, k, 0.3)
+	p := make(labeling.Vector, k)
+	pmin := 1 + r.Intn(2)
+	for i := range p {
+		p[i] = pmin + r.Intn(pmin+1) // pmax ≤ 2·pmin, duplicates likely
+	}
+	red, err := Reduce(g, p)
+	if err != nil {
+		t.Fatalf("reduce n=%d k=%d p=%v: %v", n, k, p, err)
+	}
+	return red
+}
+
+// TestReduceProducesCompactInstance pins the tentpole property: the
+// reduction no longer materializes a dense weight matrix.
+func TestReduceProducesCompactInstance(t *testing.T) {
+	r := rng.New(401)
+	red := randomReduction(t, r, 20, 3)
+	if !red.Instance.Compact() {
+		t.Fatal("Reduce built a dense instance")
+	}
+	if c := red.Instance.Classes(); c < 1 || c > 3 {
+		t.Fatalf("Classes() = %d, want within [1,3]", c)
+	}
+	// The instance is a live view over Reduction.Dist.
+	for u := 0; u < red.G.N(); u++ {
+		for v := 0; v < red.G.N(); v++ {
+			want := int64(0)
+			if u != v {
+				want = int64(red.P[int(red.Dist.Dist(u, v))-1])
+			}
+			if got := red.Instance.Weight(u, v); got != want {
+				t.Fatalf("Weight(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestCompactDenseWeightAndCostAgreement checks Weight/PathCost/
+// MinMaxWeight/metricity agreement on randomized reduced instances.
+func TestCompactDenseWeightAndCostAgreement(t *testing.T) {
+	r := rng.New(402)
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(30)
+		k := 2 + r.Intn(3)
+		red := randomReduction(t, r, n, k)
+		compact := red.Instance
+		dense := compact.Densify()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if compact.Weight(i, j) != dense.Weight(i, j) {
+					t.Fatalf("Weight(%d,%d) disagrees", i, j)
+				}
+			}
+		}
+		cmin, cmax := compact.MinMaxWeight()
+		dmin, dmax := dense.MinMaxWeight()
+		if cmin != dmin || cmax != dmax {
+			t.Fatalf("MinMaxWeight: (%d,%d) vs (%d,%d)", cmin, cmax, dmin, dmax)
+		}
+		if !compact.IsMetric() {
+			t.Fatal("reduced instance not metric")
+		}
+		for rep := 0; rep < 4; rep++ {
+			tour := tsp.Tour(r.Perm(n))
+			if compact.PathCost(tour) != dense.PathCost(tour) {
+				t.Fatalf("PathCost disagrees on %v", tour)
+			}
+		}
+	}
+}
+
+// TestEngineRegistryCompactMatchesDense runs every registered engine on
+// the compact instance and its densified twin. Engines with deterministic
+// output must return identical tours; engines whose tie-breaking is
+// scheduling-dependent (parallel racers) must still return equal costs
+// when their cost is a deterministic optimum/minimum, and in all cases
+// both representations must agree on the returned tour's evaluation.
+func TestEngineRegistryCompactMatchesDense(t *testing.T) {
+	r := rng.New(403)
+	// chained with one restart runs a single greedy-seeded deterministic
+	// chain; the default chained roster mixes a parallel NN construction
+	// whose equal-cost tie-break is scheduling-dependent.
+	detOpts := &tsp.SolveOptions{Chained: &tsp.ChainedOptions{Restarts: 1, Kicks: 8, Seed: 11}}
+	identicalTour := map[tsp.Algorithm]bool{
+		tsp.AlgoGreedyEdge: true, tsp.AlgoTwoOpt: true, tsp.AlgoThreeOpt: true,
+		tsp.AlgoChristofides: true, tsp.AlgoHeldKarp: true, tsp.AlgoChained: true,
+	}
+	// Engines whose returned cost is a deterministic function of the
+	// instance (provable optimum, or a min over a deterministic set).
+	equalCost := map[tsp.Algorithm]bool{
+		tsp.AlgoExact: true, tsp.AlgoBnB: true, tsp.AlgoHeldKarp: true,
+		tsp.AlgoNearestNeighbor: true,
+	}
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + r.Intn(9)
+		red := randomReduction(t, r, n, 2+r.Intn(2))
+		compact := red.Instance
+		dense := compact.Densify()
+		for _, algo := range tsp.Algorithms() {
+			tc, sc, err := tsp.SolveContext(context.Background(), compact, algo, detOpts)
+			if err != nil {
+				t.Fatalf("%s compact: %v", algo, err)
+			}
+			td, sd, err := tsp.SolveContext(context.Background(), dense, algo, detOpts)
+			if err != nil {
+				t.Fatalf("%s dense: %v", algo, err)
+			}
+			if err := compact.ValidateTour(tc); err != nil {
+				t.Fatalf("%s compact tour: %v", algo, err)
+			}
+			// Representation consistency: both backings agree on both
+			// returned tours, and the engines reported true costs.
+			if compact.PathCost(tc) != dense.PathCost(tc) || compact.PathCost(td) != dense.PathCost(td) {
+				t.Fatalf("%s: representations disagree on returned tours", algo)
+			}
+			if sc.Cost != compact.PathCost(tc) || sd.Cost != dense.PathCost(td) {
+				t.Fatalf("%s: reported cost does not match tour cost", algo)
+			}
+			if equalCost[algo] || identicalTour[algo] {
+				if sc.Cost != sd.Cost {
+					t.Fatalf("%s: compact cost %d != dense cost %d", algo, sc.Cost, sd.Cost)
+				}
+			}
+			if identicalTour[algo] {
+				for i := range tc {
+					if tc[i] != td[i] {
+						t.Fatalf("%s: tours differ:\ncompact %v\ndense   %v", algo, tc, td)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveLabelingUnchangedByRepresentation checks end-to-end that exact
+// solves through the compact reduction still produce optimal labelings
+// (cross-validated against brute force on small graphs).
+func TestSolveLabelingUnchangedByRepresentation(t *testing.T) {
+	r := rng.New(404)
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + r.Intn(5)
+		g := graph.RandomSmallDiameter(r, n, 2, 0.4)
+		p := labeling.Vector{2, 1}
+		res, err := Solve(g, p, &Options{Algorithm: tsp.AlgoExact, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := labeling.BruteForceExact(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Span != want {
+			t.Fatalf("span %d != brute-force %d", res.Span, want)
+		}
+	}
+}

@@ -36,6 +36,12 @@ func DefaultPortfolioEngines(n int) []tsp.Algorithm {
 // Engines that error (size limits, cancellation without an incumbent) are
 // dropped from the race; an error is returned only when no engine produced
 // a labeling at all.
+//
+// All racers share one compact reduction: the instance is a read-only
+// weight-class view over the single distance matrix computed by
+// ReduceContext (see the package comment's memory model), so racing k
+// engines costs one matrix, not k copies, and each engine's scratch comes
+// from the shared pools in internal/tsp.
 func Portfolio(ctx context.Context, g *graph.Graph, p labeling.Vector, engines ...tsp.Algorithm) (*Result, error) {
 	return portfolio(ctx, g, p, nil, engines)
 }

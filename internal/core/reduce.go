@@ -4,6 +4,21 @@
 // a Hamiltonian path via prefix sums (Claim 1), and the solver pipeline
 // that runs any TSP engine through the reduction (Corollary 1 and the
 // paper's practical claim).
+//
+// # Compact instances and the concurrency memory model
+//
+// The reduced weights take at most k distinct values (w(u,v) =
+// p[dist(u,v)-1]), so ReduceContext hands engines a compact weight-class
+// tsp.Instance: a view over the uint16 distance matrix the APSP phase
+// already computed plus a k-entry distance→weight table, instead of a
+// dense n²·int64 copy (5× less instance memory, zero matrix-building
+// work). The distance matrix is shared read-only between the Instance,
+// Reduction.Dist, and labeling verification; it is written only during
+// ReduceContext's APSP phase, which completes (with all worker goroutines
+// joined) before the Reduction escapes. Portfolio racers and SolveBatch
+// workers may therefore solve over one Reduction concurrently without
+// synchronization, and the tsp engines' pooled scratch keeps those
+// steady-state solves allocation-free beyond each result.
 package core
 
 import (
@@ -31,7 +46,9 @@ var (
 )
 
 // Reduction holds the reduced METRIC PATH TSP instance H together with the
-// data needed to map its tours back to labelings of G.
+// data needed to map its tours back to labelings of G. Instance is a
+// compact weight-class view sharing Dist's storage read-only; a Reduction
+// is safe to share across concurrently racing engines once built.
 type Reduction struct {
 	G        *graph.Graph
 	P        labeling.Vector
@@ -44,7 +61,9 @@ type Reduction struct {
 // w(u,v) = p_d where d = dist_G(u,v). It verifies the theorem's
 // hypotheses — connectivity, diam(G) ≤ len(p), and pmax ≤ 2·pmin — and
 // returns a typed error when one fails. Running time is O(nm) for the
-// n BFS sweeps plus O(n²) to fill the matrix.
+// n BFS sweeps; H is represented compactly as a weight-class view over
+// the distance matrix (see the package comment), so no weight matrix is
+// materialized.
 func Reduce(g *graph.Graph, p labeling.Vector) (*Reduction, error) {
 	return ReduceContext(context.Background(), g, p)
 }
@@ -81,13 +100,13 @@ func ReduceContext(ctx context.Context, g *graph.Graph, p labeling.Vector) (*Red
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ins := tsp.NewInstance(n)
-	for u := 0; u < n; u++ {
-		row := dm.Row(u)
-		for v := u + 1; v < n; v++ {
-			ins.SetWeight(u, v, int64(p[int(row[v])-1]))
-		}
+	// Build the compact weight-class instance directly over the distance
+	// matrix: Weight(u,v) = classWeights[dist(u,v)-1]. No n²·int64 copy.
+	classWeights := make([]int64, k)
+	for i, pi := range p {
+		classWeights[i] = int64(pi)
 	}
+	ins := tsp.NewClassInstance(n, dm.Data(), classWeights)
 	return &Reduction{G: g, P: p, Instance: ins, Dist: dm, Diameter: diam}, nil
 }
 

@@ -23,6 +23,23 @@ func New(n int) *DSU {
 	return d
 }
 
+// Reset reinitializes d to n singleton sets, growing storage only when
+// needed. It lets pooled scratch (e.g. the TSP greedy-edge sweep) reuse one
+// DSU across many solves without reallocating.
+func (d *DSU) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int32, n)
+		d.rank = make([]int8, n)
+	}
+	d.parent = d.parent[:n]
+	d.rank = d.rank[:n]
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.rank[i] = 0
+	}
+	d.sets = n
+}
+
 // Find returns the canonical representative of x's set.
 func (d *DSU) Find(x int) int {
 	p := d.parent

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Unreachable is the distance reported between vertices in different
@@ -22,6 +23,12 @@ func (m *DistMatrix) Dist(u, v int) uint16 { return m.d[u*m.N+v] }
 
 // Row returns the distance row of u (shared storage; do not modify).
 func (m *DistMatrix) Row(u int) []uint16 { return m.d[u*m.N : (u+1)*m.N] }
+
+// Data returns the whole row-major distance matrix (shared storage; do not
+// modify). It backs the compact weight-class TSP instances built by the
+// labeling reduction, which index it directly instead of copying it into a
+// dense int64 weight matrix.
+func (m *DistMatrix) Data() []uint16 { return m.d }
 
 // Max returns the largest finite distance in the matrix (the diameter for a
 // connected graph) and whether any pair is unreachable.
@@ -94,13 +101,12 @@ func (g *Graph) AllPairsDistancesContext(ctx context.Context) (*DistMatrix, erro
 	if workers > n {
 		workers = n
 	}
-	var next int32
-	var mu sync.Mutex
+	// Lock-free chunk distribution: workers claim [lo, lo+chunk) source
+	// ranges with a single atomic add, so the fan-out has no contended
+	// mutex on its hot path.
+	var next atomic.Int32
 	grab := func(chunk int32) (int32, int32) {
-		mu.Lock()
-		lo := next
-		next += chunk
-		mu.Unlock()
+		lo := next.Add(chunk) - chunk
 		hi := lo + chunk
 		if hi > int32(n) {
 			hi = int32(n)
@@ -113,7 +119,9 @@ func (g *Graph) AllPairsDistancesContext(ctx context.Context) (*DistMatrix, erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			queue := make([]int32, n)
+			sc := getBFSScratch(n)
+			defer putBFSScratch(sc)
+			queue := sc.queue
 			for {
 				select {
 				case <-ctx.Done():
@@ -143,9 +151,9 @@ func (g *Graph) IsConnected() bool {
 	if n <= 1 {
 		return true
 	}
-	dist := make([]uint16, n)
-	queue := make([]int32, n)
-	return g.BFSFrom(0, dist, queue) == n
+	sc := getBFSScratch(n)
+	defer putBFSScratch(sc)
+	return g.BFSFrom(0, sc.dist, sc.queue) == n
 }
 
 // Diameter returns the diameter of g (max finite distance) and whether g is
@@ -165,10 +173,10 @@ func (g *Graph) Diameter() (diam int, connected bool) {
 // whether u reaches all vertices.
 func (g *Graph) Eccentricity(u int) (ecc int, reachesAll bool) {
 	n := g.N()
-	dist := make([]uint16, n)
-	queue := make([]int32, n)
-	reached := g.BFSFrom(u, dist, queue)
-	for _, d := range dist {
+	sc := getBFSScratch(n)
+	defer putBFSScratch(sc)
+	reached := g.BFSFrom(u, sc.dist, sc.queue)
+	for _, d := range sc.dist {
 		if d != Unreachable && int(d) > ecc {
 			ecc = int(d)
 		}
@@ -184,17 +192,17 @@ func (g *Graph) ConnectedComponents() [][]int {
 	for i := range comp {
 		comp[i] = -1
 	}
-	dist := make([]uint16, n)
-	queue := make([]int32, n)
+	sc := getBFSScratch(n)
+	defer putBFSScratch(sc)
 	var comps [][]int
 	for s := 0; s < n; s++ {
 		if comp[s] >= 0 {
 			continue
 		}
-		reached := g.BFSFrom(s, dist, queue)
+		reached := g.BFSFrom(s, sc.dist, sc.queue)
 		members := make([]int, 0, reached)
 		for v := 0; v < n; v++ {
-			if dist[v] != Unreachable && comp[v] < 0 {
+			if sc.dist[v] != Unreachable && comp[v] < 0 {
 				comp[v] = len(comps)
 				members = append(members, v)
 			}

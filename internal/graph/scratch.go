@@ -1,0 +1,29 @@
+package graph
+
+import "sync"
+
+// bfsScratch bundles the per-traversal buffers of a BFS sweep so repeated
+// queries (connectivity probes, eccentricities, the APSP worker loop) reuse
+// one heap object instead of allocating dist/queue pairs per call. The
+// buffers carry no data between uses — bfsFrom rewrites dist fully and the
+// queue is write-before-read.
+type bfsScratch struct {
+	dist  []uint16
+	queue []int32
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
+// getBFSScratch returns a scratch with both buffers sized for n vertices.
+func getBFSScratch(n int) *bfsScratch {
+	sc := bfsPool.Get().(*bfsScratch)
+	if cap(sc.dist) < n {
+		sc.dist = make([]uint16, n)
+		sc.queue = make([]int32, n)
+	}
+	sc.dist = sc.dist[:n]
+	sc.queue = sc.queue[:n]
+	return sc
+}
+
+func putBFSScratch(sc *bfsScratch) { bfsPool.Put(sc) }

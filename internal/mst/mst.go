@@ -54,6 +54,58 @@ func PrimDense(n int, w func(i, j int) int64) (parent []int, total int64) {
 	return parent, total
 }
 
+// PrimScratch holds PrimDense's working arrays for callers that compute
+// MSTs in a tight loop (the TSP branch and bound runs one per search node)
+// and cannot afford per-call allocation.
+type PrimScratch struct {
+	best   []int64
+	inTree []bool
+}
+
+func (s *PrimScratch) grow(n int) {
+	if cap(s.best) < n {
+		s.best = make([]int64, n)
+		s.inTree = make([]bool, n)
+	}
+	s.best = s.best[:n]
+	s.inTree = s.inTree[:n]
+}
+
+// Total computes only the total weight of an MST of the complete graph on
+// n vertices with weights w(i,j), reusing s's buffers (allocation-free
+// after the first call at a given size). n must be ≥ 1.
+func (s *PrimScratch) Total(n int, w func(i, j int) int64) (total int64) {
+	if n < 1 {
+		panic("mst: PrimScratch.Total needs n >= 1")
+	}
+	const inf = int64(1) << 62
+	s.grow(n)
+	best, inTree := s.best, s.inTree
+	for i := 0; i < n; i++ {
+		best[i] = inf
+		inTree[i] = false
+	}
+	best[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u, bu := -1, inf
+		for v := 0; v < n; v++ {
+			if !inTree[v] && best[v] < bu {
+				u, bu = v, best[v]
+			}
+		}
+		inTree[u] = true
+		total += bu
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if wv := w(u, v); wv < best[v] {
+					best[v] = wv
+				}
+			}
+		}
+	}
+	return total
+}
+
 // Kruskal computes a minimum spanning forest of the given edges over n
 // vertices. It returns the chosen edges and total weight. If the graph is
 // connected the result is a spanning tree with n-1 edges.

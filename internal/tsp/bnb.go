@@ -3,6 +3,7 @@ package tsp
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"lpltsp/internal/mst"
 )
@@ -64,14 +65,12 @@ func branchAndBoundPath(ctx context.Context, ins *Instance, warm *ChainedOptions
 		warm = &ChainedOptions{Restarts: 4, Kicks: 30, Seed: seed}
 	}
 	ub, ubCost, _ := chainedLocalSearch(ctx, ins, warm)
-	s := &bnbState{
-		ctx:   ctx,
-		ins:   ins,
-		best:  ub.Clone(),
-		bestC: ubCost,
-		cur:   make(Tour, 0, n),
-		used:  make([]bool, n),
-	}
+	s := getBnBState(n)
+	defer putBnBState(s)
+	s.ctx = ctx
+	s.ins = ins
+	s.best = ub.Clone()
+	s.bestC = ubCost
 	// Free endpoints: try each start vertex. Symmetry halves the work
 	// (a path and its reverse have equal cost), so only starts with
 	// index ≤ the other endpoint need exploring; simplest correct pruning
@@ -99,6 +98,45 @@ type bnbState struct {
 	used    []bool
 	nodes   int64
 	stopped bool
+
+	// Pooled per-node scratch: one branching-order slab per search depth,
+	// a class-counting buffer for compact instances, the lower bound's
+	// vertex list, and Prim's working arrays. These make the search tree
+	// allocation-free (the dominant engine cost past Held–Karp sizes).
+	orderBuf []int32
+	cnt      []int32
+	rest     []int
+	prim     mst.PrimScratch
+}
+
+var bnbPool = sync.Pool{New: func() any { return new(bnbState) }}
+
+func getBnBState(n int) *bnbState {
+	s := bnbPool.Get().(*bnbState)
+	if cap(s.used) < n {
+		s.used = make([]bool, n)
+		s.orderBuf = make([]int32, n*n)
+		s.rest = make([]int, n)
+		s.cur = make(Tour, 0, n)
+	}
+	s.used = s.used[:n]
+	for i := range s.used {
+		s.used[i] = false
+	}
+	s.orderBuf = s.orderBuf[:n*n]
+	s.rest = s.rest[:n]
+	s.cur = s.cur[:0]
+	s.nodes = 0
+	s.stopped = false
+	return s
+}
+
+func putBnBState(s *bnbState) {
+	// Drop references that would otherwise outlive the solve in the pool.
+	s.ctx = nil
+	s.ins = nil
+	s.best = nil
+	bnbPool.Put(s)
 }
 
 // ctxCheckInterval is how many expanded nodes pass between cooperative
@@ -125,27 +163,60 @@ func (s *bnbState) dfs(last int, cost int64) {
 	if cost+s.lowerBound(last) >= s.bestC {
 		return
 	}
-	// Branch on unvisited vertices in increasing edge-weight order.
-	row := s.ins.Row(last)
-	order := make([]int, 0, n-len(s.cur))
-	for v := 0; v < n; v++ {
-		if !s.used[v] {
-			order = append(order, v)
+	// Branch on unvisited vertices in increasing edge-weight order, using
+	// one pooled order slab per depth (the recursion below reuses deeper
+	// slabs). Compact instances order by a counting pass over the weight
+	// classes; dense ones insertion-sort (lists are small near leaves).
+	// Both produce the same (weight, index) order.
+	depth := len(s.cur)
+	order := s.orderBuf[depth*n : depth*n : (depth+1)*n]
+	if drow := s.ins.distRow(last); drow != nil {
+		classOf := s.ins.classOf
+		classes := len(s.ins.classW)
+		if cap(s.cnt) < classes+1 {
+			s.cnt = make([]int32, classes+1)
+		}
+		cnt := s.cnt[:classes+1]
+		for c := range cnt {
+			cnt[c] = 0
+		}
+		for v := 0; v < n; v++ {
+			if !s.used[v] {
+				cnt[classOf[drow[v]]+1]++
+			}
+		}
+		for c := 2; c < len(cnt); c++ {
+			cnt[c] += cnt[c-1]
+		}
+		order = order[:n-depth]
+		for v := 0; v < n; v++ {
+			if !s.used[v] {
+				c := classOf[drow[v]]
+				order[cnt[c]] = int32(v)
+				cnt[c]++
+			}
+		}
+	} else {
+		row := s.ins.Row(last)
+		for v := 0; v < n; v++ {
+			if !s.used[v] {
+				order = append(order, int32(v))
+			}
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && row[order[j]] < row[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
 		}
 	}
-	// Insertion sort by row weight (lists are small near the leaves).
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && row[order[j]] < row[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
-	for _, v := range order {
+	for _, v32 := range order {
 		if s.stopped {
 			return
 		}
+		v := int(v32)
 		s.used[v] = true
 		s.cur = append(s.cur, v)
-		s.dfs(v, cost+row[v])
+		s.dfs(v, cost+s.ins.Weight(last, v))
 		s.cur = s.cur[:len(s.cur)-1]
 		s.used[v] = false
 	}
@@ -153,10 +224,12 @@ func (s *bnbState) dfs(last int, cost int64) {
 
 // lowerBound returns a lower bound on completing the path from `last`
 // through all unvisited vertices: MST over unvisited ∪ {last} (any
-// completion is a spanning connected subgraph of that set).
+// completion is a spanning connected subgraph of that set). The vertex
+// list and Prim's arrays come from the pooled state — the bound runs once
+// per node, so it must not allocate.
 func (s *bnbState) lowerBound(last int) int64 {
 	n := s.ins.n
-	rest := make([]int, 0, n-len(s.cur)+1)
+	rest := s.rest[:0]
 	rest = append(rest, last)
 	for v := 0; v < n; v++ {
 		if !s.used[v] {
@@ -166,8 +239,7 @@ func (s *bnbState) lowerBound(last int) int64 {
 	if len(rest) <= 1 {
 		return 0
 	}
-	_, total := mst.PrimDense(len(rest), func(i, j int) int64 {
+	return s.prim.Total(len(rest), func(i, j int) int64 {
 		return s.ins.Weight(rest[i], rest[j])
 	})
-	return total
 }

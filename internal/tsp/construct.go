@@ -5,31 +5,53 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-
-	"lpltsp/internal/dsu"
+	"sync/atomic"
 )
 
 // NearestNeighborFrom builds a Hamiltonian path greedily from start.
 func NearestNeighborFrom(ins *Instance, start int) Tour {
+	tour := make(Tour, ins.n)
+	sc := getVisited(ins.n)
+	nearestNeighborInto(ins, start, tour, sc.visited)
+	putVisited(sc)
+	return tour
+}
+
+// nearestNeighborInto writes the greedy path from start into tour (length
+// n). visited must be all-false on entry and is left dirty — callers that
+// loop over starts clear it between runs instead of reallocating.
+func nearestNeighborInto(ins *Instance, start int, tour Tour, visited []bool) {
 	n := ins.n
-	tour := make(Tour, 0, n)
-	visited := make([]bool, n)
+	if n == 0 {
+		return
+	}
 	cur := start
 	visited[cur] = true
-	tour = append(tour, cur)
-	for len(tour) < n {
-		row := ins.Row(cur)
+	tour[0] = cur
+	compact := ins.Compact()
+	for idx := 1; idx < n; idx++ {
 		best, bestW := -1, int64(0)
-		for v := 0; v < n; v++ {
-			if !visited[v] && (best == -1 || row[v] < bestW) {
-				best, bestW = v, row[v]
+		if compact {
+			drow, lut := ins.distRow(cur), ins.lut
+			for v, d := range drow {
+				if !visited[v] {
+					if w := lut[d]; best == -1 || w < bestW {
+						best, bestW = v, w
+					}
+				}
+			}
+		} else {
+			row := ins.Row(cur)
+			for v, w := range row {
+				if !visited[v] && (best == -1 || w < bestW) {
+					best, bestW = v, w
+				}
 			}
 		}
 		visited[best] = true
-		tour = append(tour, best)
+		tour[idx] = best
 		cur = best
 	}
-	return tour
 }
 
 // NearestNeighborBest runs NearestNeighborFrom from every start vertex in
@@ -42,7 +64,9 @@ func NearestNeighborBest(ins *Instance) (Tour, int64) {
 // nearestNeighborBest is NearestNeighborBest with a cancellation
 // checkpoint between start vertices; at least one start is always
 // completed, so a valid tour comes back even under an expired context. It
-// additionally reports how many starts completed.
+// additionally reports how many starts completed. Start vertices are
+// claimed with one atomic add per start (no mutex), and each worker reuses
+// a single tour/visited buffer pair across all its starts.
 func nearestNeighborBest(ctx context.Context, ins *Instance) (Tour, int64, int64) {
 	n := ins.n
 	if n == 0 {
@@ -57,37 +81,35 @@ func nearestNeighborBest(ctx context.Context, ins *Instance) (Tour, int64, int64
 		cost int64
 	}
 	results := make(chan result, workers)
-	var next int64
-	var mu sync.Mutex
-	grab := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(n) {
-			return -1
-		}
-		s := int(next)
-		next++
-		return s
-	}
+	var next, started atomic.Int64
 	var wg sync.WaitGroup
-	var started int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := getVisited(n)
+			defer putVisited(sc)
+			cur := make(Tour, n)
 			var best Tour
 			bestC := int64(-1)
 			var done int64
 			for {
-				s := grab()
-				if s < 0 {
+				s := int(next.Add(1) - 1)
+				if s >= n {
 					break
 				}
-				t := NearestNeighborFrom(ins, s)
-				c := ins.PathCost(t)
+				for i := range sc.visited {
+					sc.visited[i] = false
+				}
+				nearestNeighborInto(ins, s, cur, sc.visited)
+				c := ins.PathCost(cur)
 				done++
 				if bestC < 0 || c < bestC {
-					best, bestC = t, c
+					if best == nil {
+						best = make(Tour, n)
+					}
+					copy(best, cur)
+					bestC = c
 				}
 				if canceled(ctx) {
 					break
@@ -96,9 +118,7 @@ func nearestNeighborBest(ctx context.Context, ins *Instance) (Tour, int64, int64
 			if bestC >= 0 {
 				results <- result{best, bestC}
 			}
-			mu.Lock()
-			started += done
-			mu.Unlock()
+			started.Add(done)
 		}()
 	}
 	wg.Wait()
@@ -112,42 +132,72 @@ func nearestNeighborBest(ctx context.Context, ins *Instance) (Tour, int64, int64
 	}
 	// Every worker completes its first grabbed start before checking ctx,
 	// so at least one result always arrives and best is never nil here.
-	return best, bestC, started
+	return best, bestC, started.Load()
 }
 
 // GreedyEdgePath builds a Hamiltonian path by repeatedly taking the
 // globally cheapest edge whose addition keeps the partial solution a
 // disjoint union of simple paths (degree ≤ 2, no cycle). The n-1 accepted
 // edges form a single Hamiltonian path.
+//
+// Edges are considered in (weight, u, v) order. Compact instances reach
+// that order by a counting sort over the ≤k weight classes — O(n²) total,
+// no comparison sort; dense instances sort explicitly. All sweep state
+// (edge list, degrees, adjacency, union-find) is pooled.
 func GreedyEdgePath(ins *Instance) Tour {
 	n := ins.n
 	if n <= 1 {
 		return identity(n)
 	}
-	type edge struct {
-		w    int64
-		u, v int32
-	}
-	edges := make([]edge, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		row := ins.Row(i)
-		for j := i + 1; j < n; j++ {
-			edges = append(edges, edge{row[j], int32(i), int32(j)})
+	sc := getGreedyScratch(n, ins.Classes())
+	defer putGreedyScratch(sc)
+	edges := sc.edges
+	if ins.Compact() {
+		// Counting sort by weight-class rank. Scanning (i,j) in lex order
+		// makes each class bucket lex-sorted, and ranks ascend by weight,
+		// so the filled edge list is exactly in (weight, u, v) order.
+		classOf, cnt := ins.classOf, sc.cnt
+		for i := 0; i < n; i++ {
+			drow := ins.distRow(i)
+			for j := i + 1; j < n; j++ {
+				cnt[classOf[drow[j]]+1]++
+			}
 		}
+		for c := 2; c < len(cnt); c++ {
+			cnt[c] += cnt[c-1]
+		}
+		lut := ins.lut
+		for i := 0; i < n; i++ {
+			drow := ins.distRow(i)
+			for j := i + 1; j < n; j++ {
+				c := classOf[drow[j]]
+				edges[cnt[c]] = greedyEdge{lut[drow[j]], packUV(i, j)}
+				cnt[c]++
+			}
+		}
+	} else {
+		e := 0
+		for i := 0; i < n; i++ {
+			row := ins.Row(i)
+			for j := i + 1; j < n; j++ {
+				edges[e] = greedyEdge{row[j], packUV(i, j)}
+				e++
+			}
+		}
+		sort.Slice(edges, func(a, b int) bool {
+			if edges[a].w != edges[b].w {
+				return edges[a].w < edges[b].w
+			}
+			return edges[a].uv < edges[b].uv
+		})
 	}
-	sort.Slice(edges, func(a, b int) bool { return edges[a].w < edges[b].w })
-	deg := make([]int8, n)
-	d := dsu.New(n)
-	adj := make([][2]int32, n)
-	for i := range adj {
-		adj[i] = [2]int32{-1, -1}
-	}
+	deg, adj, d := sc.deg, sc.adj, &sc.d
 	taken := 0
 	for _, e := range edges {
 		if taken == n-1 {
 			break
 		}
-		u, v := int(e.u), int(e.v)
+		u, v := e.split()
 		if deg[u] >= 2 || deg[v] >= 2 || d.Same(u, v) {
 			continue
 		}

@@ -76,8 +76,9 @@ func heldKarp(ctx context.Context, ins *Instance, s, t int, cycle bool) (Tour, i
 		return nil, 0, ctx.Err()
 	}
 	size := 1 << uint(n)
-	dp := make([]int32, size*n)
-	par := make([]int8, size*n)
+	sc := getHKScratch(size, n)
+	defer putHKScratch(sc)
+	dp, par := sc.dp, sc.par
 	const inf32 = int32(math.MaxInt32 / 2)
 	// The table is ~2 GiB at n = HeldKarpMaxN; faulting it in during this
 	// fill can take longer than whole layers, so the fill gets its own
@@ -105,20 +106,41 @@ func heldKarp(ctx context.Context, ins *Instance, s, t int, cycle bool) (Tour, i
 
 	// Precompute weight rows as int32 (all reduced-instance weights are
 	// tiny; general instances must fit int32 or we fall back with an error).
-	w32 := make([]int32, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			w := ins.Weight(i, j)
+	// Compact instances translate their distance rows through the class
+	// lut — checked once per class, not once per entry.
+	w32 := sc.w32
+	if ins.Compact() {
+		// One overflow check per class (the lut is tiny), then a straight
+		// translation of the distance rows. No assumption on how large
+		// the distance values themselves are.
+		for _, w := range ins.lut {
 			if w > math.MaxInt32/4 {
 				return nil, 0, fmt.Errorf("tsp: weight %d too large for Held–Karp int32 DP", w)
 			}
-			w32[i*n+j] = int32(w)
+		}
+		lut := ins.lut
+		for i := 0; i < n; i++ {
+			drow := ins.distRow(i)
+			row := w32[i*n : (i+1)*n]
+			for j, d := range drow {
+				row[j] = int32(lut[d])
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				w := ins.Weight(i, j)
+				if w > math.MaxInt32/4 {
+					return nil, 0, fmt.Errorf("tsp: weight %d too large for Held–Karp int32 DP", w)
+				}
+				w32[i*n+j] = int32(w)
+			}
 		}
 	}
 
 	// Layer-by-layer processing (masks grouped by popcount), parallel
 	// within a layer.
-	masks := make([]int, 0, 1<<16)
+	masks := sc.masks[:0]
 	workers := runtime.GOMAXPROCS(0)
 	for sz := 2; sz <= n; sz++ {
 		if canceled(ctx) {
@@ -133,6 +155,7 @@ func heldKarp(ctx context.Context, ins *Instance, s, t int, cycle bool) (Tour, i
 			r := m + c
 			m = (((r ^ m) >> 2) / c) | r
 		}
+		sc.masks = masks // keep the grown buffer pooled
 		if !processLayer(ctx, masks, dp, par, w32, n, workers) {
 			// A chunk bailed out mid-layer, so this layer's dp rows are
 			// unusable. (A cancellation that lands after the final layer

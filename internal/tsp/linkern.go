@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"lpltsp/internal/rng"
 )
@@ -92,25 +93,17 @@ func chainedLocalSearch(ctx context.Context, ins *Instance, opts *ChainedOptions
 	if workers > o.Restarts {
 		workers = o.Restarts
 	}
-	var mu sync.Mutex
-	next := 0
-	grab := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= o.Restarts {
-			return -1
-		}
-		i := next
-		next++
-		return i
-	}
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker arena: one double-bridge rebuild buffer serves
+			// every kick of every chain this worker runs.
+			bridge := make(Tour, n)
 			for {
-				chain := grab()
-				if chain < 0 || canceled(ctx) {
+				chain := int(next.Add(1) - 1)
+				if chain >= o.Restarts || canceled(ctx) {
 					return
 				}
 				r := seeds[chain]
@@ -144,7 +137,7 @@ func chainedLocalSearch(ctx context.Context, ins *Instance, opts *ChainedOptions
 						finished = false
 						break
 					}
-					doubleBridge(cur, r)
+					doubleBridge(cur, r, bridge)
 					if !optimize(cur) {
 						finished = false
 					}
@@ -183,8 +176,9 @@ func chainedLocalSearch(ctx context.Context, ins *Instance, opts *ChainedOptions
 
 // doubleBridge applies the classic 4-opt double-bridge perturbation adapted
 // to the path objective: the tour is cut into four consecutive segments
-// A B C D and reassembled as A C B D.
-func doubleBridge(t Tour, r *rng.RNG) {
+// A B C D and reassembled as A C B D. buf is an n-sized rebuild buffer
+// owned by the caller (reused across kicks).
+func doubleBridge(t Tour, r *rng.RNG, buf Tour) {
 	n := len(t)
 	if n < 8 {
 		// Tiny tours: swap two random vertices instead.
@@ -196,7 +190,7 @@ func doubleBridge(t Tour, r *rng.RNG) {
 	p1 := 1 + r.Intn(n-3)
 	p2 := p1 + 1 + r.Intn(n-p1-2)
 	p3 := p2 + 1 + r.Intn(n-p2-1)
-	out := make(Tour, 0, n)
+	out := buf[:0]
 	out = append(out, t[:p1]...)
 	out = append(out, t[p2:p3]...)
 	out = append(out, t[p1:p2]...)

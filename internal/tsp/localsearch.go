@@ -76,13 +76,16 @@ func OrOptPath(ins *Instance, t Tour) int64 {
 
 // orOptPath is OrOptPath with a cancellation checkpoint between sweeps. It
 // reports, along with the applied delta, whether the descent ran to a
-// local optimum (false means it was cut short by ctx).
+// local optimum (false means it was cut short by ctx). The segment rebuild
+// buffer is pooled, so applying moves allocates nothing.
 func orOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 	n := len(t)
 	var total int64
 	if n < 3 {
 		return 0, true
 	}
+	sc := getSegScratch(n)
+	defer putSegScratch(sc)
 	improved := true
 	for improved {
 		if canceled(ctx) {
@@ -91,9 +94,9 @@ func orOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 		improved = false
 		for segLen := 1; segLen <= 3 && segLen < n; segLen++ {
 			for i := 0; i+segLen <= n; i++ {
-				d, apply := bestRelocation(ins, t, i, segLen)
+				d, pos, rev := bestRelocation(ins, t, i, segLen)
 				if d < 0 {
-					apply()
+					applyRelocation(t, i, segLen, pos, rev, sc.rest)
 					total += d
 					improved = true
 				}
@@ -103,10 +106,32 @@ func orOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 	return total, true
 }
 
+// applyRelocation moves t[i:i+L] (reversed when rev) to rest-position pos,
+// where rest-coordinates index t with the segment removed. rest is an
+// n-sized scratch buffer.
+func applyRelocation(t Tour, i, L, pos int, rev bool, rest []int) {
+	j := i + L
+	var seg [3]int // L ≤ 3 by orOptPath's sweep bounds
+	copy(seg[:L], t[i:j])
+	if rev {
+		for a, b := 0, L-1; a < b; a, b = a+1, b-1 {
+			seg[a], seg[b] = seg[b], seg[a]
+		}
+	}
+	rest = rest[:0]
+	rest = append(rest, t[:i]...)
+	rest = append(rest, t[j:]...)
+	out := t[:0]
+	out = append(out, rest[:pos]...)
+	out = append(out, seg[:L]...)
+	out = append(out, rest[pos:]...)
+}
+
 // bestRelocation evaluates moving t[i:i+L] to every other gap position,
-// forward or reversed, and returns the best improving delta with an
-// applier. The applier mutates t.
-func bestRelocation(ins *Instance, t Tour, i, L int) (int64, func()) {
+// forward or reversed, and returns the best improving delta with the
+// rest-position and orientation to pass to applyRelocation (pos = -1 when
+// no improving move exists).
+func bestRelocation(ins *Instance, t Tour, i, L int) (int64, int, bool) {
 	n := len(t)
 	j := i + L // segment is t[i:j]
 	segFirst, segLast := t[i], t[j-1]
@@ -122,7 +147,7 @@ func bestRelocation(ins *Instance, t Tour, i, L int) (int64, func()) {
 	case hasNext:
 		removeGain = ins.Weight(segLast, t[j])
 	default:
-		return 0, nil // segment is the whole tour
+		return 0, -1, false // segment is the whole tour
 	}
 
 	bestDelta := int64(0)
@@ -171,26 +196,7 @@ func bestRelocation(ins *Instance, t Tour, i, L int) (int64, func()) {
 			}
 		}
 	}
-	if bestPos < 0 {
-		return 0, nil
-	}
-	pos, rev := bestPos, bestRev
-	return bestDelta, func() {
-		seg := make([]int, L)
-		copy(seg, t[i:j])
-		if rev {
-			for a, b := 0, L-1; a < b; a, b = a+1, b-1 {
-				seg[a], seg[b] = seg[b], seg[a]
-			}
-		}
-		rest := make([]int, 0, len(t)-L)
-		rest = append(rest, t[:i]...)
-		rest = append(rest, t[j:]...)
-		out := t[:0]
-		out = append(out, rest[:pos]...)
-		out = append(out, seg...)
-		out = append(out, rest[pos:]...)
-	}
+	return bestDelta, bestPos, bestRev
 }
 
 func reverseSeg(t Tour, i, j int) {

@@ -25,6 +25,8 @@ func threeOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 	if n < 5 {
 		return 0, true
 	}
+	sc := getSegScratch(n)
+	defer putSegScratch(sc)
 	improved := true
 	for improved {
 		if canceled(ctx) {
@@ -39,7 +41,7 @@ func threeOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 		for i := 0; i < n-1 && !improved; i++ {
 			for j := i + 1; j < n && !improved; j++ {
 				for k := j + 1; k <= n && !improved; k++ {
-					if delta := try3opt(ins, t, i, j, k); delta < 0 {
+					if delta := try3opt(ins, t, i, j, k, sc); delta < 0 {
 						total += delta
 						improved = true
 					}
@@ -51,9 +53,9 @@ func threeOptPath(ctx context.Context, ins *Instance, t Tour) (int64, bool) {
 }
 
 // try3opt evaluates the two reconnections for cut points (i,j,k) and
-// applies the better one if improving. Returns the applied delta (0 if
-// none).
-func try3opt(ins *Instance, t Tour, i, j, k int) int64 {
+// applies the better one if improving, rebuilding segments in sc's pooled
+// buffers. Returns the applied delta (0 if none).
+func try3opt(ins *Instance, t Tour, i, j, k int, sc *segScratch) int64 {
 	n := len(t)
 	// Boundary vertices: a = last of A (or -1), d = first of D (or -1).
 	a, d := -1, -1
@@ -103,8 +105,10 @@ func try3opt(ins *Instance, t Tour, i, j, k int) int64 {
 		return 0
 	}
 	// Apply: rebuild t[i:k].
-	segB := append([]int(nil), t[i:j]...)
-	segC := append([]int(nil), t[j:k]...)
+	segB := sc.segB[:j-i]
+	copy(segB, t[i:j])
+	segC := sc.segC[:k-j]
+	copy(segC, t[j:k])
 	if rev {
 		reverseInts(segB)
 		reverseInts(segC)

@@ -8,19 +8,60 @@
 // The paper reduces L(p)-LABELING on diameter-≤k graphs to METRIC PATH TSP
 // (free endpoints); everything here therefore supports the path objective
 // natively, with cycle variants provided for completeness and tests.
+//
+// # Instance representations
+//
+// An Instance comes in two physical layouts behind one API:
+//
+//   - Dense: an n×n int64 weight matrix (NewInstance/SetWeight). The
+//     general-purpose form used by tests and ad-hoc instances.
+//   - Compact (weight-class): the reduction's instances have weights
+//     w(u,v) = p[dist(u,v)-1], so at most k = dim(p) distinct values
+//     occur. NewClassInstance stores only a shared row-major []uint16
+//     distance matrix plus a (diameter+1)-entry distance→weight lookup
+//     table — 2 bytes per entry instead of 8, with zero copying of the
+//     matrix the reduction already computed.
+//
+// Compact instances are immutable and additionally expose the weight-class
+// structure (classOf/classW): the distinct weights sorted ascending and a
+// distance→class-rank map. Engines exploit it for comparison-sort-free
+// neighbor lists and counting-sorted edge sweeps (O(n²) instead of
+// O(n² log n)).
+//
+// # Memory model
+//
+// A compact Instance aliases the caller's distance matrix read-only; it is
+// never written through. Engines treat every Instance as read-only while
+// solving, so one compact Instance (and hence one distance matrix) may be
+// shared by many concurrently racing engines and batch workers. Hot-path
+// scratch (neighbor lists, don't-look bits, DP layers, BnB node buffers)
+// comes from package-level sync.Pools, so steady-state solving does no
+// per-instance heap allocation beyond the returned tours.
 package tsp
 
 import "fmt"
 
-// Instance is a symmetric TSP instance on n vertices with int64 weights,
-// stored dense. The diagonal is 0. Instances produced by the labeling
-// reduction satisfy the triangle inequality (weights within [pmin, 2pmin]).
+// Instance is a symmetric TSP instance on n vertices with int64 weights.
+// The diagonal is 0. Two backings exist: dense (explicit weight matrix) and
+// compact (shared distance matrix + weight-class lookup; see the package
+// comment). Instances produced by the labeling reduction are compact and
+// satisfy the triangle inequality (weights within [pmin, 2pmin]).
 type Instance struct {
 	n int
-	w []int64
+	w []int64 // dense backing; nil for compact instances
+
+	// Compact (weight-class) backing. dist is the shared row-major
+	// distance matrix (aliased, read-only); lut[d] is the weight of
+	// distance class d with lut[0] = 0, truncated to the largest distance
+	// actually present. classOf[d] ranks distance d among the distinct
+	// weights (ascending); classW lists those distinct weights ascending.
+	dist    []uint16
+	lut     []int64
+	classOf []int32
+	classW  []int64
 }
 
-// NewInstance returns an instance with all weights zero.
+// NewInstance returns a dense instance with all weights zero.
 func NewInstance(n int) *Instance {
 	if n < 0 {
 		panic("tsp: negative size")
@@ -28,14 +69,97 @@ func NewInstance(n int) *Instance {
 	return &Instance{n: n, w: make([]int64, n*n)}
 }
 
+// NewClassInstance returns a compact instance over a row-major n×n distance
+// matrix and per-distance class weights: Weight(i,j) =
+// classWeights[dist[i*n+j]-1]. The matrix is aliased read-only, not copied
+// — the caller must not mutate it while the instance is in use (sharing it
+// across concurrent solvers is fine, and the point). Every off-diagonal
+// entry of dist must be in [1, len(classWeights)] and every diagonal entry
+// 0; violations panic, since they would silently corrupt every solve.
+func NewClassInstance(n int, dist []uint16, classWeights []int64) *Instance {
+	if n < 0 {
+		panic("tsp: negative size")
+	}
+	if len(dist) != n*n {
+		panic(fmt.Sprintf("tsp: distance matrix has %d entries for n=%d", len(dist), n))
+	}
+	maxd := 0
+	occurs := make([]bool, len(classWeights)+1)
+	for i := 0; i < n; i++ {
+		row := dist[i*n : (i+1)*n]
+		for j, d := range row {
+			switch {
+			case i == j:
+				if d != 0 {
+					panic("tsp: nonzero diagonal distance")
+				}
+			case d == 0 || int(d) > len(classWeights):
+				panic(fmt.Sprintf("tsp: distance %d outside weight classes [1,%d]", d, len(classWeights)))
+			default:
+				occurs[d] = true
+				if int(d) > maxd {
+					maxd = int(d)
+				}
+			}
+		}
+	}
+	// lut[0] = 0 keeps diagonal lookups branch-free; truncate to the
+	// largest distance present. The class structure (classOf/classW) is
+	// built only from distances that actually occur between some pair —
+	// reduction matrices are BFS-continuous so every 1..maxd occurs, but
+	// hand-built matrices may have gaps, and a phantom class would make
+	// MinMaxWeight and the bucket sweeps report weights present between
+	// no vertices.
+	lut := make([]int64, maxd+1)
+	copy(lut[1:], classWeights[:maxd])
+	// Rank the occurring distances by weight ascending (stable in d).
+	order := make([]int32, 0, maxd)
+	for d := 1; d <= maxd; d++ {
+		if occurs[d] {
+			order = append(order, int32(d))
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && lut[order[j]] < lut[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	classOf := make([]int32, maxd+1)
+	classW := make([]int64, 0, len(order))
+	for _, d := range order {
+		if len(classW) == 0 || classW[len(classW)-1] != lut[d] {
+			classW = append(classW, lut[d])
+		}
+		classOf[d] = int32(len(classW) - 1)
+	}
+	return &Instance{n: n, dist: dist, lut: lut, classOf: classOf, classW: classW}
+}
+
 // N returns the number of vertices.
 func (ins *Instance) N() int { return ins.n }
 
-// Weight returns w(i,j).
-func (ins *Instance) Weight(i, j int) int64 { return ins.w[i*ins.n+j] }
+// Compact reports whether the instance uses the weight-class backing.
+func (ins *Instance) Compact() bool { return ins.dist != nil }
 
-// SetWeight sets w(i,j) = w(j,i) = x.
+// Classes returns the number of distinct weights: the weight-class count
+// for compact instances (≤ dim(p) for reduced instances), 0 for dense ones
+// (callers needing it must scan).
+func (ins *Instance) Classes() int { return len(ins.classW) }
+
+// Weight returns w(i,j).
+func (ins *Instance) Weight(i, j int) int64 {
+	if ins.dist == nil {
+		return ins.w[i*ins.n+j]
+	}
+	return ins.lut[ins.dist[i*ins.n+j]]
+}
+
+// SetWeight sets w(i,j) = w(j,i) = x. Dense instances only — compact
+// instances view a shared distance matrix and are immutable.
 func (ins *Instance) SetWeight(i, j int, x int64) {
+	if ins.w == nil {
+		panic("tsp: SetWeight on a compact (weight-class) instance")
+	}
 	if i == j {
 		panic("tsp: diagonal weight must stay zero")
 	}
@@ -43,22 +167,60 @@ func (ins *Instance) SetWeight(i, j int, x int64) {
 	ins.w[j*ins.n+i] = x
 }
 
-// Row returns the weight row of i (shared storage; read-only).
-func (ins *Instance) Row(i int) []int64 { return ins.w[i*ins.n : (i+1)*ins.n] }
+// Row returns the dense weight row of i (shared storage; read-only). It is
+// the dense fast path only; compact callers use distRow/lut or Weight.
+func (ins *Instance) Row(i int) []int64 {
+	if ins.w == nil {
+		panic("tsp: Row on a compact (weight-class) instance")
+	}
+	return ins.w[i*ins.n : (i+1)*ins.n]
+}
+
+// distRow returns the distance row of i for compact instances (nil for
+// dense ones). In-package engines pair it with ins.lut for branch-free
+// weight lookups inside hot loops.
+func (ins *Instance) distRow(i int) []uint16 {
+	if ins.dist == nil {
+		return nil
+	}
+	return ins.dist[i*ins.n : (i+1)*ins.n]
+}
+
+// Densify returns a dense copy of the instance (the identity for dense
+// input, a materialized weight matrix for compact input). Intended for
+// equivalence tests and callers that must mutate weights.
+func (ins *Instance) Densify() *Instance {
+	out := NewInstance(ins.n)
+	if ins.w != nil {
+		copy(out.w, ins.w)
+		return out
+	}
+	for i := 0; i < ins.n; i++ {
+		drow := ins.distRow(i)
+		wrow := out.w[i*ins.n : (i+1)*ins.n]
+		for j, d := range drow {
+			wrow[j] = ins.lut[d]
+		}
+	}
+	return out
+}
 
 // MinMaxWeight returns the smallest and largest off-diagonal weights.
-// For n < 2 it returns (0, 0).
+// For n < 2 it returns (0, 0). Compact instances answer in O(1) from the
+// weight classes; dense instances scan the upper triangle (symmetry makes
+// the lower triangle redundant).
 func (ins *Instance) MinMaxWeight() (min, max int64) {
 	if ins.n < 2 {
 		return 0, 0
 	}
-	min = ins.Weight(0, 1)
+	if ins.dist != nil {
+		return ins.classW[0], ins.classW[len(ins.classW)-1]
+	}
+	min = ins.w[1] // w(0,1)
 	for i := 0; i < ins.n; i++ {
-		for j := 0; j < ins.n; j++ {
-			if i == j {
-				continue
-			}
-			w := ins.Weight(i, j)
+		row := ins.w[i*ins.n : (i+1)*ins.n]
+		for j := i + 1; j < ins.n; j++ {
+			w := row[j]
 			if w < min {
 				min = w
 			}
@@ -100,8 +262,16 @@ type Tour []int
 // PathCost returns the weight of the Hamiltonian path t[0]-t[1]-…-t[n-1].
 func (ins *Instance) PathCost(t Tour) int64 {
 	var c int64
+	n := ins.n
+	if ins.dist != nil {
+		dist, lut := ins.dist, ins.lut
+		for i := 0; i+1 < len(t); i++ {
+			c += lut[dist[t[i]*n+t[i+1]]]
+		}
+		return c
+	}
 	for i := 0; i+1 < len(t); i++ {
-		c += ins.Weight(t[i], t[i+1])
+		c += ins.w[t[i]*n+t[i+1]]
 	}
 	return c
 }

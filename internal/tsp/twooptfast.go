@@ -2,7 +2,6 @@ package tsp
 
 import (
 	"context"
-	"sort"
 )
 
 // TwoOptPathFast is the neighbor-list variant of TwoOptPath for larger
@@ -23,6 +22,7 @@ func TwoOptPathFast(ins *Instance, t Tour, k int) int64 {
 // twoOptPathFast is TwoOptPathFast with a cancellation checkpoint every
 // few hundred queue pops. It reports, along with the applied delta,
 // whether the queue drained to a (restricted-neighborhood) local optimum.
+// All working state (neighbor lists, queues, don't-look bits) is pooled.
 func twoOptPathFast(ctx context.Context, ins *Instance, t Tour, k int) (int64, bool) {
 	n := len(t)
 	if n < 3 {
@@ -34,24 +34,26 @@ func twoOptPathFast(ctx context.Context, ins *Instance, t Tour, k int) (int64, b
 	if k > n-1 {
 		k = n - 1
 	}
-	neighbors := nearestNeighbors(ins, k)
-	pos := make([]int, n) // pos[v] = index of v in t
+	sc := getTwoOptScratch(n, k, ins.Classes())
+	defer putTwoOptScratch(sc)
+	nbr := nearestNeighborsInto(ins, k, sc)
+	pos := sc.pos // pos[v] = index of v in t
 	for i, v := range t {
-		pos[v] = i
+		pos[v] = int32(i)
 	}
-	dontLook := make([]bool, n)
-	queue := make([]int, n)
-	inQueue := make([]bool, n)
-	head, tail := 0, 0
+	dontLook, inQueue, queue := sc.dontLook, sc.inQueue, sc.queue
+	for i := 0; i < n; i++ {
+		dontLook[i] = false
+		inQueue[i] = true
+		queue[i] = int32(i)
+	}
+	head, tail := 0, n
 	push := func(v int) {
 		if !inQueue[v] {
 			inQueue[v] = true
-			queue[tail%n] = v
+			queue[tail%n] = int32(v)
 			tail++
 		}
-	}
-	for v := 0; v < n; v++ {
-		push(v)
 	}
 	var total int64
 	pops := 0
@@ -60,7 +62,7 @@ func twoOptPathFast(ctx context.Context, ins *Instance, t Tour, k int) (int64, b
 		if pops&255 == 0 && canceled(ctx) {
 			return total, false
 		}
-		v := queue[head%n]
+		v := int(queue[head%n])
 		head++
 		inQueue[v] = false
 		if dontLook[v] {
@@ -74,8 +76,8 @@ func twoOptPathFast(ctx context.Context, ins *Instance, t Tour, k int) (int64, b
 		// A handles suffix reversals (j = n−1), B handles prefix
 		// reversals (i = 0); together they cover the full path 2-opt
 		// neighborhood.
-		for _, w := range neighbors[v] {
-			i, j := pos[v], pos[int(w)]
+		for _, w := range nbr[v*k : (v+1)*k] {
+			i, j := int(pos[v]), int(pos[w])
 			if i > j {
 				i, j = j, i
 			}
@@ -105,7 +107,7 @@ func twoOptPathFast(ctx context.Context, ins *Instance, t Tour, k int) (int64, b
 			}
 			reverseSeg(t, lo, hi)
 			for x := lo; x <= hi; x++ {
-				pos[t[x]] = x
+				pos[t[x]] = int32(x)
 			}
 			total += delta
 			improvedHere = true
@@ -130,34 +132,111 @@ func twoOptPathFast(ctx context.Context, ins *Instance, t Tour, k int) (int64, b
 	return total, true
 }
 
-// nearestNeighbors returns, for each vertex, its k nearest other vertices
-// by weight (ties broken by index).
+// nearestNeighbors is the slice-of-slices form of nearestNeighborsInto,
+// kept for tests and ad-hoc callers (it copies out of the pooled scratch).
 func nearestNeighbors(ins *Instance, k int) [][]int32 {
 	n := ins.n
+	kk := k
+	if kk > n-1 {
+		kk = n - 1
+	}
+	if kk < 0 {
+		kk = 0
+	}
+	sc := getTwoOptScratch(n, kk, ins.Classes())
+	defer putTwoOptScratch(sc)
+	flat := nearestNeighborsInto(ins, kk, sc)
 	out := make([][]int32, n)
-	idx := make([]int32, n)
+	for v := range out {
+		out[v] = append([]int32(nil), flat[v*kk:(v+1)*kk]...)
+	}
+	return out
+}
+
+// nearestNeighborsInto fills sc.nbr with, for each vertex, its kk nearest
+// other vertices by weight (ties broken by index), stored flat with stride
+// kk, and returns that slice. The caller guarantees kk ≤ n-1.
+//
+// Compact instances are bucketed by weight class — one O(n) counting pass
+// per vertex, no comparison sort (the ≤k-distinct-weights structure of the
+// reduction's instances). Since classOf ranks classes by weight and the
+// scan visits vertices in index order, the bucket order is exactly the
+// (weight, index) order of the dense path. Dense instances use a bounded
+// insertion pass (O(n·kk) per vertex, allocation-free).
+func nearestNeighborsInto(ins *Instance, kk int, sc *twoOptScratch) []int32 {
+	n := ins.n
+	out := sc.nbr
+	if kk == 0 {
+		return out[:0]
+	}
+	if ins.Compact() {
+		classOf, cnt, buckets := ins.classOf, sc.start, sc.bucket
+		classes := len(ins.classW)
+		cnt = cnt[:classes]
+		// One pass per vertex: append u to its weight class's bucket,
+		// capped at kk entries per class — no class can contribute more
+		// than kk slots to the output, so later arrivals in a full class
+		// are irrelevant. Scanning u ascending keeps every bucket
+		// index-sorted, and classes are already ranked by weight, so
+		// concatenating the buckets yields the exact (weight, index)
+		// order of the dense path.
+		for v := 0; v < n; v++ {
+			drow := ins.distRow(v)
+			for c := range cnt {
+				cnt[c] = 0
+			}
+			for u, d := range drow {
+				if u == v {
+					continue
+				}
+				c := classOf[d]
+				if filled := cnt[c]; filled < int32(kk) {
+					buckets[int(c)*kk+int(filled)] = int32(u)
+					cnt[c] = filled + 1
+				}
+			}
+			dst := out[v*kk : (v+1)*kk]
+			pos := 0
+			for c := 0; c < classes && pos < kk; c++ {
+				take := int(cnt[c])
+				if take > kk-pos {
+					take = kk - pos
+				}
+				copy(dst[pos:pos+take], buckets[c*kk:c*kk+take])
+				pos += take
+			}
+		}
+		return out
+	}
 	for v := 0; v < n; v++ {
-		row := ins.Row(v)
-		cnt := 0
+		row := ins.w[v*n : (v+1)*n]
+		top := out[v*kk : v*kk : (v+1)*kk]
 		for u := 0; u < n; u++ {
-			if u != v {
-				idx[cnt] = int32(u)
-				cnt++
+			if u == v {
+				continue
 			}
-		}
-		cand := idx[:cnt]
-		sort.Slice(cand, func(a, b int) bool {
-			wa, wb := row[cand[a]], row[cand[b]]
-			if wa != wb {
-				return wa < wb
+			w := row[u]
+			if len(top) == kk {
+				lw := row[top[kk-1]]
+				if w > lw || (w == lw && int32(u) > top[kk-1]) {
+					continue
+				}
+				top = top[:kk-1]
 			}
-			return cand[a] < cand[b]
-		})
-		kk := k
-		if kk > cnt {
-			kk = cnt
+			// Insert u keeping (weight, index) order; scan from the tail —
+			// most candidates land near it.
+			i := len(top)
+			top = top[:i+1]
+			for i > 0 {
+				pw := row[top[i-1]]
+				if pw < w || (pw == w && top[i-1] < int32(u)) {
+					break
+				}
+				top[i] = top[i-1]
+				i--
+			}
+			top[i] = int32(u)
 		}
-		out[v] = append([]int32(nil), cand[:kk]...)
 	}
 	return out
 }

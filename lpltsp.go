@@ -54,6 +54,17 @@
 // through a registry, so an external package can register a new engine
 // and have Solve, Portfolio, and the CLIs pick it up by name.
 //
+// # Performance
+//
+// Reduced instances are stored compactly: since w(u,v) = p[dist(u,v)-1]
+// takes at most k distinct values, the solver keeps only the uint16
+// distance matrix (shared read-only by all concurrent engines) plus a
+// k-entry weight table instead of a dense n²·int64 matrix — 5× less
+// instance memory — and the engines exploit the weight-class structure
+// (bucketed neighbor lists, counting-sorted edge sweeps) and pool all
+// hot-path scratch, so portfolio races and steady-state batches allocate
+// essentially only their results.
+//
 // Beyond the core reduction the package exposes the paper's companion
 // results: the 1.5-approximation and O(2ⁿn²) exact algorithm (Corollary
 // 1), the PARTITION INTO PATHS equivalence on diameter-2 graphs
