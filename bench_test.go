@@ -101,8 +101,10 @@ func BenchmarkE2Equivalence(b *testing.B) {
 	p := lpltsp.Vector{2, 2, 1}
 	b.Run("reduction-route/n=10", func(b *testing.B) {
 		b.ReportAllocs()
+		// NoCache: this measures the solve pipeline, not the memo layer
+		// (BenchmarkBatchRepeatedCache measures that).
 		for i := 0; i < b.N; i++ {
-			if _, err := lpltsp.Solve(g, p, nil); err != nil {
+			if _, err := lpltsp.Solve(g, p, &lpltsp.Options{Verify: true, NoCache: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -139,8 +141,9 @@ func BenchmarkE4Approx(b *testing.B) {
 		p := lpltsp.Vector{2, 2, 1}
 		b.Run(fmt.Sprintf("christofides-path/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
+			opts := &lpltsp.Options{Algorithm: lpltsp.AlgoChristofides, Verify: true, NoCache: true}
 			for i := 0; i < b.N; i++ {
-				if _, err := lpltsp.Approximate(g, p); err != nil {
+				if _, err := lpltsp.Solve(g, p, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -185,10 +188,56 @@ func BenchmarkE6Figure1(b *testing.B) {
 	p := lpltsp.Vector{2, 2, 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := lpltsp.Solve(g, p, nil); err != nil {
+		if _, err := lpltsp.Solve(g, p, &lpltsp.Options{Verify: true, NoCache: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBatchRepeatedCache measures the memoization layer on the
+// workload it exists for: steady-state batch traffic where instances
+// repeat. 16 items cycle over 4 distinct graphs; the cached run solves
+// each distinct instance once and serves the other 12 results from the
+// LRU, while the nocache run redoes every reduction. The uncached APSP +
+// exact-engine work dominates, so cached throughput and bytes/op should
+// drop by roughly the duplication factor (recorded in BENCH_PR3.json).
+func BenchmarkBatchRepeatedCache(b *testing.B) {
+	const distinct, items = 4, 16
+	base := make([]*lpltsp.Graph, distinct)
+	for i := range base {
+		base[i] = lpltsp.RandomSmallDiameter(uint64(i+21), 18, 3, 0.15)
+	}
+	its := make([]lpltsp.BatchItem, items)
+	for i := range its {
+		its[i] = lpltsp.BatchItem{
+			ID: fmt.Sprintf("g%d", i%distinct),
+			G:  base[i%distinct],
+			P:  lpltsp.Vector{2, 2, 1},
+		}
+	}
+	run := func(b *testing.B, noCache bool) {
+		b.ReportAllocs()
+		opts := &lpltsp.BatchOptions{Options: &lpltsp.Options{Verify: true, NoCache: noCache}}
+		for i := 0; i < b.N; i++ {
+			for br := range lpltsp.SolveBatch(context.Background(), its, opts) {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			}
+		}
+		if !noCache {
+			st := lpltsp.CacheStats()
+			b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/op")
+		}
+	}
+	b.Run("cached", func(b *testing.B) {
+		lpltsp.ResetCache()
+		run(b, false)
+	})
+	b.Run("nocache", func(b *testing.B) {
+		lpltsp.ResetCache()
+		run(b, true)
+	})
 }
 
 // BenchmarkE7Diameter2 measures the Corollary 2 pipeline (partition into

@@ -7,6 +7,12 @@
 //
 //	lplgen -family smalldiam -n 100 -k 3 -seed 7 > g.col
 //	lplgen -family wheel -n 10 > wheel.col
+//	lplgen -family smalldiam -n 40 -components 3 > multi.col
+//
+// -components c > 1 emits the disjoint union of c independent draws of
+// the selected family (each on n vertices; random families advance the
+// seed per draw), producing multi-component instances for the solver's
+// component-decomposition path.
 package main
 
 import (
@@ -26,55 +32,78 @@ func main() {
 		prob  = flag.Float64("p", 0.2, "edge probability (gnp/diameter2) or extra-edge rate (smalldiam)")
 		seed  = flag.Uint64("seed", 1, "random seed")
 		parts = flag.Int("parts", 3, "number of classes (lownd/multipartite)")
+		comps = flag.Int("components", 1, "emit the disjoint union of this many independent draws (> 1 gives a disconnected graph)")
 	)
 	flag.Parse()
 
-	var g *lpltsp.Graph
-	switch *family {
-	case "smalldiam":
-		g = lpltsp.RandomSmallDiameter(*seed, *n, *k, *prob)
-	case "diameter2":
-		g = lpltsp.RandomDiameter2(*seed, *n, *prob)
-	case "gnp":
-		g = lpltsp.RandomGNP(*seed, *n, *prob)
-	case "cograph":
-		g = lpltsp.RandomCograph(*seed, *n)
-	case "lownd":
-		sizes := make([]int, *parts)
-		base := *n / *parts
-		for i := range sizes {
-			sizes[i] = base
-		}
-		sizes[0] += *n - base*(*parts)
-		g = lpltsp.RandomLowND(*seed, sizes, 0.5, 0.6)
-	case "tree":
-		g = lpltsp.RandomTreeGraph(*seed, *n)
-	case "path":
-		g = lpltsp.PathGraph(*n)
-	case "cycle":
-		g = lpltsp.CycleGraph(*n)
-	case "complete":
-		g = lpltsp.CompleteGraph(*n)
-	case "star":
-		g = lpltsp.StarGraph(*n)
-	case "wheel":
-		g = lpltsp.WheelGraph(*n)
-	case "multipartite":
-		sizes := make([]int, *parts)
-		base := *n / *parts
-		for i := range sizes {
-			sizes[i] = base
-		}
-		sizes[0] += *n - base*(*parts)
-		g = lpltsp.CompleteMultipartiteGraph(sizes...)
-	case "figure1":
-		g = lpltsp.Figure1Graph()
-	default:
-		fmt.Fprintf(os.Stderr, "lplgen: unknown family %q\n", *family)
+	g, err := generate(*family, *n, *k, *prob, *seed, *parts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lplgen:", err)
 		os.Exit(1)
+	}
+	if *comps > 1 {
+		union := make([]*lpltsp.Graph, 0, *comps)
+		union = append(union, g)
+		for i := 1; i < *comps; i++ {
+			h, err := generate(*family, *n, *k, *prob, *seed+uint64(i), *parts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lplgen:", err)
+				os.Exit(1)
+			}
+			union = append(union, h)
+		}
+		g = lpltsp.DisjointUnion(union...)
 	}
 	if err := lpltsp.WriteGraph(os.Stdout, g); err != nil {
 		fmt.Fprintln(os.Stderr, "lplgen:", err)
 		os.Exit(1)
 	}
+}
+
+// generate draws one graph of the named family.
+func generate(family string, n, k int, prob float64, seed uint64, parts int) (*lpltsp.Graph, error) {
+	var g *lpltsp.Graph
+	switch family {
+	case "smalldiam":
+		g = lpltsp.RandomSmallDiameter(seed, n, k, prob)
+	case "diameter2":
+		g = lpltsp.RandomDiameter2(seed, n, prob)
+	case "gnp":
+		g = lpltsp.RandomGNP(seed, n, prob)
+	case "cograph":
+		g = lpltsp.RandomCograph(seed, n)
+	case "lownd":
+		sizes := make([]int, parts)
+		base := n / parts
+		for i := range sizes {
+			sizes[i] = base
+		}
+		sizes[0] += n - base*(parts)
+		g = lpltsp.RandomLowND(seed, sizes, 0.5, 0.6)
+	case "tree":
+		g = lpltsp.RandomTreeGraph(seed, n)
+	case "path":
+		g = lpltsp.PathGraph(n)
+	case "cycle":
+		g = lpltsp.CycleGraph(n)
+	case "complete":
+		g = lpltsp.CompleteGraph(n)
+	case "star":
+		g = lpltsp.StarGraph(n)
+	case "wheel":
+		g = lpltsp.WheelGraph(n)
+	case "multipartite":
+		sizes := make([]int, parts)
+		base := n / parts
+		for i := range sizes {
+			sizes[i] = base
+		}
+		sizes[0] += n - base*(parts)
+		g = lpltsp.CompleteMultipartiteGraph(sizes...)
+	case "figure1":
+		g = lpltsp.Figure1Graph()
+	default:
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+	return g, nil
 }

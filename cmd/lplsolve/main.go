@@ -1,18 +1,29 @@
 // Command lplsolve solves L(p)-LABELING instances read from graph files
-// (DIMACS edge format or a bare "n m" edge list) via the TSP reduction.
+// (DIMACS edge format or a bare "n m" edge list) through the planned
+// method pipeline.
 //
 // Usage:
 //
 //	lplsolve -p 2,1 -algo exact graph.col
 //	cat graph.col | lplsolve -p 2,2,1 -algo chained
+//	lplsolve -p 2,1 -algo auto -explain graph.col
 //	lplsolve -p 2,1 -timeout 5s -algo portfolio big.col
 //	lplsolve -p 2,1 -algo portfolio -workers 4 a.col b.col c.col
 //
-// With one input (file or stdin) the output reports the span, whether it
-// is provably optimal, the vertex ordering (Hamiltonian path of the
-// reduced instance), and the labeling. With several input files the
-// instances are streamed through a bounded worker pool (batch mode) and
-// one summary line is printed per instance as it completes.
+// With one input (file or stdin) the output reports the span, the method
+// that solved it (TSP reduction, diameter-2 path partition, FPT coloring,
+// tree algorithm, pmax-approximation, first-fit fallback, or component
+// decomposition), whether it is provably optimal, and the labeling. With
+// several input files the instances are streamed through a bounded worker
+// pool (batch mode) and one summary line is printed per instance as it
+// completes; repeated instances are served from the solve cache.
+//
+// -algo pins a TSP engine, which keeps the solve on the reduction
+// whenever it applies ("auto" lets the planner route freely); -method
+// pins a planner method outright, restoring the classical typed errors
+// when its preconditions fail. -explain prints the routing decision —
+// every method's applicability verdict — plus whether the result came
+// from the cache.
 //
 // -timeout bounds each solve; anytime engines (bnb, chained, 2opt, 3opt,
 // portfolio) return their best labeling found so far when it fires.
@@ -22,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,7 +45,10 @@ import (
 func main() {
 	var (
 		pFlag    = flag.String("p", "2,1", "constraint vector p, comma-separated (e.g. 2,1)")
-		algoFlag = flag.String("algo", "exact", "engine: exact|heldkarp|bnb|christofides|chained|2opt|3opt|nn|greedy|portfolio")
+		algoFlag = flag.String("algo", "exact", "engine: exact|heldkarp|bnb|christofides|chained|2opt|3opt|nn|greedy|portfolio, or auto to let the planner route freely")
+		method   = flag.String("method", "", "pin a planner method: reduction|tree|diameter2|fpt-coloring|pmax-approx|greedy (empty = plan automatically)")
+		explain  = flag.Bool("explain", false, "print the routing decision (chosen method, applicability reasons, cache hit/miss)")
+		noCache  = flag.Bool("nocache", false, "bypass the solve cache")
 		timeout  = flag.Duration("timeout", 0, "deadline per instance (0 = none); anytime engines return their incumbent")
 		workers  = flag.Int("workers", 0, "concurrent instances in batch mode (0 = half the CPUs; each solve parallelizes internally)")
 		seed     = flag.Uint64("seed", 1, "seed for randomized engines")
@@ -47,10 +62,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	algo := *algoFlag
+	if algo == "auto" {
+		algo = ""
+	}
 	opts := &lpltsp.Options{
-		Algorithm: lpltsp.Algorithm(*algoFlag),
+		Method:    lpltsp.Method(*method),
+		Algorithm: lpltsp.Algorithm(algo),
 		Chained:   &lpltsp.ChainedOptions{Restarts: *restarts, Kicks: *kicks, Seed: *seed},
 		Verify:    true,
+		NoCache:   *noCache,
 		Deadline:  *timeout,
 	}
 	ctx := context.Background()
@@ -78,19 +99,63 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *explain && res.Plan != nil {
+		// The result carries the routing decision that produced it, so
+		// explaining costs no second probe.
+		printPlan(os.Stdout, res.Plan, "")
+	}
 	if *quiet {
 		fmt.Println(res.Span)
 		return
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
-	fmt.Printf("p: %v  engine: %s%s  exact: %v%s\n",
-		p, res.Algorithm, winnerSuffix(res), res.Exact, truncatedSuffix(res))
+	fmt.Printf("p: %v  method: %s%s  exact: %v%s%s\n",
+		p, res.Method, engineSuffix(res), res.Exact, approxSuffix(res), truncatedSuffix(res))
+	if *explain {
+		fmt.Printf("cache: %s\n", hitMiss(res.CacheHit))
+	}
 	fmt.Printf("span: %d\n", res.Span)
 	fmt.Printf("reduce: %v  solve: %v\n", res.ReduceTime, res.SolveTime)
-	fmt.Printf("ordering: %v\n", []int(res.Tour))
+	if res.Tour != nil {
+		fmt.Printf("ordering: %v\n", []int(res.Tour))
+	}
 	fmt.Printf("labeling:\n")
 	for v, l := range res.Labeling {
 		fmt.Printf("  %4d -> %d\n", v, l)
+	}
+}
+
+// printPlan renders a routing decision: the chosen method, the instance
+// shape, one verdict line per candidate method, and (recursively) the
+// per-component sub-plans of a decomposed disconnected input.
+func printPlan(w io.Writer, pl *lpltsp.Plan, indent string) {
+	forced := ""
+	if pl.Forced {
+		forced = " (forced)"
+	} else if pl.AlgorithmPinned {
+		forced = " (engine pinned)"
+	}
+	fmt.Fprintf(w, "%splan: method=%s%s n=%d m=%d components=%d\n",
+		indent, pl.Chosen, forced, pl.N, pl.M, pl.Components)
+	for _, c := range pl.Candidates {
+		mark := "✗"
+		quality := ""
+		if c.Applicable {
+			mark = "✓"
+			switch {
+			case c.Exact:
+				quality = " [exact]"
+			case c.Approx > 0:
+				quality = fmt.Sprintf(" [≤ %.3g·λ]", c.Approx)
+			default:
+				quality = " [heuristic]"
+			}
+		}
+		fmt.Fprintf(w, "%s  %s %-13s%s %s\n", indent, mark, c.Method, quality, c.Reason)
+	}
+	for i, sub := range pl.Sub {
+		fmt.Fprintf(w, "%s  component %d:\n", indent, i)
+		printPlan(w, sub, indent+"    ")
 	}
 }
 
@@ -118,15 +183,16 @@ func runBatch(ctx context.Context, files []string, p lpltsp.Vector, opts *lpltsp
 		case quiet:
 			fmt.Printf("%s %d\n", br.ID, br.Result.Span)
 		default:
-			fmt.Printf("%s: span=%d engine=%s%s exact=%v%s n=%d solve=%v\n",
-				br.ID, br.Result.Span, br.Result.Algorithm, winnerSuffix(br.Result),
-				br.Result.Exact, truncatedSuffix(br.Result),
+			fmt.Printf("%s: span=%d method=%s%s%s exact=%v%s n=%d solve=%v\n",
+				br.ID, br.Result.Span, br.Result.Method, engineSuffix(br.Result),
+				cacheSuffix(br.Result), br.Result.Exact, truncatedSuffix(br.Result),
 				len(br.Result.Labeling), br.Result.SolveTime.Round(time.Microsecond))
 		}
 	}
 	if !quiet {
-		fmt.Printf("batch: %d instances, %d failed, wall %v\n",
-			len(files), failed, time.Since(t0).Round(time.Millisecond))
+		st := lpltsp.CacheStats()
+		fmt.Printf("batch: %d instances, %d failed, cache %d/%d hits, wall %v\n",
+			len(files), failed, st.Hits, st.Hits+st.Misses, time.Since(t0).Round(time.Millisecond))
 	}
 	if failed > 0 {
 		return 1
@@ -143,9 +209,28 @@ func readGraphFile(path string) (*lpltsp.Graph, error) {
 	return lpltsp.ReadGraph(f)
 }
 
-func winnerSuffix(res *lpltsp.Result) string {
+// engineSuffix names the TSP engine behind a reduction-method result,
+// including the portfolio winner when the race was won by someone else.
+func engineSuffix(res *lpltsp.Result) string {
+	if res.Algorithm == "" {
+		return ""
+	}
 	if res.Winner != "" && res.Winner != res.Algorithm {
-		return fmt.Sprintf(" (won by %s)", res.Winner)
+		return fmt.Sprintf(" (engine %s, won by %s)", res.Algorithm, res.Winner)
+	}
+	return fmt.Sprintf(" (engine %s)", res.Algorithm)
+}
+
+func approxSuffix(res *lpltsp.Result) string {
+	if res.Exact || res.Approx == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  (≤ %.3g·λ)", res.Approx)
+}
+
+func cacheSuffix(res *lpltsp.Result) string {
+	if res.CacheHit {
+		return " cache=hit"
 	}
 	return ""
 }
@@ -155,6 +240,13 @@ func truncatedSuffix(res *lpltsp.Result) string {
 		return "  (deadline: best-so-far)"
 	}
 	return ""
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
 }
 
 func parseVector(s string) (lpltsp.Vector, error) {

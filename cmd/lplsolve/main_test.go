@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -52,5 +54,63 @@ func TestRunBatchPortfolio(t *testing.T) {
 	}
 	if code := runBatch(context.Background(), files, lpltsp.L21(), opts, 2, true); code != 0 {
 		t.Fatalf("runBatch exit code %d", code)
+	}
+}
+
+// TestRunBatchDisconnected: batch mode now survives multi-component
+// inputs via the planner's decomposition instead of failing the item.
+func TestRunBatchDisconnected(t *testing.T) {
+	dir := t.TempDir()
+	g := lpltsp.DisjointUnion(
+		lpltsp.RandomSmallDiameter(3, 8, 2, 0.4),
+		lpltsp.RandomSmallDiameter(4, 7, 2, 0.4),
+	)
+	path := filepath.Join(dir, "multi.col")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lpltsp.WriteGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	opts := &lpltsp.Options{Verify: true}
+	if code := runBatch(context.Background(), []string{path, path}, lpltsp.L21(), opts, 2, true); code != 0 {
+		t.Fatalf("runBatch exit code %d for disconnected input", code)
+	}
+}
+
+// TestPrintPlan renders the -explain output for a connected and a
+// decomposed plan and checks the essentials appear: the chosen method,
+// one verdict per registered candidate, and per-component sub-plans.
+func TestPrintPlan(t *testing.T) {
+	pl, err := lpltsp.Explain(lpltsp.CycleGraph(4), lpltsp.L21(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	printPlan(&buf, pl, "")
+	out := buf.String()
+	if !strings.Contains(out, "plan: method="+string(pl.Chosen)) {
+		t.Fatalf("chosen method missing:\n%s", out)
+	}
+	for _, c := range pl.Candidates {
+		if !strings.Contains(out, string(c.Method)) {
+			t.Fatalf("candidate %s missing:\n%s", c.Method, out)
+		}
+	}
+	if !strings.Contains(out, "✓") || !strings.Contains(out, "✗") {
+		t.Fatalf("applicability marks missing:\n%s", out)
+	}
+
+	pl, err = lpltsp.Explain(lpltsp.DisjointUnion(lpltsp.PathGraph(3), lpltsp.CycleGraph(4)), lpltsp.L21(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	printPlan(&buf, pl, "")
+	out = buf.String()
+	if !strings.Contains(out, "method=components") || !strings.Contains(out, "component 1:") {
+		t.Fatalf("decomposed plan not rendered:\n%s", out)
 	}
 }

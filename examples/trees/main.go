@@ -2,10 +2,12 @@
 // introduction contrasts class-specific algorithms (trees are solvable in
 // polynomial time, but "the algorithm … is quite involved" and exploits
 // the tree structure itself) with the graph-agnostic TSP route, which
-// needs diam(G) ≤ k. This example shows both sides: the reduction rejects
-// a random tree with a typed error, while the Chang–Kuo-style exact tree
-// algorithm solves it at scale — and on tiny trees, the reduction-free
-// brute force confirms both.
+// needs diam(G) ≤ k. This example shows both sides and how the method
+// planner stitches them together: Solve routes a 1000-vertex tree to the
+// exact tree algorithm automatically (Result.Method = "tree"), while
+// pinning Options.Method to the reduction reproduces the classical typed
+// rejection — and on tiny trees, the reduction-free brute force confirms
+// both.
 package main
 
 import (
@@ -33,9 +35,21 @@ func main() {
 	}
 	fmt.Println("1000-vertex labeling verified ✓")
 
-	// The TSP reduction refuses: trees have large diameter.
-	if _, err := lpltsp.Solve(big, lpltsp.L21(), nil); errors.Is(err, lpltsp.ErrDiameterExceedsK) {
-		fmt.Printf("reduction correctly rejects the tree: %v\n", err)
+	// The planner reaches the same algorithm on its own: the reduction is
+	// inapplicable (trees have large diameter), so Solve routes to the
+	// tree method with exact provenance.
+	res, err := lpltsp.Solve(big, lpltsp.L21(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planner route: method=%s exact=%v span=%d\n", res.Method, res.Exact, res.Span)
+	if res.Method != lpltsp.MethodTree || res.Span != span {
+		log.Fatalf("expected the tree route with span %d, got %s/%d", span, res.Method, res.Span)
+	}
+
+	// Pinning the reduction restores the classical typed rejection.
+	if _, err := lpltsp.Solve(big, lpltsp.L21(), &lpltsp.Options{Method: lpltsp.MethodReduction}); errors.Is(err, lpltsp.ErrDiameterExceedsK) {
+		fmt.Printf("pinned reduction correctly rejects the tree: %v\n", err)
 	} else {
 		log.Fatalf("expected ErrDiameterExceedsK, got %v", err)
 	}

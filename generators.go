@@ -66,6 +66,19 @@ func RandomTreeGraph(seed uint64, n int) *Graph {
 	return graph.RandomTree(rng.New(seed), n)
 }
 
+// DisjointUnion returns the disjoint union of the given graphs (vertex
+// sets concatenated in argument order, no edges between parts) — the
+// building block for multi-component instances exercising the planner's
+// component decomposition.
+func DisjointUnion(gs ...*Graph) *Graph { return graph.DisjointUnion(gs...) }
+
+// RandomComponents returns a graph with exactly c connected components,
+// each an independent RandomSmallDiameter(n/c, k, extra) graph. This is
+// the lplgen -components workload family.
+func RandomComponents(seed uint64, n, c, k int, extra float64) *Graph {
+	return graph.RandomComponents(rng.New(seed), n, c, k, extra)
+}
+
 // Figure1Graph returns the 5-vertex diameter-3 running example from the
 // paper's Figure 1.
 func Figure1Graph() *Graph { return graph.Figure1Graph() }

@@ -58,12 +58,19 @@ type BatchOptions struct {
 // The consumer MUST read the channel until it closes, including after
 // cancelling ctx — the pool's goroutines block on delivery otherwise.
 //
+// Each item flows through the planned pipeline (plan → method → engine),
+// so mixed batches route per item — diameter-2 instances to the partition
+// DP, disconnected ones through component decomposition, and so on — and
+// verified results are memoized in the solve cache: duplicate instances
+// in steady-state traffic are served from the cache (Result.CacheHit)
+// without redoing the reduction.
+//
 // Memory behavior: every item's reduction builds a compact weight-class
 // instance over its own distance matrix (no n²·int64 weight copy), and
 // the TSP engines draw their hot-path scratch from package-level pools
 // shared across all workers. Steady-state batch throughput therefore
 // allocates per item only the result (labeling, tour, distance matrix),
-// not per-solve engine state.
+// not per-solve engine state; cache hits allocate only the copied result.
 func SolveBatch(ctx context.Context, items []BatchItem, opts *BatchOptions) <-chan BatchResult {
 	workers := runtime.GOMAXPROCS(0) / 2
 	if workers < 1 {

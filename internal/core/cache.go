@@ -1,0 +1,189 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/tsp"
+)
+
+// DefaultCacheCapacity is the solve cache's default entry budget. An
+// entry holds one Result (labeling + tour + provenance, O(n) ints) — not
+// the distance matrix — so the cache's footprint stays linear in the
+// cached instances' sizes.
+const DefaultCacheCapacity = 512
+
+// solveCache is a mutex-guarded LRU memoizing verified solve results.
+//
+// Memory model: entries are stored as deep copies (labeling and tour
+// slices cloned) and handed out as deep copies, so a cached Result never
+// shares mutable state with any caller — hits are safe under concurrent
+// SolveBatch workers and -race. The immutable provenance (Plan, Stats) is
+// shared between copies by design.
+type solveCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	entries map[string]*list.Element
+
+	hits, misses, evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newSolveCache(capacity int) *solveCache {
+	return &solveCache{cap: capacity, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+var defaultSolveCache = newSolveCache(DefaultCacheCapacity)
+
+// copyResult clones the slices a caller could mutate; everything else is
+// immutable after the solve.
+func copyResult(r *Result) *Result {
+	cp := *r
+	if r.Labeling != nil {
+		cp.Labeling = append(labeling.Labeling(nil), r.Labeling...)
+	}
+	if r.Tour != nil {
+		cp.Tour = append(tsp.Tour(nil), r.Tour...)
+	}
+	return &cp
+}
+
+func (c *solveCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	res := copyResult(el.Value.(*cacheEntry).res)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	res.CacheHit = true
+	return res, true
+}
+
+func (c *solveCache) put(key string, res *Result) {
+	stored := copyResult(res)
+	stored.CacheHit = false
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = stored
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: stored})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *solveCache) reset(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capacity
+	c.clearLocked()
+}
+
+// resetKeepCap clears entries and counters at the current capacity,
+// reading cap under the same lock (a bare reset(c.cap) would race a
+// concurrent capacity change).
+func (c *solveCache) resetKeepCap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clearLocked()
+}
+
+func (c *solveCache) clearLocked() {
+	c.ll.Init()
+	c.entries = map[string]*list.Element{}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+func (c *solveCache) stats() CacheStats {
+	c.mu.Lock()
+	entries := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(entries),
+	}
+}
+
+// CacheStats is a snapshot of the solve cache's hit/miss counters.
+type CacheStats struct {
+	Hits, Misses, Evictions, Entries int64
+}
+
+// SolveCacheStats returns the current counters of the process-wide solve
+// cache consulted by Solve, SolveBatch, and Portfolio.
+func SolveCacheStats() CacheStats { return defaultSolveCache.stats() }
+
+// ResetSolveCache empties the solve cache and zeroes its counters,
+// keeping the current capacity. Intended for tests and benchmarks.
+func ResetSolveCache() { defaultSolveCache.resetKeepCap() }
+
+// SetSolveCacheCapacity resets the cache with a new entry budget
+// (capacity ≤ 0 disables caching entirely).
+func SetSolveCacheCapacity(capacity int) { defaultSolveCache.reset(capacity) }
+
+// cacheKeyFor builds the canonical instance fingerprint: the graph's
+// 128-bit structural hash (plus n and m, so a hash collision must also
+// collide on size to matter), the constraint vector, and every option
+// that can change the produced result — forced method, pinned engine,
+// portfolio roster, and chained-heuristic tuning. Deadlines are excluded:
+// truncated results are never cached, and a completed solve does not
+// depend on how much budget was left.
+func cacheKeyFor(g *graph.Graph, p labeling.Vector, opts *Options) string {
+	h1, h2 := g.Fingerprint()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%016x%016x:n%d:m%d:p", h1, h2, g.N(), g.M())
+	for _, x := range p {
+		fmt.Fprintf(&b, ",%d", x)
+	}
+	if opts != nil {
+		if opts.Method != "" {
+			fmt.Fprintf(&b, ":M%s", opts.Method)
+		}
+		if opts.Algorithm != "" {
+			fmt.Fprintf(&b, ":a%s", opts.Algorithm)
+		}
+		for _, e := range opts.Engines {
+			fmt.Fprintf(&b, ":e%s", e)
+		}
+		if opts.Chained != nil {
+			fmt.Fprintf(&b, ":c%d.%d.%d", opts.Chained.Restarts, opts.Chained.Kicks, opts.Chained.Seed)
+		}
+	}
+	return b.String()
+}
+
+// cacheable reports whether this solve participates in the cache: caching
+// must be on (Options.NoCache unset) and the result verified
+// (Options.Verify — only labelings that were re-checked against the
+// definition are worth trusting across requests).
+func cacheable(opts *Options) bool {
+	return opts != nil && opts.Verify && !opts.NoCache
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+)
+
+// TestCacheHitRoundtrip: a repeated verified solve is served from the
+// cache, bit-identical, with counters advancing.
+func TestCacheHitRoundtrip(t *testing.T) {
+	ResetSolveCache()
+	defer ResetSolveCache()
+	r := rng.New(11)
+	g := graph.RandomSmallDiameter(r, 13, 3, 0.3)
+	p := labeling.Vector{2, 2, 1}
+	opts := &Options{Verify: true}
+	first, err := Solve(g, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first solve reported a cache hit")
+	}
+	second, err := Solve(g, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second solve missed the cache")
+	}
+	if second.Span != first.Span || second.Method != first.Method || second.Exact != first.Exact {
+		t.Fatalf("cache changed provenance: %+v vs %+v", second, first)
+	}
+	for v := range first.Labeling {
+		if first.Labeling[v] != second.Labeling[v] {
+			t.Fatalf("label %d differs", v)
+		}
+	}
+	st := SolveCacheStats()
+	if st.Hits != 1 || st.Entries == 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+	// A structurally identical graph built in a different edge order
+	// shares the fingerprint and hits too.
+	h := graph.New(g.N())
+	es := g.Edges()
+	for i := len(es) - 1; i >= 0; i-- {
+		h.AddEdge(es[i][1], es[i][0])
+	}
+	third, err := Solve(h, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.CacheHit {
+		t.Fatal("isomorphic-by-identity graph missed the cache")
+	}
+}
+
+// TestCacheIsolation: mutations of a returned result never leak into the
+// cache, and distinct options key distinct entries.
+func TestCacheIsolation(t *testing.T) {
+	ResetSolveCache()
+	defer ResetSolveCache()
+	g := graph.Complete(6)
+	p := labeling.L21()
+	first, err := Solve(g, p, &Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(labeling.Labeling(nil), first.Labeling...)
+	for v := range first.Labeling {
+		first.Labeling[v] = -999 // caller vandalism
+	}
+	second, err := Solve(g, p, &Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("expected a hit")
+	}
+	for v := range want {
+		if second.Labeling[v] != want[v] {
+			t.Fatal("caller mutation leaked into the cache")
+		}
+	}
+	// Different pinned method ⇒ different key ⇒ no stale answer.
+	forced, err := Solve(g, p, &Options{Method: MethodGreedy, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.CacheHit || forced.Method != MethodGreedy {
+		t.Fatalf("forced-method solve reused the auto entry: %+v", forced)
+	}
+}
+
+// TestCacheDeterminismUnderRace hammers the cache from concurrent batch
+// workers over duplicated instances: every duplicate must report the same
+// span (run under -race, this also proves hits share no mutable state).
+func TestCacheDeterminismUnderRace(t *testing.T) {
+	ResetSolveCache()
+	defer ResetSolveCache()
+	r := rng.New(17)
+	base := make([]*graph.Graph, 4)
+	for i := range base {
+		base[i] = graph.RandomSmallDiameter(r, 11+i, 3, 0.3)
+	}
+	p := labeling.Vector{2, 2, 1}
+	const dup = 8
+	var items []BatchItem
+	for rep := 0; rep < dup; rep++ {
+		for i, g := range base {
+			items = append(items, BatchItem{ID: string(rune('a' + i)), G: g, P: p})
+		}
+	}
+	spans := map[string]map[int]bool{}
+	var mu sync.Mutex
+	for br := range SolveBatch(context.Background(), items, &BatchOptions{Workers: 4, Options: &Options{Verify: true}}) {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+		mu.Lock()
+		if spans[br.ID] == nil {
+			spans[br.ID] = map[int]bool{}
+		}
+		spans[br.ID][br.Result.Span] = true
+		mu.Unlock()
+	}
+	for id, set := range spans {
+		if len(set) != 1 {
+			t.Fatalf("instance %s produced %d distinct spans under caching", id, len(set))
+		}
+	}
+	st := SolveCacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("duplicated batch produced no cache hits: %+v", st)
+	}
+}
+
+// TestCacheCapacityAndEviction: the LRU respects its budget and capacity
+// zero disables caching.
+func TestCacheCapacityAndEviction(t *testing.T) {
+	SetSolveCacheCapacity(2)
+	defer SetSolveCacheCapacity(DefaultCacheCapacity)
+	p := labeling.L21()
+	gs := []*graph.Graph{graph.Complete(4), graph.Complete(5), graph.Complete(6)}
+	for _, g := range gs {
+		if _, err := Solve(g, p, &Options{Verify: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := SolveCacheStats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("capacity 2: %+v", st)
+	}
+	// K4 (the LRU victim) misses; K6 (most recent) hits.
+	res, err := Solve(gs[0], p, &Options{Verify: true})
+	if err != nil || res.CacheHit {
+		t.Fatalf("evicted entry served: hit=%v err=%v", res != nil && res.CacheHit, err)
+	}
+	res, err = Solve(gs[2], p, &Options{Verify: true})
+	if err != nil || !res.CacheHit {
+		t.Fatalf("fresh entry missed: err=%v", err)
+	}
+	SetSolveCacheCapacity(0)
+	if _, err := Solve(graph.Complete(7), p, &Options{Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := SolveCacheStats(); st.Entries != 0 {
+		t.Fatalf("capacity 0 cached anyway: %+v", st)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+)
+
+// solveComponents decomposes a disconnected instance: every connected
+// component is planned and solved independently (through the same
+// pipeline, so each component gets its own best method and its own cache
+// entry — duplicate components across a workload hit the cache), and the
+// labelings are merged. No distance constraint crosses a component
+// boundary, so each component restarts at label 0 and
+//
+//	λ_p(G) = max over components C of λ_p(C),
+//
+// which is exactly how the merged result's exactness works too: the span
+// is provably optimal iff every component's was.
+func solveComponents(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options, comps [][]int) (*Result, error) {
+	merged := &Result{
+		Exact:  true,
+		Approx: 1,
+		Method: MethodComponents,
+		Plan:   &Plan{Chosen: MethodComponents, N: g.N(), M: g.M(), Components: len(comps)},
+	}
+	labs := make([]labeling.Labeling, 0, len(comps))
+	for _, comp := range comps {
+		sub := g.InducedSubgraph(comp)
+		res, err := solveAny(ctx, sub, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		labs = append(labs, res.Labeling)
+		merged.Exact = merged.Exact && res.Exact
+		merged.Truncated = merged.Truncated || res.Truncated
+		// The merged factor guarantee is the worst component factor:
+		// span = max span_i ≤ max(f_i·λ_i) ≤ (max f_i)·λ. Any component
+		// without a guarantee voids the whole bound.
+		switch {
+		case res.Approx == 0:
+			merged.Approx = 0
+		case merged.Approx != 0 && res.Approx > merged.Approx:
+			merged.Approx = res.Approx
+		}
+		merged.Stats.Nodes += res.Stats.Nodes
+		merged.ReduceTime += res.ReduceTime
+		merged.SolveTime += res.SolveTime
+		merged.Plan.Sub = append(merged.Plan.Sub, res.Plan)
+	}
+	lab, span, err := labeling.MergeComponents(g.N(), comps, labs)
+	if err != nil {
+		return nil, err
+	}
+	merged.Labeling = lab
+	merged.Span = span
+	merged.Stats.Cost = int64(span)
+	return merged, nil
+}

@@ -300,8 +300,20 @@ func TestSolveOptionsDefaults(t *testing.T) {
 	if !res.Exact || res.Span != labeling.CompleteLambda21(5) {
 		t.Fatalf("K5: span %d exact %v", res.Span, res.Exact)
 	}
-	if res.Algorithm != tsp.AlgoExact {
-		t.Fatalf("default algorithm: %s", res.Algorithm)
+	// With no pinned engine the planner routes freely; K5 is a k=2
+	// instance inside the path-partition DP's reach, so the Corollary 2
+	// route wins on cost and the result carries method provenance
+	// instead of an engine name.
+	if res.Method != MethodDiameter2 || res.Approx != 1 {
+		t.Fatalf("K5 auto route: method=%s approx=%v", res.Method, res.Approx)
+	}
+	// Pinning the engine restores the classical reduction provenance.
+	res, err = Solve(g, labeling.L21(), &Options{Algorithm: tsp.AlgoExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != tsp.AlgoExact || res.Method != MethodReduction || !res.Exact {
+		t.Fatalf("pinned engine: algorithm=%s method=%s exact=%v", res.Algorithm, res.Method, res.Exact)
 	}
 }
 

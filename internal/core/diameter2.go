@@ -48,7 +48,20 @@ func SolveDiameter2(g *graph.Graph, p, q int) (*Diameter2Result, error) {
 	if diam > 2 {
 		return nil, fmt.Errorf("%w (diameter %d > 2)", ErrDiameterExceedsK, diam)
 	}
+	res, _, err := solveDiameter2Partition(g, p, q)
+	return res, err
+}
 
+// solveDiameter2Partition is the partition body of SolveDiameter2 with the
+// preconditions already checked (the method planner's probe has verified
+// them). The second return reports whether the produced span is exact:
+// true for the subset DP and the cotree construction, false for the
+// greedy fallback beyond their reach.
+func solveDiameter2Partition(g *graph.Graph, p, q int) (*Diameter2Result, bool, error) {
+	n := g.N()
+	if n == 0 {
+		return &Diameter2Result{Labeling: labeling.Labeling{}}, true, nil
+	}
 	// Partition host: paths of weight-min edges. For p ≤ q the cheap edges
 	// are the distance-1 pairs (edges of G); for p > q they are the
 	// distance-2 pairs (edges of Ḡ).
@@ -60,13 +73,14 @@ func SolveDiameter2(g *graph.Graph, p, q int) (*Diameter2Result, error) {
 		onComp = true
 		lo, hi = q, p
 	}
+	exact := true
 	var paths [][]int
 	var err error
 	switch {
 	case n <= pathpart.ExactMaxN:
 		paths, err = pathpart.Exact(host)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	default:
 		// Past the DP's reach: cographs still get an exact cover from the
@@ -76,6 +90,7 @@ func SolveDiameter2(g *graph.Graph, p, q int) (*Diameter2Result, error) {
 			paths = cp
 		} else {
 			paths = pathpart.Greedy(host)
+			exact = false
 		}
 	}
 	s := len(paths)
@@ -99,7 +114,7 @@ func SolveDiameter2(g *graph.Graph, p, q int) (*Diameter2Result, error) {
 			lab[v] = acc
 		}
 	}
-	return &Diameter2Result{Labeling: lab, Span: span, Paths: paths, OnComplement: onComp}, nil
+	return &Diameter2Result{Labeling: lab, Span: span, Paths: paths, OnComplement: onComp}, exact, nil
 }
 
 // LambdaCograph computes λ_{p,q}(G) exactly for a connected cograph of

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+)
+
+// FuzzPlan drives the planner over arbitrary small graphs and constraint
+// vectors: whatever the route, the solve must terminate without error,
+// produce a labeling that verifies against the definition, and — when it
+// claims exactness on a brute-forceable instance — match the
+// reduction-free optimum. Edge bits decode into an adjacency upper
+// triangle, so the corpus explores connected, disconnected, dense, and
+// empty graphs alike.
+func FuzzPlan(f *testing.F) {
+	f.Add(uint8(4), uint64(0b111111), uint8(2), uint8(1), uint8(1))
+	f.Add(uint8(6), uint64(0x3_0a1f), uint8(2), uint8(1), uint8(0))
+	f.Add(uint8(8), uint64(0), uint8(5), uint8(1), uint8(2))   // empty graph, pmax > 2·pmin
+	f.Add(uint8(7), uint64(^uint64(0)), uint8(1), uint8(1), uint8(3)) // K7, uniform p
+	f.Add(uint8(5), uint64(0b10011), uint8(3), uint8(3), uint8(0))
+	f.Fuzz(func(t *testing.T, n uint8, edges uint64, p1, p2, k uint8) {
+		nv := int(n%9) + 1 // 1..9 vertices: brute force stays feasible
+		g := graph.New(nv)
+		bit := 0
+		for u := 0; u < nv; u++ {
+			for v := u + 1; v < nv; v++ {
+				if edges&(1<<(bit%64)) != 0 {
+					g.AddEdge(u, v)
+				}
+				bit++
+			}
+		}
+		p := labeling.Vector{int(p1 % 7)}
+		if k%3 > 0 {
+			p = append(p, int(p2%7))
+		}
+		if k%3 > 1 {
+			p = append(p, 1)
+		}
+		res, err := SolveContext(context.Background(), g, p, &Options{Verify: true, NoCache: true})
+		if err != nil {
+			t.Fatalf("planner errored on n=%d p=%v: %v", nv, p, err)
+		}
+		if err := labeling.Verify(g, p, res.Labeling); err != nil {
+			t.Fatalf("invalid labeling (method %s): %v", res.Method, err)
+		}
+		if res.Method == "" {
+			t.Fatal("no method provenance")
+		}
+		if res.Exact {
+			_, brute, err := labeling.BruteForceExact(g, p)
+			if err != nil {
+				t.Fatalf("brute force: %v", err)
+			}
+			if res.Span != brute {
+				t.Fatalf("method %s claims exact span %d, brute force says %d (n=%d p=%v)",
+					res.Method, res.Span, brute, nv, p)
+			}
+		}
+	})
+}

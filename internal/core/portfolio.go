@@ -42,21 +42,53 @@ func DefaultPortfolioEngines(n int) []tsp.Algorithm {
 // ReduceContext (see the package comment's memory model), so racing k
 // engines costs one matrix, not k copies, and each engine's scratch comes
 // from the shared pools in internal/tsp.
+//
+// Portfolio races are always verified, so their results are memoized in
+// the solve cache: repeating a race over an identical instance (and
+// roster) returns the cached winner with Result.CacheHit set.
+//
+// Portfolio is a direct reduction entry point: it keeps the typed
+// precondition errors (ErrDisconnected and friends) rather than routing
+// through the method planner — use Solve for planner routing.
 func Portfolio(ctx context.Context, g *graph.Graph, p labeling.Vector, engines ...tsp.Algorithm) (*Result, error) {
-	return portfolio(ctx, g, p, nil, engines)
-}
-
-// portfolio is Portfolio with engine tuning (reached through
-// Options.Chained when dispatching via SolveContext).
-func portfolio(ctx context.Context, g *graph.Graph, p labeling.Vector, chained *tsp.ChainedOptions, engines []tsp.Algorithm) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Keyed as the forced-reduction solve this entry point semantically
+	// is (Method set), so it can never share an entry with a planner
+	// solve that merely pinned Algorithm=portfolio and was then routed
+	// elsewhere (e.g. a disconnected input decomposed into components —
+	// serving that here would skip Portfolio's typed errors).
+	cacheOpts := &Options{Method: MethodReduction, Algorithm: AlgoPortfolio, Engines: engines, Verify: true}
+	key := cacheKeyFor(g, p, cacheOpts)
+	if res, ok := defaultSolveCache.get(key); ok {
+		return res, nil
+	}
 	t0 := time.Now()
 	red, err := ReduceContext(ctx, g, p)
 	if err != nil {
 		return nil, err
 	}
+	res, err := portfolioOverReduction(ctx, red, nil, engines)
+	if err != nil {
+		return nil, err
+	}
+	res.Method = MethodReduction
+	res.ReduceTime = res.ReduceTime + time.Since(t0) - res.SolveTime
+	if !res.Truncated {
+		defaultSolveCache.put(key, res)
+	}
+	return res, nil
+}
+
+// portfolioOverReduction races the roster over a prebuilt reduction and
+// returns the best verified labeling; SolveTime covers the race, and the
+// caller owns ReduceTime. It is the portfolio body shared by the public
+// Portfolio entry point and the reduction method's AlgoPortfolio dispatch.
+func portfolioOverReduction(ctx context.Context, red *Reduction, chained *tsp.ChainedOptions, engines []tsp.Algorithm) (*Result, error) {
 	t1 := time.Now()
 	if len(engines) == 0 {
-		engines = DefaultPortfolioEngines(g.N())
+		engines = DefaultPortfolioEngines(red.G.N())
 	}
 
 	raceCtx, cancel := context.WithCancel(ctx)
@@ -85,10 +117,16 @@ func portfolio(ctx context.Context, g *graph.Graph, p labeling.Vector, chained *
 
 	var best *entry
 	var engineErrs []error
+	approxFinished := false
 	for e := range results {
 		if e.err != nil {
 			engineErrs = append(engineErrs, fmt.Errorf("core: portfolio engine %q: %w", e.algo, e.err))
 			continue
+		}
+		if e.algo == tsp.AlgoChristofides && !e.stats.Truncated {
+			// The 1.5-approximation completed, so the race minimum — and
+			// hence the winner — inherits its factor guarantee.
+			approxFinished = true
 		}
 		e := e
 		if best == nil || e.stats.Cost < best.stats.Cost ||
@@ -119,7 +157,12 @@ func portfolio(ctx context.Context, g *graph.Graph, p labeling.Vector, chained *
 	}
 	res.Algorithm = AlgoPortfolio
 	res.Winner = best.algo
-	res.ReduceTime = t1.Sub(t0)
 	res.SolveTime = t2.Sub(t1)
+	switch {
+	case res.Exact:
+		res.Approx = 1
+	case approxFinished:
+		res.Approx = 1.5
+	}
 	return res, nil
 }

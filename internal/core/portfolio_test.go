@@ -173,11 +173,11 @@ func TestSolveBatchStreamsEveryItem(t *testing.T) {
 		g := graph.RandomSmallDiameter(r, 10+i, 3, 0.3)
 		items = append(items, BatchItem{ID: string(rune('a' + i)), G: g, P: labeling.Vector{2, 2, 1}})
 	}
-	// One deliberately failing item: disconnected graph.
+	// A disconnected item: formerly a guaranteed failure, now solved by
+	// the planner's component decomposition (4 isolated vertices, λ=0).
 	items = append(items, BatchItem{ID: "disconnected", G: graph.New(4), P: labeling.L21()})
 
 	seen := make(map[int]bool)
-	var failures int
 	for br := range SolveBatch(context.Background(), items, &BatchOptions{Workers: 3, Options: &Options{Verify: true}}) {
 		if seen[br.Index] {
 			t.Fatalf("item %d reported twice", br.Index)
@@ -187,21 +187,19 @@ func TestSolveBatchStreamsEveryItem(t *testing.T) {
 			t.Fatalf("item %d: ID %q, want %q", br.Index, br.ID, items[br.Index].ID)
 		}
 		if br.Err != nil {
-			if !errors.Is(br.Err, ErrDisconnected) {
-				t.Fatalf("item %s: %v", br.ID, br.Err)
-			}
-			failures++
-			continue
+			t.Fatalf("item %s: %v", br.ID, br.Err)
 		}
 		if err := labeling.Verify(items[br.Index].G, items[br.Index].P, br.Result.Labeling); err != nil {
 			t.Fatalf("item %s: %v", br.ID, err)
 		}
+		if br.ID == "disconnected" {
+			if br.Result.Method != MethodComponents || br.Result.Span != 0 {
+				t.Fatalf("disconnected item: method=%s span=%d", br.Result.Method, br.Result.Span)
+			}
+		}
 	}
 	if len(seen) != len(items) {
 		t.Fatalf("got %d results for %d items", len(seen), len(items))
-	}
-	if failures != 1 {
-		t.Fatalf("expected exactly the disconnected item to fail, got %d failures", failures)
 	}
 }
 

@@ -1,9 +1,33 @@
-// Package core implements the paper's primary contribution: the O(nm)
-// reduction from L(p)-LABELING on graphs of diameter at most k = dim(p)
-// to METRIC PATH TSP (Theorem 2), the recovery of an optimal labeling from
-// a Hamiltonian path via prefix sums (Claim 1), and the solver pipeline
-// that runs any TSP engine through the reduction (Corollary 1 and the
-// paper's practical claim).
+// Package core implements the paper's algorithm suite behind a planned
+// solver pipeline. A solve flows plan → method → engine: the instance is
+// probed once (connectivity, diameter via one parallel APSP, p-vector
+// shape), the method planner routes it to the cheapest applicable
+// algorithm in the method registry — the Theorem 2 TSP reduction (itself
+// dispatching into the engine registry of internal/tsp, including the
+// portfolio race), the Corollary 2 PARTITION INTO PATHS route on
+// diameter-2 graphs, the Theorem 4 FPT coloring for uniform p, the exact
+// L(2,1) tree algorithm, the Corollary 3 pmax-approximation, or the
+// first-fit fallback — and disconnected inputs are decomposed into
+// components solved independently (λ = max over components). Every input
+// therefore gets a labeling; the typed precondition errors below are
+// returned only by the direct reduction entry points (Reduce, Portfolio)
+// and by solves that pin Options.Method.
+//
+// The original contribution remains the O(nm) reduction from
+// L(p)-LABELING on graphs of diameter at most k = dim(p) to METRIC PATH
+// TSP (Theorem 2) and the recovery of an optimal labeling from a
+// Hamiltonian path via prefix sums (Claim 1).
+//
+// # Memoization cache
+//
+// Verified solve results are memoized in a process-wide LRU keyed by a
+// canonical instance fingerprint (128-bit structural graph hash + n + m +
+// p + result-affecting options). Entries hold only the Result (labeling,
+// tour, provenance — O(n) ints), never the distance matrix, and are
+// stored and served as deep copies, so cache hits share no mutable state
+// with any caller and steady-state batch traffic with duplicate instances
+// skips the reduction entirely. See SolveCacheStats, ResetSolveCache,
+// SetSolveCacheCapacity, and Options.NoCache.
 //
 // # Compact instances and the concurrency memory model
 //
@@ -84,21 +108,28 @@ func ReduceContext(ctx context.Context, g *graph.Graph, p labeling.Vector) (*Red
 		pmin, pmax := p.MinMax()
 		return nil, fmt.Errorf("%w (pmin=%d, pmax=%d)", ErrConditionViolated, pmin, pmax)
 	}
-	n := g.N()
 	dm, err := g.AllPairsDistancesContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	diam, disconnected := dm.Max()
-	if disconnected {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return reduceFrom(g, p, dm, diam, !disconnected)
+}
+
+// reduceFrom finishes the reduction over an already-computed distance
+// matrix: the diameter and connectivity checks plus the compact instance
+// build. It is the step the method planner reuses, since its probe has
+// already paid for the APSP.
+func reduceFrom(g *graph.Graph, p labeling.Vector, dm *graph.DistMatrix, diam int, connected bool) (*Reduction, error) {
+	if !connected {
 		return nil, ErrDisconnected
 	}
 	k := p.K()
 	if diam > k {
 		return nil, fmt.Errorf("%w (diameter %d > k=%d)", ErrDiameterExceedsK, diam, k)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
 	}
 	// Build the compact weight-class instance directly over the distance
 	// matrix: Weight(u,v) = classWeights[dist(u,v)-1]. No n²·int64 copy.
@@ -106,8 +137,22 @@ func ReduceContext(ctx context.Context, g *graph.Graph, p labeling.Vector) (*Red
 	for i, pi := range p {
 		classWeights[i] = int64(pi)
 	}
-	ins := tsp.NewClassInstance(n, dm.Data(), classWeights)
+	ins := tsp.NewClassInstance(g.N(), dm.Data(), classWeights)
 	return &Reduction{G: g, P: p, Instance: ins, Dist: dm, Diameter: diam}, nil
+}
+
+// reduceFromProbe builds the reduction from the planner's probe,
+// re-validating Theorem 2's hypotheses in the same order as Reduce (so
+// forced-method callers observe the same typed errors).
+func reduceFromProbe(pr *Probe, p labeling.Vector) (*Reduction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.SatisfiesReductionCondition() {
+		pmin, pmax := p.MinMax()
+		return nil, fmt.Errorf("%w (pmin=%d, pmax=%d)", ErrConditionViolated, pmin, pmax)
+	}
+	return reduceFrom(pr.G, p, pr.Dist, pr.Diameter, pr.Connected)
 }
 
 // LabelingFromTour converts a Hamiltonian path of H into the minimum-span

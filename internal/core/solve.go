@@ -17,104 +17,218 @@ import (
 // it composes registered engines rather than being one.
 const AlgoPortfolio tsp.Algorithm = "portfolio"
 
-// Result is the outcome of solving an L(p)-LABELING instance through the
-// TSP reduction.
+// Result is the outcome of solving an L(p)-LABELING instance.
 type Result struct {
 	Labeling labeling.Labeling
 	Span     int
-	Tour     tsp.Tour
-	// Exact reports whether the engine proved optimality (an exact engine
-	// ran to completion), i.e. Span == λ_p(G).
+	// Tour is the Hamiltonian path of the reduced instance when the
+	// reduction method solved this instance; nil for the other methods.
+	Tour tsp.Tour
+	// Exact reports whether the span is provably optimal: an exact
+	// method ran to completion, i.e. Span == λ_p(G).
 	Exact bool
-	// Truncated reports that the engine stopped at a deadline or
+	// Approx is the guaranteed approximation factor when known: 1 for
+	// exact results, 1.5 for the Christofides route, pmax for the
+	// Corollary 3 fallback, 0 when no bound is claimed (heuristics).
+	Approx float64
+	// Truncated reports that the solve stopped at a deadline or
 	// cancellation and returned its best-so-far (anytime) labeling.
 	Truncated bool
-	// Algorithm is the engine name the caller asked for; for portfolio
-	// runs, Winner names the engine whose tour won the race.
+	// Method names the planner route that produced this result
+	// (MethodComponents for decomposed disconnected inputs,
+	// MethodTrivial for the n ≤ 1 / pmax = 0 fast path).
+	Method MethodName
+	// Algorithm is the TSP engine the caller asked for (reduction method
+	// only); for portfolio runs, Winner names the engine whose tour won
+	// the race.
 	Algorithm tsp.Algorithm
 	Winner    tsp.Algorithm
-	// Stats carries the TSP engine's run statistics.
+	// Stats carries the TSP engine's run statistics (reduction method).
 	Stats tsp.Stats
-	// ReduceTime and SolveTime split the wall time between building H
-	// and solving path TSP on it (experiment E1).
+	// CacheHit reports that this result was served from the solve cache
+	// rather than recomputed.
+	CacheHit bool
+	// Plan is the routing decision that produced this result: every
+	// method's applicability verdict. Shared, read-only.
+	Plan *Plan
+	// ReduceTime and SolveTime split the wall time between inspecting /
+	// reducing the instance (probe APSP + reduction build) and running
+	// the chosen method (experiment E1).
 	ReduceTime, SolveTime time.Duration
 }
 
 // Options configures Solve.
 type Options struct {
+	// Method pins a solving method from the method registry. Empty means
+	// plan automatically; a pinned method that is not applicable fails
+	// with the matching typed error (ErrDisconnected and friends for the
+	// reduction) instead of being rerouted.
+	Method MethodName
 	// Algorithm selects the TSP engine (any name registered in the tsp
-	// engine registry, or AlgoPortfolio); default tsp.AlgoExact.
+	// engine registry, or AlgoPortfolio). Setting it biases the planner
+	// toward the reduction method whenever it applies — an explicit
+	// engine choice is a statement about how to solve. Empty lets the
+	// planner route freely (the reduction then uses the exact engine
+	// within its reach and the portfolio beyond it).
 	Algorithm tsp.Algorithm
-	// Engines is the portfolio roster when Algorithm is AlgoPortfolio;
-	// empty means a size-appropriate default roster.
+	// Engines is the portfolio roster when the reduction races
+	// AlgoPortfolio; empty means a size-appropriate default roster.
 	Engines []tsp.Algorithm
 	// Chained configures the chained heuristic engine.
 	Chained *tsp.ChainedOptions
 	// Verify re-checks the produced labeling against the definition
-	// (O(n²)); cheap insurance, on by default in the public API.
+	// (O(n²)); cheap insurance, on by default in the public API. Only
+	// verified results enter the solve cache.
 	Verify bool
-	// Deadline bounds the whole solve (reduction plus engine) when
-	// positive; anytime engines return their incumbent labeling with
-	// Result.Truncated set when it expires.
+	// NoCache opts this solve out of the memoization cache (no lookup,
+	// no insertion).
+	NoCache bool
+	// Deadline bounds the whole solve (probe, reduction, and method)
+	// when positive; anytime engines return their incumbent labeling
+	// with Result.Truncated set when it expires.
 	Deadline time.Duration
 }
 
-func (o *Options) algorithm() tsp.Algorithm {
-	if o != nil && o.Algorithm != "" {
-		return o.Algorithm
-	}
-	return tsp.AlgoExact
-}
-
-// Solve solves L(p)-LABELING on g through the reduction: Reduce → path-TSP
-// engine → Claim 1 labeling recovery. The preconditions of Theorem 2 are
-// enforced by Reduce.
+// Solve solves L(p)-LABELING on g through the planned pipeline: the
+// instance is probed (connectivity, diameter, p-shape), routed to the
+// cheapest applicable method — the Theorem 2 TSP reduction, the Corollary
+// 2 path partition, the Theorem 4 FPT coloring, the exact tree algorithm,
+// the Corollary 3 pmax-approximation, or the first-fit fallback —
+// decomposing disconnected inputs into independently solved components.
+// Result.Method / Result.Exact / Result.Approx record the route taken.
 func Solve(g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
 	return SolveContext(context.Background(), g, p, opts)
 }
 
 // SolveContext is Solve under a context: cancellation and deadlines
-// propagate through the reduction into the engine's cooperative
+// propagate through the probe and reduction into the engines' cooperative
 // checkpoints. Options.Deadline, when set, further bounds the solve.
+// Verified results are memoized in the process-wide solve cache (see
+// SolveCacheStats); repeated instances return the cached labeling with
+// Result.CacheHit set.
 func SolveContext(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
 	if opts != nil && opts.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
 		defer cancel()
 	}
-	algo := opts.algorithm()
-	if algo == AlgoPortfolio {
-		var engines []tsp.Algorithm
-		var chained *tsp.ChainedOptions
-		if opts != nil {
-			engines = opts.Engines
-			chained = opts.Chained
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	return solveAny(ctx, g, p, opts)
+}
+
+// trivialInstance reports the fast-path cases with nothing to plan: at
+// most one vertex, or pmax = 0 (the all-zero labeling is optimal on any
+// graph). Pinned engines and forced methods bypass the fast path so their
+// legacy semantics (including their errors) are preserved.
+func trivialInstance(g *graph.Graph, p labeling.Vector, opts *Options) bool {
+	if opts != nil && (opts.Method != "" || opts.Algorithm != "") {
+		return false
+	}
+	if g.N() <= 1 {
+		return true
+	}
+	_, pmax := p.MinMax()
+	return pmax == 0
+}
+
+// trivialPlan is the provenance of the fast path, shared by Solve and
+// Explain. One O(n+m) sweep keeps Connected/Components honest even for
+// multi-vertex pmax = 0 instances.
+func trivialPlan(g *graph.Graph) *Plan {
+	comps := len(g.ConnectedComponents())
+	return &Plan{
+		Chosen:     MethodTrivial,
+		N:          g.N(),
+		M:          g.M(),
+		Connected:  comps <= 1,
+		Components: comps,
+	}
+}
+
+func trivialResult(g *graph.Graph) *Result {
+	return &Result{
+		Labeling: make(labeling.Labeling, g.N()),
+		Exact:    true,
+		Approx:   1,
+		Method:   MethodTrivial,
+		Plan:     trivialPlan(g),
+	}
+}
+
+// solveAny is the planner pipeline body shared by whole-graph solves and
+// per-component recursion: trivial fast path → cache lookup → component
+// decomposition or single-instance plan+solve → verification → cache
+// insertion.
+func solveAny(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
+	if trivialInstance(g, p, opts) {
+		return trivialResult(g), nil
+	}
+	useCache := cacheable(opts)
+	var key string
+	if useCache {
+		key = cacheKeyFor(g, p, opts)
+		if res, ok := defaultSolveCache.get(key); ok {
+			return res, nil
 		}
-		return portfolio(ctx, g, p, chained, engines)
 	}
-	var chained *tsp.ChainedOptions
-	verify := false
-	if opts != nil {
-		chained = opts.Chained
-		verify = opts.Verify
+	var res *Result
+	var err error
+	if comps := g.ConnectedComponents(); opts.Method == "" && len(comps) > 1 {
+		res, err = solveComponents(ctx, g, p, opts, comps)
+	} else {
+		res, err = solveSingle(ctx, g, p, opts)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if useCache && !res.Truncated {
+		defaultSolveCache.put(key, res)
+	}
+	return res, nil
+}
+
+// solveSingle probes one graph (connected unless Options.Method forces a
+// method onto a disconnected input), plans, runs the chosen method, and
+// verifies the labeling.
+func solveSingle(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
 	t0 := time.Now()
-	red, err := ReduceContext(ctx, g, p)
+	pr, err := newProbe(ctx, g)
 	if err != nil {
 		return nil, err
 	}
+	pl, m, err := planSingle(pr, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	probeTime := time.Since(t0)
 	t1 := time.Now()
-	tour, stats, err := tsp.SolveContext(ctx, red.Instance, algo, &tsp.SolveOptions{Chained: chained})
-	if err != nil {
-		return nil, fmt.Errorf("core: tsp engine %q: %w", algo, err)
-	}
-	t2 := time.Now()
-	res, err := red.resultFromTour(tour, algo, stats, verify)
+	res, err := m.Solve(ctx, pr, p, opts)
 	if err != nil {
 		return nil, err
 	}
-	res.ReduceTime = t1.Sub(t0)
-	res.SolveTime = t2.Sub(t1)
+	if res.Method == "" {
+		res.Method = m.Name()
+	}
+	if res.SolveTime == 0 {
+		// Non-reduction methods don't split their own clock; charge the
+		// whole method run as solve time.
+		res.SolveTime = time.Since(t1)
+	}
+	res.Plan = pl
+	res.ReduceTime += probeTime
+	if opts.Verify {
+		if err := labeling.VerifyWithMatrix(pr.Dist, p, res.Labeling); err != nil {
+			return nil, fmt.Errorf("core: internal error, method %s produced invalid labeling: %w", res.Method, err)
+		}
+	}
 	return res, nil
 }
 
@@ -142,25 +256,43 @@ func (r *Reduction) resultFromTour(tour tsp.Tour, algo tsp.Algorithm, stats tsp.
 	}, nil
 }
 
-// Lambda computes λ_p(G) exactly through the reduction (Corollary 1:
-// O(2ⁿn²) via Held–Karp). It is the reduction-based counterpart of
-// labeling.BruteForceExact.
+// Lambda computes λ_p(G) exactly — through the reduction (Corollary 1:
+// O(2ⁿn²) via Held–Karp) when it applies, or any other exact planner
+// route (tree, diameter-2 DP, FPT coloring, component decomposition of
+// those). Unlike Solve, Lambda never degrades silently: when no exact
+// method reaches the instance it returns an error rather than an
+// approximate span.
 func Lambda(g *graph.Graph, p labeling.Vector) (int, error) {
 	res, err := Solve(g, p, &Options{Algorithm: tsp.AlgoExact})
 	if err != nil {
 		return 0, err
 	}
+	if !res.Exact {
+		return 0, fmt.Errorf("core: no exact method reaches this instance (planner route %s has factor %v); λ not computed", res.Method, res.Approx)
+	}
 	return res.Span, nil
 }
 
-// Approximate computes a 1.5-approximate solution in polynomial time via
-// the Christofides/Hoogeveen path pipeline (Corollary 1's second half).
+// Approximate computes a solution with span ≤ 1.5·λ_p(G) in polynomial
+// time via the Christofides/Hoogeveen path pipeline (Corollary 1's second
+// half), or any exact planner route (which is trivially within the
+// factor). When the planner can only reach the instance with a weaker
+// guarantee it returns an error instead of silently exceeding the bound.
 func Approximate(g *graph.Graph, p labeling.Vector) (*Result, error) {
-	return Solve(g, p, &Options{Algorithm: tsp.AlgoChristofides, Verify: true})
+	res, err := Solve(g, p, &Options{Algorithm: tsp.AlgoChristofides, Verify: true})
+	if err != nil {
+		return nil, err
+	}
+	if res.Approx == 0 || res.Approx > 1.5 {
+		return nil, fmt.Errorf("core: no 1.5-approximation reaches this instance (planner route %s has factor %v)", res.Method, res.Approx)
+	}
+	return res, nil
 }
 
 // Heuristic computes a solution with the chained local-search engine (the
-// paper's "use LK-style TSP heuristics" practical recipe).
+// paper's "use LK-style TSP heuristics" practical recipe) when the
+// reduction applies; outside the reduction's hypotheses the planner
+// routes to whatever method reaches the instance (see Result.Method).
 func Heuristic(g *graph.Graph, p labeling.Vector, chained *tsp.ChainedOptions) (*Result, error) {
 	return Solve(g, p, &Options{Algorithm: tsp.AlgoChained, Chained: chained, Verify: true})
 }

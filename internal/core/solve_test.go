@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -68,8 +69,19 @@ func TestSolveK1Dimension(t *testing.T) {
 	if res.Span != 12 {
 		t.Fatalf("λ_(3)(K5) = %d, want 12", res.Span)
 	}
-	if _, err := Solve(graph.Star(4), labeling.Vector{3}, nil); err == nil {
-		t.Fatal("star has diameter 2 > k=1; must be rejected")
+	// The star has diameter 2 > k=1, so the reduction does not apply —
+	// but p = (3) is uniform, so the planner routes to the Theorem 4
+	// coloring: λ_(3)(K_{1,3}) = 3·(χ−1) = 3. Pinning the reduction
+	// still yields the typed error.
+	res, err = Solve(graph.Star(4), labeling.Vector{3}, &Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodFPTColoring || !res.Exact || res.Span != 3 {
+		t.Fatalf("star k=1 route: method=%s exact=%v span=%d", res.Method, res.Exact, res.Span)
+	}
+	if _, err := Solve(graph.Star(4), labeling.Vector{3}, &Options{Method: MethodReduction}); !errors.Is(err, ErrDiameterExceedsK) {
+		t.Fatalf("forced reduction must keep the typed error, got %v", err)
 	}
 }
 

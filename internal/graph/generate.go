@@ -322,3 +322,52 @@ func RandomNDGraph(r *rng.RNG, sizes []int, cliqueProb, joinProb float64) *Graph
 	g.Normalize()
 	return g
 }
+
+// DisjointUnion returns the disjoint union of the given graphs: the vertex
+// sets are concatenated in argument order (the vertices of gs[i] are
+// shifted by the total size of gs[:i]) and no edges are added between
+// parts. It is the canonical way to build multi-component instances for
+// the solver's component-decomposition path.
+func DisjointUnion(gs ...*Graph) *Graph {
+	n := 0
+	for _, g := range gs {
+		n += g.N()
+	}
+	u := New(n)
+	off := 0
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			u.AddEdge(off+e[0], off+e[1])
+		}
+		off += g.N()
+	}
+	u.Normalize()
+	return u
+}
+
+// RandomComponents returns a graph with exactly c connected components,
+// each an independent RandomSmallDiameter(n/c, k, extra) graph (the first
+// component absorbs the remainder of n). Single-vertex components are
+// produced when n < c·2. It exercises the planner's decomposition path:
+// the union is disconnected for every c ≥ 2.
+func RandomComponents(r *rng.RNG, n, c, k int, extra float64) *Graph {
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	if n <= 0 {
+		return New(n)
+	}
+	base := n / c
+	parts := make([]*Graph, c)
+	for i := range parts {
+		sz := base
+		if i == 0 {
+			sz += n - base*c
+		}
+		parts[i] = RandomSmallDiameter(r, sz, k, extra)
+	}
+	return DisjointUnion(parts...)
+}

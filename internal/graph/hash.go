@@ -1,0 +1,36 @@
+package graph
+
+// Fingerprint returns a 128-bit canonical hash of the labeled graph
+// structure: two independent FNV-1a streams over (n, then every normalized
+// adjacency list in vertex order). Two graphs with equal vertex sets and
+// equal edge sets always collide on purpose — the fingerprint is the cache
+// identity used by the solver's memoization layer, where AddEdge order and
+// duplicate insertions must not fragment the key space. The graph is
+// normalized first, so concurrent Fingerprint calls are safe under the
+// usual no-concurrent-mutation rule.
+func (g *Graph) Fingerprint() (uint64, uint64) {
+	g.Normalize()
+	const (
+		offset1 = uint64(14695981039346656037)
+		offset2 = uint64(14695981039346656037) ^ 0x9e3779b97f4a7c15
+		prime   = uint64(1099511628211)
+	)
+	h1, h2 := offset1, offset2
+	mix := func(x uint32) {
+		for s := 0; s < 32; s += 8 {
+			b := uint64(byte(x >> s))
+			h1 = (h1 ^ b) * prime
+			// The second stream sees the bytes pre-whitened so the two
+			// hashes do not differ by a constant factor.
+			h2 = (h2 ^ (b + 0x6b)) * prime
+		}
+	}
+	mix(uint32(len(g.adj)))
+	for u := range g.adj {
+		mix(uint32(len(g.adj[u])))
+		for _, v := range g.adj[u] {
+			mix(uint32(v))
+		}
+	}
+	return h1, h2
+}

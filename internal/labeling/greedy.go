@@ -24,6 +24,12 @@ const (
 // smallest nonnegative label consistent with all already-labeled vertices
 // within the distance horizon. It works on any graph and any p.
 func GreedyFirstFit(g *graph.Graph, p Vector, order GreedyOrder) (Labeling, int, error) {
+	return GreedyFirstFitMatrix(g, g.AllPairsDistances(), p, order)
+}
+
+// GreedyFirstFitMatrix is GreedyFirstFit with a precomputed distance
+// matrix, for callers (the method planner) that already paid for the APSP.
+func GreedyFirstFitMatrix(g *graph.Graph, dm *graph.DistMatrix, p Vector, order GreedyOrder) (Labeling, int, error) {
 	if err := p.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -31,7 +37,6 @@ func GreedyFirstFit(g *graph.Graph, p Vector, order GreedyOrder) (Labeling, int,
 	if n == 0 {
 		return Labeling{}, 0, nil
 	}
-	dm := g.AllPairsDistances()
 	pi := greedyOrdering(g, order)
 	k := len(p)
 	l := make(Labeling, n)

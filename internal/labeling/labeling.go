@@ -92,6 +92,48 @@ func (l Labeling) Span() int {
 	return s
 }
 
+// MergeComponents assembles a labeling of an n-vertex graph from labelings
+// of its connected components: comps[i] lists the component's vertices in
+// the order labs[i] labels them (labs[i][j] is the label of comps[i][j]).
+// Vertices in different components are at infinite distance, so no
+// distance constraint crosses a component boundary and every component may
+// start at label 0 independently; the merged span is therefore the maximum
+// of the component spans, which is returned alongside the labeling.
+func MergeComponents(n int, comps [][]int, labs []Labeling) (Labeling, int, error) {
+	if len(comps) != len(labs) {
+		return nil, 0, fmt.Errorf("labeling: %d components with %d labelings", len(comps), len(labs))
+	}
+	l := make(Labeling, n)
+	for i := range l {
+		l[i] = -1
+	}
+	span := 0
+	for i, comp := range comps {
+		if len(comp) != len(labs[i]) {
+			return nil, 0, fmt.Errorf("labeling: component %d has %d vertices, labeling has %d entries",
+				i, len(comp), len(labs[i]))
+		}
+		for j, v := range comp {
+			if v < 0 || v >= n {
+				return nil, 0, fmt.Errorf("labeling: component %d vertex %d out of range [0,%d)", i, v, n)
+			}
+			if l[v] >= 0 {
+				return nil, 0, fmt.Errorf("labeling: vertex %d appears in two components", v)
+			}
+			l[v] = labs[i][j]
+			if labs[i][j] > span {
+				span = labs[i][j]
+			}
+		}
+	}
+	for v, x := range l {
+		if x < 0 {
+			return nil, 0, fmt.Errorf("labeling: vertex %d missing from every component", v)
+		}
+	}
+	return l, span, nil
+}
+
 // Verify checks that l is a valid L(p)-labeling of g: correct length,
 // nonnegative labels, and every pair at distance d ≤ len(p) separated by at
 // least p_d. O(n²) after the distance matrix.

@@ -275,3 +275,38 @@ func TestVerifyErrorMessageNamesPair(t *testing.T) {
 		t.Fatalf("error should name the violated constraint: %v", err)
 	}
 }
+
+func TestMergeComponents(t *testing.T) {
+	// Two components of a 5-vertex graph: {0,2,4} and {1,3}.
+	comps := [][]int{{0, 2, 4}, {1, 3}}
+	labs := []Labeling{{0, 2, 4}, {0, 3}}
+	l, span, err := MergeComponents(5, comps, labs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 4 {
+		t.Fatalf("merged span %d, want 4", span)
+	}
+	want := Labeling{0, 0, 2, 3, 4}
+	for v := range want {
+		if l[v] != want[v] {
+			t.Fatalf("vertex %d: label %d, want %d", v, l[v], want[v])
+		}
+	}
+	// Error paths: length mismatch, overlap, out of range, missing vertex.
+	if _, _, err := MergeComponents(5, comps, labs[:1]); err == nil {
+		t.Fatal("component/labeling count mismatch accepted")
+	}
+	if _, _, err := MergeComponents(5, [][]int{{0, 2}, {1, 3}}, labs); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := MergeComponents(5, [][]int{{0, 2, 4}, {1, 0}}, labs); err == nil {
+		t.Fatal("overlapping components accepted")
+	}
+	if _, _, err := MergeComponents(5, [][]int{{0, 2, 7}, {1, 3}}, labs); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if _, _, err := MergeComponents(6, comps, labs); err == nil {
+		t.Fatal("missing vertex accepted")
+	}
+}

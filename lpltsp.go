@@ -15,6 +15,29 @@
 // w(u,v) = p_{dist(u,v)} (Theorem 2); this package builds that reduction
 // and drives exact, approximate, and heuristic TSP engines through it.
 //
+// # The planned pipeline
+//
+// Solve is total over inputs: a method planner probes every instance
+// (connectivity, diameter via one APSP, the shape of p) and routes it to
+// the cheapest applicable algorithm from the paper's suite —
+//
+//   - the Theorem 2 TSP reduction (exact engines, the 1.5-approximation,
+//     heuristics, or the portfolio race),
+//   - the Corollary 2 PARTITION INTO PATHS route on diameter-2 graphs,
+//   - the Theorem 4 FPT coloring for uniform p = (c,…,c),
+//   - the exact Chang–Kuo-style tree algorithm for L(2,1) on trees,
+//   - the Corollary 3 pmax-approximation when the reduction's hypotheses
+//     fail, and
+//   - a first-fit fallback so no input is ever rejected.
+//
+// Disconnected graphs are decomposed into components solved independently
+// (λ is the max over components). Result.Method, Result.Exact, and
+// Result.Approx record the route taken and its guarantee; Explain returns
+// the routing decision — every method's applicability verdict — without
+// solving. Options.Method pins a method (restoring the classical typed
+// errors when it does not apply) and Options.Algorithm pins a TSP engine,
+// which biases the planner toward the reduction.
+//
 // # Quick start
 //
 //	g := lpltsp.NewGraph(4)
@@ -52,7 +75,20 @@
 //
 // Engines are pluggable: everything under Options.Algorithm is resolved
 // through a registry, so an external package can register a new engine
-// and have Solve, Portfolio, and the CLIs pick it up by name.
+// and have Solve, Portfolio, and the CLIs pick it up by name. Methods are
+// pluggable the same way one layer up (core.RegisterMethod).
+//
+// # Memoization
+//
+// Verified results are memoized in a process-wide LRU keyed by a
+// canonical instance fingerprint (structural graph hash, p, and the
+// result-affecting options), consulted by Solve, SolveBatch, and
+// Portfolio: steady-state traffic with duplicate instances returns the
+// cached labeling with Result.CacheHit set instead of redoing the
+// reduction. Cache entries are deep copies both ways and hold no distance
+// matrices, so hits are race-free and the footprint stays linear. Opt out
+// per solve with Options.NoCache; observe and size it with CacheStats,
+// ResetCache, and SetCacheCapacity.
 //
 // # Performance
 //
@@ -146,17 +182,73 @@ func L21() Vector { return labeling.L21() }
 // Ones returns p = (1,…,1) of dimension k.
 func Ones(k int) Vector { return labeling.Ones(k) }
 
-// Reduction-applicability errors (test with errors.Is).
+// Reduction-applicability errors (test with errors.Is). The planner
+// routes around these conditions automatically; they are returned by the
+// direct entry points (Portfolio, SolveDiameter2) and by solves that pin
+// Options.Method to a method whose hypotheses fail.
 var (
 	ErrDisconnected      = core.ErrDisconnected
 	ErrDiameterExceedsK  = core.ErrDiameterExceedsK
 	ErrConditionViolated = core.ErrConditionViolated
 )
 
-// Solve computes an L(p)-labeling of g through the TSP reduction. With nil
-// options the exact engine is used and the result's Span equals λ_p(g).
-// Requires g connected, diam(g) ≤ len(p), and pmax ≤ 2·pmin; typed errors
-// report violated preconditions.
+// Method names a solving method in the planner's registry; see the
+// Method* constants and Options.Method.
+type Method = core.MethodName
+
+// Methods of the planner's registry, accepted in Options.Method.
+const (
+	// MethodReduction is the Theorem 2 TSP reduction.
+	MethodReduction = core.MethodReduction
+	// MethodTree is the exact L(2,1) tree algorithm.
+	MethodTree = core.MethodTree
+	// MethodDiameter2 is the Corollary 2 PARTITION INTO PATHS route.
+	MethodDiameter2 = core.MethodDiameter2
+	// MethodFPTColoring is the Theorem 4 coloring of Gᵏ for uniform p.
+	MethodFPTColoring = core.MethodFPTColoring
+	// MethodPmaxApprox is the Corollary 3 pmax-approximation fallback.
+	MethodPmaxApprox = core.MethodPmaxApprox
+	// MethodGreedy is the always-applicable first-fit fallback.
+	MethodGreedy = core.MethodGreedy
+	// MethodComponents tags decomposed solves of disconnected inputs.
+	MethodComponents = core.MethodComponents
+	// MethodTrivial tags the n ≤ 1 / pmax = 0 fast path.
+	MethodTrivial = core.MethodTrivial
+)
+
+// Plan is a routing decision: the chosen method plus every registered
+// method's applicability verdict (and per-component sub-plans for
+// disconnected inputs). Results carry the plan that produced them.
+type Plan = core.Plan
+
+// Candidate is one method's applicability verdict inside a Plan.
+type Candidate = core.Candidate
+
+// Explain plans an instance without solving it: which method Solve would
+// route it to, and why each method does or does not apply. This is the
+// API behind lplsolve -explain.
+func Explain(g *Graph, p Vector, opts *Options) (*Plan, error) {
+	return core.Explain(context.Background(), g, p, opts)
+}
+
+// CacheStats returns the hit/miss/eviction/entry counters of the
+// process-wide solve cache consulted by Solve, SolveBatch, and Portfolio.
+func CacheStats() core.CacheStats { return core.SolveCacheStats() }
+
+// ResetCache empties the solve cache and zeroes its counters.
+func ResetCache() { core.ResetSolveCache() }
+
+// SetCacheCapacity resets the solve cache with a new entry budget;
+// capacity ≤ 0 disables caching process-wide.
+func SetCacheCapacity(capacity int) { core.SetSolveCacheCapacity(capacity) }
+
+// Solve computes an L(p)-labeling of g through the planned pipeline: the
+// instance is routed to the cheapest applicable method (see the package
+// comment) and always gets a labeling — disconnected graphs are solved
+// per component, and instances outside every exact method's hypotheses
+// fall back to approximations with recorded provenance. With nil options
+// the planner runs free with verification on; when an exact method
+// applies the result's Span equals λ_p(g) and Result.Exact is set.
 func Solve(g *Graph, p Vector, opts *Options) (*Result, error) {
 	return SolveContext(context.Background(), g, p, opts)
 }

@@ -30,16 +30,125 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
+// TestPublicErrors: pinning Options.Method restores the classical typed
+// precondition errors the planner otherwise routes around.
 func TestPublicErrors(t *testing.T) {
-	if _, err := lpltsp.Solve(lpltsp.PathGraph(9), lpltsp.L21(), nil); !errors.Is(err, lpltsp.ErrDiameterExceedsK) {
+	force := &lpltsp.Options{Method: lpltsp.MethodReduction}
+	if _, err := lpltsp.Solve(lpltsp.PathGraph(9), lpltsp.L21(), force); !errors.Is(err, lpltsp.ErrDiameterExceedsK) {
 		t.Fatalf("want ErrDiameterExceedsK, got %v", err)
 	}
-	if _, err := lpltsp.Solve(lpltsp.CompleteGraph(3), lpltsp.Vector{5, 1}, nil); !errors.Is(err, lpltsp.ErrConditionViolated) {
+	if _, err := lpltsp.Solve(lpltsp.CompleteGraph(3), lpltsp.Vector{5, 1}, force); !errors.Is(err, lpltsp.ErrConditionViolated) {
 		t.Fatalf("want ErrConditionViolated, got %v", err)
 	}
 	g := lpltsp.NewGraph(2)
-	if _, err := lpltsp.Solve(g, lpltsp.L21(), nil); !errors.Is(err, lpltsp.ErrDisconnected) {
+	if _, err := lpltsp.Solve(g, lpltsp.L21(), force); !errors.Is(err, lpltsp.ErrDisconnected) {
 		t.Fatalf("want ErrDisconnected, got %v", err)
+	}
+}
+
+// TestPlannerSolvesFormerRejections: the same three inputs solve under
+// automatic planning, with the route recorded in Result.Method.
+func TestPlannerSolvesFormerRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *lpltsp.Graph
+		p    lpltsp.Vector
+	}{
+		{"diameter exceeds k", lpltsp.PathGraph(9), lpltsp.L21()},
+		{"pmax > 2·pmin", lpltsp.CompleteGraph(3), lpltsp.Vector{5, 1}},
+		{"disconnected", lpltsp.DisjointUnion(lpltsp.CycleGraph(4), lpltsp.CompleteGraph(3)), lpltsp.L21()},
+	}
+	for _, tc := range cases {
+		res, err := lpltsp.Solve(tc.g, tc.p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Method == "" {
+			t.Fatalf("%s: no method provenance", tc.name)
+		}
+		if err := lpltsp.Verify(tc.g, tc.p, res.Labeling); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+	// The disconnected case decomposes: λ = max over components, here
+	// λ_{2,1}(C4) = 4 vs λ_{2,1}(K3) = 4.
+	res, err := lpltsp.Solve(cases[2].g, cases[2].p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != lpltsp.MethodComponents || !res.Exact || res.Span != 4 {
+		t.Fatalf("components solve: method=%s exact=%v span=%d", res.Method, res.Exact, res.Span)
+	}
+}
+
+// TestPublicExplain exercises the Plan/Explain introspection surface.
+func TestPublicExplain(t *testing.T) {
+	pl, err := lpltsp.Explain(lpltsp.CycleGraph(4), lpltsp.L21(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chosen == "" || len(pl.Candidates) == 0 {
+		t.Fatalf("empty plan: %+v", pl)
+	}
+	red := pl.Candidate(lpltsp.MethodReduction)
+	if red == nil || !red.Applicable || !red.Exact {
+		t.Fatalf("reduction must be applicable+exact on C4: %+v", red)
+	}
+	for _, c := range pl.Candidates {
+		if c.Reason == "" {
+			t.Fatalf("candidate %s has no reason", c.Method)
+		}
+	}
+	// Disconnected inputs explain per component.
+	pl, err = lpltsp.Explain(lpltsp.DisjointUnion(lpltsp.PathGraph(3), lpltsp.PathGraph(3)), lpltsp.L21(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chosen != lpltsp.MethodComponents || len(pl.Sub) != 2 {
+		t.Fatalf("want 2-component decomposition plan, got %+v", pl)
+	}
+}
+
+// TestPublicCache: an identical repeated solve is served from the cache
+// with an identical labeling.
+func TestPublicCache(t *testing.T) {
+	lpltsp.ResetCache()
+	defer lpltsp.ResetCache()
+	g := lpltsp.RandomSmallDiameter(99, 14, 3, 0.3)
+	p := lpltsp.Vector{2, 2, 1}
+	first, err := lpltsp.Solve(g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first solve cannot be a cache hit")
+	}
+	second, err := lpltsp.Solve(g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("repeated solve must hit the cache")
+	}
+	if second.Span != first.Span || len(second.Labeling) != len(first.Labeling) {
+		t.Fatalf("cache changed the answer: %d vs %d", second.Span, first.Span)
+	}
+	for v := range first.Labeling {
+		if first.Labeling[v] != second.Labeling[v] {
+			t.Fatalf("label of %d differs: %d vs %d", v, first.Labeling[v], second.Labeling[v])
+		}
+	}
+	st := lpltsp.CacheStats()
+	if st.Hits < 1 || st.Entries < 1 {
+		t.Fatalf("cache counters not surfaced: %+v", st)
+	}
+	// NoCache opts out entirely.
+	res, err := lpltsp.Solve(g, p, &lpltsp.Options{Verify: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("NoCache solve must not be served from the cache")
 	}
 }
 
