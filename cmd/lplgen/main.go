@@ -16,30 +16,49 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lpltsp"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: parse flags, draw the
+// graph(s), and write DIMACS to stdout. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lplgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		family = flag.String("family", "smalldiam",
+		family = fs.String("family", "smalldiam",
 			"smalldiam|diameter2|gnp|cograph|lownd|tree|path|cycle|complete|star|wheel|multipartite|figure1")
-		n     = flag.Int("n", 50, "number of vertices")
-		k     = flag.Int("k", 3, "diameter bound (smalldiam)")
-		prob  = flag.Float64("p", 0.2, "edge probability (gnp/diameter2) or extra-edge rate (smalldiam)")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		parts = flag.Int("parts", 3, "number of classes (lownd/multipartite)")
-		comps = flag.Int("components", 1, "emit the disjoint union of this many independent draws (> 1 gives a disconnected graph)")
+		n     = fs.Int("n", 50, "number of vertices")
+		k     = fs.Int("k", 3, "diameter bound (smalldiam)")
+		prob  = fs.Float64("p", 0.2, "edge probability (gnp/diameter2) or extra-edge rate (smalldiam)")
+		seed  = fs.Uint64("seed", 1, "random seed")
+		parts = fs.Int("parts", 3, "number of classes (lownd/multipartite)")
+		comps = fs.Int("components", 1, "emit the disjoint union of this many independent draws (> 1 gives a disconnected graph)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "lplgen: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
 
 	g, err := generate(*family, *n, *k, *prob, *seed, *parts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lplgen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "lplgen:", err)
+		return 1
 	}
 	if *comps > 1 {
 		union := make([]*lpltsp.Graph, 0, *comps)
@@ -47,17 +66,18 @@ func main() {
 		for i := 1; i < *comps; i++ {
 			h, err := generate(*family, *n, *k, *prob, *seed+uint64(i), *parts)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "lplgen:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "lplgen:", err)
+				return 1
 			}
 			union = append(union, h)
 		}
 		g = lpltsp.DisjointUnion(union...)
 	}
-	if err := lpltsp.WriteGraph(os.Stdout, g); err != nil {
-		fmt.Fprintln(os.Stderr, "lplgen:", err)
-		os.Exit(1)
+	if err := lpltsp.WriteGraph(stdout, g); err != nil {
+		fmt.Fprintln(stderr, "lplgen:", err)
+		return 1
 	}
+	return 0
 }
 
 // generate draws one graph of the named family.

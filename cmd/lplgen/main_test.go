@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"lpltsp"
+)
+
+// gen runs the command with the given argv and returns (stdout, exit code).
+func gen(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	if code != 0 && errOut.Len() == 0 {
+		t.Fatalf("exit %d with empty stderr (args %v)", code, args)
+	}
+	return out.String(), code
+}
+
+// parse reads a generated document back through the library codec.
+func parse(t *testing.T, doc string) *lpltsp.Graph {
+	t.Helper()
+	g, err := lpltsp.ReadGraph(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("generated output does not parse: %v\n%s", err, doc)
+	}
+	return g
+}
+
+func TestAllFamiliesGenerateParseableGraphs(t *testing.T) {
+	families := []string{
+		"smalldiam", "diameter2", "gnp", "cograph", "lownd", "tree",
+		"path", "cycle", "complete", "star", "wheel", "multipartite",
+	}
+	for _, fam := range families {
+		out, code := gen(t, "-family", fam, "-n", "12", "-seed", "3")
+		if code != 0 {
+			t.Fatalf("%s: exit %d", fam, code)
+		}
+		g := parse(t, out)
+		if g.N() != 12 {
+			t.Errorf("%s: n=%d, want 12", fam, g.N())
+		}
+	}
+	// figure1 has a fixed size of its own.
+	out, code := gen(t, "-family", "figure1")
+	if code != 0 {
+		t.Fatal("figure1 failed")
+	}
+	if g := parse(t, out); g.N() == 0 {
+		t.Error("figure1 generated an empty graph")
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	a, _ := gen(t, "-family", "smalldiam", "-n", "30", "-k", "2", "-seed", "7")
+	b, _ := gen(t, "-family", "smalldiam", "-n", "30", "-k", "2", "-seed", "7")
+	if a != b {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, _ := gen(t, "-family", "smalldiam", "-n", "30", "-k", "2", "-seed", "8")
+	if a == c {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestComponentsFlag(t *testing.T) {
+	out, code := gen(t, "-family", "smalldiam", "-n", "10", "-components", "3", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	g := parse(t, out)
+	if g.N() != 30 {
+		t.Fatalf("n=%d, want 3 draws × 10 vertices", g.N())
+	}
+	if comps := len(g.ConnectedComponents()); comps != 3 {
+		t.Fatalf("components=%d, want 3", comps)
+	}
+
+	// The union is deterministic too, and each draw advances the seed —
+	// the components must not be three copies of one graph.
+	out2, _ := gen(t, "-family", "smalldiam", "-n", "10", "-components", "3", "-seed", "5")
+	if out != out2 {
+		t.Fatal("same seed produced different unions")
+	}
+	single, _ := gen(t, "-family", "smalldiam", "-n", "10", "-seed", "5")
+	first := parse(t, single)
+	union := parse(t, out)
+	same := true
+	for _, e := range first.Edges() {
+		if !union.HasEdge(e[0]+10, e[1]+10) {
+			same = false
+			break
+		}
+	}
+	if same && first.M() == countEdgesInRange(union, 10, 20) {
+		t.Fatal("second component repeats the first draw; seed did not advance")
+	}
+}
+
+func countEdgesInRange(g *lpltsp.Graph, lo, hi int) int {
+	count := 0
+	for _, e := range g.Edges() {
+		if e[0] >= lo && e[0] < hi && e[1] >= lo && e[1] < hi {
+			count++
+		}
+	}
+	return count
+}
+
+// TestComponentsSolvable closes the loop with the solver: a generated
+// multi-component instance routes through the components decomposition.
+func TestComponentsSolvable(t *testing.T) {
+	out, code := gen(t, "-family", "smalldiam", "-n", "8", "-k", "2", "-components", "2", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	g := parse(t, out)
+	res, err := lpltsp.Solve(g, lpltsp.L21(), &lpltsp.Options{Verify: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != lpltsp.MethodComponents {
+		t.Fatalf("routed to %s, want components", res.Method)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-family") {
+		t.Fatalf("usage text missing:\n%s", errOut.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"-family", "nope"},
+		{"-badflag"},
+		{"stray-positional"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v: expected nonzero exit", args)
+		} else if errOut.Len() == 0 {
+			t.Errorf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}
+
+func TestWriteErrorPropagates(t *testing.T) {
+	var errOut bytes.Buffer
+	if code := run([]string{"-family", "path", "-n", "5"}, failingWriter{}, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 on write failure", code)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+var _ io.Writer = failingWriter{}

@@ -1,0 +1,105 @@
+// Command lplserve runs the L(p)-labeling solver as a long-lived HTTP
+// service: many clients share one planner pipeline, one solver worker
+// pool, and one memoization cache, so repeated instances across users are
+// served from memory.
+//
+// Usage:
+//
+//	lplserve -addr :8080 -workers 4 -queue 256 -max-deadline 30s
+//
+// Endpoints (see the README for the wire format):
+//
+//	POST /v1/solve   solve one instance, JSON in / JSON out
+//	POST /v1/batch   solve many instances, NDJSON streamed back in
+//	                 completion order
+//	GET  /v1/stats   queue, admission, cache, and per-method counters
+//	GET  /healthz    liveness
+//
+// Overload is answered with 429 + Retry-After once -queue jobs are in the
+// system; per-request deadlines are clamped to -max-deadline; a client
+// hanging up cancels its solve at the engines' cooperative checkpoints.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lpltsp"
+)
+
+func main() {
+	srv, logger, err := buildServer(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "lplserve:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s", srv.Addr)
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Fatalf("shutdown: %v", err)
+		}
+	}
+}
+
+// buildServer parses flags and assembles the HTTP server. Split from main
+// so tests can exercise flag handling and the handler without binding a
+// socket.
+func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, error) {
+	fs := flag.NewFlagSet("lplserve", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr            = fs.String("addr", ":8080", "listen address")
+		workers         = fs.Int("workers", 0, "concurrent solves (0 = half the CPUs; each solve parallelizes internally)")
+		queue           = fs.Int("queue", 256, "admission queue depth: jobs in the system before requests get 429")
+		maxDeadline     = fs.Duration("max-deadline", 30*time.Second, "clamp per-request deadlines to this (0 = unlimited)")
+		defaultDeadline = fs.Duration("default-deadline", 0, "deadline applied to requests that carry none (0 = none)")
+		maxVertices     = fs.Int("max-vertices", 4096, "reject larger instances with 413")
+		cacheCap        = fs.Int("cache-capacity", 0, "resize the shared solve cache (0 = keep the default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *cacheCap > 0 {
+		lpltsp.SetCacheCapacity(*cacheCap)
+	}
+	handler := lpltsp.NewServeHandler(&lpltsp.ServeConfig{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxDeadline:     *maxDeadline,
+		DefaultDeadline: *defaultDeadline,
+		MaxVertices:     *maxVertices,
+	})
+	logger := log.New(errOut, "lplserve: ", log.LstdFlags)
+	return &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}, logger, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildServerDefaults(t *testing.T) {
+	srv, logger, err := buildServer(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr != ":8080" || srv.Handler == nil || logger == nil {
+		t.Fatalf("defaults: addr=%q handler=%v", srv.Addr, srv.Handler)
+	}
+}
+
+func TestBuildServerFlagErrors(t *testing.T) {
+	if _, _, err := buildServer([]string{"-nope"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, _, err := buildServer([]string{"stray"}, io.Discard); err == nil {
+		t.Fatal("stray argument accepted")
+	}
+	// -h is a successful help request, not a flag error (main exits 0).
+	if _, _, err := buildServer([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestServerEndToEnd drives the assembled handler exactly as a client
+// would: health check, one solve, and the stats that recorded it.
+func TestServerEndToEnd(t *testing.T) {
+	srv, _, err := buildServer(
+		[]string{"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8", "-max-deadline", "5s"},
+		io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"graph":{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]},"p":[2,1]}`
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d (%s)", resp.StatusCode, data)
+	}
+	var sr struct {
+		Span  int  `json:"span"`
+		Exact bool `json:"exact"`
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Span != 4 || !sr.Exact { // λ_{2,1}(C4) = 4
+		t.Fatalf("C4 solve: %+v (%s)", sr, data)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Solved   int64 `json:"solved"`
+			InFlight int64 `json:"inFlight"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Solved >= 1 && st.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never recorded the solve: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Solve instrumentation: per-method counters and an optional observer
+// hook, fed by every top-level SolveContext call (one count per request —
+// a decomposed disconnected solve counts once under MethodComponents, and
+// each SolveBatch item counts individually). The serving layer polls
+// MethodCounts for /v1/stats; tests and external collectors can instead
+// subscribe with SetSolveObserver.
+
+var (
+	methodCountsMu sync.Mutex
+	methodCounts   = map[MethodName]int64{}
+	solveErrors    atomic.Int64
+
+	observerMu    sync.RWMutex
+	solveObserver SolveObserver
+)
+
+// SolveObserver receives one callback per completed top-level solve:
+// the route taken (empty on error), whether the result came from the
+// solve cache, the wall time, and the error if the solve failed. The
+// callback runs synchronously on the solving goroutine and may be called
+// concurrently from many goroutines; it must be fast and thread-safe.
+type SolveObserver func(method MethodName, cacheHit bool, elapsed time.Duration, err error)
+
+// SetSolveObserver installs fn as the process-wide solve observer
+// (nil uninstalls). It returns the previously installed observer so
+// wrappers can chain.
+func SetSolveObserver(fn SolveObserver) SolveObserver {
+	observerMu.Lock()
+	prev := solveObserver
+	solveObserver = fn
+	observerMu.Unlock()
+	return prev
+}
+
+// recordSolve updates the counters and fires the observer. Called from
+// SolveContext on both outcomes.
+func recordSolve(res *Result, elapsed time.Duration, err error) {
+	var method MethodName
+	var cacheHit bool
+	if err != nil {
+		solveErrors.Add(1)
+	} else {
+		method, cacheHit = res.Method, res.CacheHit
+		methodCountsMu.Lock()
+		methodCounts[method]++
+		methodCountsMu.Unlock()
+	}
+	observerMu.RLock()
+	fn := solveObserver
+	observerMu.RUnlock()
+	if fn != nil {
+		fn(method, cacheHit, elapsed, err)
+	}
+}
+
+// MethodCounts returns a snapshot of the number of successful top-level
+// solves per planner route since process start (or the last
+// ResetMethodCounts). Cache hits count under the method that originally
+// produced the cached result.
+func MethodCounts() map[MethodName]int64 {
+	methodCountsMu.Lock()
+	defer methodCountsMu.Unlock()
+	out := make(map[MethodName]int64, len(methodCounts))
+	for k, v := range methodCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// SolveErrorCount returns the number of failed top-level solves since
+// process start (or the last ResetMethodCounts).
+func SolveErrorCount() int64 { return solveErrors.Load() }
+
+// ResetMethodCounts zeroes the per-method and error counters. Intended
+// for tests and service restarts.
+func ResetMethodCounts() {
+	methodCountsMu.Lock()
+	methodCounts = map[MethodName]int64{}
+	methodCountsMu.Unlock()
+	solveErrors.Store(0)
+}

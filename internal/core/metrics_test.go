@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+)
+
+func TestMethodCounts(t *testing.T) {
+	ResetMethodCounts()
+	ResetSolveCache()
+	defer ResetMethodCounts()
+
+	cycle := graph.MustParse("p edge 4 4\ne 1 2\ne 2 3\ne 3 4\ne 4 1")
+	for i := 0; i < 3; i++ {
+		if _, err := Solve(cycle, labeling.L21(), &Options{Verify: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A disconnected instance counts once, under components.
+	multi := graph.DisjointUnion(graph.Path(3), graph.Cycle(4))
+	if _, err := Solve(multi, labeling.L21(), &Options{Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	// An error counts under SolveErrorCount, not a method.
+	if _, err := Solve(cycle, labeling.Vector{}, nil); err == nil {
+		t.Fatal("expected validation error")
+	}
+
+	counts := MethodCounts()
+	var total int64
+	for _, v := range counts {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("total solves = %d (counts %v), want 4", total, counts)
+	}
+	if counts[MethodComponents] != 1 {
+		t.Fatalf("components count = %d, want 1", counts[MethodComponents])
+	}
+	if SolveErrorCount() != 1 {
+		t.Fatalf("error count = %d, want 1", SolveErrorCount())
+	}
+
+	ResetMethodCounts()
+	if len(MethodCounts()) != 0 || SolveErrorCount() != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}
+
+func TestSolveObserver(t *testing.T) {
+	ResetMethodCounts()
+	ResetSolveCache()
+	defer ResetMethodCounts()
+
+	var mu sync.Mutex
+	var methods []MethodName
+	var hits int
+	prev := SetSolveObserver(func(m MethodName, cacheHit bool, d time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err == nil {
+			methods = append(methods, m)
+			if cacheHit {
+				hits++
+			}
+		}
+	})
+	defer SetSolveObserver(prev)
+
+	g := graph.Cycle(5)
+	opts := &Options{Verify: true}
+	if _, err := SolveContext(context.Background(), g, labeling.L21(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveContext(context.Background(), g, labeling.L21(), opts); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(methods) != 2 {
+		t.Fatalf("observer saw %d solves, want 2", len(methods))
+	}
+	if hits != 1 {
+		t.Fatalf("observer saw %d cache hits, want 1 (second solve repeats the first)", hits)
+	}
+}

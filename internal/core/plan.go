@@ -195,7 +195,7 @@ func planSingle(pr *Probe, p labeling.Vector, opts *Options) (*Plan, Method, err
 			if a.Err != nil {
 				return nil, nil, a.Err
 			}
-			return nil, nil, fmt.Errorf("core: method %q not applicable: %s", opts.Method, a.Reason)
+			return nil, nil, fmt.Errorf("%w: %q: %s", ErrMethodNotApplicable, opts.Method, a.Reason)
 		}
 		pl.Chosen = opts.Method
 		pl.Forced = true

@@ -67,6 +67,12 @@ var (
 	// the reduced weights need not be metric and Claim 1's argument
 	// breaks.
 	ErrConditionViolated = errors.New("core: pmax > 2*pmin violates the reduction condition")
+	// ErrMethodNotApplicable is returned when Options.Method pins a
+	// method whose hypotheses fail on the instance and the method has no
+	// more specific typed error. The three reduction errors above also
+	// mean "not applicable"; test for them individually when the cause
+	// matters.
+	ErrMethodNotApplicable = errors.New("core: pinned method not applicable")
 )
 
 // Reduction holds the reduced METRIC PATH TSP instance H together with the

@@ -105,8 +105,17 @@ func Solve(g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
 // checkpoints. Options.Deadline, when set, further bounds the solve.
 // Verified results are memoized in the process-wide solve cache (see
 // SolveCacheStats); repeated instances return the cached labeling with
-// Result.CacheHit set.
+// Result.CacheHit set. Every call feeds the per-method counters and the
+// solve observer (see MethodCounts, SetSolveObserver).
 func SolveContext(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
+	t0 := time.Now()
+	res, err := solveTop(ctx, g, p, opts)
+	recordSolve(res, time.Since(t0), err)
+	return res, err
+}
+
+// solveTop is SolveContext minus the instrumentation.
+func solveTop(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
 	if opts != nil && opts.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON wire form of a graph, used by the lplserve HTTP API and anyone
+// embedding a *Graph in a marshaled struct. Two encodings are accepted on
+// the way in:
+//
+//	{"n": 4, "edges": [[0,1],[1,2],[2,3],[3,0]]}   object form, 0-based
+//	"p edge 4 4\ne 1 2\n..."                        string form: a whole
+//	                                                DIMACS / edge-list
+//	                                                document (see Read)
+//
+// Marshaling always produces the object form with edges in canonical
+// (u < v, lexicographic) order, so equal graphs encode to equal bytes.
+
+// jsonGraph is the object wire form. Edges decode as [][]int, not
+// [][2]int: encoding/json zero-fills or truncates fixed-size arrays, so
+// the [2]int form would silently rewrite malformed tuples instead of
+// rejecting them.
+type jsonGraph struct {
+	N     int     `json:"n"`
+	Edges [][]int `json:"edges"`
+}
+
+// MarshalJSON encodes g in the object wire form. The edge list is the
+// canonical one (normalized, u < v, sorted), so the encoding is
+// deterministic for a given graph.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N     int      `json:"n"`
+		Edges [][2]int `json:"edges"`
+	}{N: g.N(), Edges: g.Edges()})
+}
+
+// UnmarshalJSON decodes either wire form into g, replacing its contents.
+// Object-form edges are 0-based and validated against n; the string form
+// is handed to Read, so both DIMACS and bare edge-list documents work.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, `"`) {
+		var doc string
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return err
+		}
+		h, err := Read(strings.NewReader(doc))
+		if err != nil {
+			return err
+		}
+		g.replaceWith(h)
+		return nil
+	}
+	var wire jsonGraph
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	if wire.N < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", wire.N)
+	}
+	h := New(wire.N)
+	for i, e := range wire.Edges {
+		if len(e) != 2 {
+			return fmt.Errorf("graph: edge %d has %d endpoints, want exactly 2", i, len(e))
+		}
+		u, v := e[0], e[1]
+		if u == v {
+			return fmt.Errorf("graph: edge %d is a self-loop at %d", i, u)
+		}
+		if u < 0 || v < 0 || u >= wire.N || v >= wire.N {
+			return fmt.Errorf("graph: edge %d = {%d,%d} out of range [0,%d)", i, u, v, wire.N)
+		}
+		h.AddEdge(u, v)
+	}
+	h.Normalize()
+	g.replaceWith(h)
+	return nil
+}
+
+// replaceWith moves h's (normalized) contents into g without copying the
+// lock/atomic fields. h must not be used afterwards.
+func (g *Graph) replaceWith(h *Graph) {
+	h.Normalize()
+	g.adj = h.adj
+	g.m = h.m
+	g.normalized.Store(true)
+}

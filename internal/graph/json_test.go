@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 0)
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Graph
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip: got n=%d m=%d, want n=%d m=%d", h.N(), h.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(e[0], e[1]) {
+			t.Fatalf("round trip lost edge %v", e)
+		}
+	}
+	// Same graph, same bytes: canonical edge order.
+	b2, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("non-deterministic encoding:\n%s\n%s", b, b2)
+	}
+}
+
+func TestJSONEdgeless(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"n":3,"edges":[]}`), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("got n=%d m=%d", g.N(), g.M())
+	}
+	b, err := json.Marshal(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"n":3,"edges":[]}` {
+		t.Fatalf("edgeless encoding %s", b)
+	}
+}
+
+func TestJSONStringFormDIMACS(t *testing.T) {
+	var g Graph
+	doc := `"p edge 4 4\ne 1 2\ne 2 3\ne 3 4\ne 4 1"`
+	if err := json.Unmarshal([]byte(doc), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 4 || !g.HasEdge(0, 1) || !g.HasEdge(3, 0) {
+		t.Fatalf("DIMACS string form parsed wrong: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	cases := []string{
+		`{"n":-1,"edges":[]}`,       // negative n
+		`{"n":3,"edges":[[0,3]]}`,   // endpoint out of range
+		`{"n":3,"edges":[[1,1]]}`,   // self-loop
+		`{"n":3,"edges":[[-1,0]]}`,  // negative endpoint
+		`"p edge x y"`,              // malformed DIMACS doc
+		`[1,2,3]`,                   // wrong JSON shape
+		`{"n":3,"edges":[[2]]}`,     // one-endpoint edge
+		`{"n":3,"edges":[[0,1,2]]}`, // three-endpoint edge
+		`{"n":3,"edges":[[]]}`,      // empty edge
+	}
+	for _, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Errorf("expected error for %s", c)
+		}
+	}
+}
+
+func TestJSONDuplicateEdgesCollapse(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"n":2,"edges":[[0,1],[1,0],[0,1]]}`), &g); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("duplicates should collapse, m=%d", g.M())
+	}
+}
+
+func TestJSONEmbedded(t *testing.T) {
+	// The service embeds *Graph inside request structs; make sure the
+	// codec composes with struct marshaling.
+	type req struct {
+		G *Graph `json:"graph"`
+		P []int  `json:"p"`
+	}
+	var r req
+	if err := json.Unmarshal([]byte(`{"graph":{"n":2,"edges":[[0,1]]},"p":[2,1]}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.G == nil || r.G.N() != 2 || r.G.M() != 1 {
+		t.Fatalf("embedded graph: %+v", r.G)
+	}
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONMarshalMatchesWrite(t *testing.T) {
+	// The two codecs describe the same graph: JSON round-tripped through
+	// the string form equals the object form.
+	g := MustParse("p edge 5 4\ne 1 2\ne 2 3\ne 3 4\ne 4 5")
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	quoted, err := json.Marshal(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Graph
+	if err := json.Unmarshal(quoted, &h); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(g)
+	b2, _ := json.Marshal(&h)
+	if string(b1) != string(b2) {
+		t.Fatalf("codecs disagree:\n%s\n%s", b1, b2)
+	}
+}

@@ -1,0 +1,475 @@
+// Package service implements lplserve's HTTP layer: a long-lived
+// concurrent L(p)-labeling service multiplexing the planner pipeline, the
+// process-wide solve cache, and a bounded worker pool across requests.
+//
+// Endpoints:
+//
+//	POST /v1/solve   one instance  → JSON SolveResponse with
+//	                 method/plan/cache provenance
+//	POST /v1/batch   many instances → NDJSON stream of SolveResponse
+//	                 lines in completion order (core.SolveBatch underneath)
+//	GET  /v1/stats   queue occupancy, admission counters, cache hit rate,
+//	                 per-method solve counts
+//	GET  /healthz    liveness
+//
+// Admission: every job (a solo request or one batch item) must win a
+// ticket from a bounded admission queue before it is allowed to wait for
+// a worker; when the queue is full the request is rejected immediately
+// with 429 and a Retry-After hint, bounding both memory and tail latency
+// under overload. Admitted jobs then draw from one shared pool of
+// Workers solver slots — solo requests hold a slot for the duration of
+// their solve, and batch pool workers claim one per item just before
+// solving — so total solve concurrency stays at Workers no matter how
+// many requests are streaming at once.
+//
+// Deadlines and cancellation: a request's deadlineMs maps onto
+// core.Options.Deadline (clamped to the server's MaxDeadline), and the
+// request context is threaded into the solver, so a client disconnect
+// cancels the solve at the engines' cooperative checkpoints; anytime
+// engines still deliver their best-so-far labeling on batch streams.
+//
+// All requests share one memoization cache (the core solve cache), so
+// repeated instances across users are served from memory with
+// cacheHit=true regardless of which endpoint they arrive on.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpltsp/internal/core"
+	"lpltsp/internal/graph"
+)
+
+// Config tunes a Server. The zero value means defaults everywhere.
+type Config struct {
+	// Workers bounds concurrently running solves across the whole server:
+	// solo requests and every batch item draw from one shared slot pool,
+	// so concurrent batches cannot multiply the budget. Default: half of
+	// GOMAXPROCS (each solve already fans out internally).
+	Workers int
+	// QueueDepth bounds jobs in the system (waiting + running); beyond it
+	// requests get 429. Default 256.
+	QueueDepth int
+	// MaxDeadline clamps per-request deadlines; requests asking for more
+	// (or for none) get this much. 0 = no clamp.
+	MaxDeadline time.Duration
+	// DefaultDeadline applies when a request carries no deadline. 0 = none.
+	DefaultDeadline time.Duration
+	// MaxVertices rejects larger instances with 413 before queueing.
+	// Default 4096; ≤ 0 keeps the default (use a huge value to disable).
+	MaxVertices int
+	// MaxBodyBytes bounds a request body. Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+const (
+	defaultQueueDepth   = 256
+	defaultMaxVertices  = 4096
+	defaultMaxBodyBytes = 64 << 20
+)
+
+// Server is the lplserve HTTP handler. Create with NewServer; the zero
+// value is not usable.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+
+	// admit holds one ticket per job currently in the system (waiting or
+	// solving); slots holds one per running solo solve.
+	admit chan struct{}
+	slots chan struct{}
+
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+	solved   atomic.Int64
+	failed   atomic.Int64
+}
+
+func defaultWorkers() int {
+	// Mirror core.SolveBatch's sizing logic: each solve fans out
+	// internally, so one worker per two logical CPUs.
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewServer builds the handler. cfg may be nil for all defaults.
+func NewServer(cfg *Config) *Server {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = defaultQueueDepth
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = defaultMaxVertices
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg:   c,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		admit: make(chan struct{}, c.QueueDepth),
+		slots: make(chan struct{}, c.Workers),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// tryAdmit claims n admission tickets without blocking; all or nothing.
+// On failure every one of the n jobs was turned away, so all n count as
+// rejected (including any that briefly held a rolled-back ticket).
+func (s *Server) tryAdmit(n int) bool {
+	for i := 0; i < n; i++ {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			s.releaseAdmit(i)
+			s.rejected.Add(int64(n))
+			return false
+		}
+	}
+	s.admitted.Add(int64(n))
+	s.queued.Add(int64(n))
+	return true
+}
+
+func (s *Server) releaseAdmit(n int) {
+	for i := 0; i < n; i++ {
+		<-s.admit
+	}
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(SolveResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// solveStatus maps a solver error to an HTTP status: context errors are
+// the client's deadline (408) or disconnect; typed applicability errors
+// (a pinned method whose hypotheses fail) are the request's fault (422);
+// everything else is a 500.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, core.ErrDisconnected),
+		errors.Is(err, core.ErrDiameterExceedsK),
+		errors.Is(err, core.ErrConditionViolated),
+		errors.Is(err, core.ErrMethodNotApplicable):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			jsonError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		jsonError(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleSolve serves POST /v1/solve: decode → validate → admit (429 on a
+// full queue) → wait for a solver slot → solve under the request context
+// → respond.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := req.validate(s.cfg.MaxVertices); err != nil {
+		status := http.StatusBadRequest
+		if req.tooLarge(s.cfg.MaxVertices) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		jsonError(w, status, "invalid request: %v", err)
+		return
+	}
+	if !s.tryAdmit(1) {
+		jsonError(w, http.StatusTooManyRequests, "admission queue full (%d jobs in system)", s.cfg.QueueDepth)
+		return
+	}
+	defer s.releaseAdmit(1)
+
+	// Wait in the admission queue for a solver slot; a disconnect while
+	// queued abandons the job without ever starting it.
+	select {
+	case s.slots <- struct{}{}:
+	case <-r.Context().Done():
+		s.queued.Add(-1)
+		jsonError(w, http.StatusRequestTimeout, "client went away while queued")
+		return
+	}
+	s.queued.Add(-1)
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.slots
+	}()
+
+	opts := req.Options.toOptions(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	t0 := time.Now()
+	res, err := core.SolveContext(r.Context(), req.Graph, req.P, opts)
+	if err != nil {
+		s.failed.Add(1)
+		jsonError(w, solveStatus(err), "solve failed: %v", err)
+		return
+	}
+	s.solved.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(wireResult(req.ID, res, time.Since(t0), req.Explain))
+}
+
+// handleBatch serves POST /v1/batch: all items are admitted up front (or
+// the whole batch is rejected with 429 — partial admission would deliver
+// a silently shrunken stream), then streamed through core.SolveBatch and
+// written back as NDJSON in completion order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		jsonError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	for i := range req.Items {
+		if err := req.Items[i].validate(s.cfg.MaxVertices); err != nil {
+			status := http.StatusBadRequest
+			if req.Items[i].tooLarge(s.cfg.MaxVertices) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			jsonError(w, status, "invalid item %d (id %q): %v", i, req.Items[i].ID, err)
+			return
+		}
+	}
+	if !s.tryAdmit(len(req.Items)) {
+		jsonError(w, http.StatusTooManyRequests,
+			"admission queue cannot hold %d more jobs (depth %d)", len(req.Items), s.cfg.QueueDepth)
+		return
+	}
+	defer s.releaseAdmit(len(req.Items))
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.Workers {
+		workers = s.cfg.Workers
+	}
+	// Per-item options: a request-level default, overridable per item.
+	itemOpts := make([]*core.Options, len(req.Items))
+	for i := range req.Items {
+		o := req.Items[i].Options
+		if o == nil {
+			o = req.Options
+		}
+		itemOpts[i] = o.toOptions(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	}
+
+	items := make([]core.BatchItem, len(req.Items))
+	starts := make([]time.Time, len(req.Items))
+	for i := range req.Items {
+		i := i
+		g := req.Items[i].Graph
+		items[i] = core.BatchItem{
+			ID: req.Items[i].ID,
+			P:  req.Items[i].P,
+			// Load runs inside the worker just before solving — the hook
+			// that moves this job from "queued" to "in flight". It also
+			// claims a global solver slot, so concurrent batch requests
+			// (and their option-group pools) share one Workers budget
+			// with solo traffic instead of multiplying it; the slot is
+			// returned when the item's result is consumed below. Slots
+			// are always released after a finite solve, so this blocking
+			// send cannot deadlock.
+			Load: func() (*graph.Graph, error) {
+				s.slots <- struct{}{}
+				s.queued.Add(-1)
+				s.inFlight.Add(1)
+				starts[i] = time.Now()
+				return g, nil
+			},
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Items may carry different options; core.SolveBatch applies one
+	// Options to all, so run one pool per distinct option set — in the
+	// common case (shared options) that is exactly one pool. Grouping is
+	// by rendered option value: pointer identity would split equal
+	// options into needless pools. Groups run concurrently (splitting the
+	// worker budget) with their streams merged, so one slow group cannot
+	// stall another's completed results.
+	groups := groupByOptions(itemOpts)
+	perGroup := workers / len(groups)
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	type tagged struct {
+		idx int // index into req.Items
+		br  core.BatchResult
+	}
+	merged := make(chan tagged)
+	var pools sync.WaitGroup
+	for _, idxs := range groups {
+		idxs := idxs
+		batchItems := make([]core.BatchItem, len(idxs))
+		for j, idx := range idxs {
+			batchItems[j] = items[idx]
+		}
+		stream := core.SolveBatch(r.Context(), batchItems, &core.BatchOptions{
+			Workers: perGroup,
+			Options: itemOpts[idxs[0]],
+		})
+		pools.Add(1)
+		go func() {
+			defer pools.Done()
+			for br := range stream {
+				merged <- tagged{idx: idxs[br.Index], br: br}
+			}
+		}()
+	}
+	go func() {
+		pools.Wait()
+		close(merged)
+	}()
+
+	// Read until close even after a write failure or cancellation — the
+	// SolveBatch contract — so the counters reconcile exactly.
+	received := make([]bool, len(items))
+	clientGone := false
+	for tg := range merged {
+		idx, br := tg.idx, tg.br
+		received[idx] = true
+		// starts[idx] is safe to read here: the worker wrote it before
+		// sending this result (channel happens-before).
+		loaded := !starts[idx].IsZero()
+		if loaded {
+			s.inFlight.Add(-1)
+			<-s.slots // return the global solver slot claimed in Load
+		} else {
+			s.queued.Add(-1) // cancelled before reaching a worker
+		}
+		var line *SolveResponse
+		if br.Err != nil {
+			s.failed.Add(1)
+			line = &SolveResponse{ID: br.ID, Error: br.Err.Error()}
+		} else {
+			s.solved.Add(1)
+			var elapsed time.Duration
+			if loaded {
+				elapsed = time.Since(starts[idx])
+			}
+			line = wireResult(br.ID, br.Result, elapsed, req.Items[idx].Explain)
+		}
+		if clientGone {
+			continue
+		}
+		if err := enc.Encode(line); err != nil {
+			clientGone = true
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Items the cancelled intake never handed to a worker produce no
+	// BatchResult at all; they are still sitting in the queued gauge.
+	for idx := range received {
+		if !received[idx] {
+			s.queued.Add(-1)
+		}
+	}
+}
+
+// groupByOptions partitions item indices into runs sharing an option
+// value, preserving order inside each group.
+func groupByOptions(opts []*core.Options) [][]int {
+	keys := map[string]int{}
+	var groups [][]int
+	for i, o := range opts {
+		k := fmt.Sprintf("%v|%v|%v|%v|%v|%v|%v",
+			o.Method, o.Algorithm, o.Engines, o.Verify, o.NoCache, o.Deadline, o.Chained)
+		gi, ok := keys[k]
+		if !ok {
+			gi = len(groups)
+			keys[k] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	counts := core.MethodCounts()
+	methods := make(map[string]int64, len(counts))
+	for k, v := range counts {
+		methods[string(k)] = v
+	}
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queued:        s.queued.Load(),
+		InFlight:      s.inFlight.Load(),
+		QueueDepth:    s.cfg.QueueDepth,
+		Admitted:      s.admitted.Load(),
+		Rejected:      s.rejected.Load(),
+		Solved:        s.solved.Load(),
+		Failed:        s.failed.Load(),
+		Cache:         wireCache(core.SolveCacheStats()),
+		Methods:       methods,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleHealth serves GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(HealthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()})
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"lpltsp/internal/core"
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/tsp"
+)
+
+// Wire types of the lplserve HTTP API. Graphs ride on the graph package's
+// JSON codec (object form {"n":…,"edges":[[u,v],…]} or a DIMACS document
+// as a JSON string), so the same files the CLIs read can be pasted into
+// requests.
+
+// SolveRequest is the body of POST /v1/solve and one element of a
+// BatchRequest.
+type SolveRequest struct {
+	// ID is an optional caller-chosen identifier echoed back on the
+	// response; batch responses use it to correlate the NDJSON stream.
+	ID string `json:"id,omitempty"`
+	// Graph is the instance, in either JSON wire form.
+	Graph *graph.Graph `json:"graph"`
+	// P is the constraint vector p = (p1,…,pk).
+	P labeling.Vector `json:"p"`
+	// Options tunes the solve; omitted fields keep server defaults
+	// (verification on, automatic planning, shared cache).
+	Options *WireOptions `json:"options,omitempty"`
+	// Explain includes the routing decision (the plan) in the response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// WireOptions is the JSON form of core.Options.
+type WireOptions struct {
+	// Method pins a planner method (reduction|tree|diameter2|
+	// fpt-coloring|pmax-approx|greedy). Empty plans automatically.
+	Method string `json:"method,omitempty"`
+	// Algorithm pins a TSP engine (exact|heldkarp|bnb|christofides|
+	// chained|2opt|3opt|nn|greedy|portfolio).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Engines is the portfolio roster when Algorithm is "portfolio".
+	Engines []string `json:"engines,omitempty"`
+	// Verify re-checks the labeling against the definition before
+	// responding. Defaults to true; only verified results enter the
+	// shared cache.
+	Verify *bool `json:"verify,omitempty"`
+	// NoCache opts this solve out of the process-wide memoization cache.
+	NoCache bool `json:"noCache,omitempty"`
+	// DeadlineMs bounds the solve in milliseconds; the server clamps it
+	// to its -max-deadline. Anytime engines return their best-so-far
+	// labeling (truncated=true) when it fires.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+}
+
+// toOptions converts wire options to core options, applying the server's
+// deadline policy: requests without a deadline get defaultDeadline, and
+// no request may exceed maxDeadline (0 = unlimited).
+func (w *WireOptions) toOptions(defaultDeadline, maxDeadline time.Duration) *core.Options {
+	opts := &core.Options{Verify: true, Deadline: defaultDeadline}
+	if w == nil {
+		if maxDeadline > 0 && (opts.Deadline == 0 || opts.Deadline > maxDeadline) {
+			opts.Deadline = maxDeadline
+		}
+		return opts
+	}
+	opts.Method = core.MethodName(w.Method)
+	opts.Algorithm = tsp.Algorithm(w.Algorithm)
+	for _, e := range w.Engines {
+		opts.Engines = append(opts.Engines, tsp.Algorithm(e))
+	}
+	if w.Verify != nil {
+		opts.Verify = *w.Verify
+	}
+	opts.NoCache = w.NoCache
+	if w.DeadlineMs > 0 {
+		opts.Deadline = time.Duration(w.DeadlineMs) * time.Millisecond
+	}
+	if maxDeadline > 0 && (opts.Deadline == 0 || opts.Deadline > maxDeadline) {
+		opts.Deadline = maxDeadline
+	}
+	return opts
+}
+
+// validate rejects requests the solver cannot accept before any work is
+// queued. maxVertices ≤ 0 disables the size gate.
+func (r *SolveRequest) validate(maxVertices int) error {
+	if r.Graph == nil {
+		return fmt.Errorf("missing graph")
+	}
+	if err := r.P.Validate(); err != nil {
+		return err
+	}
+	if maxVertices > 0 && r.Graph.N() > maxVertices {
+		return fmt.Errorf("graph has %d vertices, server limit is %d", r.Graph.N(), maxVertices)
+	}
+	if r.Options != nil {
+		if m := r.Options.Method; m != "" {
+			if _, err := core.LookupMethod(core.MethodName(m)); err != nil {
+				return fmt.Errorf("unknown method %q", m)
+			}
+		}
+		if a := r.Options.Algorithm; a != "" && a != string(core.AlgoPortfolio) {
+			if _, err := tsp.Lookup(tsp.Algorithm(a)); err != nil {
+				return fmt.Errorf("unknown algorithm %q", a)
+			}
+		}
+		for _, e := range r.Options.Engines {
+			if _, err := tsp.Lookup(tsp.Algorithm(e)); err != nil {
+				return fmt.Errorf("unknown engine %q in portfolio roster", e)
+			}
+		}
+	}
+	return nil
+}
+
+// tooLarge reports whether the request trips the server's instance-size
+// gate — the one validation failure that maps to 413, not 400.
+func (r *SolveRequest) tooLarge(maxVertices int) bool {
+	return maxVertices > 0 && r.Graph != nil && r.Graph.N() > maxVertices
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// Items are solved through one bounded worker pool; results stream
+	// back as NDJSON in completion order (match them by id).
+	Items []SolveRequest `json:"items"`
+	// Options applies to every item that does not carry its own.
+	Options *WireOptions `json:"options,omitempty"`
+	// Workers bounds the pool; the server clamps it to its -workers.
+	// 0 means the server default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SolveResponse is the body of a /v1/solve response and one NDJSON line
+// of a /v1/batch stream. Exactly one of Error / the result fields is
+// meaningful: Error is set iff the item failed.
+type SolveResponse struct {
+	ID       string `json:"id,omitempty"`
+	Span     int    `json:"span"`
+	Labeling []int  `json:"labeling,omitempty"`
+	// Method is the planner route that produced the result; Algorithm and
+	// Winner name the TSP engine when the route was the reduction.
+	Method    string  `json:"method,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	Winner    string  `json:"winner,omitempty"`
+	Exact     bool    `json:"exact"`
+	Approx    float64 `json:"approx,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+	// CacheHit reports the result was served from the process-wide solve
+	// cache shared across all requests.
+	CacheHit bool    `json:"cacheHit"`
+	SolveMs  float64 `json:"solveMs"`
+	// Plan is the routing decision, included when the request set
+	// explain.
+	Plan *WirePlan `json:"plan,omitempty"`
+	// Error is the failure message of this item (batch lines and error
+	// responses).
+	Error string `json:"error,omitempty"`
+}
+
+// WirePlan mirrors core.Plan.
+type WirePlan struct {
+	Chosen     string          `json:"chosen"`
+	Forced     bool            `json:"forced,omitempty"`
+	N          int             `json:"n"`
+	M          int             `json:"m"`
+	Connected  bool            `json:"connected"`
+	Components int             `json:"components"`
+	Diameter   int             `json:"diameter"`
+	Candidates []WireCandidate `json:"candidates,omitempty"`
+	Sub        []*WirePlan     `json:"sub,omitempty"`
+}
+
+// WireCandidate mirrors core.Candidate.
+type WireCandidate struct {
+	Method     string  `json:"method"`
+	Applicable bool    `json:"applicable"`
+	Exact      bool    `json:"exact,omitempty"`
+	Approx     float64 `json:"approx,omitempty"`
+	Reason     string  `json:"reason,omitempty"`
+}
+
+func wirePlan(pl *core.Plan) *WirePlan {
+	if pl == nil {
+		return nil
+	}
+	wp := &WirePlan{
+		Chosen:     string(pl.Chosen),
+		Forced:     pl.Forced,
+		N:          pl.N,
+		M:          pl.M,
+		Connected:  pl.Connected,
+		Components: pl.Components,
+		Diameter:   pl.Diameter,
+	}
+	for _, c := range pl.Candidates {
+		wp.Candidates = append(wp.Candidates, WireCandidate{
+			Method:     string(c.Method),
+			Applicable: c.Applicable,
+			Exact:      c.Exact,
+			Approx:     c.Approx,
+			Reason:     c.Reason,
+		})
+	}
+	for _, sub := range pl.Sub {
+		wp.Sub = append(wp.Sub, wirePlan(sub))
+	}
+	return wp
+}
+
+// wireResult converts a solved result into its response form.
+func wireResult(id string, res *core.Result, elapsed time.Duration, explain bool) *SolveResponse {
+	resp := &SolveResponse{
+		ID:        id,
+		Span:      res.Span,
+		Labeling:  res.Labeling,
+		Method:    string(res.Method),
+		Algorithm: string(res.Algorithm),
+		Winner:    string(res.Winner),
+		Exact:     res.Exact,
+		Approx:    res.Approx,
+		Truncated: res.Truncated,
+		CacheHit:  res.CacheHit,
+		SolveMs:   float64(elapsed.Microseconds()) / 1000,
+	}
+	if explain {
+		resp.Plan = wirePlan(res.Plan)
+	}
+	return resp
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	// UptimeSeconds since the server was constructed.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Queue occupancy: jobs admitted and waiting for a worker, jobs
+	// currently solving, and the admission capacity.
+	Queued     int64 `json:"queued"`
+	InFlight   int64 `json:"inFlight"`
+	QueueDepth int   `json:"queueDepth"`
+	// Admission outcomes since start: jobs let in and jobs turned away
+	// with 429.
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	// Completed solves and failures (across solo and batch traffic).
+	Solved int64 `json:"solved"`
+	Failed int64 `json:"failed"`
+	// Cache is the process-wide solve cache shared by every request.
+	Cache CacheWire `json:"cache"`
+	// Methods counts successful solves per planner route.
+	Methods map[string]int64 `json:"methods"`
+}
+
+// CacheWire is the JSON form of core.CacheStats plus the derived rate.
+type CacheWire struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int64   `json:"entries"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+func wireCache(st core.CacheStats) CacheWire {
+	cw := CacheWire{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries}
+	if total := st.Hits + st.Misses; total > 0 {
+		cw.HitRate = float64(st.Hits) / float64(total)
+	}
+	return cw
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}

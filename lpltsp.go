@@ -112,11 +112,13 @@ package lpltsp
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"lpltsp/internal/core"
 	"lpltsp/internal/graph"
 	"lpltsp/internal/labeling"
 	"lpltsp/internal/modular"
+	"lpltsp/internal/service"
 	"lpltsp/internal/tsp"
 )
 
@@ -241,6 +243,50 @@ func ResetCache() { core.ResetSolveCache() }
 // SetCacheCapacity resets the solve cache with a new entry budget;
 // capacity ≤ 0 disables caching process-wide.
 func SetCacheCapacity(capacity int) { core.SetSolveCacheCapacity(capacity) }
+
+// MethodCounts returns the number of successful solves per planner route
+// since process start (or the last ResetMethodCounts). Cache hits count
+// under the method that originally produced the cached result; lplserve
+// reports these through /v1/stats.
+func MethodCounts() map[Method]int64 { return core.MethodCounts() }
+
+// ResetMethodCounts zeroes the per-method solve counters.
+func ResetMethodCounts() { core.ResetMethodCounts() }
+
+// The lplserve HTTP service, embeddable in any mux. See the service wire
+// types (SolveRequest and friends) for the JSON format and cmd/lplserve
+// for the standalone binary.
+
+// ServeConfig tunes the HTTP service: worker-pool size, admission-queue
+// depth (429 beyond it), deadline clamps, and instance-size limits.
+type ServeConfig = service.Config
+
+// SolveRequest is the body of POST /v1/solve and one item of a
+// BatchRequest. Graphs accept both JSON wire forms: an object
+// {"n":…,"edges":[[u,v],…]} or a DIMACS document as a JSON string.
+type SolveRequest = service.SolveRequest
+
+// SolveResponse is the body of a /v1/solve response and one NDJSON line
+// of a /v1/batch stream: span, labeling, and the method/plan/cache
+// provenance.
+type SolveResponse = service.SolveResponse
+
+// SolveOptionsWire is the JSON form of Options accepted by the service.
+type SolveOptionsWire = service.WireOptions
+
+// BatchRequest is the body of POST /v1/batch; results stream back as
+// NDJSON in completion order.
+type BatchRequest = service.BatchRequest
+
+// StatsResponse is the body of GET /v1/stats: queue occupancy, admission
+// counters, cache hit rate, and per-method solve counts.
+type StatsResponse = service.StatsResponse
+
+// NewServeHandler returns the lplserve HTTP handler (the /v1/solve,
+// /v1/batch, /v1/stats, and /healthz endpoints) backed by this process's
+// shared solver pipeline and memoization cache. cfg may be nil for
+// defaults. Mount it on any server or run cmd/lplserve.
+func NewServeHandler(cfg *ServeConfig) http.Handler { return service.NewServer(cfg) }
 
 // Solve computes an L(p)-labeling of g through the planned pipeline: the
 // instance is routed to the cheapest applicable method (see the package
