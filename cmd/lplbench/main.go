@@ -1,12 +1,15 @@
 // Command lplbench regenerates the experiment tables E1–E12 of DESIGN.md
 // §3 — the measurable form of every theorem, corollary, proposition, and
-// figure in the paper — and prints them to stdout.
+// figure in the paper — and prints them to stdout. With -load it instead
+// boots a live lplserve handler in-process and measures its concurrent
+// solve throughput (the serving-core harness behind BENCH_PR5.json).
 //
 // Usage:
 //
 //	lplbench                 # all experiments, full scale
 //	lplbench -only E4,E5     # a subset
 //	lplbench -scale 1        # reduced sweeps (fast smoke run)
+//	lplbench -load -clients 16 -requests 5000   # serving-core load run
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"strings"
 
 	"lpltsp/internal/bench"
+	"lpltsp/internal/core"
 )
 
 func main() {
@@ -25,8 +29,32 @@ func main() {
 		scale     = flag.Int("scale", 0, "0 = full sweeps, 1 = reduced")
 		only      = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E4,A2)")
 		ablations = flag.Bool("ablations", false, "also run the ablation tables A1–A4")
+
+		load     = flag.Bool("load", false, "drive a live in-process lplserve handler instead of the experiment tables")
+		clients  = flag.Int("clients", 16, "load mode: concurrent client loops")
+		requests = flag.Int("requests", 2048, "load mode: total solve requests")
+		distinct = flag.Int("distinct", 16, "load mode: distinct instances the requests cycle over")
+		loadN    = flag.Int("n", 64, "load mode: vertices per generated instance")
 	)
 	flag.Parse()
+
+	if *load {
+		core.ResetSolveCache()
+		core.ResetMethodCounts()
+		rep, err := bench.RunLoad(bench.LoadConfig{
+			Clients:  *clients,
+			Requests: *requests,
+			Distinct: *distinct,
+			N:        *loadN,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lplbench: load run failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		return
+	}
 
 	cfg := bench.Config{Seed: *seed, Trials: *trials, Scale: *scale}
 	want := map[string]bool{}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/service"
+)
+
+// Concurrent-load driver for the serving core: it constructs a live
+// lplserve handler and pushes solve traffic through ServeHTTP in-process
+// — no sockets, no client-side HTTP stack — so what it measures is the
+// handler plus the solve pipeline under concurrency, not the kernel's
+// loopback. cmd/lplbench -load prints a LoadReport; BenchmarkServeThroughput
+// and BenchmarkCacheContention drive the same paths from the bench suite.
+
+// LoadConfig shapes one in-process load run against a fresh server.
+type LoadConfig struct {
+	// Clients is the number of concurrent request loops (default 16).
+	Clients int
+	// Requests is the total number of POST /v1/solve requests issued
+	// across all clients (default 2048).
+	Requests int
+	// Distinct is the number of distinct instances the requests cycle
+	// over; repeats are the dominant service pattern the solve cache and
+	// singleflight layer exist for (default 16).
+	Distinct int
+	// N is the vertex count of each generated instance (default 64).
+	N int
+	// Seed feeds the instance generator.
+	Seed uint64
+	// Server overrides the handler configuration (nil = service defaults).
+	Server *service.Config
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Requests <= 0 {
+		c.Requests = 2048
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 16
+	}
+	if c.N <= 0 {
+		c.N = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	return c
+}
+
+// LoadReport is the outcome of RunLoad.
+type LoadReport struct {
+	Clients   int
+	Requests  int
+	Distinct  int
+	N         int
+	Errors    int // non-200 responses
+	Elapsed   time.Duration
+	Throughput float64 // successful requests per second of wall time
+	// Stats is the server's own view after the run (/v1/stats).
+	Stats service.StatsResponse
+}
+
+// Fprintf renders the report for the lplbench CLI.
+func (r *LoadReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "load: %d requests (%d distinct n=%d instances) over %d clients\n",
+		r.Requests, r.Distinct, r.N, r.Clients)
+	fmt.Fprintf(&b, "  wall time    %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  throughput   %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "  errors       %d\n", r.Errors)
+	fmt.Fprintf(&b, "  solved       %d  failed %d  rejected %d\n",
+		r.Stats.Solved, r.Stats.Failed, r.Stats.Rejected)
+	fmt.Fprintf(&b, "  cache        hits %d  misses %d  hit-rate %.3f\n",
+		r.Stats.Cache.Hits, r.Stats.Cache.Misses, r.Stats.Cache.HitRate)
+	return b.String()
+}
+
+// nullResponseWriter discards the response body and records the status,
+// so the load loop measures handler + solver work, not buffer growth.
+type nullResponseWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(p), nil
+}
+
+func (w *nullResponseWriter) WriteHeader(status int) { w.status = status }
+
+// bodyRecorder keeps the body (used only for the final /v1/stats read).
+type bodyRecorder struct {
+	nullResponseWriter
+	buf bytes.Buffer
+}
+
+func (w *bodyRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.buf.Write(p)
+}
+
+// loadBodies pre-marshals the request bodies the load loop cycles over,
+// so marshaling cost stays out of the measured path.
+func loadBodies(cfg LoadConfig) [][]byte {
+	r := rng.New(cfg.Seed)
+	bodies := make([][]byte, cfg.Distinct)
+	for i := range bodies {
+		g := graph.RandomSmallDiameter(r, cfg.N, 3, 0.1)
+		req := service.SolveRequest{
+			ID:    fmt.Sprintf("load-%d", i),
+			Graph: g,
+			P:     labeling.Vector{2, 2, 1},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			panic(fmt.Sprintf("bench: marshal load request: %v", err))
+		}
+		bodies[i] = b
+	}
+	return bodies
+}
+
+// RunLoad boots a fresh lplserve handler and drives cfg.Requests solve
+// requests through it from cfg.Clients concurrent loops, cycling over
+// cfg.Distinct instances. The process-wide solve cache and method
+// counters are NOT reset here — callers that want a cold start reset
+// them first (cmd/lplbench -load does).
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	handler := service.NewServer(cfg.Server)
+	bodies := loadBodies(cfg)
+
+	var next atomic.Int64
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				req, err := http.NewRequest(http.MethodPost, "http://bench/v1/solve",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var w nullResponseWriter
+				handler.ServeHTTP(&w, req)
+				if w.status != http.StatusOK {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	statsReq, err := http.NewRequest(http.MethodGet, "http://bench/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var rec bodyRecorder
+	handler.ServeHTTP(&rec, statsReq)
+	var st service.StatsResponse
+	if err := json.Unmarshal(rec.buf.Bytes(), &st); err != nil {
+		return nil, fmt.Errorf("bench: decode /v1/stats: %w", err)
+	}
+
+	rep := &LoadReport{
+		Clients:  cfg.Clients,
+		Requests: cfg.Requests,
+		Distinct: cfg.Distinct,
+		N:        cfg.N,
+		Errors:   int(errs.Load()),
+		Elapsed:  elapsed,
+		Stats:    st,
+	}
+	if ok := cfg.Requests - rep.Errors; ok > 0 && elapsed > 0 {
+		rep.Throughput = float64(ok) / elapsed.Seconds()
+	}
+	return rep, nil
+}

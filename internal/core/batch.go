@@ -63,7 +63,11 @@ type BatchOptions struct {
 // DP, disconnected ones through component decomposition, and so on — and
 // verified results are memoized in the solve cache: duplicate instances
 // in steady-state traffic are served from the cache (Result.CacheHit)
-// without redoing the reduction.
+// without redoing the reduction. Duplicates that land on concurrent
+// workers coalesce through the cache's singleflight layer — one worker
+// leads the solve, the others receive its result with Result.Coalesced
+// set — so a batch of N copies of one instance performs one solve no
+// matter how the pool schedules it.
 //
 // Memory behavior: every item's reduction builds a compact weight-class
 // instance over its own distance matrix (no n²·int64 weight copy), and

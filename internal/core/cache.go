@@ -2,8 +2,7 @@ package core
 
 import (
 	"container/list"
-	"fmt"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -18,20 +17,57 @@ import (
 // cached instances' sizes.
 const DefaultCacheCapacity = 512
 
-// solveCache is a mutex-guarded LRU memoizing verified solve results.
+// Shard geometry: 2^cacheShardBits independently locked LRU shards, so
+// concurrent requests serialize only against requests whose keys hash to
+// the same shard, not against the whole serving tier. Budgets smaller
+// than the shard count collapse to one shard — per-shard quotas of a
+// tiny budget would round to nothing meaningful, and the single-shard
+// cache preserves the exact classic LRU semantics the capacity tests pin.
+const (
+	cacheShardBits  = 4
+	cacheShardCount = 1 << cacheShardBits
+)
+
+// solveCache is a sharded LRU memoizing verified solve results, fronted
+// by a singleflight layer (singleflight.go) that coalesces concurrent
+// identical requests into one underlying solve.
 //
 // Memory model: entries are stored as deep copies (labeling and tour
 // slices cloned) and handed out as deep copies, so a cached Result never
 // shares mutable state with any caller — hits are safe under concurrent
-// SolveBatch workers and -race. The immutable provenance (Plan, Stats) is
-// shared between copies by design.
+// SolveBatch workers and -race. A stored Result is immutable from the
+// moment it enters a shard (put replaces the entry's pointer, never
+// mutates it), which is what lets get() take its deep copy outside the
+// shard lock: the critical section is a map lookup plus an LRU pointer
+// move. The immutable provenance (Plan, Stats) is shared between copies
+// by design.
 type solveCache struct {
+	// gen is the current shard generation; reset and capacity changes
+	// swap in a fresh one atomically instead of locking readers out.
+	gen       atomic.Pointer[cacheGen]
+	resetMu   sync.Mutex
+	flights   flightTable
+	coalesced atomic.Int64
+}
+
+type cacheGen struct {
+	shards []*cacheShard
+	mask   uint64
+	cap    int // total entry budget across shards
+}
+
+// cacheShard is one independently locked LRU. The counters are plain
+// ints mutated under mu, so a stats() sweep that takes the shard locks
+// reads an internally consistent (hits, misses, evictions, entries)
+// tuple — the atomic counters this replaces could be read mid-burst with
+// hits and misses from different moments, skewing the derived hit rate.
+type cacheShard struct {
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List
 	entries map[string]*list.Element
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
@@ -39,11 +75,44 @@ type cacheEntry struct {
 	res *Result
 }
 
+func newCacheGen(capacity int) *cacheGen {
+	shards := cacheShardCount
+	if capacity < cacheShardCount {
+		shards = 1
+	}
+	g := &cacheGen{shards: make([]*cacheShard, shards), mask: uint64(shards - 1), cap: capacity}
+	base, rem := capacity/shards, capacity%shards
+	for i := range g.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		g.shards[i] = &cacheShard{cap: sc, ll: list.New(), entries: map[string]*list.Element{}}
+	}
+	return g
+}
+
 func newSolveCache(capacity int) *solveCache {
-	return &solveCache{cap: capacity, ll: list.New(), entries: map[string]*list.Element{}}
+	c := &solveCache{}
+	c.gen.Store(newCacheGen(capacity))
+	return c
 }
 
 var defaultSolveCache = newSolveCache(DefaultCacheCapacity)
+
+// fnvKey is the shard-selection hash: FNV-1a over the canonical cache
+// key. Both the LRU shards and the singleflight table index with it.
+func fnvKey(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return h
+}
+
+func (g *cacheGen) shard(key string) *cacheShard {
+	return g.shards[fnvKey(key)&g.mask]
+}
 
 // copyResult clones the slices a caller could mutate; everything else is
 // immutable after the solve.
@@ -59,82 +128,124 @@ func copyResult(r *Result) *Result {
 }
 
 func (c *solveCache) get(key string) (*Result, bool) {
-	c.mu.Lock()
-	el, ok := c.entries[key]
+	sh := c.gen.Load().shard(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
 	if !ok {
-		c.mu.Unlock()
-		c.misses.Add(1)
+		sh.misses++
+		sh.mu.Unlock()
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	res := copyResult(el.Value.(*cacheEntry).res)
-	c.mu.Unlock()
-	c.hits.Add(1)
-	res.CacheHit = true
-	return res, true
+	sh.ll.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	sh.hits++
+	sh.mu.Unlock()
+	// Deep copy outside the lock: stored results are immutable.
+	cp := copyResult(res)
+	cp.CacheHit = true
+	cp.Coalesced = false
+	return cp, true
+}
+
+// getRecounted is get for a caller that has already counted a miss for
+// this key (the under-flight-lock re-lookup in solveCoalesced): a hit
+// here converts that provisional miss into a hit, so every request still
+// counts exactly one hit or miss; a second miss stays the single miss
+// already recorded.
+func (c *solveCache) getRecounted(key string) (*Result, bool) {
+	sh := c.gen.Load().shard(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	sh.hits++
+	if sh.misses > 0 { // the provisional miss may predate a reset
+		sh.misses--
+	}
+	sh.mu.Unlock()
+	cp := copyResult(res)
+	cp.CacheHit = true
+	cp.Coalesced = false
+	return cp, true
 }
 
 func (c *solveCache) put(key string, res *Result) {
-	stored := copyResult(res)
-	stored.CacheHit = false
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.cap <= 0 {
+	sh := c.gen.Load().shard(key)
+	if sh.cap <= 0 {
 		return
 	}
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
+	stored := copyResult(res)
+	stored.CacheHit = false
+	stored.Coalesced = false
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.entries[key]; ok {
+		sh.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).res = stored
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: stored})
-	for c.ll.Len() > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
-		c.evictions.Add(1)
+	sh.entries[key] = sh.ll.PushFront(&cacheEntry{key: key, res: stored})
+	for sh.ll.Len() > sh.cap {
+		back := sh.ll.Back()
+		sh.ll.Remove(back)
+		delete(sh.entries, back.Value.(*cacheEntry).key)
+		sh.evictions++
 	}
 }
 
 func (c *solveCache) reset(capacity int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.cap = capacity
-	c.clearLocked()
+	c.resetMu.Lock()
+	defer c.resetMu.Unlock()
+	c.gen.Store(newCacheGen(capacity))
+	c.coalesced.Store(0)
 }
 
 // resetKeepCap clears entries and counters at the current capacity,
-// reading cap under the same lock (a bare reset(c.cap) would race a
-// concurrent capacity change).
+// reading cap under resetMu (a bare reset(c.cap) would race a concurrent
+// capacity change).
 func (c *solveCache) resetKeepCap() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.clearLocked()
+	c.resetMu.Lock()
+	defer c.resetMu.Unlock()
+	c.gen.Store(newCacheGen(c.gen.Load().cap))
+	c.coalesced.Store(0)
 }
 
-func (c *solveCache) clearLocked() {
-	c.ll.Init()
-	c.entries = map[string]*list.Element{}
-	c.hits.Store(0)
-	c.misses.Store(0)
-	c.evictions.Store(0)
-}
-
+// stats locks every shard of the current generation before reading any
+// counter, so the returned snapshot is consistent: the hit rate derived
+// from it can never mix a hit count from one moment with a miss count
+// from another. Shards are locked in index order (the only place more
+// than one shard lock is ever held).
 func (c *solveCache) stats() CacheStats {
-	c.mu.Lock()
-	entries := c.ll.Len()
-	c.mu.Unlock()
-	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   int64(entries),
+	g := c.gen.Load()
+	for _, sh := range g.shards {
+		sh.mu.Lock()
 	}
+	var st CacheStats
+	for _, sh := range g.shards {
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		st.Entries += int64(sh.ll.Len())
+	}
+	for _, sh := range g.shards {
+		sh.mu.Unlock()
+	}
+	st.Coalesced = c.coalesced.Load()
+	return st
 }
 
-// CacheStats is a snapshot of the solve cache's hit/miss counters.
+// CacheStats is a consistent snapshot of the solve cache's counters.
 type CacheStats struct {
 	Hits, Misses, Evictions, Entries int64
+	// Coalesced counts requests served by joining an in-flight identical
+	// solve (the singleflight layer) rather than by an LRU hit: the
+	// request never reached a solver, so it is cache-tier work saved
+	// before the first result even landed in the LRU.
+	Coalesced int64
 }
 
 // SolveCacheStats returns the current counters of the process-wide solve
@@ -146,7 +257,9 @@ func SolveCacheStats() CacheStats { return defaultSolveCache.stats() }
 func ResetSolveCache() { defaultSolveCache.resetKeepCap() }
 
 // SetSolveCacheCapacity resets the cache with a new entry budget
-// (capacity ≤ 0 disables caching entirely).
+// (capacity ≤ 0 disables caching entirely). The budget is divided across
+// the LRU shards, so per-shard eviction keeps the total entry count
+// within capacity; budgets below the shard count use one shard.
 func SetSolveCacheCapacity(capacity int) { defaultSolveCache.reset(capacity) }
 
 // cacheKeyFor builds the canonical instance fingerprint: the graph's
@@ -155,29 +268,47 @@ func SetSolveCacheCapacity(capacity int) { defaultSolveCache.reset(capacity) }
 // that can change the produced result — forced method, pinned engine,
 // portfolio roster, and chained-heuristic tuning. Deadlines are excluded:
 // truncated results are never cached, and a completed solve does not
-// depend on how much budget was left.
+// depend on how much budget was left. Built with strconv appends into
+// one buffer — this runs on every cacheable request, where the fmt-based
+// builder it replaced was a measurable slice of the hit path.
 func cacheKeyFor(g *graph.Graph, p labeling.Vector, opts *Options) string {
 	h1, h2 := g.Fingerprint()
-	var b strings.Builder
-	fmt.Fprintf(&b, "%016x%016x:n%d:m%d:p", h1, h2, g.N(), g.M())
+	b := make([]byte, 0, 128)
+	b = strconv.AppendUint(b, h1, 16)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, h2, 16)
+	b = append(b, ":n"...)
+	b = strconv.AppendInt(b, int64(g.N()), 10)
+	b = append(b, ":m"...)
+	b = strconv.AppendInt(b, int64(g.M()), 10)
+	b = append(b, ":p"...)
 	for _, x := range p {
-		fmt.Fprintf(&b, ",%d", x)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(x), 10)
 	}
 	if opts != nil {
 		if opts.Method != "" {
-			fmt.Fprintf(&b, ":M%s", opts.Method)
+			b = append(b, ":M"...)
+			b = append(b, opts.Method...)
 		}
 		if opts.Algorithm != "" {
-			fmt.Fprintf(&b, ":a%s", opts.Algorithm)
+			b = append(b, ":a"...)
+			b = append(b, opts.Algorithm...)
 		}
 		for _, e := range opts.Engines {
-			fmt.Fprintf(&b, ":e%s", e)
+			b = append(b, ":e"...)
+			b = append(b, e...)
 		}
 		if opts.Chained != nil {
-			fmt.Fprintf(&b, ":c%d.%d.%d", opts.Chained.Restarts, opts.Chained.Kicks, opts.Chained.Seed)
+			b = append(b, ":c"...)
+			b = strconv.AppendInt(b, int64(opts.Chained.Restarts), 10)
+			b = append(b, '.')
+			b = strconv.AppendInt(b, int64(opts.Chained.Kicks), 10)
+			b = append(b, '.')
+			b = strconv.AppendUint(b, opts.Chained.Seed, 10)
 		}
 	}
-	return b.String()
+	return string(b)
 }
 
 // cacheable reports whether this solve participates in the cache: caching

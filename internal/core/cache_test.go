@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -172,5 +173,171 @@ func TestCacheCapacityAndEviction(t *testing.T) {
 	}
 	if st := SolveCacheStats(); st.Entries != 0 {
 		t.Fatalf("capacity 0 cached anyway: %+v", st)
+	}
+}
+
+// modelLRU is the reference single-list LRU the shards are checked
+// against: plain slice, front = most recent.
+type modelLRU struct {
+	cap       int
+	keys      []string
+	evictions int64
+	hits      int64
+	misses    int64
+}
+
+func (m *modelLRU) get(key string) bool {
+	for i, k := range m.keys {
+		if k == key {
+			m.keys = append(append([]string{key}, m.keys[:i]...), m.keys[i+1:]...)
+			m.hits++
+			return true
+		}
+	}
+	m.misses++
+	return false
+}
+
+func (m *modelLRU) put(key string) {
+	if m.cap <= 0 {
+		return
+	}
+	for i, k := range m.keys {
+		if k == key {
+			m.keys = append(append([]string{key}, m.keys[:i]...), m.keys[i+1:]...)
+			return
+		}
+	}
+	m.keys = append([]string{key}, m.keys...)
+	for len(m.keys) > m.cap {
+		m.keys = m.keys[:len(m.keys)-1]
+		m.evictions++
+	}
+}
+
+// TestShardedCacheMatchesModelLRU drives the sharded cache and a
+// per-shard model LRU through one long randomized op sequence and
+// requires them to agree exactly: same hits, misses, evictions, and the
+// same resident key set in the same recency order per shard. This pins
+// shard-eviction correctness — each shard must be a textbook LRU of its
+// quota, with keys routed by the stable shard hash.
+func TestShardedCacheMatchesModelLRU(t *testing.T) {
+	const capacity = 64 // 16 shards × 4 entries
+	c := newSolveCache(capacity)
+	gen := c.gen.Load()
+	if len(gen.shards) != cacheShardCount {
+		t.Fatalf("capacity %d built %d shards, want %d", capacity, len(gen.shards), cacheShardCount)
+	}
+	models := make([]*modelLRU, len(gen.shards))
+	var totalCap int
+	for i := range models {
+		models[i] = &modelLRU{cap: gen.shards[i].cap}
+		totalCap += gen.shards[i].cap
+	}
+	if totalCap != capacity {
+		t.Fatalf("shard quotas sum to %d, want %d", totalCap, capacity)
+	}
+
+	mkRes := func(span int) *Result {
+		return &Result{Span: span, Labeling: labeling.Labeling{span}, Method: MethodGreedy}
+	}
+	r := rng.New(5005)
+	const keys = 160 // 2.5× capacity so evictions are constant
+	for op := 0; op < 20000; op++ {
+		key := fmt.Sprintf("key-%d", r.Intn(keys))
+		model := models[fnvKey(key)&gen.mask]
+		if r.Intn(2) == 0 {
+			res, ok := c.get(key)
+			if mok := model.get(key); ok != mok {
+				t.Fatalf("op %d: get(%s) = %v, model says %v", op, key, ok, mok)
+			}
+			if ok && (!res.CacheHit || fmt.Sprintf("key-%d", res.Span) != key) {
+				t.Fatalf("op %d: hit returned wrong entry %+v for %s", op, res, key)
+			}
+		} else {
+			var span int
+			fmt.Sscanf(key, "key-%d", &span)
+			c.put(key, mkRes(span))
+			model.put(key)
+		}
+	}
+
+	st := c.stats()
+	var mh, mm, me, ment int64
+	for _, m := range models {
+		mh += m.hits
+		mm += m.misses
+		me += m.evictions
+		ment += int64(len(m.keys))
+	}
+	if st.Hits != mh || st.Misses != mm || st.Evictions != me || st.Entries != ment {
+		t.Fatalf("counters diverge: cache %+v, model hits=%d misses=%d evictions=%d entries=%d",
+			st, mh, mm, me, ment)
+	}
+	// Resident sets match per shard, in exact recency order.
+	for i, sh := range gen.shards {
+		sh.mu.Lock()
+		var got []string
+		for el := sh.ll.Front(); el != nil; el = el.Next() {
+			got = append(got, el.Value.(*cacheEntry).key)
+		}
+		sh.mu.Unlock()
+		want := models[i].keys
+		if len(got) != len(want) {
+			t.Fatalf("shard %d holds %d entries, model %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("shard %d recency order diverges at %d: %v vs %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestCacheStatsConsistentSnapshot hammers the sharded cache from many
+// goroutines and requires exact reconciliation: every get is counted
+// exactly once as a hit or a miss (no lost updates, no double counts),
+// and entries + evictions account for every distinct inserted key.
+// Run under -race in CI.
+func TestCacheStatsConsistentSnapshot(t *testing.T) {
+	c := newSolveCache(DefaultCacheCapacity)
+	const (
+		workers = 8
+		opsEach = 4000
+		keys    = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rng.New(uint64(w + 1))
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("k%d", r.Intn(keys))
+				if _, ok := c.get(key); !ok {
+					c.put(key, &Result{Span: 1, Labeling: labeling.Labeling{1}, Method: MethodGreedy})
+				}
+				if i%512 == 0 {
+					// Concurrent snapshots must always be internally sane.
+					st := c.stats()
+					if st.Entries < 0 || st.Entries > DefaultCacheCapacity || st.Hits < 0 || st.Misses < 0 {
+						t.Errorf("insane snapshot %+v", st)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Hits+st.Misses != workers*opsEach {
+		t.Fatalf("lost lookups: hits %d + misses %d != %d ops (%+v)",
+			st.Hits, st.Misses, workers*opsEach, st)
+	}
+	// keys < capacity, so nothing was ever evicted and every distinct key
+	// is resident: misses == puts == entries.
+	if st.Evictions != 0 || st.Entries != keys || st.Misses < int64(keys) {
+		t.Fatalf("occupancy does not reconcile: %+v (want entries=%d, evictions=0)", st, keys)
 	}
 }

@@ -12,32 +12,63 @@ import (
 // each SolveBatch item counts individually). The serving layer polls
 // MethodCounts for /v1/stats; tests and external collectors can instead
 // subscribe with SetSolveObserver.
+//
+// recordSolve runs on every request, so it must not serialize the
+// serving tier: the built-in planner routes count into a fixed
+// registry-indexed array of atomics (one atomic add, no lock), and the
+// observer is published through an atomic pointer. Only dynamically
+// registered methods (test harnesses) fall back to a mutex-guarded
+// overflow map.
+
+// builtinMethodNames fixes the counter indices for every route the
+// planner can produce, including the two synthetic provenance tags.
+var builtinMethodNames = [...]MethodName{
+	MethodReduction, MethodTree, MethodDiameter2, MethodFPTColoring,
+	MethodPmaxApprox, MethodGreedy, MethodComponents, MethodTrivial,
+}
+
+// builtinMethodIdx is built once at init and read-only afterwards, so
+// concurrent lookups need no lock.
+var builtinMethodIdx = func() map[MethodName]int {
+	m := make(map[MethodName]int, len(builtinMethodNames))
+	for i, n := range builtinMethodNames {
+		m[n] = i
+	}
+	return m
+}()
 
 var (
-	methodCountsMu sync.Mutex
-	methodCounts   = map[MethodName]int64{}
-	solveErrors    atomic.Int64
+	builtinMethodCounts [len(builtinMethodNames)]atomic.Int64
 
-	observerMu    sync.RWMutex
-	solveObserver SolveObserver
+	extraMethodMu     sync.Mutex
+	extraMethodCounts = map[MethodName]int64{}
+
+	solveErrors atomic.Int64
+
+	solveObserver atomic.Pointer[SolveObserver]
 )
 
 // SolveObserver receives one callback per completed top-level solve:
 // the route taken (empty on error), whether the result came from the
-// solve cache, the wall time, and the error if the solve failed. The
-// callback runs synchronously on the solving goroutine and may be called
-// concurrently from many goroutines; it must be fast and thread-safe.
+// solve cache (LRU hit or coalesced follower), the wall time, and the
+// error if the solve failed. The callback runs synchronously on the
+// solving goroutine and may be called concurrently from many goroutines;
+// it must be fast and thread-safe.
 type SolveObserver func(method MethodName, cacheHit bool, elapsed time.Duration, err error)
 
 // SetSolveObserver installs fn as the process-wide solve observer
 // (nil uninstalls). It returns the previously installed observer so
 // wrappers can chain.
 func SetSolveObserver(fn SolveObserver) SolveObserver {
-	observerMu.Lock()
-	prev := solveObserver
-	solveObserver = fn
-	observerMu.Unlock()
-	return prev
+	var p *SolveObserver
+	if fn != nil {
+		p = &fn
+	}
+	prev := solveObserver.Swap(p)
+	if prev == nil {
+		return nil
+	}
+	return *prev
 }
 
 // recordSolve updates the counters and fires the observer. Called from
@@ -49,29 +80,36 @@ func recordSolve(res *Result, elapsed time.Duration, err error) {
 		solveErrors.Add(1)
 	} else {
 		method, cacheHit = res.Method, res.CacheHit
-		methodCountsMu.Lock()
-		methodCounts[method]++
-		methodCountsMu.Unlock()
+		if i, ok := builtinMethodIdx[method]; ok {
+			builtinMethodCounts[i].Add(1)
+		} else {
+			extraMethodMu.Lock()
+			extraMethodCounts[method]++
+			extraMethodMu.Unlock()
+		}
 	}
-	observerMu.RLock()
-	fn := solveObserver
-	observerMu.RUnlock()
-	if fn != nil {
-		fn(method, cacheHit, elapsed, err)
+	if p := solveObserver.Load(); p != nil {
+		(*p)(method, cacheHit, elapsed, err)
 	}
 }
 
 // MethodCounts returns a snapshot of the number of successful top-level
 // solves per planner route since process start (or the last
 // ResetMethodCounts). Cache hits count under the method that originally
-// produced the cached result.
+// produced the cached result. As before, only routes that have actually
+// been taken appear in the map.
 func MethodCounts() map[MethodName]int64 {
-	methodCountsMu.Lock()
-	defer methodCountsMu.Unlock()
-	out := make(map[MethodName]int64, len(methodCounts))
-	for k, v := range methodCounts {
+	out := map[MethodName]int64{}
+	for i, name := range builtinMethodNames {
+		if v := builtinMethodCounts[i].Load(); v > 0 {
+			out[name] = v
+		}
+	}
+	extraMethodMu.Lock()
+	for k, v := range extraMethodCounts {
 		out[k] = v
 	}
+	extraMethodMu.Unlock()
 	return out
 }
 
@@ -82,8 +120,11 @@ func SolveErrorCount() int64 { return solveErrors.Load() }
 // ResetMethodCounts zeroes the per-method and error counters. Intended
 // for tests and service restarts.
 func ResetMethodCounts() {
-	methodCountsMu.Lock()
-	methodCounts = map[MethodName]int64{}
-	methodCountsMu.Unlock()
+	for i := range builtinMethodCounts {
+		builtinMethodCounts[i].Store(0)
+	}
+	extraMethodMu.Lock()
+	extraMethodCounts = map[MethodName]int64{}
+	extraMethodMu.Unlock()
 	solveErrors.Store(0)
 }

@@ -58,27 +58,25 @@ func Portfolio(ctx context.Context, g *graph.Graph, p labeling.Vector, engines .
 	// is (Method set), so it can never share an entry with a planner
 	// solve that merely pinned Algorithm=portfolio and was then routed
 	// elsewhere (e.g. a disconnected input decomposed into components —
-	// serving that here would skip Portfolio's typed errors).
+	// serving that here would skip Portfolio's typed errors). The same
+	// front door as Solve also coalesces concurrent identical races:
+	// N simultaneous Portfolio calls on one instance run one race.
 	cacheOpts := &Options{Method: MethodReduction, Algorithm: AlgoPortfolio, Engines: engines, Verify: true}
 	key := cacheKeyFor(g, p, cacheOpts)
-	if res, ok := defaultSolveCache.get(key); ok {
+	return defaultSolveCache.solveCoalesced(ctx, key, func(fctx context.Context) (*Result, error) {
+		t0 := time.Now()
+		red, err := ReduceContext(fctx, g, p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := portfolioOverReduction(fctx, red, nil, engines)
+		if err != nil {
+			return nil, err
+		}
+		res.Method = MethodReduction
+		res.ReduceTime = res.ReduceTime + time.Since(t0) - res.SolveTime
 		return res, nil
-	}
-	t0 := time.Now()
-	red, err := ReduceContext(ctx, g, p)
-	if err != nil {
-		return nil, err
-	}
-	res, err := portfolioOverReduction(ctx, red, nil, engines)
-	if err != nil {
-		return nil, err
-	}
-	res.Method = MethodReduction
-	res.ReduceTime = res.ReduceTime + time.Since(t0) - res.SolveTime
-	if !res.Truncated {
-		defaultSolveCache.put(key, res)
-	}
-	return res, nil
+	})
 }
 
 // portfolioOverReduction races the roster over a prebuilt reduction and

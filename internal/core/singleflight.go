@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Singleflight coalescing for the solve cache: N concurrent identical
+// requests perform exactly one underlying solve. The LRU only helps
+// *after* the first solve of an instance completes; under service
+// traffic the dominant duplication is N users asking for the same
+// instance at the same time, which the plain cache turns into N full
+// solves. Here the first arrival leads the solve and everyone else joins
+// its flight and waits for the shared result.
+//
+// Cancellation is reference counted: the flight runs on its own
+// goroutine under its own context, detached from any participant's, and
+// is cancelled (cooperatively, through the engines' usual checkpoints)
+// only when the *last* interested caller leaves. Every participant —
+// the leader included — waits for the flight with a select against its
+// own context, so a deadline or disconnect unblocks that caller
+// immediately while the solve keeps running for whoever remains. A
+// participant whose departure is what kills the flight harvests the
+// unwinding solve's outcome instead, so a solo deadline-bounded solve
+// still returns its anytime best-so-far labeling exactly as it did
+// before coalescing existed. The one semantic difference from an
+// uncoalesced solve: if your deadline fires while *others* keep the
+// flight alive, you get your context error rather than a truncated
+// incumbent — the incumbent lives inside engines that are deliberately
+// not stopping.
+
+const flightShardCount = 16
+
+type flightTable struct {
+	shards [flightShardCount]flightShard
+}
+
+type flightShard struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress solve shared by a leader and any number of
+// followers. res/err are written by the flight goroutine before done is
+// closed and read by participants only after it closes (channel
+// happens-before).
+type flight struct {
+	done chan struct{}
+	res  *Result // stored deep copy; nil when err != nil
+	err  error
+
+	mu        sync.Mutex
+	refs      int // callers still interested in the result
+	abandoned bool
+	cancel    context.CancelFunc
+}
+
+// join registers one more interested caller. It fails when every
+// participant already left and the flight's context is being cancelled —
+// the caller should lead a fresh flight instead of boarding a doomed one.
+func (f *flight) join() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.abandoned {
+		return false
+	}
+	f.refs++
+	return true
+}
+
+// leave drops one caller's interest and reports whether that made the
+// caller the last one out — in which case the flight is now unwinding
+// (cancelled) and its imminent outcome belongs to this caller.
+func (f *flight) leave() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.refs--; f.refs == 0 && !f.abandoned {
+		f.abandoned = true
+		f.cancel()
+		return true
+	}
+	return false
+}
+
+// solveCoalesced is the cache front door used by Solve and Portfolio:
+// LRU lookup, then singleflight join-or-lead, then (for the leader's
+// flight goroutine) the underlying solve fn and the LRU insert. fn
+// receives the flight's context, whose lifetime is the union of every
+// participant's interest.
+//
+// A hit never touches the flight shard: the fast path is one cache-shard
+// lookup with the deep copy taken outside any lock. Only a miss takes
+// the flight-shard lock, where a second (recounted, so every request
+// still counts exactly one hit or miss) lookup closes the window in
+// which a finishing leader published and retired between the miss and
+// the lock; a finishing leader conversely publishes to the LRU *before*
+// retiring its flight. Together these guarantee a request can never
+// slip between "missed the cache" and "flight already gone" into a
+// duplicate solve. Lock order: flight shard → cache shard, the only
+// place both are held.
+func (c *solveCache) solveCoalesced(ctx context.Context, key string, fn func(context.Context) (*Result, error)) (*Result, error) {
+	if res, ok := c.get(key); ok {
+		return res, nil
+	}
+	sh := &c.flights.shards[fnvKey(key)&(flightShardCount-1)]
+	sh.mu.Lock()
+	if res, ok := c.getRecounted(key); ok {
+		sh.mu.Unlock()
+		return res, nil
+	}
+	if sh.m == nil {
+		sh.m = map[string]*flight{}
+	}
+	if f, ok := sh.m[key]; ok && f.join() {
+		sh.mu.Unlock()
+		return c.waitFlight(ctx, f)
+	}
+	// No live flight (or only an abandoned one, which the new flight
+	// displaces; the old flight's cleanup checks identity before
+	// deleting). This caller leads.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	sh.m[key] = f
+	sh.mu.Unlock()
+	return c.leadFlight(ctx, fctx, sh, key, f, fn)
+}
+
+// harvest collects a finished (or now-unwinding) flight's outcome for
+// the participant whose departure cancelled it: the anytime engines are
+// surrendering their incumbents at this very cancellation, so waiting
+// out the cooperative checkpoint preserves the pre-coalescing deadline
+// contract — a truncated best-so-far labeling rather than a bare error.
+func harvest(ctx context.Context, f *flight) (*Result, error) {
+	<-f.done
+	if f.err != nil {
+		return nil, mapFlightErr(ctx, f.err)
+	}
+	return copyResult(f.res), nil
+}
+
+// mapFlightErr translates a flight-context error into the caller's own
+// reason: fn only ever sees the flight context, so its Canceled means
+// "every participant left" and the caller's context (DeadlineExceeded vs
+// Canceled) is the true cause, exactly as a direct solve would report.
+func mapFlightErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return cerr
+	}
+	return err
+}
+
+// waitFlight is the follower path: wait for the flight's result or for
+// this caller's own context, whichever comes first.
+func (c *solveCache) waitFlight(ctx context.Context, f *flight) (*Result, error) {
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return nil, f.err
+		}
+		res := copyResult(f.res)
+		res.CacheHit = true
+		res.Coalesced = true
+		c.coalesced.Add(1)
+		return res, nil
+	case <-ctx.Done():
+		if f.leave() {
+			// This follower was the last participant: the solve is
+			// unwinding right now on its behalf — take its anytime
+			// outcome (leader-like provenance: this is the tail of the
+			// one underlying solve, not a serve from shared state).
+			return harvest(ctx, f)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// leadFlight starts the underlying solve on the flight's own goroutine
+// and then waits for it exactly like a participant: the leader's caller
+// is released at its own deadline or disconnect even when followers keep
+// the flight alive past it.
+func (c *solveCache) leadFlight(ctx, fctx context.Context, sh *flightShard, key string, f *flight, fn func(context.Context) (*Result, error)) (*Result, error) {
+	type outcome struct {
+		res *Result
+		err error
+	}
+	out := make(chan outcome, 1)
+	go func() {
+		res, err := fn(fctx)
+		if err == nil {
+			f.res = copyResult(res)
+			f.res.CacheHit = false
+			f.res.Coalesced = false
+			// Publish to the LRU before retiring the flight: a concurrent
+			// request always finds either the cached result or a joinable
+			// flight (joining a just-completed flight hands back its
+			// result immediately), never a gap it would re-solve in.
+			if !res.Truncated {
+				c.put(key, res)
+			}
+		} else {
+			f.err = err
+		}
+		sh.mu.Lock()
+		if sh.m[key] == f {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+		close(f.done)
+		f.cancel()
+		out <- outcome{res, err}
+	}()
+	select {
+	case o := <-out:
+		if o.err != nil {
+			return nil, mapFlightErr(ctx, o.err)
+		}
+		return o.res, nil
+	case <-ctx.Done():
+		if f.leave() {
+			// Solo leader at its deadline: the flight dies with it, and
+			// the unwinding solve's best-so-far is its rightful result —
+			// identical behavior to the pre-singleflight deadline path.
+			o := <-out
+			if o.err != nil {
+				return nil, mapFlightErr(ctx, o.err)
+			}
+			return o.res, nil
+		}
+		// Followers remain: the flight outlives this caller. Their
+		// interest keeps the solve running; this caller gets its own
+		// context error now instead of blocking past its deadline.
+		return nil, ctx.Err()
+	}
+}

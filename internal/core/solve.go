@@ -46,8 +46,15 @@ type Result struct {
 	// Stats carries the TSP engine's run statistics (reduction method).
 	Stats tsp.Stats
 	// CacheHit reports that this result was served from the solve cache
-	// rather than recomputed.
+	// rather than recomputed. It is also set on coalesced results.
 	CacheHit bool
+	// Coalesced reports that this request joined an identical solve that
+	// was already in flight (singleflight) and was handed the leader's
+	// result: served from shared state like an LRU hit, but before the
+	// first solve of the instance had even completed. The leader of a
+	// coalesced group reports CacheHit=false, Coalesced=false — exactly
+	// one such result exists per group.
+	Coalesced bool
 	// Plan is the routing decision that produced this result: every
 	// method's applicability verdict. Shared, read-only.
 	Plan *Plan
@@ -85,7 +92,12 @@ type Options struct {
 	NoCache bool
 	// Deadline bounds the whole solve (probe, reduction, and method)
 	// when positive; anytime engines return their incumbent labeling
-	// with Result.Truncated set when it expires.
+	// with Result.Truncated set when it expires. One coalescing caveat:
+	// when the deadline fires while OTHER callers of the same instance
+	// keep the shared singleflight solve alive, this caller returns
+	// context.DeadlineExceeded instead of a truncated incumbent (the
+	// incumbent lives inside engines that are deliberately not stopping);
+	// a solve that dies with its last caller still yields its best-so-far.
 	Deadline time.Duration
 }
 
@@ -173,35 +185,34 @@ func trivialResult(g *graph.Graph) *Result {
 }
 
 // solveAny is the planner pipeline body shared by whole-graph solves and
-// per-component recursion: trivial fast path → cache lookup → component
-// decomposition or single-instance plan+solve → verification → cache
-// insertion.
+// per-component recursion: trivial fast path → cache lookup + singleflight
+// coalescing → component decomposition or single-instance plan+solve →
+// verification → cache insertion. Cacheable solves run under the flight's
+// context (alive while any coalesced caller remains interested); uncached
+// solves run directly under the caller's.
 func solveAny(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
 	if trivialInstance(g, p, opts) {
 		return trivialResult(g), nil
 	}
-	useCache := cacheable(opts)
-	var key string
-	if useCache {
-		key = cacheKeyFor(g, p, opts)
-		if res, ok := defaultSolveCache.get(key); ok {
-			return res, nil
-		}
+	if !cacheable(opts) {
+		return solveUncached(ctx, g, p, opts)
 	}
-	var res *Result
-	var err error
+	key := cacheKeyFor(g, p, opts)
+	return defaultSolveCache.solveCoalesced(ctx, key, func(fctx context.Context) (*Result, error) {
+		return solveUncached(fctx, g, p, opts)
+	})
+}
+
+// solveUncached is the actual solve body below the cache/singleflight
+// front door. Component flights nest under whole-graph flights (a leader
+// for a disconnected instance may follow per-component flights), and the
+// nesting is acyclic — components are connected, so their solves never
+// wait on another flight.
+func solveUncached(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
 	if comps := g.ConnectedComponents(); opts.Method == "" && len(comps) > 1 {
-		res, err = solveComponents(ctx, g, p, opts, comps)
-	} else {
-		res, err = solveSingle(ctx, g, p, opts)
+		return solveComponents(ctx, g, p, opts, comps)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if useCache && !res.Truncated {
-		defaultSolveCache.put(key, res)
-	}
-	return res, nil
+	return solveSingle(ctx, g, p, opts)
 }
 
 // solveSingle probes one graph (connected unless Options.Method forces a

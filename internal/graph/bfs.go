@@ -45,16 +45,18 @@ func (m *DistMatrix) Max() (max int, disconnected bool) {
 
 // BFSFrom writes BFS distances from src into dist (length n, reused across
 // calls), using queue as scratch space (length ≥ n). It returns the number
-// of vertices reached (including src).
+// of vertices reached (including src). Traversal runs on the CSR view
+// (built lazily, shared by all queries), so repeated sweeps touch two flat
+// arrays instead of n separately allocated neighbor lists.
 func (g *Graph) BFSFrom(src int, dist []uint16, queue []int32) int {
-	g.Normalize()
-	return g.bfsFrom(src, dist, queue)
+	return g.csrData().bfsFrom(src, dist, queue)
 }
 
-// bfsFrom is BFSFrom without the lazy-normalization entry point. It is the
-// form used inside parallel fan-outs: the caller normalizes once up-front,
-// and the workers touch only immutable adjacency data.
-func (g *Graph) bfsFrom(src int, dist []uint16, queue []int32) int {
+// bfsFromAdj is the adjacency-list BFS the CSR path replaced. It is kept
+// as the reference implementation for the bit-identical equivalence tests
+// in csr_test.go; production traversals go through csr.bfsFrom.
+func (g *Graph) bfsFromAdj(src int, dist []uint16, queue []int32) int {
+	g.Normalize()
 	for i := range dist {
 		dist[i] = Unreachable
 	}
@@ -76,10 +78,11 @@ func (g *Graph) bfsFrom(src int, dist []uint16, queue []int32) int {
 	return tail
 }
 
-// AllPairsDistances computes the full BFS distance matrix. The graph is
-// normalized once before any goroutine starts; BFS sources are then
-// distributed over GOMAXPROCS workers, each owning its queue buffer and
-// writing disjoint rows, so no locking is needed. Total work is O(nm).
+// AllPairsDistances computes the full BFS distance matrix. The CSR view is
+// built once before any goroutine starts; BFS sources are then distributed
+// over GOMAXPROCS workers, each owning its queue buffer and writing
+// disjoint rows, so no locking is needed and every worker traverses the
+// same two cache-local arrays. Total work is O(nm).
 func (g *Graph) AllPairsDistances() *DistMatrix {
 	m, _ := g.AllPairsDistancesContext(context.Background())
 	return m
@@ -91,7 +94,7 @@ func (g *Graph) AllPairsDistances() *DistMatrix {
 // able to interrupt it. A partial matrix is useless, so cancellation
 // returns ctx.Err() and no matrix.
 func (g *Graph) AllPairsDistancesContext(ctx context.Context) (*DistMatrix, error) {
-	g.Normalize()
+	cs := g.csrData()
 	n := g.N()
 	m := &DistMatrix{N: n, d: make([]uint16, n*n)}
 	if n == 0 {
@@ -133,7 +136,7 @@ func (g *Graph) AllPairsDistancesContext(ctx context.Context) (*DistMatrix, erro
 					return
 				}
 				for s := lo; s < hi; s++ {
-					g.bfsFrom(int(s), m.d[int(s)*n:int(s)*n+n], queue)
+					cs.bfsFrom(int(s), m.d[int(s)*n:int(s)*n+n], queue)
 				}
 			}
 		}()

@@ -1,0 +1,86 @@
+package graph
+
+// CSR (compressed sparse row) view of a normalized graph: one offsets
+// array and one flat neighbors array, so traversals walk two contiguous
+// allocations instead of chasing n separately allocated neighbor slices.
+// This is the representation the hot paths run on — BFS and the parallel
+// APSP fan-out (the dominant cost of the labeling reduction), plus the
+// degree/neighbor query surface — while the per-vertex adjacency lists
+// remain the mutable build representation AddEdge appends to.
+//
+// The view is built lazily on first query of a normalized graph and
+// dropped on mutation, exactly like the normalized flag: neighbors appear
+// in the same sorted order as the adjacency lists, so every CSR-routed
+// traversal is bit-identical to the adjacency-list path it replaced
+// (pinned by the equivalence tests in csr_test.go).
+type csr struct {
+	offsets []int32 // len n+1; neighbors of u are nbrs[offsets[u]:offsets[u+1]]
+	nbrs    []int32 // len 2m, concatenated sorted neighbor lists
+}
+
+func buildCSR(adj [][]int32) *csr {
+	n := len(adj)
+	total := 0
+	for u := range adj {
+		total += len(adj[u])
+	}
+	c := &csr{offsets: make([]int32, n+1), nbrs: make([]int32, total)}
+	pos := int32(0)
+	for u := range adj {
+		c.offsets[u] = pos
+		pos += int32(copy(c.nbrs[pos:], adj[u]))
+	}
+	c.offsets[n] = pos
+	return c
+}
+
+func (c *csr) neighbors(u int) []int32 { return c.nbrs[c.offsets[u]:c.offsets[u+1]] }
+
+func (c *csr) degree(u int) int { return int(c.offsets[u+1] - c.offsets[u]) }
+
+// csrData returns the CSR view, building it once per mutation generation.
+// The double-checked build shares normMu with Normalize, so concurrent
+// queries racing to the first build produce one view; mutation must still
+// be exclusive (the usual Graph rule).
+func (g *Graph) csrData() *csr {
+	if c := g.csrView.Load(); c != nil {
+		return c
+	}
+	g.Normalize()
+	g.normMu.Lock()
+	defer g.normMu.Unlock()
+	if c := g.csrView.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g.adj)
+	g.csrView.Store(c)
+	return c
+}
+
+// bfsFrom writes BFS distances from src into dist (length n), using queue
+// as scratch (length ≥ n), and returns the number of vertices reached.
+// Neighbor order matches the sorted adjacency lists, so the produced
+// distances — and the traversal order itself — are bit-identical to the
+// adjacency-list BFS.
+func (c *csr) bfsFrom(src int, dist []uint16, queue []int32) int {
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue[0] = int32(src)
+	head, tail := 0, 1
+	off, nb := c.offsets, c.nbrs
+	for head < tail {
+		u := queue[head]
+		head++
+		du := dist[u] + 1
+		for _, v := range nb[off[u]:off[u+1]] {
+			if dist[v] == Unreachable {
+				dist[v] = du
+				queue[tail] = v
+				tail++
+			}
+		}
+	}
+	return tail
+}

@@ -4,9 +4,15 @@
 // suites, the hardness gadgets from the paper, and a small text I/O format.
 //
 // Vertices are the integers 0..N()-1. Graphs are simple (no loops, no
-// parallel edges) and undirected. The representation is a compact adjacency
-// list; call Normalize (done automatically by the query methods that need
-// it) after mutating to sort and deduplicate neighbor lists.
+// parallel edges) and undirected. Two representations coexist: mutation
+// (AddEdge) appends to per-vertex adjacency lists, and the read side —
+// BFS, the parallel APSP fan-out, degree/neighbor scans — runs on a CSR
+// (compressed sparse row) view, one offsets array plus one flat sorted
+// neighbor array, built lazily per mutation generation alongside
+// normalization (see csr.go). The 128-bit structural Fingerprint is
+// likewise memoized per generation. Call Normalize (done automatically by
+// the query methods that need it) after mutating to sort and deduplicate
+// neighbor lists; the derived views rebuild themselves on next use.
 package graph
 
 import (
@@ -28,6 +34,13 @@ type Graph struct {
 	m          int
 	normalized atomic.Bool
 	normMu     sync.Mutex
+
+	// Derived read-only views, built lazily once the graph is normalized
+	// and dropped on mutation: the CSR traversal layout (csr.go) and the
+	// memoized 128-bit fingerprint (hash.go). Both are published with an
+	// atomic pointer so concurrent queries share one build.
+	csrView atomic.Pointer[csr]
+	fp      atomic.Pointer[[2]uint64]
 }
 
 // New returns an edgeless graph on n vertices.
@@ -65,6 +78,8 @@ func (g *Graph) AddEdge(u, v int) {
 	g.adj[v] = append(g.adj[v], int32(u))
 	g.m++
 	g.normalized.Store(false)
+	g.csrView.Store(nil)
+	g.fp.Store(nil)
 }
 
 // Normalize sorts neighbor lists and removes duplicate edges. It is
@@ -98,29 +113,29 @@ func (g *Graph) Normalize() {
 	g.normalized.Store(true)
 }
 
-// Neighbors returns the neighbor list of u. The returned slice is owned by
-// the graph and must not be modified.
+// Neighbors returns the sorted neighbor list of u, backed by the CSR
+// view's flat neighbor array (cache-local when callers scan consecutive
+// vertices). The returned slice is owned by the graph and must not be
+// modified.
 func (g *Graph) Neighbors(u int) []int32 {
-	g.Normalize()
-	return g.adj[u]
+	return g.csrData().neighbors(u)
 }
 
 // Degree returns the degree of u.
 func (g *Graph) Degree(u int) int {
-	g.Normalize()
-	return len(g.adj[u])
+	return g.csrData().degree(u)
 }
 
 // MaxDegree returns the maximum degree Δ(G), or 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
-	g.Normalize()
-	d := 0
-	for u := range g.adj {
-		if len(g.adj[u]) > d {
-			d = len(g.adj[u])
+	c := g.csrData()
+	d := int32(0)
+	for u := 1; u < len(c.offsets); u++ {
+		if deg := c.offsets[u] - c.offsets[u-1]; deg > d {
+			d = deg
 		}
 	}
-	return d
+	return int(d)
 }
 
 // HasEdge reports whether {u,v} is an edge.
@@ -128,10 +143,10 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	g.Normalize()
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a = g.adj[v]
+	c := g.csrData()
+	a := c.neighbors(u)
+	if c.degree(v) < len(a) {
+		a = c.neighbors(v)
 		v = u
 	}
 	t := int32(v)
@@ -149,10 +164,10 @@ func (g *Graph) HasEdge(u, v int) bool {
 
 // Edges returns all edges as pairs with u < v, in lexicographic order.
 func (g *Graph) Edges() [][2]int {
-	g.Normalize()
+	c := g.csrData()
 	es := make([][2]int, 0, g.m)
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
+	for u := 0; u+1 < len(c.offsets); u++ {
+		for _, v := range c.neighbors(u) {
 			if int(v) > u {
 				es = append(es, [2]int{u, int(v)})
 			}

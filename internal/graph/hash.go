@@ -5,10 +5,21 @@ package graph
 // adjacency list in vertex order). Two graphs with equal vertex sets and
 // equal edge sets always collide on purpose — the fingerprint is the cache
 // identity used by the solver's memoization layer, where AddEdge order and
-// duplicate insertions must not fragment the key space. The graph is
-// normalized first, so concurrent Fingerprint calls are safe under the
-// usual no-concurrent-mutation rule.
+// duplicate insertions must not fragment the key space.
+//
+// The hash is memoized per mutation generation (AddEdge drops it together
+// with the CSR view): the serving layer fingerprints the same graph on
+// every cache lookup, and repeated solves of a resident instance must not
+// pay the O(n+m) stream twice. It hashes the normalized adjacency lists
+// directly rather than the CSR view — a cache-hit request fingerprints a
+// freshly decoded graph it will never traverse, and must not pay the CSR
+// build for it. Concurrent Fingerprint calls are safe under the usual
+// no-concurrent-mutation rule — racing first calls compute the same value
+// and the publication is an atomic pointer store.
 func (g *Graph) Fingerprint() (uint64, uint64) {
+	if p := g.fp.Load(); p != nil {
+		return p[0], p[1]
+	}
 	g.Normalize()
 	const (
 		offset1 = uint64(14695981039346656037)
@@ -32,5 +43,6 @@ func (g *Graph) Fingerprint() (uint64, uint64) {
 			mix(uint32(v))
 		}
 	}
+	g.fp.Store(&[2]uint64{h1, h2})
 	return h1, h2
 }

@@ -27,13 +27,23 @@
 // request context is threaded into the solver, so a client disconnect
 // cancels the solve at the engines' cooperative checkpoints; anytime
 // engines still deliver their best-so-far labeling on batch streams.
+// When requests coalesce, cancellation is reference counted: the shared
+// solve stops only when its last interested request is gone, a request
+// whose departure is what stops it inherits the anytime best-so-far
+// result, and a request whose deadline fires while others keep the
+// solve alive gets 408 rather than blocking past its deadline.
 //
-// All requests share one memoization cache (the core solve cache), so
-// repeated instances across users are served from memory with
-// cacheHit=true regardless of which endpoint they arrive on.
+// All requests share one memoization cache (the core solve cache — a
+// sharded LRU fronted by singleflight coalescing), so repeated instances
+// across users are served from memory with cacheHit=true regardless of
+// which endpoint they arrive on, and N concurrent identical requests run
+// exactly one underlying solve (followers report coalesced=true). The
+// NDJSON stream reuses pooled response structs and encoder buffers, so
+// per item the serving layer allocates ~only the result itself.
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -47,6 +57,52 @@ import (
 	"lpltsp/internal/core"
 	"lpltsp/internal/graph"
 )
+
+// Response encoding pools: under streaming load the per-item cost of
+// /v1/batch (and the per-request cost of /v1/solve) should be ~only the
+// result itself, not a fresh response struct, encoder, and buffer per
+// line. One encodeBuf and one SolveResponse are checked out per request
+// and reused across all of its NDJSON lines; wireResultInto overwrites
+// every field, so recycled structs leak nothing between requests.
+type encodeBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encodePool = sync.Pool{New: func() any {
+	b := new(encodeBuf)
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+var respPool = sync.Pool{New: func() any { return new(SolveResponse) }}
+
+func getEncodeBuf() *encodeBuf { return encodePool.Get().(*encodeBuf) }
+
+func putEncodeBuf(b *encodeBuf) {
+	const maxRetained = 1 << 20 // don't pin pathological line buffers
+	if b.buf.Cap() > maxRetained {
+		return
+	}
+	encodePool.Put(b)
+}
+
+func putResp(r *SolveResponse) {
+	*r = SolveResponse{} // drop labeling/plan references before pooling
+	respPool.Put(r)
+}
+
+// encodeTo renders v as one JSON line into the pooled buffer and writes
+// it to w in a single Write call. The encode itself cannot fail (the
+// buffer grows); a short or failed write means the client went away.
+func (b *encodeBuf) encodeTo(w http.ResponseWriter, v any) error {
+	b.buf.Reset()
+	if err := b.enc.Encode(v); err != nil {
+		return err
+	}
+	_, err := w.Write(b.buf.Bytes())
+	return err
+}
 
 // Config tunes a Server. The zero value means defaults everywhere.
 type Config struct {
@@ -259,7 +315,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.solved.Add(1)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(wireResult(req.ID, res, time.Since(t0), req.Explain))
+	resp := respPool.Get().(*SolveResponse)
+	defer putResp(resp)
+	wireResultInto(resp, req.ID, res, time.Since(t0), req.Explain)
+	eb := getEncodeBuf()
+	defer putEncodeBuf(eb)
+	eb.encodeTo(w, resp)
 }
 
 // handleBatch serves POST /v1/batch: all items are admitted up front (or
@@ -335,7 +396,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	// One pooled response struct and encoder buffer serve every line of
+	// this stream; per item the loop allocates ~only what the solver
+	// returned.
+	line := respPool.Get().(*SolveResponse)
+	defer putResp(line)
+	eb := getEncodeBuf()
+	defer putEncodeBuf(eb)
 
 	// Items may carry different options; core.SolveBatch applies one
 	// Options to all, so run one pool per distinct option set — in the
@@ -394,22 +461,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.queued.Add(-1) // cancelled before reaching a worker
 		}
-		var line *SolveResponse
 		if br.Err != nil {
 			s.failed.Add(1)
-			line = &SolveResponse{ID: br.ID, Error: br.Err.Error()}
+			*line = SolveResponse{ID: br.ID, Error: br.Err.Error()}
 		} else {
 			s.solved.Add(1)
 			var elapsed time.Duration
 			if loaded {
 				elapsed = time.Since(starts[idx])
 			}
-			line = wireResult(br.ID, br.Result, elapsed, req.Items[idx].Explain)
+			wireResultInto(line, br.ID, br.Result, elapsed, req.Items[idx].Explain)
 		}
 		if clientGone {
 			continue
 		}
-		if err := enc.Encode(line); err != nil {
+		if err := eb.encodeTo(w, line); err != nil {
 			clientGone = true
 			continue
 		}

@@ -676,3 +676,88 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		t.Fatalf("method counters sum to %d, want %d: %v", methodTotal, totalJobs, st.Methods)
 	}
 }
+
+// TestServiceLoadStatsExact is the sharded-cache/no-lost-stats load test
+// (run under -race in CI): 120 concurrent requests over connected,
+// non-trivial, cacheable instances, then EXACT reconciliation of every
+// counter. Connected graphs make each request exactly one cache lookup
+// (no per-component sub-lookups), so under the sharded cache and the
+// atomic method counters nothing may be lost or double counted:
+//
+//	hits + misses      == requests
+//	solved             == requests
+//	Σ method counters  == requests
+//	coalesced          ≤ hits + coalesced ≤ requests − distinct instances
+func TestServiceLoadStatsExact(t *testing.T) {
+	core.ResetSolveCache()
+	core.ResetMethodCounts()
+	ts := newTestServer(t, &Config{Workers: 4, QueueDepth: 1024})
+
+	pool := []*graph.Graph{
+		graph.Cycle(5),
+		graph.Cycle(6),
+		graph.Path(7),
+		graph.Complete(5),
+		graph.Wheel(6),
+		graph.MustParse("p edge 4 3\ne 1 2\ne 1 3\ne 1 4"),
+	}
+	vectors := []labeling.Vector{labeling.L21(), {2, 2}}
+	distinct := len(pool) * len(vectors)
+
+	const clients = 120
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := pool[i%len(pool)]
+			p := vectors[(i/len(pool))%len(vectors)]
+			resp, body := postJSON(t, ts.URL+"/v1/solve", solveReq(fmt.Sprintf("x-%d", i), g, p))
+			if resp.StatusCode != http.StatusOK {
+				errCh <- fmt.Errorf("x-%d: status %d (%s)", i, resp.StatusCode, body)
+				return
+			}
+			var sr SolveResponse
+			if err := json.Unmarshal(body, &sr); err != nil {
+				errCh <- fmt.Errorf("x-%d: %v", i, err)
+				return
+			}
+			if sr.Coalesced && !sr.CacheHit {
+				errCh <- fmt.Errorf("x-%d: coalesced without cacheHit", i)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	eventually(t, "gauges drained", func() bool {
+		st := getStats(t, ts.URL)
+		return st.Queued == 0 && st.InFlight == 0
+	})
+	st := getStats(t, ts.URL)
+	if st.Solved != clients || st.Failed != 0 {
+		t.Fatalf("completion does not reconcile: %+v (want %d solved)", st, clients)
+	}
+	if st.Cache.Hits+st.Cache.Misses != clients {
+		t.Fatalf("lost cache lookups: hits %d + misses %d != %d requests (%+v)",
+			st.Cache.Hits, st.Cache.Misses, clients, st.Cache)
+	}
+	// Every request beyond the first solve of each distinct instance was
+	// served from shared state: an LRU hit or a coalesced flight.
+	if served := st.Cache.Hits + st.Cache.Coalesced; served != int64(clients-distinct) {
+		t.Fatalf("served-from-shared-state %d (hits %d + coalesced %d), want %d",
+			served, st.Cache.Hits, st.Cache.Coalesced, clients-distinct)
+	}
+	var methodTotal int64
+	for _, v := range st.Methods {
+		methodTotal += v
+	}
+	if methodTotal != clients {
+		t.Fatalf("method counters sum to %d, want %d: %v", methodTotal, clients, st.Methods)
+	}
+}

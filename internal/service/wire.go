@@ -149,9 +149,12 @@ type SolveResponse struct {
 	Approx    float64 `json:"approx,omitempty"`
 	Truncated bool    `json:"truncated,omitempty"`
 	// CacheHit reports the result was served from the process-wide solve
-	// cache shared across all requests.
-	CacheHit bool    `json:"cacheHit"`
-	SolveMs  float64 `json:"solveMs"`
+	// cache shared across all requests; Coalesced additionally marks
+	// requests that joined an identical solve already in flight
+	// (singleflight) instead of waiting for it to land in the LRU.
+	CacheHit  bool    `json:"cacheHit"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	SolveMs   float64 `json:"solveMs"`
 	// Plan is the routing decision, included when the request set
 	// explain.
 	Plan *WirePlan `json:"plan,omitempty"`
@@ -210,9 +213,11 @@ func wirePlan(pl *core.Plan) *WirePlan {
 	return wp
 }
 
-// wireResult converts a solved result into its response form.
-func wireResult(id string, res *core.Result, elapsed time.Duration, explain bool) *SolveResponse {
-	resp := &SolveResponse{
+// wireResultInto fills a (possibly pooled) response struct in place with
+// a solved result; every field is overwritten, so recycled structs carry
+// nothing over.
+func wireResultInto(resp *SolveResponse, id string, res *core.Result, elapsed time.Duration, explain bool) {
+	*resp = SolveResponse{
 		ID:        id,
 		Span:      res.Span,
 		Labeling:  res.Labeling,
@@ -223,12 +228,12 @@ func wireResult(id string, res *core.Result, elapsed time.Duration, explain bool
 		Approx:    res.Approx,
 		Truncated: res.Truncated,
 		CacheHit:  res.CacheHit,
+		Coalesced: res.Coalesced,
 		SolveMs:   float64(elapsed.Microseconds()) / 1000,
 	}
 	if explain {
 		resp.Plan = wirePlan(res.Plan)
 	}
-	return resp
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -254,18 +259,27 @@ type StatsResponse struct {
 }
 
 // CacheWire is the JSON form of core.CacheStats plus the derived rate.
+// Coalesced counts requests served by joining an in-flight identical
+// solve; they are not LRU hits (the result had not landed yet), so they
+// are reported separately and included in servedRate but not hitRate.
 type CacheWire struct {
 	Hits      int64   `json:"hits"`
 	Misses    int64   `json:"misses"`
 	Evictions int64   `json:"evictions"`
 	Entries   int64   `json:"entries"`
+	Coalesced int64   `json:"coalesced"`
 	HitRate   float64 `json:"hitRate"`
+	// ServedRate is the fraction of lookups answered without running a
+	// solve at all: (hits + coalesced) / (hits + misses).
+	ServedRate float64 `json:"servedRate"`
 }
 
 func wireCache(st core.CacheStats) CacheWire {
-	cw := CacheWire{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries}
+	cw := CacheWire{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		Entries: st.Entries, Coalesced: st.Coalesced}
 	if total := st.Hits + st.Misses; total > 0 {
 		cw.HitRate = float64(st.Hits) / float64(total)
+		cw.ServedRate = float64(st.Hits+st.Coalesced) / float64(total)
 	}
 	return cw
 }

@@ -80,15 +80,19 @@
 //
 // # Memoization
 //
-// Verified results are memoized in a process-wide LRU keyed by a
+// Verified results are memoized in a process-wide sharded LRU keyed by a
 // canonical instance fingerprint (structural graph hash, p, and the
 // result-affecting options), consulted by Solve, SolveBatch, and
 // Portfolio: steady-state traffic with duplicate instances returns the
 // cached labeling with Result.CacheHit set instead of redoing the
-// reduction. Cache entries are deep copies both ways and hold no distance
-// matrices, so hits are race-free and the footprint stays linear. Opt out
-// per solve with Options.NoCache; observe and size it with CacheStats,
-// ResetCache, and SetCacheCapacity.
+// reduction. The cache is fronted by singleflight coalescing — N
+// concurrent identical solves run exactly one underlying computation;
+// the followers get the leader's result with Result.Coalesced set and
+// the shared solve is cancelled only when the last interested caller
+// disconnects. Cache entries are deep copies both ways and hold no
+// distance matrices, so hits are race-free and the footprint stays
+// linear. Opt out per solve with Options.NoCache; observe and size it
+// with CacheStats, ResetCache, and SetCacheCapacity.
 //
 // # Performance
 //
