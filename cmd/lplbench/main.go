@@ -10,6 +10,11 @@
 //	lplbench -only E4,E5     # a subset
 //	lplbench -scale 1        # reduced sweeps (fast smoke run)
 //	lplbench -load -clients 16 -requests 5000   # serving-core load run
+//	lplbench -load -graphref                    # interned-graph traffic
+//	lplbench -load -wire binary                 # binary graph frames
+//
+// Load mode prints bytes-on-the-wire per request alongside req/s, so the
+// wire-format modes can be compared directly.
 package main
 
 import (
@@ -35,6 +40,8 @@ func main() {
 		requests = flag.Int("requests", 2048, "load mode: total solve requests")
 		distinct = flag.Int("distinct", 16, "load mode: distinct instances the requests cycle over")
 		loadN    = flag.Int("n", 64, "load mode: vertices per generated instance")
+		graphRef = flag.Bool("graphref", false, "load mode: intern instances once via /v1/graphs and send graphRef solves")
+		wire     = flag.String("wire", "json", "load mode: solve-body transport, json or binary")
 	)
 	flag.Parse()
 
@@ -47,6 +54,8 @@ func main() {
 			Distinct: *distinct,
 			N:        *loadN,
 			Seed:     *seed,
+			GraphRef: *graphRef,
+			Wire:     *wire,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lplbench: load run failed: %v\n", err)

@@ -9,10 +9,16 @@
 //
 // Endpoints (see the README for the wire format):
 //
-//	POST /v1/solve   solve one instance, JSON in / JSON out
+//	POST /v1/solve   solve one instance, JSON in / JSON out (also accepts
+//	                 the binary graph frame, Content-Type
+//	                 application/x-lpl-graph, with a JSON envelope after it)
 //	POST /v1/batch   solve many instances, NDJSON streamed back in
 //	                 completion order
-//	GET  /v1/stats   queue, admission, cache, and per-method counters
+//	POST /v1/graphs  intern a graph once; solves may then send its
+//	                 graphRef instead of the full graph (-graph-store
+//	                 bounds the store)
+//	GET  /v1/stats   queue, admission, cache, intern-store, and per-method
+//	                 counters
 //	GET  /healthz    liveness
 //
 // Overload is answered with 429 + Retry-After once -queue jobs are in the
@@ -79,6 +85,7 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		defaultDeadline = fs.Duration("default-deadline", 0, "deadline applied to requests that carry none (0 = none)")
 		maxVertices     = fs.Int("max-vertices", 4096, "reject larger instances with 413")
 		cacheCap        = fs.Int("cache-capacity", 0, "resize the shared solve cache (0 = keep the default)")
+		graphStore      = fs.Int("graph-store", 0, "graph intern store capacity behind /v1/graphs (0 = default, negative = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
@@ -90,11 +97,12 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		lpltsp.SetCacheCapacity(*cacheCap)
 	}
 	handler := lpltsp.NewServeHandler(&lpltsp.ServeConfig{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		MaxDeadline:     *maxDeadline,
-		DefaultDeadline: *defaultDeadline,
-		MaxVertices:     *maxVertices,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		MaxDeadline:        *maxDeadline,
+		DefaultDeadline:    *defaultDeadline,
+		MaxVertices:        *maxVertices,
+		GraphStoreCapacity: *graphStore,
 	})
 	logger := log.New(errOut, "lplserve: ", log.LstdFlags)
 	return &http.Server{

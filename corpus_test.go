@@ -168,6 +168,48 @@ func TestCorpusMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestCorpusBinaryRoundTrip pushes every corpus instance through the
+// binary wire form and checks the decoded graph is interchangeable with
+// the original: same size, same canonical JSON encoding, and the same
+// solver outcome on the manifest's constraint vector.
+func TestCorpusBinaryRoundTrip(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(corpusName(e), func(t *testing.T) {
+			g := loadCorpusGraph(t, e.File)
+			frame := lpltsp.AppendGraphBinary(nil, g)
+			dec, rest, err := lpltsp.DecodeGraphBinary(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("%d trailing bytes after frame", len(rest))
+			}
+			if dec.N() != g.N() || dec.M() != g.M() {
+				t.Fatalf("round trip changed size: %d/%d → %d/%d", g.N(), g.M(), dec.N(), dec.M())
+			}
+			want, err := json.Marshal(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.Marshal(dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("canonical encodings differ:\n got %s\nwant %s", got, want)
+			}
+			res, err := lpltsp.Solve(dec, e.P, &lpltsp.Options{Verify: true, NoCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Exact && res.Span != e.Lambda {
+				t.Fatalf("decoded instance solved to span %d, want λ* = %d", res.Span, e.Lambda)
+			}
+		})
+	}
+}
+
 // TestCorpusBatch pushes the whole corpus through SolveBatch — the same
 // path lplserve's /v1/batch uses — and checks every exact-claiming
 // stream element against λ*.

@@ -78,25 +78,38 @@ func BenchmarkCacheContention(b *testing.B) {
 }
 
 func BenchmarkServeThroughput(b *testing.B) {
+	// Sub-benchmark names are load-bearing: BENCH_PR5/PR6 compare
+	// "clients=%d" runs across commits, so the full-body JSON runs keep
+	// their bare names and the new traffic modes get prefixed ones.
+	run := func(b *testing.B, cfg LoadConfig) {
+		b.ReportAllocs()
+		cfg.Requests = b.N
+		cfg.Server = &service.Config{QueueDepth: 1 << 20}
+		rep, err := RunLoad(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d load errors", rep.Errors)
+		}
+		b.ReportMetric(rep.Throughput, "req/s")
+		b.ReportMetric(rep.BytesPerReq, "wire-B/req")
+	}
 	core.ResetSolveCache()
 	defer core.ResetSolveCache()
 	for _, clients := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-			b.ReportAllocs()
-			rep, err := RunLoad(LoadConfig{
-				Clients:  clients,
-				Requests: b.N,
-				Distinct: 16,
-				N:        64,
-				Server:   &service.Config{QueueDepth: 1 << 20},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if rep.Errors > 0 {
-				b.Fatalf("%d load errors", rep.Errors)
-			}
-			b.ReportMetric(rep.Throughput, "req/s")
+			run(b, LoadConfig{Clients: clients, Distinct: 16, N: 64})
+		})
+	}
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("graphref/clients=%d", clients), func(b *testing.B) {
+			run(b, LoadConfig{Clients: clients, Distinct: 16, N: 64, GraphRef: true})
+		})
+	}
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("binary/clients=%d", clients), func(b *testing.B) {
+			run(b, LoadConfig{Clients: clients, Distinct: 16, N: 64, Wire: "binary"})
 		})
 	}
 }

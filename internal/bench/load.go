@@ -37,6 +37,17 @@ type LoadConfig struct {
 	N int
 	// Seed feeds the instance generator.
 	Seed uint64
+	// GraphRef switches the traffic shape to interned-graph serving: every
+	// instance is registered once via POST /v1/graphs before the clock
+	// starts, and the measured requests carry only {"id","graphRef","p"} —
+	// the wire pattern this mode exists to measure, where the server skips
+	// body parsing, graph construction, and fingerprint hashing.
+	GraphRef bool
+	// Wire selects the solve-body transport: "json" (default) or "binary"
+	// (a graph frame followed by the JSON envelope, Content-Type
+	// application/x-lpl-graph). Ignored in GraphRef mode, whose bodies
+	// carry no graph at all.
+	Wire string
 	// Server overrides the handler configuration (nil = service defaults).
 	Server *service.Config
 }
@@ -57,18 +68,26 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.Seed == 0 {
 		c.Seed = 2023
 	}
+	if c.Wire == "" {
+		c.Wire = "json"
+	}
 	return c
 }
 
 // LoadReport is the outcome of RunLoad.
 type LoadReport struct {
-	Clients   int
-	Requests  int
-	Distinct  int
-	N         int
-	Errors    int // non-200 responses
-	Elapsed   time.Duration
+	Clients    int
+	Requests   int
+	Distinct   int
+	N          int
+	Mode       string // traffic shape: "json", "binary", or "graphref"
+	Errors     int    // non-200 responses
+	Elapsed    time.Duration
 	Throughput float64 // successful requests per second of wall time
+	// BytesPerReq is the request-body bytes on the wire per measured
+	// request (averaged over the cycled bodies) — the number the graphRef
+	// and binary modes exist to shrink.
+	BytesPerReq float64
 	// Stats is the server's own view after the run (/v1/stats).
 	Stats service.StatsResponse
 }
@@ -76,15 +95,20 @@ type LoadReport struct {
 // Fprintf renders the report for the lplbench CLI.
 func (r *LoadReport) String() string {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "load: %d requests (%d distinct n=%d instances) over %d clients\n",
-		r.Requests, r.Distinct, r.N, r.Clients)
+	fmt.Fprintf(&b, "load[%s]: %d requests (%d distinct n=%d instances) over %d clients\n",
+		r.Mode, r.Requests, r.Distinct, r.N, r.Clients)
 	fmt.Fprintf(&b, "  wall time    %v\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  throughput   %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "  wire         %.0f bytes/req\n", r.BytesPerReq)
 	fmt.Fprintf(&b, "  errors       %d\n", r.Errors)
 	fmt.Fprintf(&b, "  solved       %d  failed %d  rejected %d\n",
 		r.Stats.Solved, r.Stats.Failed, r.Stats.Rejected)
 	fmt.Fprintf(&b, "  cache        hits %d  misses %d  hit-rate %.3f\n",
 		r.Stats.Cache.Hits, r.Stats.Cache.Misses, r.Stats.Cache.HitRate)
+	if r.Mode == "graphref" {
+		fmt.Fprintf(&b, "  intern       entries %d  hits %d  misses %d\n",
+			r.Stats.Graphs.Entries, r.Stats.Graphs.Hits, r.Stats.Graphs.Misses)
+	}
 	return b.String()
 }
 
@@ -124,25 +148,86 @@ func (w *bodyRecorder) Write(p []byte) (int, error) {
 	return w.buf.Write(p)
 }
 
-// loadBodies pre-marshals the request bodies the load loop cycles over,
-// so marshaling cost stays out of the measured path.
-func loadBodies(cfg LoadConfig) [][]byte {
+// loadGraphs generates the distinct instances the run cycles over.
+func loadGraphs(cfg LoadConfig) []*graph.Graph {
 	r := rng.New(cfg.Seed)
-	bodies := make([][]byte, cfg.Distinct)
-	for i := range bodies {
-		g := graph.RandomSmallDiameter(r, cfg.N, 3, 0.1)
-		req := service.SolveRequest{
-			ID:    fmt.Sprintf("load-%d", i),
-			Graph: g,
-			P:     labeling.Vector{2, 2, 1},
-		}
-		b, err := json.Marshal(req)
-		if err != nil {
-			panic(fmt.Sprintf("bench: marshal load request: %v", err))
-		}
-		bodies[i] = b
+	gs := make([]*graph.Graph, cfg.Distinct)
+	for i := range gs {
+		gs[i] = graph.RandomSmallDiameter(r, cfg.N, 3, 0.1)
 	}
-	return bodies
+	return gs
+}
+
+// loadBodies pre-marshals the request bodies the load loop cycles over,
+// so marshaling cost stays out of the measured path. In graphRef mode it
+// registers every instance with the handler (POST /v1/graphs) before the
+// clock starts — the once-per-graph cost that mode amortizes away — and
+// the returned bodies reference the interned graphs. Returns the bodies,
+// the Content-Type they must be posted with, and the mode label.
+func loadBodies(cfg LoadConfig, handler http.Handler) ([][]byte, string, string, error) {
+	gs := loadGraphs(cfg)
+	bodies := make([][]byte, len(gs))
+	switch {
+	case cfg.GraphRef:
+		for i, g := range gs {
+			gb, err := json.Marshal(g)
+			if err != nil {
+				return nil, "", "", fmt.Errorf("bench: marshal graph: %w", err)
+			}
+			req, err := http.NewRequest(http.MethodPost, "http://bench/v1/graphs", bytes.NewReader(gb))
+			if err != nil {
+				return nil, "", "", err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			var rec bodyRecorder
+			handler.ServeHTTP(&rec, req)
+			if rec.status != http.StatusOK {
+				return nil, "", "", fmt.Errorf("bench: intern graph %d: status %d: %s", i, rec.status, rec.buf.String())
+			}
+			var gr service.GraphsResponse
+			if err := json.Unmarshal(rec.buf.Bytes(), &gr); err != nil {
+				return nil, "", "", fmt.Errorf("bench: decode /v1/graphs response: %w", err)
+			}
+			b, err := json.Marshal(service.SolveRequest{
+				ID:       fmt.Sprintf("load-%d", i),
+				GraphRef: gr.GraphRef,
+				P:        labeling.Vector{2, 2, 1},
+			})
+			if err != nil {
+				return nil, "", "", err
+			}
+			bodies[i] = b
+		}
+		return bodies, "application/json", "graphref", nil
+	case cfg.Wire == "binary":
+		for i, g := range gs {
+			body := graph.AppendBinary(nil, g)
+			envelope, err := json.Marshal(service.SolveRequest{
+				ID: fmt.Sprintf("load-%d", i),
+				P:  labeling.Vector{2, 2, 1},
+			})
+			if err != nil {
+				return nil, "", "", err
+			}
+			bodies[i] = append(body, envelope...)
+		}
+		return bodies, graph.BinaryContentType, "binary", nil
+	case cfg.Wire == "json":
+		for i, g := range gs {
+			b, err := json.Marshal(service.SolveRequest{
+				ID:    fmt.Sprintf("load-%d", i),
+				Graph: g,
+				P:     labeling.Vector{2, 2, 1},
+			})
+			if err != nil {
+				return nil, "", "", fmt.Errorf("bench: marshal load request: %w", err)
+			}
+			bodies[i] = b
+		}
+		return bodies, "application/json", "json", nil
+	default:
+		return nil, "", "", fmt.Errorf("bench: unknown wire format %q (want json or binary)", cfg.Wire)
+	}
 }
 
 // RunLoad boots a fresh lplserve handler and drives cfg.Requests solve
@@ -153,7 +238,14 @@ func loadBodies(cfg LoadConfig) [][]byte {
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
 	handler := service.NewServer(cfg.Server)
-	bodies := loadBodies(cfg)
+	bodies, contentType, mode, err := loadBodies(cfg, handler)
+	if err != nil {
+		return nil, err
+	}
+	totalBytes := 0
+	for _, b := range bodies {
+		totalBytes += len(b)
+	}
 
 	var next atomic.Int64
 	var errs atomic.Int64
@@ -174,6 +266,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					errs.Add(1)
 					continue
 				}
+				req.Header.Set("Content-Type", contentType)
 				var w nullResponseWriter
 				handler.ServeHTTP(&w, req)
 				if w.status != http.StatusOK {
@@ -197,13 +290,15 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{
-		Clients:  cfg.Clients,
-		Requests: cfg.Requests,
-		Distinct: cfg.Distinct,
-		N:        cfg.N,
-		Errors:   int(errs.Load()),
-		Elapsed:  elapsed,
-		Stats:    st,
+		Clients:     cfg.Clients,
+		Requests:    cfg.Requests,
+		Distinct:    cfg.Distinct,
+		N:           cfg.N,
+		Mode:        mode,
+		Errors:      int(errs.Load()),
+		Elapsed:     elapsed,
+		BytesPerReq: float64(totalBytes) / float64(len(bodies)),
+		Stats:       st,
 	}
 	if ok := cfg.Requests - rep.Errors; ok > 0 && elapsed > 0 {
 		rep.Throughput = float64(ok) / elapsed.Seconds()

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunLoadModes drives a small run through every traffic shape the
+// load driver supports and checks each completes error-free with sane
+// accounting — including that graphRef traffic actually resolves against
+// the intern store and that the compact modes shrink the wire.
+func TestRunLoadModes(t *testing.T) {
+	// Tiny instances: this is a plumbing test (modes, accounting, wire
+	// sizes), and each distinct instance costs one cold solve per mode.
+	base := LoadConfig{Clients: 4, Requests: 32, Distinct: 2, N: 10}
+
+	jsonRep, err := RunLoad(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonRep.Mode != "json" || jsonRep.Errors > 0 {
+		t.Fatalf("json run: %+v", jsonRep)
+	}
+
+	refCfg := base
+	refCfg.GraphRef = true
+	refRep, err := RunLoad(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRep.Mode != "graphref" || refRep.Errors > 0 {
+		t.Fatalf("graphref run: %+v", refRep)
+	}
+	if refRep.Stats.Graphs.Hits != int64(base.Requests) {
+		t.Fatalf("graphref run resolved %d refs, want %d", refRep.Stats.Graphs.Hits, base.Requests)
+	}
+	if refRep.BytesPerReq >= jsonRep.BytesPerReq {
+		t.Fatalf("graphref bodies (%.0f B) not smaller than full JSON (%.0f B)",
+			refRep.BytesPerReq, jsonRep.BytesPerReq)
+	}
+
+	binCfg := base
+	binCfg.Wire = "binary"
+	binRep, err := RunLoad(binCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binRep.Mode != "binary" || binRep.Errors > 0 {
+		t.Fatalf("binary run: %+v", binRep)
+	}
+	if binRep.BytesPerReq >= jsonRep.BytesPerReq {
+		t.Fatalf("binary bodies (%.0f B) not smaller than full JSON (%.0f B)",
+			binRep.BytesPerReq, jsonRep.BytesPerReq)
+	}
+
+	for _, rep := range []*LoadReport{jsonRep, refRep, binRep} {
+		s := rep.String()
+		if !strings.Contains(s, "bytes/req") || !strings.Contains(s, rep.Mode) {
+			t.Fatalf("report rendering lost fields:\n%s", s)
+		}
+	}
+
+	if _, err := RunLoad(LoadConfig{Wire: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown wire format accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Compact length-prefixed binary wire form (Content-Type
+// application/x-lpl-graph):
+//
+//	frame   := magic "LPG1" | uvarint(len(payload)) | payload
+//	payload := uvarint(n) | uvarint(m) | edge*      (m edges, canonical
+//	                                                 u < v lexicographic)
+//	edge    := uvarint(du) | uvarint(dv)
+//	           du = u - prevU
+//	           dv = v - u - 1       when du > 0 (first edge at this u)
+//	           dv = v - prevV - 1   when du = 0
+//
+// Delta coding over the canonical edge order keeps typical edges at two
+// bytes, and the structure is self-certifying: u is non-decreasing and v
+// strictly increasing within a u with v > u always, so a decoded edge
+// list can contain no self-loops and no duplicates by construction —
+// only the v < n range check remains. The frame is self-delimiting (the
+// length prefix), so a solve envelope can follow it in the same body;
+// DecodeBinary returns the remainder.
+
+// BinaryContentType is the HTTP content type of the binary wire form.
+const BinaryContentType = "application/x-lpl-graph"
+
+// binaryMagic opens every frame; the trailing '1' is the version.
+const binaryMagic = "LPG1"
+
+// ErrBinaryFormat reports a malformed binary graph frame (errors.Is).
+var ErrBinaryFormat = errors.New("malformed binary graph frame")
+
+// AppendBinary appends g's binary frame to dst and returns the extended
+// slice.
+func AppendBinary(dst []byte, g *Graph) []byte {
+	c := g.csrData()
+	n := g.N()
+	m := g.m
+	// Payload into a scratch region appended after the eventual header
+	// position is unknowable (uvarint length), so build payload first in
+	// its own appendix and splice.
+	payload := make([]byte, 0, 2*binary.MaxVarintLen64+2*m+m/2)
+	payload = binary.AppendUvarint(payload, uint64(n))
+	payload = binary.AppendUvarint(payload, uint64(m))
+	prevU, prevV := 0, 0
+	for u := 0; u < n; u++ {
+		for _, vv := range c.neighbors(u) {
+			v := int(vv)
+			if v <= u {
+				continue // forward edges only
+			}
+			du := u - prevU
+			payload = binary.AppendUvarint(payload, uint64(du))
+			if du > 0 {
+				payload = binary.AppendUvarint(payload, uint64(v-u-1))
+			} else {
+				payload = binary.AppendUvarint(payload, uint64(v-prevV-1))
+			}
+			prevU, prevV = u, v
+		}
+	}
+	dst = append(dst, binaryMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// EncodeBinary writes g's binary frame to w.
+func EncodeBinary(w io.Writer, g *Graph) error {
+	_, err := w.Write(AppendBinary(nil, g))
+	return err
+}
+
+// DecodeBinary decodes one binary frame from the front of data,
+// returning the graph and the remaining bytes after the frame (a solve
+// envelope, when the caller framed one behind the graph). The graph is
+// built CSR-direct through the same pooled path as the JSON and DIMACS
+// decoders, under the same typed validation (ErrVertexCount,
+// ErrEdgeRange; self-loops and duplicates are unrepresentable).
+func DecodeBinary(data []byte) (*Graph, []byte, error) {
+	if len(data) < len(binaryMagic) || string(data[:len(binaryMagic)]) != binaryMagic {
+		return nil, nil, fmt.Errorf("graph: missing %q magic: %w", binaryMagic, ErrBinaryFormat)
+	}
+	rest := data[len(binaryMagic):]
+	plen, k := binary.Uvarint(rest)
+	if k <= 0 || plen > uint64(len(rest)-k) {
+		return nil, nil, fmt.Errorf("graph: bad frame length: %w", ErrBinaryFormat)
+	}
+	payload := rest[k : k+int(plen)]
+	tail := rest[k+int(plen):]
+
+	nn, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("graph: truncated vertex count: %w", ErrBinaryFormat)
+	}
+	payload = payload[k:]
+	if nn > MaxWireVertices {
+		return nil, nil, fmt.Errorf("graph: vertex count %d exceeds wire limit %d: %w", nn, MaxWireVertices, ErrVertexCount)
+	}
+	n := int(nn)
+	mm, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("graph: truncated edge count: %w", ErrBinaryFormat)
+	}
+	payload = payload[k:]
+	// Each edge takes at least two payload bytes; a larger m than that is
+	// unsatisfiable, so reject before sizing anything from it.
+	if mm > uint64(len(payload))/2 {
+		return nil, nil, fmt.Errorf("graph: edge count %d exceeds frame capacity: %w", mm, ErrBinaryFormat)
+	}
+	ps := getPairScratch()
+	defer putPairScratch(ps)
+	u, prevV := 0, 0
+	for i := uint64(0); i < mm; i++ {
+		du, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("graph: truncated edge %d: %w", i, ErrBinaryFormat)
+		}
+		payload = payload[k:]
+		dv, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("graph: truncated edge %d: %w", i, ErrBinaryFormat)
+		}
+		payload = payload[k:]
+		if du > uint64(n) || dv > uint64(n) {
+			return nil, nil, fmt.Errorf("graph: edge %d = delta {%d,%d} out of range [0,%d): %w", i, du, dv, n, ErrEdgeRange)
+		}
+		u += int(du)
+		var v int
+		if du > 0 {
+			v = u + 1 + int(dv)
+		} else {
+			v = prevV + 1 + int(dv)
+		}
+		if u >= n || v >= n {
+			return nil, nil, fmt.Errorf("graph: edge %d = {%d,%d} out of range [0,%d): %w", i, u, v, n, ErrEdgeRange)
+		}
+		prevV = v
+		ps.pairs = append(ps.pairs, int32(u), int32(v))
+	}
+	if len(payload) != 0 {
+		return nil, nil, fmt.Errorf("graph: %d trailing payload bytes: %w", len(payload), ErrBinaryFormat)
+	}
+	g, err := buildFromPairs(n, ps.pairs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, tail, nil
+}

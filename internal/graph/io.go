@@ -32,58 +32,18 @@ func Write(w io.Writer, g *Graph) error {
 }
 
 // Read parses a graph in DIMACS edge format (1-based) or a bare
-// "n m" + 0-based edge-list format.
+// "n m" + 0-based edge-list format, on the streaming decoder: edges go
+// into a pooled flat pair buffer and the graph is assembled directly in
+// CSR shape. Malformed input — self-loops, out-of-range endpoints, bad
+// vertex counts, short edge lines — returns typed errors (ErrSelfLoop,
+// ErrEdgeRange, ErrVertexCount) with line positions; the pre-streaming
+// implementation panicked on several of these.
 func Read(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<24)
-	var g *Graph
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || text == "c" || strings.HasPrefix(text, "c ") {
-			continue
-		}
-		fields := strings.Fields(text)
-		switch {
-		case fields[0] == "p":
-			if len(fields) != 4 || fields[1] != "edge" {
-				return nil, fmt.Errorf("graph: line %d: malformed problem line %q", line, text)
-			}
-			var n, m int
-			if _, err := fmt.Sscanf(fields[2]+" "+fields[3], "%d %d", &n, &m); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", line, err)
-			}
-			g = New(n)
-		case fields[0] == "e":
-			if g == nil {
-				return nil, fmt.Errorf("graph: line %d: edge before problem line", line)
-			}
-			var u, v int
-			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &u, &v); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", line, err)
-			}
-			g.AddEdge(u-1, v-1)
-		default:
-			var a, b int
-			if _, err := fmt.Sscanf(text, "%d %d", &a, &b); err != nil {
-				return nil, fmt.Errorf("graph: line %d: unrecognized line %q", line, text)
-			}
-			if g == nil {
-				g = New(a) // bare header: "n m"
-			} else {
-				g.AddEdge(a, b)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, err
 	}
-	if g == nil {
-		return nil, fmt.Errorf("graph: empty input")
-	}
-	g.Normalize()
-	return g, nil
+	return decodeDIMACS(string(data))
 }
 
 // MustParse parses a graph from a string, panicking on error. Test helper.

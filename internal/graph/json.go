@@ -17,11 +17,19 @@ import (
 //
 // Marshaling always produces the object form with edges in canonical
 // (u < v, lexicographic) order, so equal graphs encode to equal bytes.
+//
+// Decoding runs on the streaming decoder (decode.go): the object form is
+// scanned byte-by-byte into pooled flat edge buffers and assembled
+// directly in CSR shape, with no intermediate [][]int and no per-edge
+// allocations. decodeJSONReference below is the retained encoding/json
+// implementation; the two are pinned bit-identical (CSR arrays and
+// fingerprint) on every accepted body by the decoder-equivalence tests
+// and FuzzDecodeEquivalence.
 
-// jsonGraph is the object wire form. Edges decode as [][]int, not
-// [][2]int: encoding/json zero-fills or truncates fixed-size arrays, so
-// the [2]int form would silently rewrite malformed tuples instead of
-// rejecting them.
+// jsonGraph is the object wire form of the reference decoder. Edges
+// decode as [][]int, not [][2]int: encoding/json zero-fills or truncates
+// fixed-size arrays, so the [2]int form would silently rewrite malformed
+// tuples instead of rejecting them.
 type jsonGraph struct {
 	N     int     `json:"n"`
 	Edges [][]int `json:"edges"`
@@ -38,53 +46,60 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON decodes either wire form into g, replacing its contents.
-// Object-form edges are 0-based and validated against n; the string form
-// is handed to Read, so both DIMACS and bare edge-list documents work.
+// Object-form edges are 0-based and validated against n (self-loops are
+// ErrSelfLoop, bad endpoints ErrEdgeRange, absurd vertex counts
+// ErrVertexCount — all errors.Is-testable); the string form accepts both
+// DIMACS and bare edge-list documents under the same rules.
 func (g *Graph) UnmarshalJSON(data []byte) error {
+	h, err := decodeJSONGraph(data)
+	if err != nil {
+		return err
+	}
+	g.adoptBuilt(h)
+	return nil
+}
+
+// decodeJSONReference is the encoding/json implementation the streaming
+// decoder replaced, retained as the equivalence oracle: every body it
+// accepts must produce a bit-identical graph (CSR arrays and
+// fingerprint) from decodeJSONGraph.
+func decodeJSONReference(data []byte) (*Graph, error) {
 	trimmed := strings.TrimSpace(string(data))
 	if strings.HasPrefix(trimmed, `"`) {
 		var doc string
 		if err := json.Unmarshal(data, &doc); err != nil {
-			return err
+			return nil, err
 		}
-		h, err := Read(strings.NewReader(doc))
-		if err != nil {
-			return err
-		}
-		g.replaceWith(h)
-		return nil
+		return Read(strings.NewReader(doc))
 	}
 	var wire jsonGraph
 	if err := json.Unmarshal(data, &wire); err != nil {
-		return err
+		return nil, err
 	}
-	if wire.N < 0 {
-		return fmt.Errorf("graph: negative vertex count %d", wire.N)
+	if err := checkVertexCount(int64(wire.N)); err != nil {
+		return nil, err
 	}
 	h := New(wire.N)
 	for i, e := range wire.Edges {
 		if len(e) != 2 {
-			return fmt.Errorf("graph: edge %d has %d endpoints, want exactly 2", i, len(e))
+			return nil, fmt.Errorf("graph: edge %d has %d endpoints, want exactly 2", i, len(e))
 		}
-		u, v := e[0], e[1]
-		if u == v {
-			return fmt.Errorf("graph: edge %d is a self-loop at %d", i, u)
+		if err := validateEdge(i, int64(e[0]), int64(e[1]), wire.N); err != nil {
+			return nil, err
 		}
-		if u < 0 || v < 0 || u >= wire.N || v >= wire.N {
-			return fmt.Errorf("graph: edge %d = {%d,%d} out of range [0,%d)", i, u, v, wire.N)
-		}
-		h.AddEdge(u, v)
+		h.AddEdge(e[0], e[1])
 	}
 	h.Normalize()
-	g.replaceWith(h)
-	return nil
+	return h, nil
 }
 
-// replaceWith moves h's (normalized) contents into g without copying the
-// lock/atomic fields. h must not be used afterwards.
-func (g *Graph) replaceWith(h *Graph) {
-	h.Normalize()
+// adoptBuilt moves a freshly decoded graph's contents into g, carrying
+// over the already-built derived views (the decoders produce graphs born
+// normalized with their CSR view set). h must not be used afterwards.
+func (g *Graph) adoptBuilt(h *Graph) {
 	g.adj = h.adj
 	g.m = h.m
-	g.normalized.Store(true)
+	g.normalized.Store(h.normalized.Load())
+	g.csrView.Store(h.csrView.Load())
+	g.fp.Store(h.fp.Load())
 }

@@ -8,9 +8,21 @@
 //	                 method/plan/cache provenance
 //	POST /v1/batch   many instances → NDJSON stream of SolveResponse
 //	                 lines in completion order (core.SolveBatch underneath)
+//	POST /v1/graphs  intern a graph once (JSON, DIMACS text, or the binary
+//	                 wire form) → its graphRef; later solves naming the
+//	                 ref skip parsing, construction, and hashing
 //	GET  /v1/stats   queue occupancy, admission counters, cache hit rate,
-//	                 per-method solve counts
+//	                 intern-store counters, per-method solve counts
 //	GET  /healthz    liveness
+//
+// Transports: /v1/solve and /v1/graphs additionally accept Content-Type
+// application/x-lpl-graph — the graph package's length-prefixed binary
+// frame; on /v1/solve the JSON envelope for p and options follows the
+// frame in the same body (graph.DecodeBinary returns the remainder).
+// Solve and batch requests may replace their "graph" member with
+// "graphRef": a fingerprint previously returned by /v1/graphs, resolved
+// against a bounded sharded-LRU intern store (unknown or evicted refs
+// fail with 404 and code "unknownGraphRef").
 //
 // Admission: every job (a solo request or one batch item) must win a
 // ticket from a bounded admission queue before it is allowed to wait for
@@ -48,14 +60,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lpltsp/internal/core"
 	"lpltsp/internal/graph"
+	"lpltsp/internal/intern"
 )
 
 // Response encoding pools: under streaming load the per-item cost of
@@ -124,6 +139,11 @@ type Config struct {
 	MaxVertices int
 	// MaxBodyBytes bounds a request body. Default 64 MiB.
 	MaxBodyBytes int64
+	// GraphStoreCapacity bounds the graph intern store behind /v1/graphs
+	// (entries, LRU-evicted). Default intern.DefaultCapacity; negative
+	// disables interning (POST /v1/graphs still returns refs, every
+	// graphRef solve 404s).
+	GraphStoreCapacity int
 }
 
 const (
@@ -135,9 +155,10 @@ const (
 // Server is the lplserve HTTP handler. Create with NewServer; the zero
 // value is not usable.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	start time.Time
+	cfg    Config
+	mux    *http.ServeMux
+	start  time.Time
+	graphs *intern.Store
 
 	// admit holds one ticket per job currently in the system (waiting or
 	// solving); slots holds one per running solo solve.
@@ -180,15 +201,22 @@ func NewServer(cfg *Config) *Server {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	if c.GraphStoreCapacity == 0 {
+		c.GraphStoreCapacity = intern.DefaultCapacity
+	} else if c.GraphStoreCapacity < 0 {
+		c.GraphStoreCapacity = 0
+	}
 	s := &Server{
-		cfg:   c,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		admit: make(chan struct{}, c.QueueDepth),
-		slots: make(chan struct{}, c.Workers),
+		cfg:    c,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		graphs: intern.NewStore(c.GraphStoreCapacity),
+		admit:  make(chan struct{}, c.QueueDepth),
+		slots:  make(chan struct{}, c.Workers),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -225,13 +253,23 @@ func (s *Server) releaseAdmit(n int) {
 
 // jsonError writes a JSON error body with the given status.
 func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	jsonErrorCode(w, status, "", format, args...)
+}
+
+// jsonErrorCode is jsonError with a machine-readable error code
+// ("unknownGraphRef") carried alongside the message.
+func jsonErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(SolveResponse{Error: fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(SolveResponse{Code: code, Error: fmt.Sprintf(format, args...)})
 }
+
+// codeUnknownGraphRef marks a solve naming a ref the intern store does
+// not hold (never interned, or evicted): re-submit via POST /v1/graphs.
+const codeUnknownGraphRef = "unknownGraphRef"
 
 // solveStatus maps a solver error to an HTTP status: context errors are
 // the client's deadline (408) or disconnect; typed applicability errors
@@ -267,12 +305,157 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	return true
 }
 
+// contentType returns the request's media type, lowercased and stripped
+// of parameters ("application/json; charset=utf-8" → "application/json").
+func contentType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(ct))
+}
+
+// readBody slurps the request body under the server's byte limit,
+// writing the 413/400 response itself on failure.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			jsonError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			jsonError(w, http.StatusBadRequest, "bad request: %v", err)
+		}
+		return nil, false
+	}
+	return data, true
+}
+
+// resolveGraph turns a request's graphRef into its interned graph before
+// validation. Interned graphs are normalized with their derived views
+// forced at Put time and are shared read-only across all solves naming
+// them, so resolution costs one sharded-LRU lookup — no parsing, no
+// graph construction, no fingerprint hashing. Returns false after
+// writing the error response (400 for conflicts and malformed refs, 404
+// with code unknownGraphRef for a ref the store does not hold).
+func (s *Server) resolveGraph(w http.ResponseWriter, req *SolveRequest, itemCtx string) bool {
+	if req.GraphRef == "" {
+		return true
+	}
+	if req.Graph != nil {
+		jsonError(w, http.StatusBadRequest, "invalid request%s: both graph and graphRef set", itemCtx)
+		return false
+	}
+	if !intern.ValidRef(req.GraphRef) {
+		jsonError(w, http.StatusBadRequest, "invalid request%s: malformed graphRef %q", itemCtx, req.GraphRef)
+		return false
+	}
+	g, ok := s.graphs.Get(req.GraphRef)
+	if !ok {
+		jsonErrorCode(w, http.StatusNotFound, codeUnknownGraphRef,
+			"unknown graphRef %q%s: not interned or evicted; re-submit via POST /v1/graphs", req.GraphRef, itemCtx)
+		return false
+	}
+	req.Graph = g
+	return true
+}
+
+// handleGraphs serves POST /v1/graphs: parse the body as a bare graph —
+// binary frame (Content-Type application/x-lpl-graph), raw DIMACS text
+// (text/*), or the JSON wire form (default) — intern it, and return its
+// graphRef for later solves.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var g *graph.Graph
+	switch ct := contentType(r); {
+	case ct == graph.BinaryContentType:
+		dec, rest, err := graph.DecodeBinary(body)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "bad graph frame: %v", err)
+			return
+		}
+		if len(rest) != 0 {
+			jsonError(w, http.StatusBadRequest, "%d trailing bytes after graph frame", len(rest))
+			return
+		}
+		g = dec
+	case strings.HasPrefix(ct, "text/"):
+		dec, err := graph.Read(bytes.NewReader(body))
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "bad graph document: %v", err)
+			return
+		}
+		g = dec
+	default:
+		g = new(graph.Graph)
+		if err := g.UnmarshalJSON(body); err != nil {
+			jsonError(w, http.StatusBadRequest, "bad graph body: %v", err)
+			return
+		}
+	}
+	if s.cfg.MaxVertices > 0 && g.N() > s.cfg.MaxVertices {
+		jsonError(w, http.StatusRequestEntityTooLarge,
+			"graph has %d vertices, server limit is %d", g.N(), s.cfg.MaxVertices)
+		return
+	}
+	before := s.graphs.Stats().Reinterned
+	ref := s.graphs.Put(g)
+	reinterned := s.graphs.Stats().Reinterned > before
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(GraphsResponse{GraphRef: ref, N: g.N(), M: g.M(), Reinterned: reinterned})
+}
+
+// decodeSolve decodes a /v1/solve body in either transport: the JSON
+// SolveRequest, or — under Content-Type application/x-lpl-graph — a
+// binary graph frame followed by the JSON envelope for everything else
+// ({"p":…, "options":…}), which skips the dominant cost of large solve
+// bodies (the edge-list JSON) entirely.
+func (s *Server) decodeSolve(w http.ResponseWriter, r *http.Request, req *SolveRequest) bool {
+	if contentType(r) != graph.BinaryContentType {
+		return s.decode(w, r, req)
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return false
+	}
+	g, rest, err := graph.DecodeBinary(body)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad graph frame: %v", err)
+		return false
+	}
+	if len(bytes.TrimSpace(rest)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(rest))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
+			jsonError(w, http.StatusBadRequest, "bad solve envelope after graph frame: %v", err)
+			return false
+		}
+		if dec.More() {
+			jsonError(w, http.StatusBadRequest, "trailing data after solve envelope")
+			return false
+		}
+		if req.Graph != nil || req.GraphRef != "" {
+			jsonError(w, http.StatusBadRequest, "binary solve body already carries the graph; envelope must not")
+			return false
+		}
+	}
+	req.Graph = g
+	return true
+}
+
 // handleSolve serves POST /v1/solve: decode → validate → admit (429 on a
 // full queue) → wait for a solver slot → solve under the request context
 // → respond.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
-	if !s.decode(w, r, &req) {
+	if !s.decodeSolve(w, r, &req) {
+		return
+	}
+	if !s.resolveGraph(w, &req, "") {
 		return
 	}
 	if err := req.validate(s.cfg.MaxVertices); err != nil {
@@ -337,6 +520,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i := range req.Items {
+		if !s.resolveGraph(w, &req.Items[i], fmt.Sprintf(" (item %d, id %q)", i, req.Items[i].ID)) {
+			return
+		}
 		if err := req.Items[i].validate(s.cfg.MaxVertices); err != nil {
 			status := http.StatusBadRequest
 			if req.Items[i].tooLarge(s.cfg.MaxVertices) {
@@ -528,6 +714,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Solved:        s.solved.Load(),
 		Failed:        s.failed.Load(),
 		Cache:         wireCache(core.SolveCacheStats()),
+		Graphs:        wireIntern(s.graphs.Stats()),
 		Methods:       methods,
 	}
 	w.Header().Set("Content-Type", "application/json")

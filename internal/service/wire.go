@@ -6,6 +6,7 @@ import (
 
 	"lpltsp/internal/core"
 	"lpltsp/internal/graph"
+	"lpltsp/internal/intern"
 	"lpltsp/internal/labeling"
 	"lpltsp/internal/tsp"
 )
@@ -21,8 +22,14 @@ type SolveRequest struct {
 	// ID is an optional caller-chosen identifier echoed back on the
 	// response; batch responses use it to correlate the NDJSON stream.
 	ID string `json:"id,omitempty"`
-	// Graph is the instance, in either JSON wire form.
-	Graph *graph.Graph `json:"graph"`
+	// Graph is the instance, in either JSON wire form. Exactly one of
+	// Graph / GraphRef must be set.
+	Graph *graph.Graph `json:"graph,omitempty"`
+	// GraphRef names a graph previously interned via POST /v1/graphs (the
+	// 32-hex fingerprint that endpoint returned). Referenced solves skip
+	// body parsing, graph construction, and fingerprint hashing; an
+	// unknown or evicted ref fails with 404 and code "unknownGraphRef".
+	GraphRef string `json:"graphRef,omitempty"`
 	// P is the constraint vector p = (p1,…,pk).
 	P labeling.Vector `json:"p"`
 	// Options tunes the solve; omitted fields keep server defaults
@@ -84,9 +91,14 @@ func (w *WireOptions) toOptions(defaultDeadline, maxDeadline time.Duration) *cor
 }
 
 // validate rejects requests the solver cannot accept before any work is
-// queued. maxVertices ≤ 0 disables the size gate.
+// queued. maxVertices ≤ 0 disables the size gate. Callers resolve
+// GraphRef into Graph first (resolveGraph), so by the time validation
+// runs a well-formed request always carries a graph.
 func (r *SolveRequest) validate(maxVertices int) error {
 	if r.Graph == nil {
+		if r.GraphRef != "" {
+			return fmt.Errorf("unresolved graphRef %q", r.GraphRef)
+		}
 		return fmt.Errorf("missing graph")
 	}
 	if err := r.P.Validate(); err != nil {
@@ -137,7 +149,11 @@ type BatchRequest struct {
 // of a /v1/batch stream. Exactly one of Error / the result fields is
 // meaningful: Error is set iff the item failed.
 type SolveResponse struct {
-	ID       string `json:"id,omitempty"`
+	ID string `json:"id,omitempty"`
+	// Code machine-classifies an error ("unknownGraphRef" for a solve
+	// naming a ref the intern store does not hold); empty on success and
+	// on errors a client cannot act on programmatically.
+	Code     string `json:"code,omitempty"`
 	Span     int    `json:"span"`
 	Labeling []int  `json:"labeling,omitempty"`
 	// Method is the planner route that produced the result; Algorithm and
@@ -254,8 +270,45 @@ type StatsResponse struct {
 	Failed int64 `json:"failed"`
 	// Cache is the process-wide solve cache shared by every request.
 	Cache CacheWire `json:"cache"`
+	// Graphs is the intern store behind /v1/graphs and graphRef solves.
+	Graphs InternWire `json:"graphs"`
 	// Methods counts successful solves per planner route.
 	Methods map[string]int64 `json:"methods"`
+}
+
+// GraphsResponse is the body of a POST /v1/graphs response: the ref to
+// use as "graphRef" in later /v1/solve and /v1/batch requests, plus the
+// parsed instance's size so clients can sanity-check what was interned.
+// Reinterned reports the graph was already in the store (the submission
+// refreshed its LRU position).
+type GraphsResponse struct {
+	GraphRef   string `json:"graphRef"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	Reinterned bool   `json:"reinterned,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// InternWire is the JSON form of intern.Stats plus the derived hit rate
+// of graphRef resolution.
+type InternWire struct {
+	Entries    int64   `json:"entries"`
+	Capacity   int64   `json:"capacity"`
+	Puts       int64   `json:"puts"`
+	Reinterned int64   `json:"reinterned"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Evictions  int64   `json:"evictions"`
+	HitRate    float64 `json:"hitRate"`
+}
+
+func wireIntern(st intern.Stats) InternWire {
+	iw := InternWire{Entries: st.Entries, Capacity: st.Capacity, Puts: st.Puts,
+		Reinterned: st.Reinterned, Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions}
+	if total := st.Hits + st.Misses; total > 0 {
+		iw.HitRate = float64(st.Hits) / float64(total)
+	}
+	return iw
 }
 
 // CacheWire is the JSON form of core.CacheStats plus the derived rate.

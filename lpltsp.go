@@ -266,8 +266,10 @@ func ResetMethodCounts() { core.ResetMethodCounts() }
 type ServeConfig = service.Config
 
 // SolveRequest is the body of POST /v1/solve and one item of a
-// BatchRequest. Graphs accept both JSON wire forms: an object
-// {"n":…,"edges":[[u,v],…]} or a DIMACS document as a JSON string.
+// BatchRequest. Graphs accept both JSON wire forms — an object
+// {"n":…,"edges":[[u,v],…]} or a DIMACS document as a JSON string — or
+// may be replaced by a GraphRef naming a graph interned via POST
+// /v1/graphs.
 type SolveRequest = service.SolveRequest
 
 // SolveResponse is the body of a /v1/solve response and one NDJSON line
@@ -282,8 +284,13 @@ type SolveOptionsWire = service.WireOptions
 // NDJSON in completion order.
 type BatchRequest = service.BatchRequest
 
+// GraphsResponse is the body of a POST /v1/graphs response: the graphRef
+// to use in later solves, plus the interned instance's size.
+type GraphsResponse = service.GraphsResponse
+
 // StatsResponse is the body of GET /v1/stats: queue occupancy, admission
-// counters, cache hit rate, and per-method solve counts.
+// counters, cache hit rate, intern-store counters, and per-method solve
+// counts.
 type StatsResponse = service.StatsResponse
 
 // NewServeHandler returns the lplserve HTTP handler (the /v1/solve,
@@ -420,3 +427,38 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 
 // WriteGraph serializes a graph in DIMACS edge format.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// Graph ingestion errors (test with errors.Is): malformed edges in any
+// wire form — JSON object, DIMACS text, or the binary frame — are typed,
+// so embedders can map them to client-error responses the way lplserve
+// maps them to 400.
+var (
+	// ErrGraphSelfLoop reports an edge {v,v}.
+	ErrGraphSelfLoop = graph.ErrSelfLoop
+	// ErrGraphEdgeRange reports an edge endpoint outside [0, n).
+	ErrGraphEdgeRange = graph.ErrEdgeRange
+	// ErrGraphVertexCount reports a negative or absurdly large vertex
+	// count (the wire limit guards decode-time allocation).
+	ErrGraphVertexCount = graph.ErrVertexCount
+	// ErrGraphBinaryFormat reports a malformed binary graph frame.
+	ErrGraphBinaryFormat = graph.ErrBinaryFormat
+)
+
+// GraphBinaryContentType is the HTTP Content-Type of the binary graph
+// wire form, accepted by POST /v1/solve and POST /v1/graphs.
+const GraphBinaryContentType = graph.BinaryContentType
+
+// AppendGraphBinary appends g's length-prefixed binary wire frame
+// ("LPG1" magic, uvarint-delta-coded canonical edge list) to dst and
+// returns the extended slice. The encoding is canonical: equal graphs
+// produce equal frames.
+func AppendGraphBinary(dst []byte, g *Graph) []byte { return graph.AppendBinary(dst, g) }
+
+// EncodeGraphBinary writes g's binary wire frame to w.
+func EncodeGraphBinary(w io.Writer, g *Graph) error { return graph.EncodeBinary(w, g) }
+
+// DecodeGraphBinary decodes one binary frame from the front of data,
+// returning the graph and the bytes remaining after the frame (the
+// frame is self-delimiting, so callers can append their own envelope —
+// /v1/solve frames a JSON envelope behind the graph this way).
+func DecodeGraphBinary(data []byte) (*Graph, []byte, error) { return graph.DecodeBinary(data) }
