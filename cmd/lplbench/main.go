@@ -12,9 +12,14 @@
 //	lplbench -load -clients 16 -requests 5000   # serving-core load run
 //	lplbench -load -graphref                    # interned-graph traffic
 //	lplbench -load -wire binary                 # binary graph frames
+//	lplbench -load -chaos -rate 0.02            # fault-injected chaos run
 //
 // Load mode prints bytes-on-the-wire per request alongside req/s, so the
-// wire-format modes can be compared directly.
+// wire-format modes can be compared directly. Chaos mode instead arms the
+// deterministic fault injector (panics, stalls, context leaks, alloc
+// spikes) plus the quarantine and watchdog, drives mixed retrying traffic
+// including a poison instance, and reports whether every containment
+// invariant held; it exits non-zero on a violation.
 package main
 
 import (
@@ -42,8 +47,36 @@ func main() {
 		loadN    = flag.Int("n", 64, "load mode: vertices per generated instance")
 		graphRef = flag.Bool("graphref", false, "load mode: intern instances once via /v1/graphs and send graphRef solves")
 		wire     = flag.String("wire", "json", "load mode: solve-body transport, json or binary")
+		chaos    = flag.Bool("chaos", false, "load mode: arm the fault injector and run the containment harness instead")
+		rate     = flag.Float64("rate", 0.02, "chaos mode: per-visit fault probability")
 	)
 	flag.Parse()
+
+	if *load && *chaos {
+		core.ResetSolveCache()
+		core.ResetMethodCounts()
+		// Chaos has its own scale defaults (100 clients, 1500 ops); the
+		// load-mode flag defaults only apply when explicitly set.
+		cc := bench.ChaosConfig{Distinct: *distinct, N: *loadN, Seed: *seed, Rate: *rate}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "clients":
+				cc.Clients = *clients
+			case "requests":
+				cc.Requests = *requests
+			}
+		})
+		rep, err := bench.RunChaos(cc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lplbench: chaos run failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if len(rep.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *load {
 		core.ResetSolveCache()

@@ -17,13 +17,22 @@
 //	POST /v1/graphs  intern a graph once; solves may then send its
 //	                 graphRef instead of the full graph (-graph-store
 //	                 bounds the store)
-//	GET  /v1/stats   queue, admission, cache, intern-store, and per-method
-//	                 counters
-//	GET  /healthz    liveness
+//	GET  /v1/stats   queue, admission, cache, intern-store, per-method,
+//	                 and fault-containment counters
+//	GET  /healthz    liveness (is the process alive)
+//	GET  /readyz     readiness (should this instance receive traffic);
+//	                 503 while the queue is saturated or quarantine trips
+//	                 are elevated
 //
-// Overload is answered with 429 + Retry-After once -queue jobs are in the
-// system; per-request deadlines are clamped to -max-deadline; a client
-// hanging up cancels its solve at the engines' cooperative checkpoints.
+// Overload is answered with 429 + a Retry-After computed from the queue's
+// observed drain rate; per-request deadlines are clamped to -max-deadline;
+// a client hanging up cancels its solve at the engines' cooperative
+// checkpoints. Faults are contained, not fatal: engine panics come back
+// as 500 with code "enginePanic", solves that ignore cancellation are
+// force-failed by the watchdog once they overrun -watchdog-grace × their
+// deadline (408, code "stuckSolve"), and an instance that keeps crashing
+// or wedging is quarantined after -quarantine failures (422, code
+// "quarantined") until -quarantine-ttl elapses.
 package main
 
 import (
@@ -86,6 +95,9 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		maxVertices     = fs.Int("max-vertices", 4096, "reject larger instances with 413")
 		cacheCap        = fs.Int("cache-capacity", 0, "resize the shared solve cache (0 = keep the default)")
 		graphStore      = fs.Int("graph-store", 0, "graph intern store capacity behind /v1/graphs (0 = default, negative = disabled)")
+		quarantine      = fs.Int("quarantine", 0, "quarantine an instance after this many containment failures (0 = default 3, negative = disabled)")
+		quarantineTTL   = fs.Duration("quarantine-ttl", 0, "quarantine sentence length and failure-memory window (0 = default 5m)")
+		watchdogGrace   = fs.Float64("watchdog-grace", 3, "force-fail solves still running at this multiple of their deadline (0 = watchdog disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
@@ -97,12 +109,15 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		lpltsp.SetCacheCapacity(*cacheCap)
 	}
 	handler := lpltsp.NewServeHandler(&lpltsp.ServeConfig{
-		Workers:            *workers,
-		QueueDepth:         *queue,
-		MaxDeadline:        *maxDeadline,
-		DefaultDeadline:    *defaultDeadline,
-		MaxVertices:        *maxVertices,
-		GraphStoreCapacity: *graphStore,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		MaxDeadline:         *maxDeadline,
+		DefaultDeadline:     *defaultDeadline,
+		MaxVertices:         *maxVertices,
+		GraphStoreCapacity:  *graphStore,
+		QuarantineThreshold: *quarantine,
+		QuarantineTTL:       *quarantineTTL,
+		WatchdogGrace:       *watchdogGrace,
 	})
 	logger := log.New(errOut, "lplserve: ", log.LstdFlags)
 	return &http.Server{

@@ -101,3 +101,76 @@ func TestServerEndToEnd(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestFaultFlagsAndReadyz: the fault-containment flags parse and the
+// assembled handler exposes the readiness endpoint distinct from
+// liveness.
+func TestFaultFlagsAndReadyz(t *testing.T) {
+	srv, _, err := buildServer(
+		[]string{"-addr", "127.0.0.1:0", "-quarantine", "2", "-quarantine-ttl", "90s", "-watchdog-grace", "2.5"},
+		io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz on an idle server: %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("readyz Cache-Control = %q, want no-store", cc)
+	}
+	var rr struct {
+		Ready bool `json:"ready"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil || !rr.Ready {
+		t.Fatalf("readyz body: ready=%v err=%v", rr.Ready, err)
+	}
+
+	// The stats fault block reflects the flag-configured quarantine.
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st struct {
+		Ready bool `json:"ready"`
+		Fault struct {
+			Quarantine struct {
+				Enabled   bool `json:"enabled"`
+				Threshold int  `json:"threshold"`
+			} `json:"quarantine"`
+		} `json:"fault"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || !st.Fault.Quarantine.Enabled || st.Fault.Quarantine.Threshold != 2 {
+		t.Fatalf("stats fault block: %+v", st)
+	}
+
+	// A disabled quarantine reports as such.
+	srv2, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-quarantine", "-1", "-watchdog-grace", "0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler)
+	defer ts2.Close()
+	resp3, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if err := json.NewDecoder(resp3.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fault.Quarantine.Enabled {
+		t.Fatalf("quarantine enabled despite -quarantine -1: %+v", st)
+	}
+}

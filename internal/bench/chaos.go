@@ -1,0 +1,505 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpltsp/internal/core"
+	"lpltsp/internal/fault"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/service"
+)
+
+// Chaos harness: the deterministic fault-injection counterpart of RunLoad.
+// It boots a live lplserve handler with the full fault layer armed
+// (quarantine, watchdog, injection plan), pushes mixed solo/batch/poison
+// traffic through ServeHTTP from many concurrent retrying clients, and
+// verifies the containment invariants: the handler survives everything,
+// every request reaches a terminal well-formed response, poison instances
+// end up quarantined, and the admission gauges drain back to zero.
+// cmd/lplbench -load -chaos prints the report; TestChaosLoad runs the
+// same harness under -race in CI.
+
+// chaosBoomMethod always panics — the reproducible poison engine. Like
+// every test method in the tree it applies only when explicitly pinned,
+// so linking the bench package never perturbs planned routes.
+type chaosBoomMethod struct{}
+
+const chaosBoomName core.MethodName = "chaos-boom"
+
+func (chaosBoomMethod) Name() core.MethodName { return chaosBoomName }
+
+func (chaosBoomMethod) Check(pr *core.Probe, p labeling.Vector, opts *core.Options) core.Applicability {
+	if opts == nil || opts.Method != chaosBoomName {
+		return core.Applicability{Reason: "chaos method; pin it explicitly"}
+	}
+	return core.Applicability{OK: true, Cost: 1, Reason: "chaos poison"}
+}
+
+func (chaosBoomMethod) Solve(ctx context.Context, pr *core.Probe, p labeling.Vector, opts *core.Options) (*core.Result, error) {
+	panic("chaos-boom: injected poison instance")
+}
+
+// chaosStallMethod ignores its context and stalls — watchdog bait.
+type chaosStallMethod struct{}
+
+const chaosStallName core.MethodName = "chaos-stall"
+
+// chaosStallSleep bounds the stall so a chaos run with the watchdog
+// disabled still terminates.
+const chaosStallSleep = 250 * time.Millisecond
+
+func (chaosStallMethod) Name() core.MethodName { return chaosStallName }
+
+func (chaosStallMethod) Check(pr *core.Probe, p labeling.Vector, opts *core.Options) core.Applicability {
+	if opts == nil || opts.Method != chaosStallName {
+		return core.Applicability{Reason: "chaos method; pin it explicitly"}
+	}
+	return core.Applicability{OK: true, Cost: 1, Reason: "chaos stall"}
+}
+
+func (chaosStallMethod) Solve(ctx context.Context, pr *core.Probe, p labeling.Vector, opts *core.Options) (*core.Result, error) {
+	time.Sleep(chaosStallSleep) // deliberately ignores ctx
+	lab, span, err := labeling.GreedyFirstFit(pr.G, p, labeling.OrderDegree)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{Labeling: lab, Span: span, Method: chaosStallName}, nil
+}
+
+var registerChaosOnce sync.Once
+
+func registerChaosMethods() {
+	registerChaosOnce.Do(func() {
+		core.RegisterMethod(chaosBoomMethod{})
+		core.RegisterMethod(chaosStallMethod{})
+	})
+}
+
+// ChaosConfig shapes one chaos run.
+type ChaosConfig struct {
+	// Clients is the number of concurrent retrying request loops
+	// (default 100 — the scale the containment layer is specified at).
+	Clients int
+	// Requests is the total operation count across all clients; an
+	// operation is one solve, one batch, one poison probe, or one stall
+	// probe, retries not counted (default 1500).
+	Requests int
+	// Distinct instances the healthy traffic cycles over (default 12).
+	Distinct int
+	// N is the vertex count of generated instances (default 32 — chaos
+	// measures containment, not solver throughput).
+	N int
+	// Seed drives the injection plan, the instance generator, and every
+	// client's jitter; same seed, same faults at the same visits.
+	Seed uint64
+	// Rate is the per-visit injection probability (default 0.02).
+	Rate float64
+	// MaxRetries bounds per-request 429 retries (default 3).
+	MaxRetries int
+	// RetryCap clamps the backoff sleep. The retrying client honors
+	// Retry-After, but an in-process run cannot afford multi-second
+	// sleeps, so the honored value is capped here (default 100ms).
+	RetryCap time.Duration
+	// Server overrides the handler configuration. nil arms chaos
+	// defaults: quarantine threshold 2 with a TTL outlasting the run, a
+	// watchdog grace of 2, and a queue deep enough that 429s are a
+	// transient, not the steady state.
+	Server *service.Config
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Clients <= 0 {
+		c.Clients = 100
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1500
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 12
+	}
+	if c.N <= 0 {
+		c.N = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	if c.Rate <= 0 {
+		c.Rate = 0.02
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 100 * time.Millisecond
+	}
+	if c.Server == nil {
+		c.Server = &service.Config{
+			QueueDepth:          1024,
+			QuarantineThreshold: 2,
+			QuarantineTTL:       time.Hour,
+			WatchdogGrace:       2,
+		}
+	}
+	return c
+}
+
+// ChaosReport is the outcome of RunChaos. Violations is the contract:
+// empty means every containment invariant held.
+type ChaosReport struct {
+	Clients  int
+	Requests int
+	Elapsed  time.Duration
+	// ByStatus counts terminal responses per HTTP status; ByCode counts
+	// machine-readable error codes ("enginePanic", "quarantined", …).
+	ByStatus map[int]int64
+	ByCode   map[string]int64
+	// Retries counts 429 re-issues; Malformed counts responses that
+	// failed to parse as the wire contract promises (must be zero).
+	Retries   int64
+	Malformed int64
+	// Injected reports what the fault plan actually executed, per kind.
+	Injected map[string]int64
+	// Violations lists every broken invariant, empty on a clean run.
+	Violations []string
+	// Stats is the server's own view after the run.
+	Stats service.StatsResponse
+}
+
+func (r *ChaosReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "chaos: %d ops over %d clients in %v\n", r.Requests, r.Clients, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  status     ")
+	for _, s := range []int{200, 408, 422, 429, 500} {
+		if n := r.ByStatus[s]; n > 0 {
+			fmt.Fprintf(&b, " %d:%d", s, n)
+		}
+	}
+	fmt.Fprintf(&b, "\n  codes      ")
+	for _, c := range []string{"enginePanic", "stuckSolve", "quarantined", "panic"} {
+		if n := r.ByCode[c]; n > 0 {
+			fmt.Fprintf(&b, " %s:%d", c, n)
+		}
+	}
+	fmt.Fprintf(&b, "\n  injected   ")
+	for _, k := range []string{"panic", "delay", "leak", "allocSpike"} {
+		if n := r.Injected[k]; n > 0 {
+			fmt.Fprintf(&b, " %s:%d", k, n)
+		}
+	}
+	fmt.Fprintf(&b, "\n  retries    %d  malformed %d\n", r.Retries, r.Malformed)
+	fmt.Fprintf(&b, "  fault      handlerPanics %d  enginePanics %d  stuckSolves %d  watchdogKills %d\n",
+		r.Stats.Fault.HandlerPanics, r.Stats.Fault.EnginePanics, r.Stats.Fault.StuckSolves, r.Stats.Fault.WatchdogKills)
+	fmt.Fprintf(&b, "  quarantine tracked %d  trips %d  fastFails %d\n",
+		r.Stats.Fault.Quarantine.Tracked, r.Stats.Fault.Quarantine.Trips, r.Stats.Fault.Quarantine.FastFails)
+	if len(r.Violations) == 0 {
+		fmt.Fprintf(&b, "  invariants OK\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  VIOLATION  %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// terminalStatuses the chaos contract allows a request to end on.
+var chaosTerminal = map[int]bool{
+	http.StatusOK:                  true,
+	http.StatusRequestTimeout:      true, // client deadline or watchdog kill
+	http.StatusUnprocessableEntity: true, // quarantined (or inapplicable)
+	http.StatusTooManyRequests:     true, // retries exhausted
+	http.StatusInternalServerError: true, // contained panic
+}
+
+// chaosOp is one unit of traffic.
+type chaosOp struct {
+	path        string
+	body        []byte
+	batchLen    int // > 0 marks an NDJSON batch expecting this many lines
+	contentType string
+}
+
+// chaosOps pre-marshals the traffic mix: healthy solves over distinct
+// instances, periodic small batches, a repeated poison instance pinned to
+// the always-panicking engine, and a repeated stall instance pinned to
+// the context-ignoring engine under a tight deadline.
+func chaosOps(cfg ChaosConfig) ([]chaosOp, error) {
+	gs := loadGraphs(LoadConfig{Distinct: cfg.Distinct, N: cfg.N, Seed: cfg.Seed}.withDefaults())
+	p := labeling.Vector{2, 2, 1}
+
+	marshal := func(v any) ([]byte, error) { return json.Marshal(v) }
+	healthy := make([][]byte, len(gs))
+	for i, g := range gs {
+		b, err := marshal(service.SolveRequest{
+			ID: fmt.Sprintf("chaos-%d", i), Graph: g, P: p,
+			Options: &service.WireOptions{DeadlineMs: 2000},
+		})
+		if err != nil {
+			return nil, err
+		}
+		healthy[i] = b
+	}
+	poisonBody, err := marshal(service.SolveRequest{
+		ID: "poison", Graph: gs[0], P: p,
+		Options: &service.WireOptions{Method: string(chaosBoomName)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	stallBody, err := marshal(service.SolveRequest{
+		ID: "stall", Graph: gs[1%len(gs)], P: p,
+		Options: &service.WireOptions{Method: string(chaosStallName), DeadlineMs: 50},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ops := make([]chaosOp, cfg.Requests)
+	for i := range ops {
+		switch {
+		case i%29 == 1:
+			ops[i] = chaosOp{path: "/v1/solve", body: poisonBody, contentType: "application/json"}
+		case i%41 == 2:
+			ops[i] = chaosOp{path: "/v1/solve", body: stallBody, contentType: "application/json"}
+		case i%16 == 3:
+			items := []service.SolveRequest{
+				{ID: fmt.Sprintf("b%d-0", i), Graph: gs[i%len(gs)], P: p, Options: &service.WireOptions{DeadlineMs: 2000}},
+				{ID: fmt.Sprintf("b%d-1", i), Graph: gs[(i+1)%len(gs)], P: p, Options: &service.WireOptions{DeadlineMs: 2000}},
+				{ID: fmt.Sprintf("b%d-2", i), Graph: gs[(i+2)%len(gs)], P: p, Options: &service.WireOptions{DeadlineMs: 2000}},
+			}
+			b, err := marshal(service.BatchRequest{Items: items})
+			if err != nil {
+				return nil, err
+			}
+			ops[i] = chaosOp{path: "/v1/batch", body: b, batchLen: len(items), contentType: "application/json"}
+		default:
+			ops[i] = chaosOp{path: "/v1/solve", body: healthy[i%len(healthy)], contentType: "application/json"}
+		}
+	}
+	return ops, nil
+}
+
+// RunChaos executes one chaos run and checks the containment invariants.
+// The error return covers harness setup only; contract breaches land in
+// the report's Violations. The process-global fault layer (injection
+// plan, watchdog grace) is restored before returning.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	registerChaosMethods()
+
+	prevGrace := core.WatchdogGrace()
+	defer core.SetWatchdogGrace(prevGrace)
+	handler := service.NewServer(cfg.Server)
+	ops, err := chaosOps(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	inj := fault.Enable(fault.Plan{
+		Seed: cfg.Seed,
+		Rate: cfg.Rate,
+		// All flavors at every site; the leak stall is kept short so
+		// rate × leak cannot dominate wall time.
+		Leak: 50 * time.Millisecond,
+	})
+	defer fault.Disable()
+
+	var (
+		statusMu  sync.Mutex
+		byStatus  = map[int]int64{}
+		byCode    = map[string]int64{}
+		retries   atomic.Int64
+		malformed atomic.Int64
+		nonTerm   atomic.Int64
+	)
+	record := func(status int, code string) {
+		statusMu.Lock()
+		byStatus[status]++
+		if code != "" {
+			byCode[code]++
+		}
+		statusMu.Unlock()
+	}
+
+	// post drives one op to a terminal response: exponential backoff with
+	// deterministic jitter on 429, honoring Retry-After up to the cap.
+	post := func(r *rng.RNG, op chaosOp) {
+		backoff := 5 * time.Millisecond
+		for attempt := 0; ; attempt++ {
+			req, err := http.NewRequest(http.MethodPost, "http://chaos"+op.path, bytes.NewReader(op.body))
+			if err != nil {
+				malformed.Add(1)
+				return
+			}
+			req.Header.Set("Content-Type", op.contentType)
+			var rec bodyRecorder
+			handler.ServeHTTP(&rec, req)
+			if rec.status == http.StatusTooManyRequests && attempt < cfg.MaxRetries {
+				retries.Add(1)
+				sleep := backoff + time.Duration(r.Uint64()%uint64(backoff))
+				if ra := rec.Header().Get("Retry-After"); ra != "" {
+					if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+						sleep = time.Duration(secs) * time.Second
+					}
+				}
+				if sleep > cfg.RetryCap {
+					sleep = cfg.RetryCap
+				}
+				time.Sleep(sleep)
+				backoff *= 2
+				continue
+			}
+			if !chaosTerminal[rec.status] {
+				nonTerm.Add(1)
+				return
+			}
+			record(rec.status, chaosValidate(&rec, op, &malformed))
+			return
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			r := rng.New(cfg.Seed + uint64(client) + 1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				post(r, ops[i])
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &ChaosReport{
+		Clients:   cfg.Clients,
+		Requests:  cfg.Requests,
+		Elapsed:   elapsed,
+		ByStatus:  byStatus,
+		ByCode:    byCode,
+		Retries:   retries.Load(),
+		Malformed: malformed.Load(),
+		Injected:  inj.Fired(),
+	}
+
+	// Invariant: the handler is still alive and sane after everything.
+	health := func() int {
+		req, _ := http.NewRequest(http.MethodGet, "http://chaos/healthz", nil)
+		var rec bodyRecorder
+		handler.ServeHTTP(&rec, req)
+		return rec.status
+	}
+	if got := health(); got != http.StatusOK {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("/healthz returned %d after the run", got))
+	}
+
+	// Invariant: admission gauges drain once traffic stops (brief poll —
+	// released watchdog followers may still be unwinding).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep.Stats, err = chaosStats(handler)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Stats.Queued == 0 && rep.Stats.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"gauges did not drain: queued=%d inFlight=%d", rep.Stats.Queued, rep.Stats.InFlight))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if n := nonTerm.Load(); n > 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("%d responses with unexpected status", n))
+	}
+	if rep.Malformed > 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("%d malformed response bodies", rep.Malformed))
+	}
+	if rep.ByCode["quarantined"] == 0 {
+		rep.Violations = append(rep.Violations, "poison instance was never quarantined")
+	}
+	total := int64(0)
+	for _, n := range rep.ByStatus {
+		total += n
+	}
+	if total != int64(cfg.Requests) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"%d of %d ops reached a terminal response", total, cfg.Requests))
+	}
+	return rep, nil
+}
+
+// chaosValidate checks one terminal response body against the wire
+// contract, returning the error code it carried (if any).
+func chaosValidate(rec *bodyRecorder, op chaosOp, malformed *atomic.Int64) string {
+	body := rec.buf.Bytes()
+	if op.batchLen > 0 && rec.status == http.StatusOK {
+		lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+		if len(lines) != op.batchLen {
+			malformed.Add(1)
+			return ""
+		}
+		code := ""
+		for _, ln := range lines {
+			var sr service.SolveResponse
+			if err := json.Unmarshal(ln, &sr); err != nil || sr.ID == "" {
+				malformed.Add(1)
+				return ""
+			}
+			if sr.Error == "" && len(sr.Labeling) == 0 {
+				malformed.Add(1)
+				return ""
+			}
+			if sr.Code != "" {
+				code = sr.Code
+			}
+		}
+		return code
+	}
+	var sr service.SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		malformed.Add(1)
+		return ""
+	}
+	if rec.status == http.StatusOK {
+		if sr.Error != "" || len(sr.Labeling) == 0 {
+			malformed.Add(1)
+		}
+	} else if sr.Error == "" {
+		malformed.Add(1)
+	}
+	return sr.Code
+}
+
+// chaosStats reads /v1/stats off the live handler.
+func chaosStats(handler http.Handler) (service.StatsResponse, error) {
+	req, err := http.NewRequest(http.MethodGet, "http://chaos/v1/stats", nil)
+	if err != nil {
+		return service.StatsResponse{}, err
+	}
+	var rec bodyRecorder
+	handler.ServeHTTP(&rec, req)
+	var st service.StatsResponse
+	if err := json.Unmarshal(rec.buf.Bytes(), &st); err != nil {
+		return service.StatsResponse{}, fmt.Errorf("bench: decode /v1/stats: %w", err)
+	}
+	return st, nil
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"lpltsp/internal/fault"
 	"lpltsp/internal/graph"
 	"lpltsp/internal/labeling"
 )
@@ -103,19 +104,10 @@ func SolveBatch(ctx context.Context, items []BatchItem, opts *BatchOptions) <-ch
 		go func() {
 			defer wg.Done()
 			for idx := range feed {
-				it := items[idx]
-				br := BatchResult{Index: idx, ID: it.ID}
-				g := it.G
-				if it.Load != nil {
-					g, br.Err = it.Load()
-				}
-				if br.Err == nil {
-					br.Result, br.Err = SolveContext(ctx, g, it.P, solveOpts)
-				}
 				// Unconditional send: a cancelled run's anytime results
 				// must still reach a draining consumer (see the
 				// read-until-close contract above).
-				out <- br
+				out <- solveBatchItem(ctx, items[idx], idx, solveOpts)
 			}
 		}()
 	}
@@ -134,4 +126,27 @@ func SolveBatch(ctx context.Context, items []BatchItem, opts *BatchOptions) <-ch
 		close(out)
 	}()
 	return out
+}
+
+// solveBatchItem runs one batch item under the worker's recover
+// boundary. SolveContext contains its own panics already; this guard
+// covers the worker-only code around it — above all the caller-supplied
+// Load — so a panic costs one item's result, never the pool goroutine
+// (which would strand the result stream short of closing).
+func solveBatchItem(ctx context.Context, it BatchItem, idx int, solveOpts *Options) (br BatchResult) {
+	br = BatchResult{Index: idx, ID: it.ID}
+	defer func() {
+		if v := recover(); v != nil {
+			br.Result, br.Err = nil, capturePanic(panicSiteBatch, v)
+		}
+	}()
+	fault.Visit(ctx, fault.SiteCoreBatch)
+	g := it.G
+	if it.Load != nil {
+		g, br.Err = it.Load()
+	}
+	if br.Err == nil {
+		br.Result, br.Err = SolveContext(ctx, g, it.P, solveOpts)
+	}
+	return br
 }

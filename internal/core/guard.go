@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Panic containment. A panicking engine must cost its own request, not
+// the process: every path that runs solver code — the caller's pipeline
+// in solveTop, the method body in solveSingle, the detached singleflight
+// leader goroutine, each portfolio racer, each batch worker — executes
+// under a recover boundary that converts the panic into a typed
+// *EnginePanicError (errors.Is-compatible with ErrEnginePanic) carrying
+// the method name and a truncated stack. The serving layer maps it to a
+// 500 with code "enginePanic" and feeds the poison quarantine; the
+// per-method counters below feed /v1/stats.
+
+// ErrEnginePanic is the sentinel all contained solver panics wrap.
+var ErrEnginePanic = errors.New("core: engine panicked during solve")
+
+// Synthetic attribution names for panics caught outside a method body.
+const (
+	// panicSitePipeline tags panics in the planner pipeline itself
+	// (probe, plan, cache, verification) rather than a method's Solve.
+	panicSitePipeline MethodName = "pipeline"
+	// panicSiteBatch tags panics in a batch worker outside SolveContext
+	// (the item's Load callback, typically).
+	panicSiteBatch MethodName = "batch"
+)
+
+// panicStackLimit truncates captured stacks: enough to locate the fault,
+// small enough to log and carry on a wire error.
+const panicStackLimit = 4096
+
+// EnginePanicError is a contained solver panic.
+type EnginePanicError struct {
+	// Method attributes the panic: the method that was running, or one of
+	// the synthetic sites ("pipeline", "batch").
+	Method MethodName
+	// Value is what the panic was called with.
+	Value any
+	// Stack is the panicking goroutine's stack, truncated to
+	// panicStackLimit bytes.
+	Stack string
+}
+
+func (e *EnginePanicError) Error() string {
+	return fmt.Sprintf("core: engine panic in %s: %v", e.Method, e.Value)
+}
+
+func (e *EnginePanicError) Unwrap() error { return ErrEnginePanic }
+
+// capturePanic builds the typed error for a recovered panic value and
+// counts it. Must be called from the deferred recover frame so the
+// captured stack still shows the panic site.
+func capturePanic(method MethodName, v any) error {
+	buf := make([]byte, panicStackLimit)
+	n := runtime.Stack(buf, false)
+	recordEnginePanic(method)
+	return &EnginePanicError{Method: method, Value: v, Stack: string(buf[:n])}
+}
+
+var (
+	enginePanicTotal atomic.Int64
+
+	panicMu       sync.Mutex
+	panicByMethod = map[MethodName]int64{}
+)
+
+func recordEnginePanic(method MethodName) {
+	enginePanicTotal.Add(1)
+	panicMu.Lock()
+	panicByMethod[method]++
+	panicMu.Unlock()
+}
+
+// EnginePanicCount returns the number of contained solver panics since
+// process start (or the last ResetMethodCounts).
+func EnginePanicCount() int64 { return enginePanicTotal.Load() }
+
+// PanicCounts returns contained panics per attributed method. Only
+// methods that have actually panicked appear.
+func PanicCounts() map[MethodName]int64 {
+	out := map[MethodName]int64{}
+	panicMu.Lock()
+	for k, v := range panicByMethod {
+		out[k] = v
+	}
+	panicMu.Unlock()
+	return out
+}
+
+// resetGuardCounts zeroes the panic counters (part of ResetMethodCounts).
+func resetGuardCounts() {
+	enginePanicTotal.Store(0)
+	panicMu.Lock()
+	panicByMethod = map[MethodName]int64{}
+	panicMu.Unlock()
+}

@@ -117,8 +117,9 @@ func MethodCounts() map[MethodName]int64 {
 // process start (or the last ResetMethodCounts).
 func SolveErrorCount() int64 { return solveErrors.Load() }
 
-// ResetMethodCounts zeroes the per-method and error counters. Intended
-// for tests and service restarts.
+// ResetMethodCounts zeroes the per-method and error counters, along with
+// the fault-containment counters (engine panics, watchdog kills).
+// Intended for tests and service restarts.
 func ResetMethodCounts() {
 	for i := range builtinMethodCounts {
 		builtinMethodCounts[i].Store(0)
@@ -127,4 +128,6 @@ func ResetMethodCounts() {
 	extraMethodCounts = map[MethodName]int64{}
 	extraMethodMu.Unlock()
 	solveErrors.Store(0)
+	resetGuardCounts()
+	resetWatchdogCounts()
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"lpltsp/internal/fault"
 	"lpltsp/internal/graph"
 	"lpltsp/internal/labeling"
 	"lpltsp/internal/tsp"
@@ -104,6 +105,16 @@ func portfolioOverReduction(ctx context.Context, red *Reduction, chained *tsp.Ch
 		wg.Add(1)
 		go func(algo tsp.Algorithm) {
 			defer wg.Done()
+			// A panicking racer loses the race instead of killing the
+			// process: the recover-path send is safe because it runs only
+			// when the panic preempted the normal send, and the channel's
+			// len(engines) buffer means neither send ever blocks.
+			defer func() {
+				if v := recover(); v != nil {
+					results <- entry{algo: algo, err: capturePanic(MethodReduction, v)}
+				}
+			}()
+			fault.Visit(raceCtx, fault.SiteCorePortfolio)
 			tour, stats, err := tsp.SolveContext(raceCtx, red.Instance, algo, &tsp.SolveOptions{Chained: chained})
 			results <- entry{algo: algo, tour: tour, stats: stats, err: err}
 		}(algo)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Singleflight coalescing for the solve cache: N concurrent identical
@@ -44,28 +46,63 @@ type flightShard struct {
 // flight is one in-progress solve shared by a leader and any number of
 // followers. res/err are written by the flight goroutine before done is
 // closed and read by participants only after it closes (channel
-// happens-before).
+// happens-before). forced/forcedErr are the watchdog's channel: closed
+// when the flight is force-failed with the solve still running, with
+// forcedErr written before the close (same happens-before discipline).
 type flight struct {
 	done chan struct{}
 	res  *Result // stored deep copy; nil when err != nil
 	err  error
 
+	forced    chan struct{}
+	forcedErr error
+
+	// method is the planned MethodName, stored by solveSingle once the
+	// plan is known, so a watchdog kill can attribute the stuck solve.
+	method atomic.Value
+
 	mu        sync.Mutex
 	refs      int // callers still interested in the result
 	abandoned bool
+	forcedSet bool
 	cancel    context.CancelFunc
 }
 
 // join registers one more interested caller. It fails when every
 // participant already left and the flight's context is being cancelled —
-// the caller should lead a fresh flight instead of boarding a doomed one.
+// the caller should lead a fresh flight instead of boarding a doomed
+// one — and likewise when the watchdog already force-failed the flight.
 func (f *flight) join() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.abandoned {
+	if f.abandoned || f.forcedSet {
 		return false
 	}
 	f.refs++
+	return true
+}
+
+// forceFail fails every waiter on a still-running flight (watchdog
+// path). It refuses flights that already completed — waiters holding a
+// real result must keep it — and reports whether this call did the kill.
+// The flight context is cancelled too, on the off chance the runaway
+// solve reaches a checkpoint after all.
+func (f *flight) forceFail(err error) bool {
+	select {
+	case <-f.done:
+		return false
+	default:
+	}
+	f.mu.Lock()
+	if f.forcedSet {
+		f.mu.Unlock()
+		return false
+	}
+	f.forcedSet = true
+	f.forcedErr = err
+	f.mu.Unlock()
+	close(f.forced)
+	f.cancel()
 	return true
 }
 
@@ -116,23 +153,39 @@ func (c *solveCache) solveCoalesced(ctx context.Context, key string, fn func(con
 		sh.mu.Unlock()
 		return c.waitFlight(ctx, f)
 	}
-	// No live flight (or only an abandoned one, which the new flight
-	// displaces; the old flight's cleanup checks identity before
-	// deleting). This caller leads.
-	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	// No live flight (or only an abandoned/force-failed one, which the
+	// new flight displaces; the old flight's cleanup checks identity
+	// before deleting). This caller leads. The flight rides in fn's
+	// context so solveSingle can attribute the planned method to it.
+	f := &flight{done: make(chan struct{}), forced: make(chan struct{}), refs: 1}
+	fctx, cancel := context.WithCancel(context.WithValue(context.WithoutCancel(ctx), flightCtxKey{}, f))
+	f.cancel = cancel
 	sh.m[key] = f
 	sh.mu.Unlock()
 	return c.leadFlight(ctx, fctx, sh, key, f, fn)
 }
+
+// flightCtxKey carries the *flight down fn's context (see solveSingle's
+// method attribution and the watchdog's StuckSolveError.Method).
+type flightCtxKey struct{}
 
 // harvest collects a finished (or now-unwinding) flight's outcome for
 // the participant whose departure cancelled it: the anytime engines are
 // surrendering their incumbents at this very cancellation, so waiting
 // out the cooperative checkpoint preserves the pre-coalescing deadline
 // contract — a truncated best-so-far labeling rather than a bare error.
+// A wedged solve never reaches that checkpoint, which is exactly the
+// case forced covers: the watchdog's kill releases this last waiter too.
 func harvest(ctx context.Context, f *flight) (*Result, error) {
-	<-f.done
+	select {
+	case <-f.done:
+	case <-f.forced:
+		select {
+		case <-f.done:
+		default:
+			return nil, f.forcedErr
+		}
+	}
 	if f.err != nil {
 		return nil, mapFlightErr(ctx, f.err)
 	}
@@ -151,19 +204,21 @@ func mapFlightErr(ctx context.Context, err error) error {
 	return err
 }
 
-// waitFlight is the follower path: wait for the flight's result or for
-// this caller's own context, whichever comes first.
+// waitFlight is the follower path: wait for the flight's result, a
+// watchdog force-fail, or this caller's own context, whichever comes
+// first. A ready result always beats a concurrent force-fail — waiters
+// never trade a real answer for the watchdog's error.
 func (c *solveCache) waitFlight(ctx context.Context, f *flight) (*Result, error) {
 	select {
 	case <-f.done:
-		if f.err != nil {
-			return nil, f.err
+		return c.coalescedResult(f)
+	case <-f.forced:
+		select {
+		case <-f.done:
+			return c.coalescedResult(f)
+		default:
 		}
-		res := copyResult(f.res)
-		res.CacheHit = true
-		res.Coalesced = true
-		c.coalesced.Add(1)
-		return res, nil
+		return nil, f.forcedErr
 	case <-ctx.Done():
 		if f.leave() {
 			// This follower was the last participant: the solve is
@@ -176,18 +231,42 @@ func (c *solveCache) waitFlight(ctx context.Context, f *flight) (*Result, error)
 	}
 }
 
+// coalescedResult hands a completed flight's outcome to a follower.
+func (c *solveCache) coalescedResult(f *flight) (*Result, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	res := copyResult(f.res)
+	res.CacheHit = true
+	res.Coalesced = true
+	c.coalesced.Add(1)
+	return res, nil
+}
+
 // leadFlight starts the underlying solve on the flight's own goroutine
 // and then waits for it exactly like a participant: the leader's caller
 // is released at its own deadline or disconnect even when followers keep
-// the flight alive past it.
+// the flight alive past it, and a watchdog force-fail releases it like
+// any other waiter.
 func (c *solveCache) leadFlight(ctx, fctx context.Context, sh *flightShard, key string, f *flight, fn func(context.Context) (*Result, error)) (*Result, error) {
+	// Arm the watchdog before the solve starts: a flight with a deadline
+	// is promised to terminate near it, and the watchdog enforces that
+	// promise against engines that ignore cancellation.
+	if grace := WatchdogGrace(); grace > 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			budget := time.Until(dl)
+			if budget > 0 {
+				defaultWatchdog.register(f, sh, key, time.Now().Add(time.Duration(grace*float64(budget))))
+			}
+		}
+	}
 	type outcome struct {
 		res *Result
 		err error
 	}
 	out := make(chan outcome, 1)
 	go func() {
-		res, err := fn(fctx)
+		res, err := runFlight(fctx, f, fn)
 		if err == nil {
 			f.res = copyResult(res)
 			f.res.CacheHit = false
@@ -208,6 +287,7 @@ func (c *solveCache) leadFlight(ctx, fctx context.Context, sh *flightShard, key 
 		}
 		sh.mu.Unlock()
 		close(f.done)
+		defaultWatchdog.unregister(f)
 		f.cancel()
 		out <- outcome{res, err}
 	}()
@@ -217,20 +297,61 @@ func (c *solveCache) leadFlight(ctx, fctx context.Context, sh *flightShard, key 
 			return nil, mapFlightErr(ctx, o.err)
 		}
 		return o.res, nil
+	case <-f.forced:
+		select {
+		case o := <-out:
+			// Completed in the kill window: the real outcome wins.
+			if o.err != nil {
+				return nil, mapFlightErr(ctx, o.err)
+			}
+			return o.res, nil
+		default:
+		}
+		return nil, f.forcedErr
 	case <-ctx.Done():
 		if f.leave() {
 			// Solo leader at its deadline: the flight dies with it, and
 			// the unwinding solve's best-so-far is its rightful result —
 			// identical behavior to the pre-singleflight deadline path.
-			o := <-out
-			if o.err != nil {
-				return nil, mapFlightErr(ctx, o.err)
+			// If the solve is wedged past cooperative cancellation, the
+			// watchdog's force-fail is the only exit; select on it too.
+			select {
+			case o := <-out:
+				if o.err != nil {
+					return nil, mapFlightErr(ctx, o.err)
+				}
+				return o.res, nil
+			case <-f.forced:
+				select {
+				case o := <-out:
+					if o.err != nil {
+						return nil, mapFlightErr(ctx, o.err)
+					}
+					return o.res, nil
+				default:
+				}
+				return nil, f.forcedErr
 			}
-			return o.res, nil
 		}
 		// Followers remain: the flight outlives this caller. Their
 		// interest keeps the solve running; this caller gets its own
 		// context error now instead of blocking past its deadline.
 		return nil, ctx.Err()
 	}
+}
+
+// runFlight is fn under the leader goroutine's recover boundary: this
+// goroutine is detached from every caller, so an uncontained panic here
+// would kill the process, not a request.
+func runFlight(fctx context.Context, f *flight, fn func(context.Context) (*Result, error)) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			method, _ := f.method.Load().(MethodName)
+			if method == "" {
+				method = panicSitePipeline
+			}
+			res, err = nil, capturePanic(method, v)
+		}
+	}()
+	return fn(fctx)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"lpltsp/internal/fault"
 	"lpltsp/internal/graph"
 	"lpltsp/internal/labeling"
 	"lpltsp/internal/tsp"
@@ -126,8 +127,18 @@ func SolveContext(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *
 	return res, err
 }
 
-// solveTop is SolveContext minus the instrumentation.
-func solveTop(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (*Result, error) {
+// solveTop is SolveContext minus the instrumentation. It is also the
+// caller-side recover boundary: a panic anywhere in the planner pipeline
+// (probe, plan, verify, cache; method bodies have their own closer guard
+// in runMethod, and the detached singleflight leader its own in
+// runFlight) becomes a typed ErrEnginePanic instead of unwinding into
+// the serving layer.
+func solveTop(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, capturePanic(panicSitePipeline, v)
+		}
+	}()
 	if opts != nil && opts.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
@@ -230,7 +241,7 @@ func solveSingle(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *O
 	}
 	probeTime := time.Since(t0)
 	t1 := time.Now()
-	res, err := m.Solve(ctx, pr, p, opts)
+	res, err := runMethod(ctx, m, pr, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +261,26 @@ func solveSingle(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *O
 		}
 	}
 	return res, nil
+}
+
+// runMethod executes one planned method under its own recover boundary,
+// with exact attribution (m.Name()) on both the panic error and the
+// per-method panic counter. The planned name is also parked on the
+// enclosing singleflight flight, when there is one, so a later watchdog
+// kill of this solve can name the method that wedged. The fault.Visit is
+// the chaos harness's core injection site: right where a buggy engine
+// would fault.
+func runMethod(ctx context.Context, m Method, pr *Probe, p labeling.Vector, opts *Options) (res *Result, err error) {
+	if f, ok := ctx.Value(flightCtxKey{}).(*flight); ok {
+		f.method.Store(m.Name())
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, capturePanic(m.Name(), v)
+		}
+	}()
+	fault.Visit(ctx, fault.SiteCoreMethod)
+	return m.Solve(ctx, pr, p, opts)
 }
 
 // resultFromTour recovers the labeling from an engine tour and assembles a

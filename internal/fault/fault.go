@@ -1,0 +1,283 @@
+// Package fault is the failure-domain toolkit behind lplserve's
+// robustness layer. It has two halves:
+//
+// Quarantine tracks containment failures — engine panics, watchdog
+// kills — keyed by instance identity (graph fingerprint + options
+// hash). After Threshold failures inside one TTL window the key trips:
+// subsequent identical requests are answered by a cheap Check instead
+// of re-running the solve that just crashed, turning a crash loop into
+// a one-line statistic. Tripped keys expire after the TTL and get a
+// clean slate. The tracker is a bounded, sharded LRU in the same
+// geometry as the solve cache and the intern store (2^4 independently
+// locked shards, per-shard quotas, all-shard-locked consistent stats),
+// so recording a failure never serializes the serving tier.
+//
+// Injection provides deterministic, seeded fault injection for chaos
+// testing: production code calls Visit at named sites (see the Site*
+// constants), which is a single atomic load — nil — when injection is
+// disabled. When a Plan is Enabled, each visit draws a seeded hash of
+// (seed, site, per-site visit number) and, at the configured rate,
+// executes one of the fault kinds in place: panic (contained by the
+// solver's recover boundaries), a context-respecting delay, a
+// context-IGNORING stall (simulating a non-cooperative engine, which is
+// what the stuck-solve watchdog exists to catch), or a transient
+// allocation spike. The decision sequence per site is a pure function
+// of the seed, so a chaos run's fault count is reproducible.
+package fault
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Defaults for Config's zero fields.
+const (
+	DefaultThreshold = 3
+	DefaultTTL       = 5 * time.Minute
+	DefaultCapacity  = 4096
+)
+
+// Config tunes a Quarantine. The zero value means defaults everywhere.
+type Config struct {
+	// Threshold is K: containment failures for one key, each within TTL
+	// of the previous, before the key is quarantined. Default 3.
+	Threshold int
+	// TTL is both the failure-memory window (failures further apart than
+	// TTL do not accumulate toward Threshold) and the sentence length (a
+	// tripped key is released, with a clean slate, TTL after it tripped).
+	// Default 5 minutes.
+	TTL time.Duration
+	// Capacity bounds tracked keys across all shards; beyond it the
+	// least-recently-failing key is evicted. Default 4096.
+	Capacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.TTL <= 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = DefaultCapacity
+	}
+	return c
+}
+
+const (
+	shardBits  = 4
+	shardCount = 1 << shardBits
+
+	// tripRingSize bounds the recent-trip ring consulted by TripsWithin;
+	// more trips than this inside one readiness window is saturated
+	// anyway.
+	tripRingSize = 64
+)
+
+// Quarantine is the poison-instance tracker. Create with NewQuarantine;
+// the zero value is not usable. All methods are safe for concurrent use.
+type Quarantine struct {
+	cfg    Config
+	shards []*qShard
+	mask   uint64
+	now    func() time.Time // test hook; time.Now in production
+
+	tripMu    sync.Mutex
+	tripTimes []time.Time // ring of recent trip instants
+	tripNext  int
+}
+
+type qShard struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // LRU by last recorded failure
+	entries map[string]*list.Element
+
+	records, trips, fastFails, expired, evictions int64
+}
+
+// qEntry is one tracked key. tripped is zero until the key quarantines.
+type qEntry struct {
+	key      string
+	failures int
+	lastFail time.Time
+	tripped  time.Time
+	reason   string
+}
+
+// NewQuarantine builds a tracker. The zero Config takes every default.
+func NewQuarantine(cfg Config) *Quarantine {
+	cfg = cfg.withDefaults()
+	shards := shardCount
+	if cfg.Capacity < shardCount {
+		shards = 1
+	}
+	q := &Quarantine{
+		cfg:    cfg,
+		shards: make([]*qShard, shards),
+		mask:   uint64(shards - 1),
+		now:    time.Now,
+	}
+	base, rem := cfg.Capacity/shards, cfg.Capacity%shards
+	for i := range q.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		q.shards[i] = &qShard{cap: sc, ll: list.New(), entries: map[string]*list.Element{}}
+	}
+	return q
+}
+
+func (q *Quarantine) shard(key string) *qShard {
+	return q.shards[fnvHash(key)&q.mask]
+}
+
+// Record notes one containment failure for key and reports whether this
+// failure is the one that tripped the quarantine. reason is surfaced to
+// clients fast-failed by Check (the last recorded reason wins).
+func (q *Quarantine) Record(key, reason string) bool {
+	sh := q.shard(key)
+	now := q.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.records++
+	var e *qEntry
+	if el, ok := sh.entries[key]; ok {
+		e = el.Value.(*qEntry)
+		sh.ll.MoveToFront(el)
+		if now.Sub(e.lastFail) > q.cfg.TTL {
+			// Failures this far apart are not a crash loop: restart the
+			// count (and any stale trip) from a clean slate.
+			e.failures, e.tripped = 0, time.Time{}
+		}
+	} else {
+		e = &qEntry{key: key}
+		sh.entries[key] = sh.ll.PushFront(e)
+		for sh.ll.Len() > sh.cap {
+			back := sh.ll.Back()
+			sh.ll.Remove(back)
+			delete(sh.entries, back.Value.(*qEntry).key)
+			sh.evictions++
+		}
+	}
+	e.failures++
+	e.lastFail = now
+	e.reason = reason
+	if e.failures >= q.cfg.Threshold && e.tripped.IsZero() {
+		e.tripped = now
+		sh.trips++
+		q.noteTrip(now)
+		return true
+	}
+	return false
+}
+
+// Check reports whether key is currently quarantined, returning the last
+// failure reason when it is. An expired sentence is cleared on the spot
+// (the key gets a clean slate), and every positive answer counts as one
+// fast-fail in the stats.
+func (q *Quarantine) Check(key string) (reason string, quarantined bool) {
+	sh := q.shard(key)
+	now := q.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[key]
+	if !ok {
+		return "", false
+	}
+	e := el.Value.(*qEntry)
+	if e.tripped.IsZero() {
+		return "", false
+	}
+	if now.Sub(e.tripped) > q.cfg.TTL {
+		sh.ll.Remove(el)
+		delete(sh.entries, key)
+		sh.expired++
+		return "", false
+	}
+	sh.fastFails++
+	return e.reason, true
+}
+
+// noteTrip appends to the bounded recent-trip ring.
+func (q *Quarantine) noteTrip(now time.Time) {
+	q.tripMu.Lock()
+	defer q.tripMu.Unlock()
+	if len(q.tripTimes) < tripRingSize {
+		q.tripTimes = append(q.tripTimes, now)
+		return
+	}
+	q.tripTimes[q.tripNext] = now
+	q.tripNext = (q.tripNext + 1) % tripRingSize
+}
+
+// TripsWithin counts quarantine trips in the trailing window — the
+// signal /readyz uses for "this instance keeps tripping, drain it".
+func (q *Quarantine) TripsWithin(window time.Duration) int {
+	cutoff := q.now().Add(-window)
+	q.tripMu.Lock()
+	defer q.tripMu.Unlock()
+	n := 0
+	for _, t := range q.tripTimes {
+		if t.After(cutoff) {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats is a consistent snapshot of a Quarantine's counters.
+type Stats struct {
+	// Threshold and TTLSeconds echo the configuration.
+	Threshold  int
+	TTLSeconds float64
+	// Tracked keys currently held; Active of them are tripped and not yet
+	// expired.
+	Tracked, Active int64
+	// Records counts failures recorded; Trips counts keys that crossed
+	// the threshold; FastFails counts requests turned away by Check;
+	// Expired counts sentences served out; Evictions counts keys dropped
+	// by the capacity bound.
+	Records, Trips, FastFails, Expired, Evictions int64
+}
+
+// Stats locks every shard before reading any counter, so the snapshot is
+// internally consistent (same discipline as the solve cache).
+func (q *Quarantine) Stats() Stats {
+	now := q.now()
+	for _, sh := range q.shards {
+		sh.mu.Lock()
+	}
+	st := Stats{Threshold: q.cfg.Threshold, TTLSeconds: q.cfg.TTL.Seconds()}
+	for _, sh := range q.shards {
+		st.Tracked += int64(sh.ll.Len())
+		for el := sh.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*qEntry)
+			if !e.tripped.IsZero() && now.Sub(e.tripped) <= q.cfg.TTL {
+				st.Active++
+			}
+		}
+		st.Records += sh.records
+		st.Trips += sh.trips
+		st.FastFails += sh.fastFails
+		st.Expired += sh.expired
+		st.Evictions += sh.evictions
+	}
+	for _, sh := range q.shards {
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// fnvHash is FNV-1a, the same shard-selection hash the solve cache and
+// intern store use.
+func fnvHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,279 @@
+package fault
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances manually; Quarantine.now hooks onto it.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestQuarantine(cfg Config) (*Quarantine, *fakeClock) {
+	q := NewQuarantine(cfg)
+	clk := newFakeClock()
+	q.now = clk.now
+	return q, clk
+}
+
+func TestQuarantineTripsAfterThreshold(t *testing.T) {
+	q, _ := newTestQuarantine(Config{Threshold: 3, TTL: time.Minute})
+	for i := 0; i < 2; i++ {
+		if tripped := q.Record("k1", "enginePanic"); tripped {
+			t.Fatalf("tripped after %d failures, threshold is 3", i+1)
+		}
+		if _, quarantined := q.Check("k1"); quarantined {
+			t.Fatalf("quarantined after %d failures, threshold is 3", i+1)
+		}
+	}
+	if !q.Record("k1", "enginePanic") {
+		t.Fatal("third failure should trip")
+	}
+	reason, quarantined := q.Check("k1")
+	if !quarantined || reason != "enginePanic" {
+		t.Fatalf("Check = (%q, %v), want (enginePanic, true)", reason, quarantined)
+	}
+	// Other keys are unaffected.
+	if _, quarantined := q.Check("k2"); quarantined {
+		t.Fatal("untouched key quarantined")
+	}
+	st := q.Stats()
+	if st.Trips != 1 || st.FastFails != 1 || st.Active != 1 || st.Records != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQuarantineSentenceExpires(t *testing.T) {
+	q, clk := newTestQuarantine(Config{Threshold: 2, TTL: time.Minute})
+	q.Record("k", "stuckSolve")
+	q.Record("k", "stuckSolve")
+	if _, quarantined := q.Check("k"); !quarantined {
+		t.Fatal("should be quarantined")
+	}
+	clk.advance(61 * time.Second)
+	if _, quarantined := q.Check("k"); quarantined {
+		t.Fatal("sentence should have expired")
+	}
+	// Expiry gives a clean slate: one new failure must not re-trip.
+	if q.Record("k", "stuckSolve") {
+		t.Fatal("first failure after expiry must not trip")
+	}
+	st := q.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestQuarantineStaleFailuresDoNotAccumulate(t *testing.T) {
+	q, clk := newTestQuarantine(Config{Threshold: 2, TTL: time.Minute})
+	q.Record("k", "enginePanic")
+	clk.advance(2 * time.Minute)
+	// The old failure aged out of the window, so this is failure #1 again.
+	if q.Record("k", "enginePanic") {
+		t.Fatal("failures 2 minutes apart must not accumulate under a 1-minute TTL")
+	}
+	if q.Record("k", "enginePanic") {
+		// Second failure inside the window: trips (threshold 2).
+		return
+	}
+	t.Fatal("two failures inside the window should trip")
+}
+
+func TestQuarantineCapacityEvicts(t *testing.T) {
+	q, _ := newTestQuarantine(Config{Threshold: 2, TTL: time.Minute, Capacity: 8})
+	// Single shard (capacity < shardCount), so eviction order is global LRU.
+	for i := 0; i < 32; i++ {
+		q.Record(string(rune('a'+i)), "enginePanic")
+	}
+	st := q.Stats()
+	if st.Tracked != 8 {
+		t.Fatalf("tracked = %d, want 8", st.Tracked)
+	}
+	if st.Evictions != 24 {
+		t.Fatalf("evictions = %d, want 24", st.Evictions)
+	}
+}
+
+func TestQuarantineTripsWithin(t *testing.T) {
+	q, clk := newTestQuarantine(Config{Threshold: 1, TTL: time.Hour})
+	q.Record("a", "x")
+	clk.advance(30 * time.Second)
+	q.Record("b", "x")
+	if got := q.TripsWithin(time.Minute); got != 2 {
+		t.Fatalf("TripsWithin(1m) = %d, want 2", got)
+	}
+	if got := q.TripsWithin(10 * time.Second); got != 1 {
+		t.Fatalf("TripsWithin(10s) = %d, want 1", got)
+	}
+	clk.advance(2 * time.Minute)
+	if got := q.TripsWithin(time.Minute); got != 0 {
+		t.Fatalf("TripsWithin(1m) after 2m = %d, want 0", got)
+	}
+}
+
+func TestQuarantineTripRingBounded(t *testing.T) {
+	q, _ := newTestQuarantine(Config{Threshold: 1, TTL: time.Hour, Capacity: 4096})
+	for i := 0; i < 3*tripRingSize; i++ {
+		q.Record(string(rune(i)), "x")
+	}
+	if got := q.TripsWithin(time.Hour); got != tripRingSize {
+		t.Fatalf("TripsWithin = %d, want ring size %d", got, tripRingSize)
+	}
+}
+
+func TestQuarantineConcurrent(t *testing.T) {
+	q, _ := newTestQuarantine(Config{Threshold: 3, TTL: time.Minute})
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(w+i)%len(keys)]
+				q.Record(k, "enginePanic")
+				q.Check(k)
+				q.TripsWithin(time.Minute)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := q.Stats()
+	if st.Records != 8*200 {
+		t.Fatalf("records = %d, want %d", st.Records, 8*200)
+	}
+	if st.Trips != int64(len(keys)) {
+		t.Fatalf("trips = %d, want %d (each key far past threshold)", st.Trips, len(keys))
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	draw := func() []uint64 {
+		inj := NewInjector(Plan{Seed: 42, Rate: 0.1})
+		var fired []uint64
+		for i := 0; i < 2000; i++ {
+			if _, v, fire := inj.visit(SiteCoreMethod); fire {
+				fired = append(fired, v)
+			}
+		}
+		return fired
+	}
+	a, b := draw(), draw()
+	if len(a) == 0 {
+		t.Fatal("rate 0.1 over 2000 visits fired nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two identical runs fired %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire visit %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Rate sanity: 0.1 ± generous slack.
+	if len(a) < 100 || len(a) > 320 {
+		t.Fatalf("rate 0.1 over 2000 visits fired %d times", len(a))
+	}
+}
+
+func TestInjectorSeedChangesSequence(t *testing.T) {
+	fires := func(seed uint64) map[uint64]bool {
+		inj := NewInjector(Plan{Seed: seed, Rate: 0.1})
+		m := map[uint64]bool{}
+		for i := 0; i < 2000; i++ {
+			if _, v, fire := inj.visit(SiteCoreMethod); fire {
+				m[v] = true
+			}
+		}
+		return m
+	}
+	a, b := fires(1), fires(2)
+	same := 0
+	for v := range a {
+		if b[v] {
+			same++
+		}
+	}
+	if same == len(a) && len(a) == len(b) {
+		t.Fatal("different seeds produced identical fire sets")
+	}
+}
+
+func TestInjectorSiteFilter(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 7, Rate: 1, Sites: []string{SiteCoreBatch}})
+	if _, _, fire := inj.visit(SiteCoreMethod); fire {
+		t.Fatal("unarmed site fired")
+	}
+	if _, _, fire := inj.visit(SiteCoreBatch); !fire {
+		t.Fatal("armed site at rate 1 did not fire")
+	}
+}
+
+func TestInjectorKindFilterAndFired(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 7, Rate: 1, Kinds: []Kind{KindDelay}, Delay: time.Microsecond})
+	for i := 0; i < 10; i++ {
+		k, v, fire := inj.visit(SiteCoreMethod)
+		if !fire || k != KindDelay {
+			t.Fatalf("visit %d: kind=%v fire=%v, want forced delay", i, k, fire)
+		}
+		inj.execute(context.Background(), SiteCoreMethod, k, v)
+	}
+	if got := inj.Fired()["delay"]; got != 10 {
+		t.Fatalf("Fired[delay] = %d, want 10", got)
+	}
+}
+
+func TestVisitPanicKindContained(t *testing.T) {
+	Enable(Plan{Seed: 1, Rate: 1, Kinds: []Kind{KindPanic}})
+	defer Disable()
+	defer func() {
+		r := recover()
+		in, ok := r.(Injected)
+		if !ok {
+			t.Fatalf("recovered %T %v, want Injected", r, r)
+		}
+		if in.Site != SiteServiceSolve {
+			t.Fatalf("Injected.Site = %q", in.Site)
+		}
+	}()
+	Visit(context.Background(), SiteServiceSolve)
+	t.Fatal("Visit at rate 1 with KindPanic did not panic")
+}
+
+func TestVisitDisabledIsNoop(t *testing.T) {
+	Disable()
+	for i := 0; i < 100; i++ {
+		Visit(context.Background(), SiteCoreMethod)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 1, Rate: 1, Delay: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	inj.execute(ctx, SiteCoreMethod, KindDelay, 1)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("delay ignored cancelled context (took %v)", elapsed)
+	}
+}

@@ -12,8 +12,13 @@
 //	                 wire form) → its graphRef; later solves naming the
 //	                 ref skip parsing, construction, and hashing
 //	GET  /v1/stats   queue occupancy, admission counters, cache hit rate,
-//	                 intern-store counters, per-method solve counts
-//	GET  /healthz    liveness
+//	                 intern-store counters, per-method solve counts, and
+//	                 the fault-containment block (panics, watchdog kills,
+//	                 quarantine state)
+//	GET  /healthz    liveness (is the process able to run a handler)
+//	GET  /readyz     readiness (should this instance receive traffic);
+//	                 503 with a JSON reason while the admission queue is
+//	                 near saturation or quarantine trips are elevated
 //
 // Transports: /v1/solve and /v1/graphs additionally accept Content-Type
 // application/x-lpl-graph — the graph package's length-prefixed binary
@@ -69,6 +74,7 @@ import (
 	"time"
 
 	"lpltsp/internal/core"
+	"lpltsp/internal/fault"
 	"lpltsp/internal/graph"
 	"lpltsp/internal/intern"
 )
@@ -144,6 +150,31 @@ type Config struct {
 	// disables interning (POST /v1/graphs still returns refs, every
 	// graphRef solve 404s).
 	GraphStoreCapacity int
+	// QuarantineThreshold is K: containment failures (engine panics,
+	// watchdog kills) of one (graph fingerprint, options) key before
+	// identical requests are fast-failed with 422 code "quarantined".
+	// 0 = fault.DefaultThreshold; negative disables the quarantine.
+	QuarantineThreshold int
+	// QuarantineTTL is the quarantine's failure-memory window and
+	// sentence length. 0 = fault.DefaultTTL.
+	QuarantineTTL time.Duration
+	// WatchdogGrace arms the stuck-solve watchdog: a deadline-bearing
+	// solve that is still running at grace × its deadline (cooperative
+	// cancellation ignored) is force-failed with 408 code "stuckSolve".
+	// The watchdog guards the process-global solve cache, so this is a
+	// process-global knob; 0 leaves the watchdog as it is (disabled at
+	// process start).
+	WatchdogGrace float64
+	// ReadyHighWater is the queue-occupancy fraction of QueueDepth at
+	// which GET /readyz starts reporting 503 (drain me). Default 0.9.
+	ReadyHighWater float64
+	// ReadyMaxTrips: /readyz also reports 503 while the quarantine
+	// tripped at least this many times within ReadyTripWindow. Default 3;
+	// negative disables the trip-rate signal.
+	ReadyMaxTrips int
+	// ReadyTripWindow is the trailing window for ReadyMaxTrips.
+	// Default 1 minute.
+	ReadyTripWindow time.Duration
 }
 
 const (
@@ -171,6 +202,19 @@ type Server struct {
 	rejected atomic.Int64
 	solved   atomic.Int64
 	failed   atomic.Int64
+
+	// quarantine fast-fails instances that keep crashing or wedging
+	// (nil when disabled by config).
+	quarantine *fault.Quarantine
+	// ewmaNs tracks recent per-solve service time (EWMA, nanoseconds)
+	// for the Retry-After drain-rate hint.
+	ewmaNs atomic.Int64
+	// Fault counters surfaced in /v1/stats: panics stopped at the HTTP
+	// boundary, contained engine panics, and watchdog force-fails seen
+	// by this server's requests.
+	handlerPanics atomic.Int64
+	enginePanics  atomic.Int64
+	stuckSolves   atomic.Int64
 }
 
 func defaultWorkers() int {
@@ -206,6 +250,17 @@ func NewServer(cfg *Config) *Server {
 	} else if c.GraphStoreCapacity < 0 {
 		c.GraphStoreCapacity = 0
 	}
+	if c.ReadyHighWater <= 0 || c.ReadyHighWater > 1 {
+		c.ReadyHighWater = 0.9
+	}
+	if c.ReadyMaxTrips == 0 {
+		c.ReadyMaxTrips = 3
+	} else if c.ReadyMaxTrips < 0 {
+		c.ReadyMaxTrips = 0
+	}
+	if c.ReadyTripWindow <= 0 {
+		c.ReadyTripWindow = time.Minute
+	}
 	s := &Server{
 		cfg:    c,
 		mux:    http.NewServeMux(),
@@ -219,12 +274,28 @@ func NewServer(cfg *Config) *Server {
 	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.armFaultLayer()
 	return s
 }
 
-// ServeHTTP dispatches to the endpoint handlers.
+// ServeHTTP dispatches to the endpoint handlers under the last-resort
+// recover boundary: whatever slips past the solver-side guards (or
+// panics in the handlers themselves) is stopped here — the request gets
+// a 500 with code "panic" when the response was still unwritten, and the
+// process serves on either way.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	gw := &guardedWriter{ResponseWriter: w}
+	defer func() {
+		if v := recover(); v != nil {
+			s.handlerPanics.Add(1)
+			if !gw.wrote {
+				jsonErrorCode(gw, http.StatusInternalServerError, codeHandlerPanic,
+					"internal error: handler panicked: %v", v)
+			}
+		}
+	}()
+	s.mux.ServeHTTP(gw, r)
 }
 
 // tryAdmit claims n admission tickets without blocking; all or nothing.
@@ -257,12 +328,11 @@ func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // jsonErrorCode is jsonError with a machine-readable error code
-// ("unknownGraphRef") carried alongside the message.
+// ("unknownGraphRef", "enginePanic", …) carried alongside the message.
+// 429 responses go through Server.reject429 instead, which computes the
+// Retry-After hint from the observed queue drain rate.
 func jsonErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(SolveResponse{Code: code, Error: fmt.Sprintf(format, args...)})
 }
@@ -272,12 +342,15 @@ func jsonErrorCode(w http.ResponseWriter, status int, code, format string, args 
 const codeUnknownGraphRef = "unknownGraphRef"
 
 // solveStatus maps a solver error to an HTTP status: context errors are
-// the client's deadline (408) or disconnect; typed applicability errors
-// (a pinned method whose hypotheses fail) are the request's fault (422);
-// everything else is a 500.
+// the client's deadline (408) or disconnect — as is a watchdog
+// force-fail, which is the deadline enforced against a non-cooperative
+// engine; typed applicability errors (a pinned method whose hypotheses
+// fail) are the request's fault (422); everything else — contained
+// engine panics included — is a 500.
 func solveStatus(err error) int {
 	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, core.ErrSolveStuck):
 		return http.StatusRequestTimeout
 	case errors.Is(err, core.ErrDisconnected),
 		errors.Is(err, core.ErrDiameterExceedsK),
@@ -466,8 +539,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, status, "invalid request: %v", err)
 		return
 	}
+	qkey := quarantineKey(&req)
+	if !s.checkQuarantine(w, qkey, "") {
+		return
+	}
 	if !s.tryAdmit(1) {
-		jsonError(w, http.StatusTooManyRequests, "admission queue full (%d jobs in system)", s.cfg.QueueDepth)
+		s.reject429(w, "admission queue full (%d jobs in system)", s.cfg.QueueDepth)
 		return
 	}
 	defer s.releaseAdmit(1)
@@ -488,12 +565,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		<-s.slots
 	}()
 
+	// Chaos injection site for the HTTP layer itself (no-op unless a
+	// fault plan is armed); a panic here exercises the ServeHTTP recover.
+	fault.Visit(r.Context(), fault.SiteServiceSolve)
+
 	opts := req.Options.toOptions(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
 	t0 := time.Now()
 	res, err := core.SolveContext(r.Context(), req.Graph, req.P, opts)
+	s.observeServiceTime(time.Since(t0))
 	if err != nil {
 		s.failed.Add(1)
-		jsonError(w, solveStatus(err), "solve failed: %v", err)
+		jsonErrorCode(w, solveStatus(err), s.recordFailure(qkey, err), "solve failed: %v", err)
 		return
 	}
 	s.solved.Add(1)
@@ -519,6 +601,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
+	qkeys := make([]string, len(req.Items))
 	for i := range req.Items {
 		if !s.resolveGraph(w, &req.Items[i], fmt.Sprintf(" (item %d, id %q)", i, req.Items[i].ID)) {
 			return
@@ -531,10 +614,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			jsonError(w, status, "invalid item %d (id %q): %v", i, req.Items[i].ID, err)
 			return
 		}
+		// A quarantined item rejects the whole batch before admission, like
+		// any other per-item validation failure: once the NDJSON stream has
+		// started there is no clean way to refuse one item.
+		qkeys[i] = quarantineKey(&req.Items[i])
+		if !s.checkQuarantine(w, qkeys[i], fmt.Sprintf(" (item %d, id %q)", i, req.Items[i].ID)) {
+			return
+		}
 	}
 	if !s.tryAdmit(len(req.Items)) {
-		jsonError(w, http.StatusTooManyRequests,
-			"admission queue cannot hold %d more jobs (depth %d)", len(req.Items), s.cfg.QueueDepth)
+		s.reject429(w, "admission queue cannot hold %d more jobs (depth %d)", len(req.Items), s.cfg.QueueDepth)
 		return
 	}
 	defer s.releaseAdmit(len(req.Items))
@@ -649,12 +738,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if br.Err != nil {
 			s.failed.Add(1)
-			*line = SolveResponse{ID: br.ID, Error: br.Err.Error()}
+			*line = SolveResponse{ID: br.ID, Code: s.recordFailure(qkeys[idx], br.Err), Error: br.Err.Error()}
 		} else {
 			s.solved.Add(1)
 			var elapsed time.Duration
 			if loaded {
 				elapsed = time.Since(starts[idx])
+				s.observeServiceTime(elapsed)
 			}
 			wireResultInto(line, br.ID, br.Result, elapsed, req.Items[idx].Explain)
 		}
@@ -706,6 +796,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Ready:         s.notReadyReason() == "",
 		Queued:        s.queued.Load(),
 		InFlight:      s.inFlight.Load(),
 		QueueDepth:    s.cfg.QueueDepth,
@@ -716,13 +807,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         wireCache(core.SolveCacheStats()),
 		Graphs:        wireIntern(s.graphs.Stats()),
 		Methods:       methods,
+		Fault:         s.faultStats(),
 	}
+	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
-// handleHealth serves GET /healthz.
+// handleHealth serves GET /healthz: pure liveness, 200 while the process
+// can run a handler at all — readiness lives at /readyz. no-store keeps
+// probes and intermediaries from acting on a stale verdict.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(HealthResponse{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()})
 }

@@ -274,6 +274,41 @@ type StatsResponse struct {
 	Graphs InternWire `json:"graphs"`
 	// Methods counts successful solves per planner route.
 	Methods map[string]int64 `json:"methods"`
+	// Ready mirrors GET /readyz (true ⇔ /readyz would answer 200).
+	Ready bool `json:"ready"`
+	// Fault is the fault-containment block: panics stopped at each
+	// boundary, watchdog kills, and the quarantine's state.
+	Fault FaultWire `json:"fault"`
+}
+
+// FaultWire is the fault-containment section of GET /v1/stats.
+type FaultWire struct {
+	// HandlerPanics were caught at the HTTP boundary (code "panic");
+	// EnginePanics and StuckSolves are containment failures seen by this
+	// server's requests; WatchdogKills is the process-wide kill count
+	// (it can exceed StuckSolves when kills land on abandoned flights).
+	HandlerPanics int64 `json:"handlerPanics"`
+	EnginePanics  int64 `json:"enginePanics"`
+	StuckSolves   int64 `json:"stuckSolves"`
+	WatchdogKills int64 `json:"watchdogKills"`
+	// PanicsByMethod attributes contained engine panics to the method
+	// that raised them (omitted while zero panics have occurred).
+	PanicsByMethod map[string]int64 `json:"panicsByMethod,omitempty"`
+	// Quarantine reports the poison-instance tracker.
+	Quarantine QuarantineWire `json:"quarantine"`
+}
+
+// QuarantineWire is the JSON form of fault.Stats plus the trailing
+// trip-rate sample that feeds /readyz.
+type QuarantineWire struct {
+	Enabled     bool    `json:"enabled"`
+	Threshold   int     `json:"threshold,omitempty"`
+	TTLSeconds  float64 `json:"ttlSeconds,omitempty"`
+	Tracked     int64   `json:"tracked"`
+	Active      int64   `json:"active"`
+	Trips       int64   `json:"trips"`
+	FastFails   int64   `json:"fastFails"`
+	RecentTrips int     `json:"recentTrips"`
 }
 
 // GraphsResponse is the body of a POST /v1/graphs response: the ref to
@@ -341,4 +376,11 @@ func wireCache(st core.CacheStats) CacheWire {
 type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// ReadyResponse is the body of GET /readyz. Reason is set exactly when
+// Ready is false (and the status is 503).
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
 }
