@@ -13,20 +13,29 @@
 //	lplbench -load -graphref                    # interned-graph traffic
 //	lplbench -load -wire binary                 # binary graph frames
 //	lplbench -load -chaos -rate 0.02            # fault-injected chaos run
+//	lplbench -cluster -out BENCH_PR8.json       # 1/2/4-backend scaling ladder
 //
-// Load mode prints bytes-on-the-wire per request alongside req/s, so the
-// wire-format modes can be compared directly. Chaos mode instead arms the
-// deterministic fault injector (panics, stalls, context leaks, alloc
-// spikes) plus the quarantine and watchdog, drives mixed retrying traffic
-// including a poison instance, and reports whether every containment
-// invariant held; it exits non-zero on a violation.
+// Load mode prints bytes-on-the-wire per request alongside req/s and
+// p50/p95/p99 latency, so the wire-format modes can be compared
+// directly. Chaos mode instead arms the deterministic fault injector
+// (panics, stalls, context leaks, alloc spikes) plus the quarantine and
+// watchdog, drives mixed retrying traffic including a poison instance,
+// and reports whether every containment invariant held; it exits
+// non-zero on a violation. Cluster mode boots router + 1/2/4 live
+// backends in-process (each with its own cache and peer-fill L2),
+// measures scaling on floor-bound distinct traffic plus the router's
+// own overhead on hot cached traffic, and with -out writes the
+// machine-readable report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"lpltsp/internal/bench"
 	"lpltsp/internal/core"
@@ -49,8 +58,47 @@ func main() {
 		wire     = flag.String("wire", "json", "load mode: solve-body transport, json or binary")
 		chaos    = flag.Bool("chaos", false, "load mode: arm the fault injector and run the containment harness instead")
 		rate     = flag.Float64("rate", 0.02, "chaos mode: per-visit fault probability")
+
+		clusterLadder = flag.Bool("cluster", false, "run the 1/2/4-backend cluster scaling ladder instead")
+		floor         = flag.Duration("floor", 0, "cluster mode: modeled per-solve service time (0 = ladder default)")
+		out           = flag.String("out", "", "cluster mode: also write the JSON report to this file")
 	)
 	flag.Parse()
+
+	if *clusterLadder {
+		cfg := bench.LadderConfig{Seed: *seed, Floor: *floor}
+		// Ladder scale defaults differ from load mode's; only explicitly
+		// set flags override them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "clients":
+				cfg.Clients = *clients
+			case "distinct":
+				cfg.Distinct = *distinct
+			case "n":
+				cfg.N = *loadN
+			}
+		})
+		rep, err := bench.RunClusterLadder(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lplbench: cluster ladder failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *out != "" {
+			data, err := json.MarshalIndent(ladderJSON(rep), "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lplbench: marshal report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "lplbench: write %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
+	}
 
 	if *load && *chaos {
 		core.ResetSolveCache()
@@ -130,4 +178,99 @@ func anyAblation(want map[string]bool) bool {
 		}
 	}
 	return false
+}
+
+// ladderRun is the machine-readable form of one cluster run.
+type ladderRun struct {
+	Mode       string           `json:"mode"`
+	Backends   int              `json:"backends"`
+	Workers    int              `json:"workersPerBackend"`
+	Requests   int              `json:"requests"`
+	Distinct   int              `json:"distinct"`
+	FloorMs    float64          `json:"floorMs"`
+	Errors     int              `json:"errors"`
+	ElapsedMs  float64          `json:"elapsedMs"`
+	ReqPerSec  float64          `json:"reqPerSec"`
+	P50Us      float64          `json:"p50Us"`
+	P95Us      float64          `json:"p95Us"`
+	P99Us      float64          `json:"p99Us"`
+	PerBackend map[string]int64 `json:"perBackendSolved"`
+}
+
+func toLadderRun(r *bench.ClusterReport) ladderRun {
+	return ladderRun{
+		Mode:       r.Mode,
+		Backends:   r.Backends,
+		Workers:    r.Workers,
+		Requests:   r.Requests,
+		Distinct:   r.Distinct,
+		FloorMs:    float64(r.Floor) / float64(time.Millisecond),
+		Errors:     r.Errors,
+		ElapsedMs:  float64(r.Elapsed) / float64(time.Millisecond),
+		ReqPerSec:  r.Throughput,
+		P50Us:      float64(r.P50) / float64(time.Microsecond),
+		P95Us:      float64(r.P95) / float64(time.Microsecond),
+		P99Us:      float64(r.P99) / float64(time.Microsecond),
+		PerBackend: r.PerBackendSolved,
+	}
+}
+
+// ladderJSON renders the BENCH_PR8.json document from a ladder run.
+func ladderJSON(rep *bench.LadderReport) any {
+	cfg := rep.Config
+	methodology := fmt.Sprintf(
+		"lplbench -cluster: bench.RunClusterLadder boots router + N live lplserve handlers in one process "+
+			"(no sockets; each backend has its OWN core.SolveCache, intern store, singleflight domain, and "+
+			"cluster.PeerFill L2 — the same isolation N OS processes would have) and drives POST /v1/solve "+
+			"graphRef traffic through cluster.Router with %d concurrent clients. Scaling runs: %d distinct "+
+			"n=%d instances, each interned through the router and then solved exactly once, with every solve "+
+			"pinned to the registered bench-floor method, which holds its node's single solver slot "+
+			"(Workers=1) for %v of wall time. This box has 1 logical CPU (GOMAXPROCS=%d), so horizontal "+
+			"scaling of CPU-bound work cannot be expressed here; the floor models per-node service capacity "+
+			"instead, and what the ladder measures is the cluster layer's actual contribution — independent "+
+			"per-node capacity under graphRef-affine routing, bounded by the busiest owner's key share "+
+			"(perBackendSolved gives the realized balance). Overhead pair: the same ladder with floor=0 and "+
+			"%d hot requests cycling %d cached instances, once against the backend handler directly and once "+
+			"through the router — every request a cache hit, so the difference is purely the router's "+
+			"fingerprint-extraction + forwarding cost.",
+		cfg.Clients, cfg.Distinct, cfg.N, cfg.Floor, runtime.GOMAXPROCS(0),
+		cfg.HotRequests, cfg.HotDistinct)
+	verdict := "PASS"
+	if rep.Scaling2 < 1.7 || rep.Scaling4 < 3.0 {
+		verdict = "FAIL"
+	}
+	acceptance := fmt.Sprintf(
+		"%s: cacheable graphRef traffic scales %.2fx at 2 backends (floor >= 1.7x) and %.2fx at 4 backends "+
+			"(floor >= 3.0x) vs 1 backend through the same router. Honest overhead: on floor-0 hot cached "+
+			"traffic one backend serves %.0f req/s direct vs %.0f req/s through the router = %.2fx slower "+
+			"per request for the routing hop; the scaling runs pay that same hop in every configuration "+
+			"including the 1-backend baseline, so the ratios above are router-to-router comparisons. "+
+			"Cluster-wide singleflight is proven separately by TestClusterWideSingleflight "+
+			"(internal/cluster): a 32-client herd across 4 backends for one hot key performs exactly 1 "+
+			"engine solve, every client 200 with identical verified spans.",
+		verdict, rep.Scaling2, rep.Scaling4,
+		rep.HotDirect.Throughput, rep.HotRouted.Throughput, rep.RouterOverhead)
+	runs := []ladderRun{}
+	for _, r := range rep.Scale {
+		runs = append(runs, toLadderRun(r))
+	}
+	return map[string]any{
+		"pr":    8,
+		"title": "Scale out past one process: consistent-hash graph routing, a two-tier cache with peer fill, and cluster-wide singleflight",
+		"machine": fmt.Sprintf("%d logical CPU (GOMAXPROCS=%d), %s/%s, %s",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH, runtime.Version()),
+		"methodology": methodology,
+		"scaling": map[string]any{
+			"runs":      runs,
+			"scaling2x": rep.Scaling2,
+			"scaling4x": rep.Scaling4,
+		},
+		"routerOverhead": map[string]any{
+			"hotDirect": toLadderRun(rep.HotDirect),
+			"hotRouted": toLadderRun(rep.HotRouted),
+			"overheadX": rep.RouterOverhead,
+			"note":      "how many times slower one request gets by crossing the router (floor-0 hot cache hits; buffered in-process forwarding)",
+		},
+		"acceptance": acceptance,
+	}
 }

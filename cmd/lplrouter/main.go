@@ -1,0 +1,108 @@
+// Command lplrouter fronts a cluster of lplserve backends with
+// consistent-hash graph routing: every /v1/solve, /v1/batch item,
+// /v1/graphs intern, and HEAD /v1/graphs/{ref} probe is forwarded to
+// the backend that owns the instance's graph fingerprint on the ring,
+// so each instance's solve cache, intern store, and singleflight state
+// live on exactly one node.
+//
+// Usage:
+//
+//	lplrouter -addr :8090 -backends b0=http://10.0.0.1:8080,b1=http://10.0.0.2:8080
+//
+// Backend NAMES (not URLs) are what the ring hashes, and -seed feeds
+// the placement hash: every process in the cluster — this router, any
+// peer router, and each lplserve started with -peers — must be given
+// the same name set, -vnodes, and -seed, or they will disagree about
+// which node owns which graph.
+//
+// Backend semantics pass through untouched (a backend's 429/408/422 is
+// the client's 429/408/422); a backend that is unreachable at the
+// transport level fails idempotent requests over to the next distinct
+// ring node. GET /v1/stats serves the router's own counters; /readyz
+// aggregates backend readiness. -pprof exposes net/http/pprof (off by
+// default).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lpltsp/internal/cluster"
+)
+
+func main() {
+	srv, logger, err := buildRouter(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "lplrouter:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Printf("routing on %s", srv.Addr)
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Fatalf("shutdown: %v", err)
+		}
+	}
+}
+
+// buildRouter parses flags and assembles the HTTP server. Split from
+// main so tests can exercise flag handling and the handler without
+// binding a socket.
+func buildRouter(args []string, errOut io.Writer) (*http.Server, *log.Logger, error) {
+	fs := flag.NewFlagSet("lplrouter", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr     = fs.String("addr", ":8090", "listen address")
+		backends = fs.String("backends", "", "comma-separated name=url backends (names are the ring members)")
+		vnodes   = fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default)")
+		seed     = fs.Uint64("seed", 0, "ring placement seed; must match across the cluster")
+		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	bs, err := cluster.ParseBackends(*backends)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := cluster.NewRouter(bs, cluster.RingConfig{VNodes: *vnodes, Seed: *seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	var handler http.Handler = rt
+	if *pprof {
+		handler = cluster.WithPprof(handler)
+	}
+	logger := log.New(errOut, "lplrouter: ", log.LstdFlags)
+	return &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}, logger, nil
+}

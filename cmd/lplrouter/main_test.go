@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lpltsp"
+)
+
+func TestBuildRouterFlagErrors(t *testing.T) {
+	if _, _, err := buildRouter(nil, io.Discard); err == nil {
+		t.Fatal("empty -backends accepted")
+	}
+	if _, _, err := buildRouter([]string{"-backends", "not-a-pair"}, io.Discard); err == nil {
+		t.Fatal("backend spec without name=url accepted")
+	}
+	if _, _, err := buildRouter([]string{"-backends", "b0=http://x,b0=http://y"}, io.Discard); err == nil {
+		t.Fatal("duplicate backend name accepted")
+	}
+	if _, _, err := buildRouter([]string{"-nope"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, _, err := buildRouter([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestRouterEndToEnd stands up two real lplserve handlers on sockets and
+// a router in front of them — the full HTTP path the binaries run in
+// production: intern a graph through the router, solve it by graphRef,
+// and confirm the router's counters saw the traffic.
+func TestRouterEndToEnd(t *testing.T) {
+	b0 := httptest.NewServer(lpltsp.NewServeHandler(nil))
+	defer b0.Close()
+	b1 := httptest.NewServer(lpltsp.NewServeHandler(nil))
+	defer b1.Close()
+
+	srv, _, err := buildRouter(
+		[]string{"-addr", "127.0.0.1:0", "-backends", "b0=" + b0.URL + ",b1=" + b1.URL, "-seed", "7"},
+		io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(srv.Handler)
+	defer rts.Close()
+
+	gb := `{"n":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}`
+	resp, err := http.Post(rts.URL+"/v1/graphs", "application/json", strings.NewReader(gb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gr struct {
+		GraphRef string `json:"graphRef"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&gr)
+	resp.Body.Close()
+	if err != nil || gr.GraphRef == "" {
+		t.Fatalf("intern via router: status %d err %v", resp.StatusCode, err)
+	}
+
+	body := `{"graphRef":"` + gr.GraphRef + `","p":[2,1]}`
+	resp, err = http.Post(rts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graphRef solve via router: %d (%s)", resp.StatusCode, data)
+	}
+	var sr struct {
+		Span  int  `json:"span"`
+		Exact bool `json:"exact"`
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Span != 4 || !sr.Exact { // λ_{2,1}(C4) = 4
+		t.Fatalf("C4 solve via router: %+v", sr)
+	}
+
+	// The router's own stats: both requests proxied, to one owner.
+	resp, err = http.Get(rts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Proxied    int64            `json:"proxied"`
+		PerBackend map[string]int64 `json:"perBackend"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Proxied != 2 {
+		t.Errorf("router proxied %d requests, want 2", st.Proxied)
+	}
+	if st.PerBackend["b0"]+st.PerBackend["b1"] != 2 ||
+		(st.PerBackend["b0"] != 0 && st.PerBackend["b1"] != 0) {
+		t.Errorf("affinity broken: both requests must land on one owner: %v", st.PerBackend)
+	}
+
+	// readyz aggregates the live backends.
+	resp, err = http.Get(rts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz with two live backends: %d", resp.StatusCode)
+	}
+
+	// pprof stays dark without the flag.
+	resp, err = http.Get(rts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/debug/pprof/ exposed without -pprof")
+	}
+}
+
+func TestRouterPprofFlag(t *testing.T) {
+	b := httptest.NewServer(lpltsp.NewServeHandler(nil))
+	defer b.Close()
+	srv, _, err := buildRouter(
+		[]string{"-addr", "127.0.0.1:0", "-backends", "b0=" + b.URL, "-pprof"},
+		io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(srv.Handler)
+	defer rts.Close()
+	resp, err := http.Get(rts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ behind -pprof: %d", resp.StatusCode)
+	}
+}

@@ -33,6 +33,21 @@
 // deadline (408, code "stuckSolve"), and an instance that keeps crashing
 // or wedging is quarantined after -quarantine failures (422, code
 // "quarantined") until -quarantine-ttl elapses.
+//
+// Cluster modes (see the README's "Scaling out"):
+//
+//	lplserve -route -backends b0=http://...,b1=http://...
+//	    run as a consistent-hash router over the named backends instead
+//	    of solving locally (same routing core as cmd/lplrouter)
+//	lplserve -self b0 -peers b0=http://...,b1=http://...
+//	    run as one node of a peer-filled cluster: this process gets its
+//	    own solve cache with the other members installed as an L2, so an
+//	    L1 miss on a graph another node owns is forwarded there instead
+//	    of solved twice
+//
+// Both modes hash ring member NAMES with -seed and -vnodes; every
+// process in one cluster must agree on all three. -pprof exposes
+// net/http/pprof under /debug/pprof/ (off by default).
 package main
 
 import (
@@ -49,6 +64,8 @@ import (
 	"time"
 
 	"lpltsp"
+	"lpltsp/internal/cluster"
+	"lpltsp/internal/core"
 )
 
 func main() {
@@ -98,6 +115,13 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		quarantine      = fs.Int("quarantine", 0, "quarantine an instance after this many containment failures (0 = default 3, negative = disabled)")
 		quarantineTTL   = fs.Duration("quarantine-ttl", 0, "quarantine sentence length and failure-memory window (0 = default 5m)")
 		watchdogGrace   = fs.Float64("watchdog-grace", 3, "force-fail solves still running at this multiple of their deadline (0 = watchdog disabled)")
+		route           = fs.Bool("route", false, "route to -backends over the ring instead of solving locally")
+		backendSpec     = fs.String("backends", "", "route mode: comma-separated name=url backends (names are the ring members)")
+		peerSpec        = fs.String("peers", "", "cluster node mode: every ring member as name=url, including this node")
+		self            = fs.String("self", "", "cluster node mode: this node's ring member name (required with -peers)")
+		vnodes          = fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default); must match across the cluster")
+		ringSeed        = fs.Uint64("seed", 0, "ring placement seed; must match across the cluster")
+		pprofFlag       = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
@@ -105,21 +129,80 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 	if fs.NArg() > 0 {
 		return nil, nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	if *cacheCap > 0 {
-		lpltsp.SetCacheCapacity(*cacheCap)
-	}
-	handler := lpltsp.NewServeHandler(&lpltsp.ServeConfig{
-		Workers:             *workers,
-		QueueDepth:          *queue,
-		MaxDeadline:         *maxDeadline,
-		DefaultDeadline:     *defaultDeadline,
-		MaxVertices:         *maxVertices,
-		GraphStoreCapacity:  *graphStore,
-		QuarantineThreshold: *quarantine,
-		QuarantineTTL:       *quarantineTTL,
-		WatchdogGrace:       *watchdogGrace,
-	})
 	logger := log.New(errOut, "lplserve: ", log.LstdFlags)
+
+	var handler http.Handler
+	switch {
+	case *route:
+		if *peerSpec != "" || *self != "" {
+			return nil, nil, fmt.Errorf("-route and -peers/-self are mutually exclusive (a router does not solve)")
+		}
+		bs, err := cluster.ParseBackends(*backendSpec)
+		if err != nil {
+			return nil, nil, err
+		}
+		rt, err := cluster.NewRouter(bs, cluster.RingConfig{VNodes: *vnodes, Seed: *ringSeed})
+		if err != nil {
+			return nil, nil, err
+		}
+		handler = rt
+	default:
+		if *backendSpec != "" {
+			return nil, nil, fmt.Errorf("-backends requires -route")
+		}
+		cfg := &lpltsp.ServeConfig{
+			Workers:             *workers,
+			QueueDepth:          *queue,
+			MaxDeadline:         *maxDeadline,
+			DefaultDeadline:     *defaultDeadline,
+			MaxVertices:         *maxVertices,
+			GraphStoreCapacity:  *graphStore,
+			QuarantineThreshold: *quarantine,
+			QuarantineTTL:       *quarantineTTL,
+			WatchdogGrace:       *watchdogGrace,
+		}
+		switch {
+		case *peerSpec != "":
+			// Cluster node: an instance-scoped cache with the peers as L2,
+			// so misses on graphs another node owns are filled from there.
+			if *self == "" {
+				return nil, nil, fmt.Errorf("-peers requires -self (this node's ring member name)")
+			}
+			peers, err := cluster.ParseBackends(*peerSpec)
+			if err != nil {
+				return nil, nil, err
+			}
+			member := false
+			for _, p := range peers {
+				if p.Name == *self {
+					member = true
+					break
+				}
+			}
+			if !member {
+				return nil, nil, fmt.Errorf("-self %q is not among the -peers names (every node lists the full membership, itself included)", *self)
+			}
+			capacity := core.DefaultCacheCapacity
+			if *cacheCap > 0 {
+				capacity = *cacheCap
+			}
+			cache := core.NewSolveCache(capacity)
+			pf, err := cluster.NewPeerFill(*self, peers, cluster.RingConfig{VNodes: *vnodes, Seed: *ringSeed})
+			if err != nil {
+				return nil, nil, err
+			}
+			cache.SetL2(pf)
+			cfg.Cache = cache
+		case *self != "":
+			return nil, nil, fmt.Errorf("-self requires -peers")
+		case *cacheCap > 0:
+			lpltsp.SetCacheCapacity(*cacheCap)
+		}
+		handler = lpltsp.NewServeHandler(cfg)
+	}
+	if *pprofFlag {
+		handler = cluster.WithPprof(handler)
+	}
 	return &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -174,3 +174,95 @@ func TestFaultFlagsAndReadyz(t *testing.T) {
 		t.Fatalf("quarantine enabled despite -quarantine -1: %+v", st)
 	}
 }
+
+// The cluster flags assemble the right handler shapes and reject the
+// incoherent combinations.
+func TestClusterModeFlags(t *testing.T) {
+	// Route mode without backends, node mode without its pair — all errors.
+	for _, args := range [][]string{
+		{"-route"},
+		{"-backends", "b0=http://127.0.0.1:1"}, // -backends without -route
+		{"-peers", "b0=http://127.0.0.1:1"},    // -peers without -self
+		{"-self", "b0"},                        // -self without -peers
+		{"-route", "-backends", "b0=http://127.0.0.1:1", "-peers", "b0=http://127.0.0.1:1", "-self", "b0"},
+		{"-self", "ghost", "-peers", "b0=http://127.0.0.1:1"}, // self not a member
+	} {
+		if _, _, err := buildServer(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+
+	// A well-formed node mode: self is one of the peers.
+	srv, _, err := buildServer(
+		[]string{"-addr", "127.0.0.1:0", "-self", "b0",
+			"-peers", "b0=http://127.0.0.1:1,b1=http://127.0.0.1:2", "-seed", "7"},
+		io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz in node mode: %d", resp.StatusCode)
+	}
+
+	// Route mode: the handler is a router, so /v1/stats is the router's.
+	srv2, _, err := buildServer(
+		[]string{"-addr", "127.0.0.1:0", "-route", "-backends", "b0=http://127.0.0.1:1"},
+		io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler)
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Members []string `json:"members"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || len(st.Members) != 1 || st.Members[0] != "b0" {
+		t.Fatalf("route-mode stats: members=%v err=%v", st.Members, err)
+	}
+}
+
+// -pprof gates the debug handlers on and off.
+func TestServePprofFlag(t *testing.T) {
+	srv, _, err := buildServer([]string{"-addr", "127.0.0.1:0"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/debug/pprof/ exposed without -pprof")
+	}
+
+	srv2, _, err := buildServer([]string{"-addr", "127.0.0.1:0", "-pprof"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler)
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ behind -pprof: %d", resp.StatusCode)
+	}
+}

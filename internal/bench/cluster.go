@@ -1,0 +1,493 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpltsp/internal/cluster"
+	"lpltsp/internal/core"
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/service"
+)
+
+// Multi-node in-process cluster harness: RunCluster boots N live
+// lplserve handlers — each with its OWN solve cache, singleflight
+// domain, intern store, and peer-fill L2, exactly like N OS processes —
+// behind a consistent-hash Router, and drives graphRef solve traffic
+// through the whole stack with no sockets. cmd/lplbench -cluster runs
+// the 1/2/4-backend ladder and publishes BENCH_PR8.json from it.
+//
+// Honesty note for one-core machines: horizontal scaling of CPU-bound
+// work cannot be demonstrated inside one process on one core, so the
+// harness models per-node service capacity instead — each solve passes
+// through a registered "bench-floor" method that holds its node's
+// single solver slot for a fixed wall-clock floor (a stand-in for the
+// per-request CPU a real node would spend). What scales is then what
+// the cluster layer actually provides: independent per-node solve
+// capacity under graphRef-affine routing. Router overhead is measured
+// separately with floor 0 (pure handler traffic) and reported as-is.
+
+// benchFloorMethod holds a solver slot for floorDelayNs of wall time,
+// then answers with the first-fit labeling. Applies only when pinned,
+// so registering it never perturbs planned routes.
+type benchFloorMethod struct{}
+
+const benchFloorName core.MethodName = "bench-floor"
+
+var floorDelayNs atomic.Int64
+
+func (benchFloorMethod) Name() core.MethodName { return benchFloorName }
+
+func (benchFloorMethod) Check(pr *core.Probe, p labeling.Vector, opts *core.Options) core.Applicability {
+	if opts == nil || opts.Method != benchFloorName {
+		return core.Applicability{Reason: "bench method; pin it explicitly"}
+	}
+	return core.Applicability{OK: true, Cost: 1, Reason: "bench service-time floor"}
+}
+
+func (benchFloorMethod) Solve(ctx context.Context, pr *core.Probe, p labeling.Vector, opts *core.Options) (*core.Result, error) {
+	if d := floorDelayNs.Load(); d > 0 {
+		t := time.NewTimer(time.Duration(d))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	lab, span, err := labeling.GreedyFirstFit(pr.G, p, labeling.OrderDegree)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{Labeling: lab, Span: span, Method: benchFloorName}, nil
+}
+
+var registerFloorOnce sync.Once
+
+func registerFloorMethod() {
+	registerFloorOnce.Do(func() { core.RegisterMethod(benchFloorMethod{}) })
+}
+
+// ClusterConfig shapes one RunCluster pass.
+type ClusterConfig struct {
+	// Backends is the node count (default 2).
+	Backends int
+	// Clients is the number of concurrent request loops (default 16).
+	Clients int
+	// Requests is the total solve count (default Distinct — every
+	// instance solved exactly once, so each request pays the floor at
+	// its owning node; higher values cycle and measure the hit path).
+	Requests int
+	// Distinct instances, interned through the router before the clock
+	// starts (default 128).
+	Distinct int
+	// N is the vertex count of generated instances (default 24).
+	N int
+	// Seed feeds the generator and the ring placement.
+	Seed uint64
+	// VNodes is the ring's virtual-node count (default cluster default).
+	VNodes int
+	// Floor is the modeled per-solve service time (default 4ms; 0
+	// measures the pure handler/router path).
+	Floor time.Duration
+	// Workers bounds concurrent solves per backend (default 1 — the
+	// serialization point that makes per-node capacity the bottleneck).
+	Workers int
+	// Direct bypasses the router and drives backend 0's handler — the
+	// baseline the router-overhead number compares against. Requires
+	// Backends == 1.
+	Direct bool
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Backends <= 0 {
+		c.Backends = 2
+	}
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 128
+	}
+	if c.Requests <= 0 {
+		c.Requests = c.Distinct
+	}
+	if c.N <= 0 {
+		c.N = 24
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	if c.Floor < 0 {
+		c.Floor = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// ClusterReport is the outcome of one RunCluster pass.
+type ClusterReport struct {
+	Backends int
+	Clients  int
+	Requests int
+	Distinct int
+	N        int
+	Workers  int
+	Mode     string // "router" or "direct"
+	Floor    time.Duration
+	Errors   int
+	Elapsed  time.Duration
+	// Throughput is successful requests per second of wall time — the
+	// number the scaling ratios are computed from.
+	Throughput    float64
+	P50, P95, P99 time.Duration
+	// PerBackendSolved is each node's own solved-request counter (cache
+	// hits included) — the routing balance behind the scaling number.
+	PerBackendSolved map[string]int64
+	// Aggregated L2 counters across all nodes (zero under pure routed
+	// traffic: the router always lands on the owner).
+	L2Served, L2PeerHits, L2Fallbacks int64
+	// Router is the router's own view (zero value in direct mode).
+	Router cluster.RouterStats
+}
+
+// String renders the report for the lplbench CLI.
+func (r *ClusterReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "cluster[%s]: %d backends × %d workers, %d requests (%d distinct n=%d, floor %v) over %d clients\n",
+		r.Mode, r.Backends, r.Workers, r.Requests, r.Distinct, r.N, r.Floor, r.Clients)
+	fmt.Fprintf(&b, "  wall time    %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  throughput   %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "  latency      p50 %v  p95 %v  p99 %v\n",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  errors       %d\n", r.Errors)
+	fmt.Fprintf(&b, "  balance     ")
+	for name, solved := range r.PerBackendSolved {
+		fmt.Fprintf(&b, " %s=%d", name, solved)
+	}
+	fmt.Fprintf(&b, "\n")
+	if r.L2Served+r.L2Fallbacks > 0 {
+		fmt.Fprintf(&b, "  l2           served %d  peer-hits %d  fallbacks %d\n",
+			r.L2Served, r.L2PeerHits, r.L2Fallbacks)
+	}
+	return b.String()
+}
+
+// clusterNode is one in-process backend: a live handler plus its
+// isolated cache.
+type clusterNode struct {
+	name   string
+	server *service.Server
+	cache  *core.SolveCache
+}
+
+// buildCluster boots the nodes, wires peer-fill L2s between them, and
+// fronts them with a router.
+func buildCluster(cfg ClusterConfig) (*cluster.Router, []clusterNode, error) {
+	nodes := make([]clusterNode, cfg.Backends)
+	backends := make([]cluster.Backend, cfg.Backends)
+	for i := range nodes {
+		c := core.NewSolveCache(4 * cfg.Distinct)
+		s := service.NewServer(&service.Config{
+			Cache:   c,
+			Workers: cfg.Workers,
+			// The queue must absorb every in-flight client; rejections
+			// would make the scaling number a lie about admission, not
+			// capacity.
+			QueueDepth: 4 * cfg.Clients,
+		})
+		nodes[i] = clusterNode{name: fmt.Sprintf("b%d", i), server: s, cache: c}
+		backends[i] = cluster.Backend{Name: nodes[i].name, Doer: cluster.HandlerDoer{Handler: s}}
+	}
+	ringCfg := cluster.RingConfig{Seed: cfg.Seed, VNodes: cfg.VNodes}
+	for i := range nodes {
+		pf, err := cluster.NewPeerFill(nodes[i].name, backends, ringCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes[i].cache.SetL2(pf)
+	}
+	rt, err := cluster.NewRouter(backends, ringCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rt, nodes, nil
+}
+
+// RunCluster boots the cluster and drives cfg.Requests graphRef solves
+// through it (through the router, or directly at backend 0 with
+// cfg.Direct), every instance pre-interned before the clock starts.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Direct && cfg.Backends != 1 {
+		return nil, fmt.Errorf("bench: direct mode needs exactly 1 backend, got %d", cfg.Backends)
+	}
+	registerFloorMethod()
+	floorDelayNs.Store(int64(cfg.Floor))
+	defer floorDelayNs.Store(0)
+
+	rt, nodes, err := buildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var front http.Handler = rt
+	mode := "router"
+	if cfg.Direct {
+		front = nodes[0].server
+		mode = "direct"
+	}
+
+	// Intern every instance through the front door (landing each graph
+	// on its owner), and pre-marshal the graphRef bodies.
+	r := rng.New(cfg.Seed)
+	bodies := make([][]byte, cfg.Distinct)
+	for i := range bodies {
+		g := graph.RandomSmallDiameter(r, cfg.N, 3, 0.1)
+		gb, err := json.Marshal(g)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest(http.MethodPost, "http://bench/v1/graphs", bytes.NewReader(gb))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		var rec bodyRecorder
+		front.ServeHTTP(&rec, req)
+		if rec.status != http.StatusOK {
+			return nil, fmt.Errorf("bench: intern graph %d: status %d: %s", i, rec.status, rec.buf.String())
+		}
+		var gr service.GraphsResponse
+		if err := json.Unmarshal(rec.buf.Bytes(), &gr); err != nil {
+			return nil, fmt.Errorf("bench: decode /v1/graphs response: %w", err)
+		}
+		bodies[i], err = json.Marshal(service.SolveRequest{
+			ID:       fmt.Sprintf("cl-%d", i),
+			GraphRef: gr.GraphRef,
+			P:        labeling.Vector{2, 2, 1},
+			Options:  &service.WireOptions{Method: string(benchFloorName)},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var next, errs atomic.Int64
+	latencies := make([]int64, cfg.Requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				req, err := http.NewRequest(http.MethodPost, "http://bench/v1/solve",
+					bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				var w nullResponseWriter
+				t0 := time.Now()
+				front.ServeHTTP(&w, req)
+				latencies[i] = time.Since(t0).Nanoseconds()
+				if w.status != http.StatusOK {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &ClusterReport{
+		Backends:         cfg.Backends,
+		Clients:          cfg.Clients,
+		Requests:         cfg.Requests,
+		Distinct:         cfg.Distinct,
+		N:                cfg.N,
+		Workers:          cfg.Workers,
+		Mode:             mode,
+		Floor:            cfg.Floor,
+		Errors:           int(errs.Load()),
+		Elapsed:          elapsed,
+		PerBackendSolved: make(map[string]int64, len(nodes)),
+	}
+	rep.P50, rep.P95, rep.P99 = percentiles(latencies)
+	if ok := cfg.Requests - rep.Errors; ok > 0 && elapsed > 0 {
+		rep.Throughput = float64(ok) / elapsed.Seconds()
+	}
+	for _, n := range nodes {
+		req, err := http.NewRequest(http.MethodGet, "http://bench/v1/stats", nil)
+		if err != nil {
+			return nil, err
+		}
+		var rec bodyRecorder
+		n.server.ServeHTTP(&rec, req)
+		var st service.StatsResponse
+		if err := json.Unmarshal(rec.buf.Bytes(), &st); err != nil {
+			return nil, fmt.Errorf("bench: decode %s /v1/stats: %w", n.name, err)
+		}
+		rep.PerBackendSolved[n.name] = st.Solved
+		rep.L2Served += st.Cache.L2Served
+		rep.L2PeerHits += st.Cache.L2PeerHits
+		rep.L2Fallbacks += st.Cache.L2Fallbacks
+	}
+	if !cfg.Direct {
+		rep.Router = rt.Stats()
+	}
+	return rep, nil
+}
+
+// LadderConfig shapes RunClusterLadder: the 1/2/4-backend scaling runs
+// plus the hot-traffic router-overhead pair behind BENCH_PR8.json.
+type LadderConfig struct {
+	// Clients per run (default 32 — enough in-flight requests that every
+	// backend's single worker stays fed through the run's tail).
+	Clients int
+	// Distinct instances in the scaling runs; each is solved exactly
+	// once, so the run's critical path is the busiest owner's share of
+	// the floor (default 512 — enough keys that ring placement variance
+	// stays small relative to the ideal 1/N split).
+	Distinct int
+	// N is the vertex count of generated instances (default 24).
+	N int
+	// Seed feeds generation and ring placement.
+	Seed uint64
+	// VNodes per ring member (default cluster default).
+	VNodes int
+	// Floor is the modeled per-solve service time in the scaling runs
+	// (default 8ms — large enough that timer jitter on a busy box stays
+	// small relative to the modeled work).
+	Floor time.Duration
+	// HotRequests/HotDistinct shape the floor-0 overhead pair: many
+	// requests cycling a few cached instances, so the measured work is
+	// purely handler + router (defaults 16384 over 16).
+	HotRequests int
+	HotDistinct int
+}
+
+func (c LadderConfig) withDefaults() LadderConfig {
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 512
+	}
+	if c.N <= 0 {
+		c.N = 24
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	if c.Floor <= 0 {
+		c.Floor = 8 * time.Millisecond
+	}
+	if c.HotRequests <= 0 {
+		c.HotRequests = 16384
+	}
+	if c.HotDistinct <= 0 {
+		c.HotDistinct = 16
+	}
+	return c
+}
+
+// LadderReport aggregates the scaling ladder: throughput at 1/2/4
+// backends on floor-bound distinct traffic, the scaling ratios the
+// acceptance gate reads, and the router's own overhead measured on hot
+// cached traffic with no floor at all.
+type LadderReport struct {
+	Config LadderConfig
+	// Scale[i] is the routed run at 1, 2, and 4 backends.
+	Scale [3]*ClusterReport
+	// Scaling2/Scaling4 are Scale[1]/Scale[2] throughput over Scale[0].
+	Scaling2, Scaling4 float64
+	// HotDirect/HotRouted are the floor-0 overhead pair: the same hot
+	// cached traffic against one backend's handler directly and through
+	// the router. RouterOverhead = HotDirect.Throughput / HotRouted.Throughput
+	// (≥1; how many times slower a request gets by crossing the router).
+	HotDirect, HotRouted *ClusterReport
+	RouterOverhead       float64
+}
+
+// String renders the ladder summary for the lplbench CLI.
+func (r *LadderReport) String() string {
+	var b bytes.Buffer
+	for _, rep := range r.Scale {
+		b.WriteString(rep.String())
+	}
+	fmt.Fprintf(&b, "scaling: 2 backends %.2fx, 4 backends %.2fx (vs 1 backend through the same router)\n",
+		r.Scaling2, r.Scaling4)
+	b.WriteString(r.HotDirect.String())
+	b.WriteString(r.HotRouted.String())
+	fmt.Fprintf(&b, "router overhead on hot traffic: %.2fx (direct %.0f req/s vs routed %.0f req/s)\n",
+		r.RouterOverhead, r.HotDirect.Throughput, r.HotRouted.Throughput)
+	return b.String()
+}
+
+// RunClusterLadder performs the five runs of the PR 8 acceptance gate:
+// routed floor-bound traffic at 1, 2, and 4 backends (scaling), and the
+// floor-0 hot pair (router overhead vs direct ServeHTTP).
+func RunClusterLadder(cfg LadderConfig) (*LadderReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &LadderReport{Config: cfg}
+	for i, backends := range [3]int{1, 2, 4} {
+		run, err := RunCluster(ClusterConfig{
+			Backends: backends,
+			Clients:  cfg.Clients,
+			Distinct: cfg.Distinct,
+			N:        cfg.N,
+			Seed:     cfg.Seed,
+			VNodes:   cfg.VNodes,
+			Floor:    cfg.Floor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: scaling run at %d backends: %w", backends, err)
+		}
+		rep.Scale[i] = run
+	}
+	if t1 := rep.Scale[0].Throughput; t1 > 0 {
+		rep.Scaling2 = rep.Scale[1].Throughput / t1
+		rep.Scaling4 = rep.Scale[2].Throughput / t1
+	}
+	hot := ClusterConfig{
+		Backends: 1,
+		Clients:  cfg.Clients,
+		Requests: cfg.HotRequests,
+		Distinct: cfg.HotDistinct,
+		N:        cfg.N,
+		Seed:     cfg.Seed,
+		VNodes:   cfg.VNodes,
+		Floor:    0,
+	}
+	hot.Direct = true
+	direct, err := RunCluster(hot)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hot direct run: %w", err)
+	}
+	hot.Direct = false
+	routed, err := RunCluster(hot)
+	if err != nil {
+		return nil, fmt.Errorf("bench: hot routed run: %w", err)
+	}
+	rep.HotDirect, rep.HotRouted = direct, routed
+	if routed.Throughput > 0 {
+		rep.RouterOverhead = direct.Throughput / routed.Throughput
+	}
+	return rep, nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// A tiny routed run: every request lands somewhere, nothing errors, and
+// the per-backend counters account for all the distinct solves.
+func TestRunClusterRouted(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		Backends: 2,
+		Clients:  8,
+		Distinct: 32,
+		N:        16,
+		Floor:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("routed run had %d errors", rep.Errors)
+	}
+	if rep.Requests != 32 || rep.Mode != "router" {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	var solved int64
+	for _, s := range rep.PerBackendSolved {
+		solved += s
+	}
+	if solved != 32 {
+		t.Errorf("backends solved %d total, want 32 (one per distinct instance)", solved)
+	}
+	// Routed traffic always lands on the owner, so the L2 never fires.
+	if rep.L2Served != 0 || rep.L2Fallbacks != 0 {
+		t.Errorf("routed traffic touched the L2: served=%d fallbacks=%d", rep.L2Served, rep.L2Fallbacks)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Errorf("implausible latency percentiles: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+	if rep.Router.Proxied == 0 {
+		t.Error("router proxied counter is zero")
+	}
+}
+
+// Direct mode is the router-overhead baseline: same backend handler, no
+// routing layer in front.
+func TestRunClusterDirect(t *testing.T) {
+	rep, err := RunCluster(ClusterConfig{
+		Backends: 1,
+		Clients:  4,
+		Distinct: 8,
+		Requests: 64,
+		N:        16,
+		Direct:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Mode != "direct" {
+		t.Fatalf("direct run: errors=%d mode=%q", rep.Errors, rep.Mode)
+	}
+	if rep.PerBackendSolved["b0"] != 64 {
+		t.Errorf("direct backend solved %d, want all 64 requests", rep.PerBackendSolved["b0"])
+	}
+	if _, err := RunCluster(ClusterConfig{Backends: 2, Direct: true}); err == nil {
+		t.Error("direct mode with 2 backends must be rejected")
+	}
+}

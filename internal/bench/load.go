@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,9 @@ type LoadReport struct {
 	Errors     int    // non-200 responses
 	Elapsed    time.Duration
 	Throughput float64 // successful requests per second of wall time
+	// Tail latency across all measured requests (success or not): the
+	// numbers a throughput claim needs alongside it.
+	P50, P95, P99 time.Duration
 	// BytesPerReq is the request-body bytes on the wire per measured
 	// request (averaged over the cycled bodies) — the number the graphRef
 	// and binary modes exist to shrink.
@@ -99,6 +103,8 @@ func (r *LoadReport) String() string {
 		r.Mode, r.Requests, r.Distinct, r.N, r.Clients)
 	fmt.Fprintf(&b, "  wall time    %v\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  throughput   %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "  latency      p50 %v  p95 %v  p99 %v\n",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 	fmt.Fprintf(&b, "  wire         %.0f bytes/req\n", r.BytesPerReq)
 	fmt.Fprintf(&b, "  errors       %d\n", r.Errors)
 	fmt.Fprintf(&b, "  solved       %d  failed %d  rejected %d\n",
@@ -250,6 +256,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	var next atomic.Int64
 	var errs atomic.Int64
 	var wg sync.WaitGroup
+	latencies := make([]int64, cfg.Requests)
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -268,7 +275,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				}
 				req.Header.Set("Content-Type", contentType)
 				var w nullResponseWriter
+				t0 := time.Now()
 				handler.ServeHTTP(&w, req)
+				latencies[i] = time.Since(t0).Nanoseconds()
 				if w.status != http.StatusOK {
 					errs.Add(1)
 				}
@@ -300,8 +309,30 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		BytesPerReq: float64(totalBytes) / float64(len(bodies)),
 		Stats:       st,
 	}
+	rep.P50, rep.P95, rep.P99 = percentiles(latencies)
 	if ok := cfg.Requests - rep.Errors; ok > 0 && elapsed > 0 {
 		rep.Throughput = float64(ok) / elapsed.Seconds()
 	}
 	return rep, nil
+}
+
+// percentiles sorts a slice of per-request nanosecond latencies (in
+// place) and reads off the p50/p95/p99 marks by the nearest-rank rule.
+func percentiles(ns []int64) (p50, p95, p99 time.Duration) {
+	if len(ns) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) time.Duration {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return time.Duration(sorted[i])
+	}
+	return at(0.50), at(0.95), at(0.99)
 }

@@ -1,0 +1,33 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/ in
+// front of h. Both lplserve and lplrouter gate it behind their -pprof
+// flag, so cluster runs can be profiled on demand without ever exposing
+// debug handlers by default (and without touching http.DefaultServeMux).
+func WithPprof(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			h.ServeHTTP(w, r)
+			return
+		}
+		switch r.URL.Path {
+		case "/debug/pprof/cmdline":
+			pprof.Cmdline(w, r)
+		case "/debug/pprof/profile":
+			pprof.Profile(w, r)
+		case "/debug/pprof/symbol":
+			pprof.Symbol(w, r)
+		case "/debug/pprof/trace":
+			pprof.Trace(w, r)
+		default:
+			// Index also serves the named profiles (heap, goroutine, …).
+			pprof.Index(w, r)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Doer is the transport seam between the routing layer and a backend: a
+// single round trip of one *http.Request. The in-process harness backs
+// it with a live handler (HandlerDoer) and the real binaries with an
+// HTTP client (HTTPDoer), so the Router, PeerFill, and every test run
+// the same code against both. A Doer error means the transport failed
+// (backend dead, connection refused) — the signal that triggers the
+// ring-successor retry; an HTTP error status is a response, not an
+// error.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Backend pairs a ring member name with its transport.
+type Backend struct {
+	Name string
+	Doer Doer
+}
+
+// HandlerDoer serves requests by calling an http.Handler directly — no
+// sockets, no client stack. Responses are buffered in full (the bench
+// harness and tests trade streaming for determinism).
+type HandlerDoer struct {
+	Handler http.Handler
+}
+
+func (d HandlerDoer) Do(req *http.Request) (*http.Response, error) {
+	rec := &bufferedResponse{header: http.Header{}}
+	d.Handler.ServeHTTP(rec, req)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Status:        http.StatusText(status),
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.buf.Bytes())),
+		ContentLength: int64(rec.buf.Len()),
+		Request:       req,
+	}, nil
+}
+
+// bufferedResponse is the minimal ResponseWriter behind HandlerDoer.
+type bufferedResponse struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func (w *bufferedResponse) Header() http.Header { return w.header }
+
+func (w *bufferedResponse) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.buf.Write(p)
+}
+
+func (w *bufferedResponse) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+}
+
+// Flush satisfies http.Flusher so streamed NDJSON handlers behave as
+// they do over a real connection; buffered output needs no action.
+func (w *bufferedResponse) Flush() {}
+
+// HTTPDoer sends requests to a real backend at Base (scheme://host),
+// preserving the request's path, query, body, and headers.
+type HTTPDoer struct {
+	Base   string
+	Client *http.Client
+}
+
+func (d HTTPDoer) Do(req *http.Request) (*http.Response, error) {
+	base, err := url.Parse(strings.TrimSuffix(d.Base, "/"))
+	if err != nil {
+		return nil, err
+	}
+	out := req.Clone(req.Context())
+	out.URL.Scheme = base.Scheme
+	out.URL.Host = base.Host
+	out.URL.Path = base.Path + req.URL.Path
+	out.RequestURI = "" // client requests must not set it
+	client := d.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return client.Do(out)
+}

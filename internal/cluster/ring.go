@@ -1,0 +1,176 @@
+// Package cluster scales lplserve past one process: a consistent-hash
+// ring maps every graph fingerprint to the one backend that owns it, a
+// Router proxies /v1/solve, /v1/batch items, and /v1/graphs to the
+// owner, and PeerFill plugs into internal/core's L2 cache interface so
+// a frontend that misses its local L1 consults the owning node before
+// solving — turning a cluster-wide thundering herd for one hot
+// (graph, p, options) key into exactly one underlying solve.
+//
+// GraphRef affinity is the organizing idea: the ring is keyed by the
+// graph's 32-hex fingerprint ref alone (not the full cache key), so
+// every (p, options) variant of one graph — its solve-cache entries,
+// its interned body, and its in-flight singleflight state — lives on
+// exactly one node, and a graphRef interned through the Router is
+// always interned where later solves of it will land.
+//
+// The package layers strictly above internal/core and internal/service
+// (service never imports cluster); the in-process bench harness and the
+// real lplrouter binary share every code path here through the Doer
+// seam in doer.go.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member: enough points
+// that key ownership splits near-evenly across a handful of backends,
+// cheap enough that ring construction is trivial.
+const DefaultVNodes = 128
+
+// RingConfig shapes a consistent-hash ring.
+type RingConfig struct {
+	// Members are the backend names (free-form, typically base URLs or
+	// bench labels). Order does not matter: placement depends only on
+	// the set of names, the seed, and the vnode count.
+	Members []string
+	// VNodes is the virtual-node count per member (default DefaultVNodes).
+	VNodes int
+	// Seed perturbs every placement hash. Two processes given the same
+	// members, vnodes, and seed compute the identical ring — the
+	// property that lets every frontend route without coordination.
+	Seed uint64
+}
+
+// Ring is an immutable consistent-hash ring. Membership changes build a
+// new Ring (NewRing with the new member set) and swap it in atomically;
+// consistent hashing guarantees only ~1/N of the key space changes
+// owners when one of N members joins or leaves.
+type Ring struct {
+	cfg    RingConfig
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds the ring. It errors on an empty or duplicate member
+// set — both would make Owner lie silently.
+func NewRing(cfg RingConfig) (*Ring, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(cfg.Members))
+	r := &Ring{cfg: cfg, points: make([]ringPoint, 0, len(cfg.Members)*cfg.VNodes)}
+	for _, m := range cfg.Members {
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", m)
+		}
+		seen[m] = true
+		for v := 0; v < cfg.VNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: placementHash(cfg.Seed, m, v), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between vnodes is vanishingly unlikely, but
+		// the tiebreak must still be deterministic across processes.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the member set (copy, construction order).
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.cfg.Members...)
+}
+
+// Owner maps a key — canonically a graph's 32-hex fingerprint ref — to
+// the member owning it: the first vnode at or clockwise after the key's
+// point on the ring.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.ownerIdx(key)].member
+}
+
+// Successors returns up to max distinct members in ring order starting
+// at the key's owner — the retry chain for a dead backend: the owner
+// first, then each next-distinct ring node.
+func (r *Ring) Successors(key string, max int) []string {
+	if max > len(r.cfg.Members) {
+		max = len(r.cfg.Members)
+	}
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i, start := 0, r.ownerIdx(key); i < len(r.points) && len(out) < max; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (r *Ring) ownerIdx(key string) int {
+	h := keyHash(r.cfg.Seed, key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest vnode
+	}
+	return i
+}
+
+// placementHash positions one virtual node: FNV-1a over the seed, the
+// member name, and the vnode index, finished with a splitmix64 mix so
+// structured names (b0, b1, …) still scatter uniformly.
+func placementHash(seed uint64, member string, vnode int) uint64 {
+	h := fnvSeed(seed)
+	for i := 0; i < len(member); i++ {
+		h = (h ^ uint64(member[i])) * fnvPrime
+	}
+	h = (h ^ uint64(vnode)) * fnvPrime
+	return mix64(h)
+}
+
+// keyHash positions a key between vnodes, under the same seed so rings
+// agree across processes.
+func keyHash(seed uint64, key string) uint64 {
+	h := fnvSeed(seed)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * fnvPrime
+	}
+	return mix64(h)
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvSeed(seed uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (seed & 0xff)) * fnvPrime
+		seed >>= 8
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that
+// decorrelates the FNV lattice.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/intern"
+	"lpltsp/internal/rng"
+)
+
+func testKeys(n int) []string {
+	r := rng.New(7)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = intern.Ref(graph.RandomSmallDiameter(r, 12+i%8, 3, 0.2))
+	}
+	return keys
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("b%d", i)
+	}
+	return out
+}
+
+// Same members + seed + vnodes ⇒ bit-identical placement, regardless of
+// the order members are listed in — the property that lets every
+// frontend and the router compute ownership without coordination.
+func TestRingDeterministic(t *testing.T) {
+	keys := testKeys(512)
+	a, err := NewRing(RingConfig{Members: members(4), Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(RingConfig{Members: []string{"b3", "b1", "b0", "b2"}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("placement differs for %s: %s vs %s", k, ao, bo)
+		}
+	}
+	// A different seed must produce a genuinely different placement.
+	c, err := NewRing(RingConfig{Members: members(4), Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for _, k := range keys {
+		if a.Owner(k) == c.Owner(k) {
+			same++
+		}
+	}
+	if same == len(keys) {
+		t.Fatalf("seed change left all %d placements identical", len(keys))
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	ring, err := NewRing(RingConfig{Members: members(4), Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(2000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[ring.Owner(k)]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys (want a rough quarter)", m, 100*frac)
+		}
+	}
+}
+
+// Adding (or removing) one of N members must move only about 1/(N+1)
+// (resp. 1/N) of the key space — the consistent-hashing contract; a
+// modulo-style scheme would move nearly all of it.
+func TestRingMinimalRemap(t *testing.T) {
+	keys := testKeys(2000)
+	four, err := NewRing(RingConfig{Members: members(4), Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := NewRing(RingConfig{Members: members(5), Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		of, ov := four.Owner(k), five.Owner(k)
+		if of != ov {
+			moved++
+			// Every moved key must have moved TO the new member; a key
+			// hopping between surviving members would be gratuitous churn.
+			if ov != "b4" {
+				t.Fatalf("key %s moved %s→%s, not to the new member", k, of, ov)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.05 || frac > 0.40 {
+		t.Errorf("adding 1 of 4 members moved %.1f%% of keys (want ~20%%)", 100*frac)
+	}
+	// Removal is the same comparison read backwards: keys that four owns
+	// on b3 must be the only ones three places elsewhere.
+	three, err := NewRing(RingConfig{Members: members(3), Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if four.Owner(k) != "b3" && three.Owner(k) != four.Owner(k) {
+			t.Fatalf("key %s not owned by the removed member changed owner %s→%s",
+				k, four.Owner(k), three.Owner(k))
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	ring, err := NewRing(RingConfig{Members: members(4), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKeys(1)[0]
+	succ := ring.Successors(key, 10)
+	if len(succ) != 4 {
+		t.Fatalf("Successors returned %d members, want all 4", len(succ))
+	}
+	if succ[0] != ring.Owner(key) {
+		t.Fatalf("first successor %s is not the owner %s", succ[0], ring.Owner(key))
+	}
+	seen := map[string]bool{}
+	for _, m := range succ {
+		if seen[m] {
+			t.Fatalf("duplicate member %s in successor chain %v", m, succ)
+		}
+		seen[m] = true
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(RingConfig{}); err == nil {
+		t.Error("empty member set accepted")
+	}
+	if _, err := NewRing(RingConfig{Members: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+}

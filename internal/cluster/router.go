@@ -1,0 +1,481 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/intern"
+	"lpltsp/internal/service"
+)
+
+// Router is the graphRef-affine front door of a cluster: it computes
+// each request's graph fingerprint, maps it through the ring to the
+// owning backend, and proxies the request there verbatim — so one
+// graph's interned body, cache entries, and singleflight state all
+// accumulate on a single node. Backend semantics pass through
+// untouched: a 429 (admission full), 408 (deadline), or 422 (method
+// not applicable) from the owner is the client's answer. Only a
+// transport failure — the backend is dead, not busy — moves an
+// idempotent request to the next distinct ring node.
+//
+// Endpoints: POST /v1/solve and /v1/graphs and HEAD /v1/graphs/{ref}
+// route by fingerprint (with dead-backend retry); POST /v1/batch is
+// split into per-owner sub-batches whose NDJSON streams are merged
+// (ids correlate lines, exactly as on a single node); GET /v1/stats
+// reports the router's own counters; /healthz is the router's
+// liveness and /readyz aggregates the backends'.
+type Router struct {
+	ring     atomic.Pointer[Ring]
+	backends map[string]Backend
+	mux      *http.ServeMux
+	maxBody  int64
+
+	proxied      atomic.Int64
+	retries      atomic.Int64
+	deadBackends atomic.Int64
+	splitBatches atomic.Int64
+	perBackend   map[string]*atomic.Int64
+}
+
+const defaultRouterMaxBody = 64 << 20
+
+// NewRouter builds a router over the given backends. cfg.Members
+// defaults to the backend names in the given order; naming a member
+// with no matching backend is an error (the ring would assign keys to
+// a node the router cannot reach).
+func NewRouter(backends []Backend, cfg RingConfig) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one backend")
+	}
+	byName := make(map[string]Backend, len(backends))
+	names := make([]string, len(backends))
+	for i, b := range backends {
+		if _, dup := byName[b.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", b.Name)
+		}
+		byName[b.Name] = b
+		names[i] = b.Name
+	}
+	if len(cfg.Members) == 0 {
+		cfg.Members = names
+	}
+	for _, m := range cfg.Members {
+		if _, ok := byName[m]; !ok {
+			return nil, fmt.Errorf("cluster: ring member %q has no backend", m)
+		}
+	}
+	ring, err := NewRing(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		backends:   byName,
+		mux:        http.NewServeMux(),
+		maxBody:    defaultRouterMaxBody,
+		perBackend: make(map[string]*atomic.Int64, len(backends)),
+	}
+	for _, b := range backends {
+		rt.perBackend[b.Name] = new(atomic.Int64)
+	}
+	rt.ring.Store(ring)
+	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
+	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("POST /v1/graphs", rt.handleGraphs)
+	rt.mux.HandleFunc("HEAD /v1/graphs/{ref}", rt.handleGraphHead)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Ring returns the current ring (membership changes swap it atomically
+// via SetRing).
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+// SetRing installs a new ring — the membership-change path. Every
+// member must name a backend the router was built with.
+func (rt *Router) SetRing(ring *Ring) error {
+	for _, m := range ring.Members() {
+		if _, ok := rt.backends[m]; !ok {
+			return fmt.Errorf("cluster: ring member %q has no backend", m)
+		}
+	}
+	rt.ring.Store(ring)
+	return nil
+}
+
+func (rt *Router) routerError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(service.SolveResponse{Code: "router", Error: fmt.Sprintf(format, args...)})
+}
+
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		rt.routerError(w, status, "reading request body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// solveRef extracts the routing key from a /v1/solve body without fully
+// validating it: the graphRef when the request names one, otherwise the
+// inline graph's fingerprint. The body is forwarded verbatim either
+// way — the owner performs real validation.
+func solveRef(r *http.Request, body []byte) (string, error) {
+	if strings.HasPrefix(strings.ToLower(r.Header.Get("Content-Type")), graph.BinaryContentType) {
+		g, _, err := graph.DecodeBinary(body)
+		if err != nil {
+			return "", fmt.Errorf("bad graph frame: %w", err)
+		}
+		return intern.Ref(g), nil
+	}
+	var req struct {
+		Graph    *graph.Graph `json:"graph"`
+		GraphRef string       `json:"graphRef"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("bad request body: %w", err)
+	}
+	switch {
+	case req.GraphRef != "":
+		if !intern.ValidRef(req.GraphRef) {
+			return "", fmt.Errorf("malformed graphRef %q", req.GraphRef)
+		}
+		return req.GraphRef, nil
+	case req.Graph != nil:
+		return intern.Ref(req.Graph), nil
+	default:
+		return "", fmt.Errorf("request names neither graph nor graphRef")
+	}
+}
+
+// forward proxies one buffered request to the key's owner, walking the
+// ring's successor chain past dead backends when retry is set (safe
+// only for idempotent requests). The first live backend's response —
+// whatever its status — is the client's response.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte, retry bool) {
+	ring := rt.ring.Load()
+	chain := ring.Successors(key, len(ring.Members()))
+	if !retry {
+		chain = chain[:1]
+	}
+	var lastErr error
+	for i, name := range chain {
+		if i > 0 {
+			rt.retries.Add(1)
+		}
+		resp, err := rt.doBackend(r, name, body)
+		if err != nil {
+			rt.deadBackends.Add(1)
+			lastErr = err
+			continue
+		}
+		rt.relay(w, resp)
+		return
+	}
+	rt.routerError(w, http.StatusBadGateway, "no live backend for key %s: %v", key, lastErr)
+}
+
+// doBackend performs one buffered round trip to a named backend,
+// cloning the original request's method, path, and headers.
+func (rt *Router) doBackend(r *http.Request, name string, body []byte) (*http.Response, error) {
+	b, ok := rt.backends[name]
+	if !ok {
+		return nil, fmt.Errorf("no backend %q", name)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, "http://backend"+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	resp, err := b.Doer.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	rt.proxied.Add(1)
+	rt.perBackend[name].Add(1)
+	return resp, nil
+}
+
+// relay copies a backend response — status, headers, body — to the
+// client untouched, preserving 429/408/422 semantics end to end.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	ref, err := solveRef(r, body)
+	if err != nil {
+		rt.routerError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Solves are idempotent: retrying one on the next ring node after a
+	// transport failure at worst recomputes a result.
+	rt.forward(w, r, ref, body, true)
+}
+
+// handleGraphs interns through the ring: the router parses the body
+// exactly far enough to fingerprint it, then forwards the original
+// bytes to the owner — so a graph is always interned on the node where
+// later graphRef solves of it will land. Interning is idempotent, so
+// dead-backend retry applies.
+func (rt *Router) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var g *graph.Graph
+	switch ct := strings.ToLower(r.Header.Get("Content-Type")); {
+	case strings.HasPrefix(ct, graph.BinaryContentType):
+		dec, _, err := graph.DecodeBinary(body)
+		if err != nil {
+			rt.routerError(w, http.StatusBadRequest, "bad graph frame: %v", err)
+			return
+		}
+		g = dec
+	case strings.HasPrefix(ct, "text/"):
+		dec, err := graph.Read(bytes.NewReader(body))
+		if err != nil {
+			rt.routerError(w, http.StatusBadRequest, "bad graph document: %v", err)
+			return
+		}
+		g = dec
+	default:
+		g = new(graph.Graph)
+		if err := g.UnmarshalJSON(body); err != nil {
+			rt.routerError(w, http.StatusBadRequest, "bad graph body: %v", err)
+			return
+		}
+	}
+	rt.forward(w, r, intern.Ref(g), body, true)
+}
+
+func (rt *Router) handleGraphHead(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("ref")
+	if !intern.ValidRef(ref) {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	rt.forward(w, r, ref, nil, true)
+}
+
+// handleBatch splits a batch by item ownership. A batch whose items all
+// live on one backend is forwarded verbatim; a mixed batch becomes one
+// sub-batch per owner, solved concurrently, with the NDJSON streams
+// concatenated — ids correlate lines, exactly as on a single node,
+// where completion order is already arbitrary. Batches are not retried
+// on dead backends (the stream is not idempotent once partially
+// delivered); a sub-batch that cannot be delivered reports its items as
+// error lines instead.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req service.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.routerError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		rt.routerError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	ring := rt.ring.Load()
+	owners := make(map[string][]int)
+	order := make([]string, 0, 4)
+	for i := range req.Items {
+		it := &req.Items[i]
+		var ref string
+		switch {
+		case it.GraphRef != "":
+			if !intern.ValidRef(it.GraphRef) {
+				rt.routerError(w, http.StatusBadRequest, "item %d: malformed graphRef %q", i, it.GraphRef)
+				return
+			}
+			ref = it.GraphRef
+		case it.Graph != nil:
+			ref = intern.Ref(it.Graph)
+		default:
+			rt.routerError(w, http.StatusBadRequest, "item %d names neither graph nor graphRef", i)
+			return
+		}
+		owner := ring.Owner(ref)
+		if _, seen := owners[owner]; !seen {
+			order = append(order, owner)
+		}
+		owners[owner] = append(owners[owner], i)
+	}
+	if len(order) == 1 {
+		rt.forward(w, r, "", body, false) // single owner: pure passthrough
+		return
+	}
+	rt.splitBatches.Add(1)
+
+	type part struct {
+		status int
+		body   []byte
+		items  []int
+		err    error
+	}
+	parts := make([]part, len(order))
+	var wg sync.WaitGroup
+	for pi, owner := range order {
+		pi, owner := pi, owner
+		idxs := owners[owner]
+		sub := service.BatchRequest{Options: req.Options, Workers: req.Workers,
+			Items: make([]service.SolveRequest, len(idxs))}
+		for j, idx := range idxs {
+			sub.Items[j] = req.Items[idx]
+		}
+		sb, err := json.Marshal(sub)
+		if err != nil {
+			rt.routerError(w, http.StatusInternalServerError, "re-marshal sub-batch: %v", err)
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[pi].items = idxs
+			resp, err := rt.doBackend(r, owner, sb)
+			if err != nil {
+				parts[pi].err = err
+				return
+			}
+			defer resp.Body.Close()
+			parts[pi].status = resp.StatusCode
+			parts[pi].body, parts[pi].err = io.ReadAll(resp.Body)
+		}()
+	}
+	wg.Wait()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for pi := range parts {
+		p := &parts[pi]
+		switch {
+		case p.err == nil && p.status == http.StatusOK:
+			w.Write(p.body)
+		case p.err == nil:
+			// The owner rejected its whole sub-batch (429, 400, …): its
+			// body is one JSON error object; report it per item so the
+			// client's id-correlated stream stays complete.
+			var rej service.SolveResponse
+			json.Unmarshal(p.body, &rej)
+			for _, idx := range p.items {
+				enc.Encode(service.SolveResponse{ID: req.Items[idx].ID, Code: rej.Code,
+					Error: fmt.Sprintf("backend rejected sub-batch (status %d): %s", p.status, rej.Error)})
+			}
+		default:
+			rt.deadBackends.Add(1)
+			for _, idx := range p.items {
+				enc.Encode(service.SolveResponse{ID: req.Items[idx].ID, Code: "router",
+					Error: fmt.Sprintf("backend unreachable: %v", p.err)})
+			}
+		}
+	}
+}
+
+// RouterStats is the body of the router's GET /v1/stats.
+type RouterStats struct {
+	// Members and ring geometry currently routing.
+	Members []string `json:"members"`
+	VNodes  int      `json:"vnodes"`
+	Seed    uint64   `json:"seed"`
+	// Proxied counts backend round trips; PerBackend splits them by
+	// member. Retries counts successor attempts after a transport
+	// failure; DeadBackends counts the failures themselves.
+	// SplitBatches counts batches fanned out to more than one owner.
+	Proxied      int64            `json:"proxied"`
+	Retries      int64            `json:"retries"`
+	DeadBackends int64            `json:"deadBackends"`
+	SplitBatches int64            `json:"splitBatches"`
+	PerBackend   map[string]int64 `json:"perBackend"`
+}
+
+// Stats snapshots the router's counters.
+func (rt *Router) Stats() RouterStats {
+	ring := rt.ring.Load()
+	st := RouterStats{
+		Members:      ring.Members(),
+		VNodes:       ring.cfg.VNodes,
+		Seed:         ring.cfg.Seed,
+		Proxied:      rt.proxied.Load(),
+		Retries:      rt.retries.Load(),
+		DeadBackends: rt.deadBackends.Load(),
+		SplitBatches: rt.splitBatches.Load(),
+		PerBackend:   make(map[string]int64, len(rt.perBackend)),
+	}
+	for name, c := range rt.perBackend {
+		st.PerBackend[name] = c.Load()
+	}
+	return st
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rt.Stats())
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+// handleReady aggregates the backends: the router is ready exactly when
+// every current ring member answers 200 on its own /readyz.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	type notReady struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason,omitempty"`
+	}
+	for _, name := range rt.ring.Load().Members() {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, "http://backend/readyz", nil)
+		if err != nil {
+			continue
+		}
+		resp, derr := rt.backends[name].Doer.Do(req)
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			reason := fmt.Sprintf("backend %s unreachable", name)
+			if derr == nil {
+				resp.Body.Close()
+				reason = fmt.Sprintf("backend %s not ready (status %d)", name, resp.StatusCode)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(notReady{Reason: reason})
+			return
+		}
+		resp.Body.Close()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(notReady{Ready: true})
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lpltsp/internal/core"
+	"lpltsp/internal/graph"
+	"lpltsp/internal/intern"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/service"
+)
+
+// newTestCluster boots n live lplserve handlers, each with an isolated
+// solve cache, optionally wired together with peer-fill L2s, behind one
+// router — the whole cluster in-process, no sockets.
+func newTestCluster(t *testing.T, n int, seed uint64, peerFill bool) (*Router, []*service.Server, []*core.SolveCache) {
+	t.Helper()
+	backends := make([]Backend, n)
+	caches := make([]*core.SolveCache, n)
+	servers := make([]*service.Server, n)
+	for i := range backends {
+		caches[i] = core.NewSolveCache(256)
+		servers[i] = service.NewServer(&service.Config{Cache: caches[i]})
+		backends[i] = Backend{Name: fmt.Sprintf("b%d", i), Doer: HandlerDoer{Handler: servers[i]}}
+	}
+	if peerFill {
+		for i := range backends {
+			pf, err := NewPeerFill(backends[i].Name, backends, RingConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			caches[i].SetL2(pf)
+		}
+	}
+	rt, err := NewRouter(backends, RingConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, servers, caches
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, "http://cluster"+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := HandlerDoer{Handler: h}.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// One graph's intern POST and every later graphRef solve of it must all
+// land on the single owning backend.
+func TestRouterGraphRefAffinity(t *testing.T) {
+	rt, _, _ := newTestCluster(t, 3, 11, false)
+	g := graph.RandomSmallDiameter(rng.New(3), 24, 3, 0.2)
+	gb, _ := json.Marshal(g)
+	resp, body := doJSON(t, rt, http.MethodPost, "/v1/graphs", gb)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("intern via router: status %d: %s", resp.StatusCode, body)
+	}
+	var gr service.GraphsResponse
+	if err := json.Unmarshal(body, &gr); err != nil {
+		t.Fatal(err)
+	}
+	owner := rt.Ring().Owner(gr.GraphRef)
+
+	// Pin the cheap first-fit method: this test is about routing, not
+	// solver wall time.
+	sb, _ := json.Marshal(service.SolveRequest{GraphRef: gr.GraphRef, P: labeling.Vector{2, 2, 1},
+		Options: &service.WireOptions{Method: "greedy"}})
+	for i := 0; i < 3; i++ {
+		resp, body := doJSON(t, rt, http.MethodPost, "/v1/solve", sb)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d via router: status %d: %s", i, resp.StatusCode, body)
+		}
+		var sr service.SolveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && !sr.CacheHit {
+			t.Errorf("repeat solve %d not a cache hit — requests not landing on one backend?", i)
+		}
+	}
+	st := rt.Stats()
+	for name, c := range st.PerBackend {
+		want := int64(0)
+		if name == owner {
+			want = 4 // 1 intern + 3 solves
+		}
+		if c != want {
+			t.Errorf("backend %s handled %d requests, want %d (owner %s)", name, c, want, owner)
+		}
+	}
+
+	// HEAD routes by the same ref: present at the owner, so 200 through
+	// the router, with the size headers intact.
+	req, _ := http.NewRequest(http.MethodHead, "http://cluster/v1/graphs/"+gr.GraphRef, nil)
+	hresp, err := HandlerDoer{Handler: rt}.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD interned ref via router: status %d", hresp.StatusCode)
+	}
+	if hresp.Header.Get("X-Lpl-N") != fmt.Sprint(g.N()) {
+		t.Errorf("HEAD X-Lpl-N = %q, want %d", hresp.Header.Get("X-Lpl-N"), g.N())
+	}
+}
+
+// Backend semantics pass through the router untouched: a pinned method
+// whose hypotheses fail is the client's 422, not a router error.
+func TestRouterPassesThroughBackendStatus(t *testing.T) {
+	rt, _, _ := newTestCluster(t, 2, 5, false)
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3) // disconnected: the reduction's hypotheses fail
+	body, _ := json.Marshal(service.SolveRequest{Graph: g, P: labeling.Vector{2, 1},
+		Options: &service.WireOptions{Method: "reduction"}})
+	resp, rb := doJSON(t, rt, http.MethodPost, "/v1/solve", body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("pinned inapplicable method via router: status %d, want 422: %s", resp.StatusCode, rb)
+	}
+}
+
+type deadDoer struct{}
+
+func (deadDoer) Do(*http.Request) (*http.Response, error) {
+	return nil, errors.New("connection refused")
+}
+
+// A dead backend moves an idempotent solve to the next distinct ring
+// node instead of failing the request.
+func TestRouterRetriesDeadBackend(t *testing.T) {
+	live := service.NewServer(&service.Config{Cache: core.NewSolveCache(64)})
+	backends := []Backend{
+		{Name: "b0", Doer: deadDoer{}},
+		{Name: "b1", Doer: HandlerDoer{Handler: live}},
+	}
+	rt, err := NewRouter(backends, RingConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an instance the dead backend owns, so the request must hop.
+	r := rng.New(9)
+	var g *graph.Graph
+	for {
+		g = graph.RandomSmallDiameter(r, 16, 3, 0.2)
+		if rt.Ring().Owner(intern.Ref(g)) == "b0" {
+			break
+		}
+	}
+	body, _ := json.Marshal(service.SolveRequest{Graph: g, P: labeling.Vector{2, 2, 1}})
+	resp, rb := doJSON(t, rt, http.MethodPost, "/v1/solve", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve owned by dead backend: status %d, want 200 via retry: %s", resp.StatusCode, rb)
+	}
+	st := rt.Stats()
+	if st.Retries < 1 || st.DeadBackends < 1 {
+		t.Errorf("retry counters: retries=%d deadBackends=%d, want ≥1 each", st.Retries, st.DeadBackends)
+	}
+	if st.PerBackend["b1"] != 1 {
+		t.Errorf("live backend handled %d requests, want 1", st.PerBackend["b1"])
+	}
+}
+
+// A batch whose items live on different owners is split per owner and
+// the streams merged: every item comes back exactly once, by id.
+func TestRouterSplitsBatchByOwner(t *testing.T) {
+	rt, _, _ := newTestCluster(t, 2, 7, false)
+	r := rng.New(21)
+	var gs []*graph.Graph
+	seen := map[string]bool{}
+	for len(seen) < 2 || len(gs) < 4 {
+		g := graph.RandomSmallDiameter(r, 16, 3, 0.2)
+		gs = append(gs, g)
+		seen[rt.Ring().Owner(intern.Ref(g))] = true
+	}
+	req := service.BatchRequest{}
+	for i, g := range gs {
+		req.Items = append(req.Items, service.SolveRequest{
+			ID: fmt.Sprintf("item-%d", i), Graph: g, P: labeling.Vector{2, 2, 1}})
+	}
+	body, _ := json.Marshal(req)
+	resp, rb := doJSON(t, rt, http.MethodPost, "/v1/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("split batch: status %d: %s", resp.StatusCode, rb)
+	}
+	got := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(rb)), "\n") {
+		var sr service.SolveResponse
+		if err := json.Unmarshal([]byte(line), &sr); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if sr.Error != "" {
+			t.Errorf("item %s failed: %s", sr.ID, sr.Error)
+		}
+		if got[sr.ID] {
+			t.Errorf("item %s delivered twice", sr.ID)
+		}
+		got[sr.ID] = true
+	}
+	if len(got) != len(gs) {
+		t.Errorf("got %d result lines, want %d", len(got), len(gs))
+	}
+	if rt.Stats().SplitBatches != 1 {
+		t.Errorf("splitBatches = %d, want 1", rt.Stats().SplitBatches)
+	}
+}
+
+func TestWithPprofGatesDebugHandlers(t *testing.T) {
+	rt, _, _ := newTestCluster(t, 1, 1, false)
+	// Bare router: no debug surface.
+	req, _ := http.NewRequest(http.MethodGet, "http://cluster/debug/pprof/", nil)
+	resp, err := HandlerDoer{Handler: rt}.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/debug/pprof/ served without the -pprof gate")
+	}
+	// Wrapped: the index answers, the app routes still work.
+	wrapped := WithPprof(rt)
+	resp, err = HandlerDoer{Handler: wrapped}.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ behind WithPprof: status %d", resp.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodGet, "http://cluster/healthz", nil)
+	resp, err = HandlerDoer{Handler: wrapped}.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz through WithPprof: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// ParseBackends turns a CLI backend spec — comma-separated name=url
+// pairs, e.g. "b0=http://10.0.0.1:8080,b1=http://10.0.0.2:8080" — into
+// HTTP-backed Backends. Names are explicit rather than derived from the
+// URL on purpose: the ring hashes member NAMES, so every process in the
+// cluster (router, each lplserve -peers node) must be configured with
+// the same name set or placement diverges. URLs must be absolute
+// http(s).
+func ParseBackends(spec string) ([]Backend, error) {
+	var backends []Backend
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, base, ok := strings.Cut(part, "=")
+		if !ok || name == "" || base == "" {
+			return nil, fmt.Errorf("cluster: backend %q: want name=url", part)
+		}
+		u, err := url.Parse(base)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: backend %q: url must be absolute http(s)", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate backend name %q", name)
+		}
+		seen[name] = true
+		backends = append(backends, Backend{Name: name, Doer: HTTPDoer{Base: base}})
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("cluster: empty backend spec")
+	}
+	return backends, nil
+}

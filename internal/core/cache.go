@@ -28,9 +28,16 @@ const (
 	cacheShardCount = 1 << cacheShardBits
 )
 
-// solveCache is a sharded LRU memoizing verified solve results, fronted
+// SolveCache is a sharded LRU memoizing verified solve results, fronted
 // by a singleflight layer (singleflight.go) that coalesces concurrent
-// identical requests into one underlying solve.
+// identical requests into one underlying solve, and optionally backed by
+// a pluggable L2 cache (l2.go) consulted on L1 miss before solving.
+//
+// The process-wide default instance serves every Solve/SolveBatch/
+// Portfolio call whose Options carry no explicit cache; an isolated
+// instance (NewSolveCache, Options.Cache) gives one serving node its own
+// L1 + singleflight state — the multi-node in-process cluster harness in
+// internal/bench runs one per backend, exactly like one per OS process.
 //
 // Memory model: entries are stored as deep copies (labeling and tour
 // slices cloned) and handed out as deep copies, so a cached Result never
@@ -41,14 +48,26 @@ const (
 // shard lock: the critical section is a map lookup plus an LRU pointer
 // move. The immutable provenance (Plan, Stats) is shared between copies
 // by design.
-type solveCache struct {
+type SolveCache struct {
 	// gen is the current shard generation; reset and capacity changes
 	// swap in a fresh one atomically instead of locking readers out.
 	gen       atomic.Pointer[cacheGen]
 	resetMu   sync.Mutex
 	flights   flightTable
 	coalesced atomic.Int64
+
+	// l2 is the optional second cache tier (SetL2); flight leaders
+	// consult it on L1 miss before solving locally. The counters below
+	// classify those consults for CacheStats.
+	l2          atomic.Pointer[l2Box]
+	l2Served    atomic.Int64
+	l2PeerHits  atomic.Int64
+	l2Fallbacks atomic.Int64
 }
+
+// l2Box wraps the interface value so it can ride in an atomic.Pointer
+// (interfaces are two words; pointers are one).
+type l2Box struct{ l2 L2Cache }
 
 type cacheGen struct {
 	shards []*cacheShard
@@ -92,13 +111,47 @@ func newCacheGen(capacity int) *cacheGen {
 	return g
 }
 
-func newSolveCache(capacity int) *solveCache {
-	c := &solveCache{}
+// NewSolveCache returns an isolated cache + singleflight instance with
+// the given total entry budget. Pass it via Options.Cache (or
+// service.Config.Cache) to give one serving node its own L1 and
+// singleflight state, independent of the process-wide default.
+func NewSolveCache(capacity int) *SolveCache {
+	c := &SolveCache{}
 	c.gen.Store(newCacheGen(capacity))
 	return c
 }
 
-var defaultSolveCache = newSolveCache(DefaultCacheCapacity)
+// SetL2 installs (or, with nil, removes) the second cache tier behind
+// this instance: on an L1 miss the leading flight consults l2 before
+// solving locally, so a cluster of nodes can serve one hot instance from
+// the single node that owns it. See the L2Cache contract in l2.go.
+func (c *SolveCache) SetL2(l2 L2Cache) {
+	if l2 == nil {
+		c.l2.Store(nil)
+		return
+	}
+	c.l2.Store(&l2Box{l2: l2})
+}
+
+func (c *SolveCache) loadL2() L2Cache {
+	if b := c.l2.Load(); b != nil {
+		return b.l2
+	}
+	return nil
+}
+
+// Stats returns a consistent snapshot of this instance's counters.
+func (c *SolveCache) Stats() CacheStats { return c.stats() }
+
+// Reset empties the cache and zeroes its counters, keeping the current
+// capacity. The installed L2, if any, stays.
+func (c *SolveCache) Reset() { c.resetKeepCap() }
+
+// SetCapacity resets the cache with a new entry budget (≤ 0 disables
+// caching on this instance).
+func (c *SolveCache) SetCapacity(capacity int) { c.reset(capacity) }
+
+var defaultSolveCache = NewSolveCache(DefaultCacheCapacity)
 
 // fnvKey is the shard-selection hash: FNV-1a over the canonical cache
 // key. Both the LRU shards and the singleflight table index with it.
@@ -127,7 +180,7 @@ func copyResult(r *Result) *Result {
 	return &cp
 }
 
-func (c *solveCache) get(key string) (*Result, bool) {
+func (c *SolveCache) get(key string) (*Result, bool) {
 	sh := c.gen.Load().shard(key)
 	sh.mu.Lock()
 	el, ok := sh.entries[key]
@@ -152,7 +205,7 @@ func (c *solveCache) get(key string) (*Result, bool) {
 // here converts that provisional miss into a hit, so every request still
 // counts exactly one hit or miss; a second miss stays the single miss
 // already recorded.
-func (c *solveCache) getRecounted(key string) (*Result, bool) {
+func (c *SolveCache) getRecounted(key string) (*Result, bool) {
 	sh := c.gen.Load().shard(key)
 	sh.mu.Lock()
 	el, ok := sh.entries[key]
@@ -173,7 +226,7 @@ func (c *solveCache) getRecounted(key string) (*Result, bool) {
 	return cp, true
 }
 
-func (c *solveCache) put(key string, res *Result) {
+func (c *SolveCache) put(key string, res *Result) {
 	sh := c.gen.Load().shard(key)
 	if sh.cap <= 0 {
 		return
@@ -197,21 +250,29 @@ func (c *solveCache) put(key string, res *Result) {
 	}
 }
 
-func (c *solveCache) reset(capacity int) {
+func (c *SolveCache) reset(capacity int) {
 	c.resetMu.Lock()
 	defer c.resetMu.Unlock()
 	c.gen.Store(newCacheGen(capacity))
 	c.coalesced.Store(0)
+	c.resetL2Counters()
+}
+
+func (c *SolveCache) resetL2Counters() {
+	c.l2Served.Store(0)
+	c.l2PeerHits.Store(0)
+	c.l2Fallbacks.Store(0)
 }
 
 // resetKeepCap clears entries and counters at the current capacity,
 // reading cap under resetMu (a bare reset(c.cap) would race a concurrent
 // capacity change).
-func (c *solveCache) resetKeepCap() {
+func (c *SolveCache) resetKeepCap() {
 	c.resetMu.Lock()
 	defer c.resetMu.Unlock()
 	c.gen.Store(newCacheGen(c.gen.Load().cap))
 	c.coalesced.Store(0)
+	c.resetL2Counters()
 }
 
 // stats locks every shard of the current generation before reading any
@@ -219,7 +280,7 @@ func (c *solveCache) resetKeepCap() {
 // from it can never mix a hit count from one moment with a miss count
 // from another. Shards are locked in index order (the only place more
 // than one shard lock is ever held).
-func (c *solveCache) stats() CacheStats {
+func (c *SolveCache) stats() CacheStats {
 	g := c.gen.Load()
 	for _, sh := range g.shards {
 		sh.mu.Lock()
@@ -235,6 +296,9 @@ func (c *solveCache) stats() CacheStats {
 		sh.mu.Unlock()
 	}
 	st.Coalesced = c.coalesced.Load()
+	st.L2Served = c.l2Served.Load()
+	st.L2PeerHits = c.l2PeerHits.Load()
+	st.L2Fallbacks = c.l2Fallbacks.Load()
 	return st
 }
 
@@ -246,6 +310,13 @@ type CacheStats struct {
 	// request never reached a solver, so it is cache-tier work saved
 	// before the first result even landed in the LRU.
 	Coalesced int64
+	// L2Served counts flights whose result came from the L2 tier (the
+	// owning peer answered — from its own cache or by solving) instead of
+	// a local solve; L2PeerHits is the subset the peer served from its L1
+	// without solving. L2Fallbacks counts consults that failed (peer dead
+	// or declining) and fell back to a local solve. All zero when no L2
+	// is installed.
+	L2Served, L2PeerHits, L2Fallbacks int64
 }
 
 // SolveCacheStats returns the current counters of the process-wide solve

@@ -223,7 +223,7 @@ func (m *modelLRU) put(key string) {
 // quota, with keys routed by the stable shard hash.
 func TestShardedCacheMatchesModelLRU(t *testing.T) {
 	const capacity = 64 // 16 shards × 4 entries
-	c := newSolveCache(capacity)
+	c := NewSolveCache(capacity)
 	gen := c.gen.Load()
 	if len(gen.shards) != cacheShardCount {
 		t.Fatalf("capacity %d built %d shards, want %d", capacity, len(gen.shards), cacheShardCount)
@@ -300,7 +300,7 @@ func TestShardedCacheMatchesModelLRU(t *testing.T) {
 // and entries + evictions account for every distinct inserted key.
 // Run under -race in CI.
 func TestCacheStatsConsistentSnapshot(t *testing.T) {
-	c := newSolveCache(DefaultCacheCapacity)
+	c := NewSolveCache(DefaultCacheCapacity)
 	const (
 		workers = 8
 		opsEach = 4000

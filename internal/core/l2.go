@@ -1,0 +1,38 @@
+package core
+
+import (
+	"context"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+)
+
+// L2Cache is the pluggable second tier behind a SolveCache: when a
+// cacheable solve misses the in-process L1 and this caller becomes the
+// flight leader, the L2 is consulted before any local engine runs. The
+// canonical implementation is internal/cluster's peer-fill protocol,
+// which forwards the solve to the cluster node that owns the graph's
+// fingerprint — where the owner's own L1 + singleflight state turns a
+// cluster-wide thundering herd into exactly one underlying solve.
+//
+// Contract:
+//
+//   - handled=true means the L2 produced the final outcome for this
+//     flight: res (with err == nil) is published to the local L1 and
+//     returned to every coalesced caller exactly as a local solve's
+//     result would be, and err (with res == nil) fails the flight.
+//   - handled=false means the caller must solve locally. err may still
+//     be non-nil to report a failed consult (peer unreachable, protocol
+//     error) — the solve proceeds, and the failure is counted as an L2
+//     fallback. A nil error with handled=false is the quiet decline:
+//     this node owns the key itself, or the L2 has nothing to add.
+//   - ctx is the flight's context: it outlives any single caller and is
+//     cancelled when the last coalesced participant leaves, so a peer
+//     call threaded onto it is abandoned exactly when nobody wants the
+//     result anymore.
+//
+// Implementations must be safe for concurrent use; one value serves
+// every flight of the cache it is installed on.
+type L2Cache interface {
+	GetOrSolve(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Options) (res *Result, handled bool, err error)
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/tsp"
+)
+
+// Compact binary wire form of a solved Result — the peer-fill protocol's
+// response body (Content-Type application/x-lpl-result), mirroring the
+// graph package's LPG1 frame:
+//
+//	frame   := magic "LPR1" | uvarint(len(payload)) | payload
+//	payload := flags(1 byte) | uvarint(span) | uvarint(approxBits)
+//	         | str(method) | str(algorithm) | str(winner)
+//	         | uvarint(n) | uvarint(label)*n
+//	str     := uvarint(len) | bytes
+//
+// flags: bit0 exact, bit1 truncated, bit2 cacheHit, bit3 coalesced,
+// bit4 remote. approxBits is math.Float64bits of Result.Approx. The
+// frame carries exactly what a peer-filled node needs to serve and cache
+// the result — labeling, span, and provenance; Tour, Plan, and engine
+// Stats stay on the node that solved (they are diagnostics, not state a
+// second tier must replicate). The frame is self-delimiting, so it can
+// be concatenated or followed by trailing data; DecodeResultFrame
+// returns the remainder.
+
+// ResultContentType is the HTTP content type of the binary result frame.
+// A /v1/solve request with this Accept value receives its result as a
+// frame instead of a JSON SolveResponse.
+const ResultContentType = "application/x-lpl-result"
+
+// resultMagic opens every frame; the trailing '1' is the version.
+const resultMagic = "LPR1"
+
+// ErrResultFormat reports a malformed binary result frame (errors.Is).
+var ErrResultFormat = errors.New("malformed binary result frame")
+
+const (
+	resFlagExact = 1 << iota
+	resFlagTruncated
+	resFlagCacheHit
+	resFlagCoalesced
+	resFlagRemote
+)
+
+// maxFrameLabels bounds the labeling length a frame may declare, so a
+// hostile or corrupt length prefix cannot size an allocation.
+const maxFrameLabels = 1 << 24
+
+func appendFrameString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendResultFrame appends res's binary frame to dst and returns the
+// extended slice.
+func AppendResultFrame(dst []byte, res *Result) []byte {
+	payload := make([]byte, 0, 16+len(res.Method)+len(res.Algorithm)+len(res.Winner)+2*len(res.Labeling))
+	var flags byte
+	if res.Exact {
+		flags |= resFlagExact
+	}
+	if res.Truncated {
+		flags |= resFlagTruncated
+	}
+	if res.CacheHit {
+		flags |= resFlagCacheHit
+	}
+	if res.Coalesced {
+		flags |= resFlagCoalesced
+	}
+	if res.Remote {
+		flags |= resFlagRemote
+	}
+	payload = append(payload, flags)
+	payload = binary.AppendUvarint(payload, uint64(res.Span))
+	payload = binary.AppendUvarint(payload, math.Float64bits(res.Approx))
+	payload = appendFrameString(payload, string(res.Method))
+	payload = appendFrameString(payload, string(res.Algorithm))
+	payload = appendFrameString(payload, string(res.Winner))
+	payload = binary.AppendUvarint(payload, uint64(len(res.Labeling)))
+	for _, x := range res.Labeling {
+		payload = binary.AppendUvarint(payload, uint64(x))
+	}
+	dst = append(dst, resultMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+func frameUvarint(payload []byte, what string) (uint64, []byte, error) {
+	v, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("core: truncated %s: %w", what, ErrResultFormat)
+	}
+	return v, payload[k:], nil
+}
+
+func frameString(payload []byte, what string) (string, []byte, error) {
+	n, payload, err := frameUvarint(payload, what)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(payload)) {
+		return "", nil, fmt.Errorf("core: %s length %d overruns payload: %w", what, n, ErrResultFormat)
+	}
+	return string(payload[:n]), payload[n:], nil
+}
+
+// DecodeResultFrame decodes one binary result frame from the front of
+// data, returning the Result and the remaining bytes after the frame.
+func DecodeResultFrame(data []byte) (*Result, []byte, error) {
+	if len(data) < len(resultMagic) || string(data[:len(resultMagic)]) != resultMagic {
+		return nil, nil, fmt.Errorf("core: missing %q magic: %w", resultMagic, ErrResultFormat)
+	}
+	rest := data[len(resultMagic):]
+	plen, k := binary.Uvarint(rest)
+	if k <= 0 || plen > uint64(len(rest)-k) {
+		return nil, nil, fmt.Errorf("core: bad frame length: %w", ErrResultFormat)
+	}
+	payload := rest[k : k+int(plen)]
+	tail := rest[k+int(plen):]
+
+	if len(payload) < 1 {
+		return nil, nil, fmt.Errorf("core: empty payload: %w", ErrResultFormat)
+	}
+	flags := payload[0]
+	payload = payload[1:]
+	res := &Result{
+		Exact:     flags&resFlagExact != 0,
+		Truncated: flags&resFlagTruncated != 0,
+		CacheHit:  flags&resFlagCacheHit != 0,
+		Coalesced: flags&resFlagCoalesced != 0,
+		Remote:    flags&resFlagRemote != 0,
+	}
+	span, payload, err := frameUvarint(payload, "span")
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Span = int(span)
+	approxBits, payload, err := frameUvarint(payload, "approx")
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Approx = math.Float64frombits(approxBits)
+	method, payload, err := frameString(payload, "method")
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Method = MethodName(method)
+	algo, payload, err := frameString(payload, "algorithm")
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Algorithm = tsp.Algorithm(algo)
+	winner, payload, err := frameString(payload, "winner")
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Winner = tsp.Algorithm(winner)
+	nn, payload, err := frameUvarint(payload, "labeling length")
+	if err != nil {
+		return nil, nil, err
+	}
+	if nn > maxFrameLabels || nn > uint64(len(payload)) {
+		return nil, nil, fmt.Errorf("core: labeling length %d overruns payload: %w", nn, ErrResultFormat)
+	}
+	if nn > 0 {
+		res.Labeling = make(labeling.Labeling, nn)
+		for i := range res.Labeling {
+			var x uint64
+			x, payload, err = frameUvarint(payload, "label")
+			if err != nil {
+				return nil, nil, err
+			}
+			res.Labeling[i] = int(x)
+		}
+	}
+	if len(payload) != 0 {
+		return nil, nil, fmt.Errorf("core: %d trailing payload bytes: %w", len(payload), ErrResultFormat)
+	}
+	return res, tail, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/tsp"
+)
+
+func TestResultFrameRoundTrip(t *testing.T) {
+	in := &Result{
+		Labeling:  labeling.Labeling{0, 3, 1, 4, 2},
+		Span:      4,
+		Exact:     true,
+		Approx:    1.5,
+		Truncated: false,
+		Method:    MethodName("reduction"),
+		Algorithm: tsp.Algorithm("christofides"),
+		Winner:    tsp.Algorithm("christofides"),
+		CacheHit:  true,
+		Coalesced: false,
+		Remote:    true,
+	}
+	frame := AppendResultFrame(nil, in)
+	out, rest, err := DecodeResultFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if out.Span != in.Span || out.Approx != in.Approx || out.Exact != in.Exact ||
+		out.Truncated != in.Truncated || out.CacheHit != in.CacheHit ||
+		out.Coalesced != in.Coalesced || out.Remote != in.Remote ||
+		out.Method != in.Method || out.Algorithm != in.Algorithm || out.Winner != in.Winner {
+		t.Fatalf("round trip mangled fields: %+v vs %+v", out, in)
+	}
+	if len(out.Labeling) != len(in.Labeling) {
+		t.Fatalf("labeling length %d, want %d", len(out.Labeling), len(in.Labeling))
+	}
+	for i := range in.Labeling {
+		if out.Labeling[i] != in.Labeling[i] {
+			t.Fatalf("label %d: %d != %d", i, out.Labeling[i], in.Labeling[i])
+		}
+	}
+}
+
+func TestResultFrameSelfDelimiting(t *testing.T) {
+	a := &Result{Labeling: labeling.Labeling{0, 1}, Span: 1}
+	b := &Result{Labeling: labeling.Labeling{2}, Span: 2, Exact: true}
+	buf := AppendResultFrame(AppendResultFrame(nil, a), b)
+	first, rest, err := DecodeResultFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Span != 1 {
+		t.Fatalf("first frame span %d", first.Span)
+	}
+	second, rest, err := DecodeResultFrame(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Span != 2 || !second.Exact || len(rest) != 0 {
+		t.Fatalf("second frame %+v, rest %d", second, len(rest))
+	}
+}
+
+func TestResultFrameRejectsMalformed(t *testing.T) {
+	good := AppendResultFrame(nil, &Result{Labeling: labeling.Labeling{0, 1, 2}, Span: 2})
+	cases := map[string][]byte{
+		"empty":           nil,
+		"bad magic":       []byte("LPRX\x01\x00"),
+		"truncated":       good[:len(good)-2],
+		"length overruns": append([]byte("LPR1"), 0xff, 0xff, 0x7f),
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeResultFrame(data); !errors.Is(err, ErrResultFormat) {
+			t.Errorf("%s: err = %v, want ErrResultFormat", name, err)
+		}
+	}
+	// Trailing garbage inside the declared payload is rejected too.
+	withJunk := append(append([]byte(nil), good...), 0x7)
+	withJunk[4]++ // grow the declared payload length by one
+	if _, _, err := DecodeResultFrame(withJunk); !errors.Is(err, ErrResultFormat) {
+		t.Errorf("inflated payload: err = %v, want ErrResultFormat", err)
+	}
+}

@@ -136,7 +136,7 @@ func (f *flight) leave() bool {
 // slip between "missed the cache" and "flight already gone" into a
 // duplicate solve. Lock order: flight shard → cache shard, the only
 // place both are held.
-func (c *solveCache) solveCoalesced(ctx context.Context, key string, fn func(context.Context) (*Result, error)) (*Result, error) {
+func (c *SolveCache) solveCoalesced(ctx context.Context, key string, fn func(context.Context) (*Result, error)) (*Result, error) {
 	if res, ok := c.get(key); ok {
 		return res, nil
 	}
@@ -208,7 +208,7 @@ func mapFlightErr(ctx context.Context, err error) error {
 // watchdog force-fail, or this caller's own context, whichever comes
 // first. A ready result always beats a concurrent force-fail — waiters
 // never trade a real answer for the watchdog's error.
-func (c *solveCache) waitFlight(ctx context.Context, f *flight) (*Result, error) {
+func (c *SolveCache) waitFlight(ctx context.Context, f *flight) (*Result, error) {
 	select {
 	case <-f.done:
 		return c.coalescedResult(f)
@@ -232,7 +232,7 @@ func (c *solveCache) waitFlight(ctx context.Context, f *flight) (*Result, error)
 }
 
 // coalescedResult hands a completed flight's outcome to a follower.
-func (c *solveCache) coalescedResult(f *flight) (*Result, error) {
+func (c *SolveCache) coalescedResult(f *flight) (*Result, error) {
 	if f.err != nil {
 		return nil, f.err
 	}
@@ -248,7 +248,7 @@ func (c *solveCache) coalescedResult(f *flight) (*Result, error) {
 // is released at its own deadline or disconnect even when followers keep
 // the flight alive past it, and a watchdog force-fail releases it like
 // any other waiter.
-func (c *solveCache) leadFlight(ctx, fctx context.Context, sh *flightShard, key string, f *flight, fn func(context.Context) (*Result, error)) (*Result, error) {
+func (c *SolveCache) leadFlight(ctx, fctx context.Context, sh *flightShard, key string, f *flight, fn func(context.Context) (*Result, error)) (*Result, error) {
 	// Arm the watchdog before the solve starts: a flight with a deadline
 	// is promised to terminate near it, and the watchdog enforces that
 	// promise against engines that ignore cancellation.

@@ -56,6 +56,14 @@ type Result struct {
 	// coalesced group reports CacheHit=false, Coalesced=false — exactly
 	// one such result exists per group.
 	Coalesced bool
+	// Remote reports that this result was obtained from the L2 cache
+	// tier — the cluster node owning the graph's fingerprint — rather
+	// than solved in this process. CacheHit then reflects the OWNER's
+	// view (true: served from the owner's L1; false: the owner solved on
+	// this cluster's behalf). A remote result is published to the local
+	// L1 like any other flight outcome, so later local hits keep
+	// Remote=true as provenance of where the entry was filled from.
+	Remote bool
 	// Plan is the routing decision that produced this result: every
 	// method's applicability verdict. Shared, read-only.
 	Plan *Plan
@@ -91,6 +99,17 @@ type Options struct {
 	// NoCache opts this solve out of the memoization cache (no lookup,
 	// no insertion).
 	NoCache bool
+	// Cache routes this solve through an isolated SolveCache instance
+	// instead of the process-wide default — one L1 + singleflight domain
+	// per serving node when several run in one process (see
+	// NewSolveCache). Nil uses the default. Never part of the cache key.
+	Cache *SolveCache
+	// DisableL2 skips the L2 tier for this solve even when the selected
+	// cache has one installed. The serving layer sets it on requests that
+	// arrived through the peer-fill protocol itself, so a misconfigured
+	// ring (two nodes each believing the other owns a key) degrades to a
+	// local solve instead of forwarding forever.
+	DisableL2 bool
 	// Deadline bounds the whole solve (probe, reduction, and method)
 	// when positive; anytime engines return their incumbent labeling
 	// with Result.Truncated set when it expires. One coalescing caveat:
@@ -197,7 +216,8 @@ func trivialResult(g *graph.Graph) *Result {
 
 // solveAny is the planner pipeline body shared by whole-graph solves and
 // per-component recursion: trivial fast path → cache lookup + singleflight
-// coalescing → component decomposition or single-instance plan+solve →
+// coalescing → L2 consult (flight leaders only, when a second tier is
+// installed) → component decomposition or single-instance plan+solve →
 // verification → cache insertion. Cacheable solves run under the flight's
 // context (alive while any coalesced caller remains interested); uncached
 // solves run directly under the caller's.
@@ -208,8 +228,28 @@ func solveAny(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Opti
 	if !cacheable(opts) {
 		return solveUncached(ctx, g, p, opts)
 	}
+	c := defaultSolveCache
+	if opts.Cache != nil {
+		c = opts.Cache
+	}
 	key := cacheKeyFor(g, p, opts)
-	return defaultSolveCache.solveCoalesced(ctx, key, func(fctx context.Context) (*Result, error) {
+	return c.solveCoalesced(ctx, key, func(fctx context.Context) (*Result, error) {
+		if l2 := c.loadL2(); l2 != nil && !opts.DisableL2 {
+			res, handled, err := l2.GetOrSolve(fctx, g, p, opts)
+			if handled {
+				c.l2Served.Add(1)
+				if err == nil {
+					res.Remote = true
+					if res.CacheHit {
+						c.l2PeerHits.Add(1)
+					}
+				}
+				return res, err
+			}
+			if err != nil {
+				c.l2Fallbacks.Add(1)
+			}
+		}
 		return solveUncached(fctx, g, p, opts)
 	})
 }

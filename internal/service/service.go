@@ -150,6 +150,12 @@ type Config struct {
 	// disables interning (POST /v1/graphs still returns refs, every
 	// graphRef solve 404s).
 	GraphStoreCapacity int
+	// Cache routes this server's solves through an isolated
+	// core.SolveCache instance instead of the process-wide default — one
+	// L1 + singleflight domain per serving node when several live in one
+	// process (the in-process cluster harness), or a cache with an L2
+	// tier installed (cluster peer fill). Nil uses the process default.
+	Cache *core.SolveCache
 	// QuarantineThreshold is K: containment failures (engine panics,
 	// watchdog kills) of one (graph fingerprint, options) key before
 	// identical requests are fast-failed with 422 code "quarantined".
@@ -272,6 +278,7 @@ func NewServer(cfg *Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("HEAD /v1/graphs/{ref}", s.handleGraphHead)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -482,6 +489,28 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(GraphsResponse{GraphRef: ref, N: g.N(), M: g.M(), Reinterned: reinterned})
 }
 
+// handleGraphHead serves HEAD /v1/graphs/{ref}: a body-less existence
+// probe for a fingerprint — 200 with X-Lpl-N / X-Lpl-M size headers when
+// the ref is interned, 404 when it was never interned or has been
+// evicted, 400 for a malformed ref. Clients (and the cluster peer-fill
+// path) use it to decide whether a graphRef solve will resolve without
+// re-POSTing the whole body on 404.
+func (s *Server) handleGraphHead(w http.ResponseWriter, r *http.Request) {
+	ref := r.PathValue("ref")
+	if !intern.ValidRef(ref) {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	g, ok := s.graphs.Get(ref)
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	w.Header().Set("X-Lpl-N", fmt.Sprint(g.N()))
+	w.Header().Set("X-Lpl-M", fmt.Sprint(g.M()))
+	w.WriteHeader(http.StatusOK)
+}
+
 // decodeSolve decodes a /v1/solve body in either transport: the JSON
 // SolveRequest, or — under Content-Type application/x-lpl-graph — a
 // binary graph frame followed by the JSON envelope for everything else
@@ -570,6 +599,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	fault.Visit(r.Context(), fault.SiteServiceSolve)
 
 	opts := req.Options.toOptions(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	opts.Cache = s.cfg.Cache
+	// A request that arrived through the peer-fill protocol must not be
+	// forwarded again: the sender already decided this node owns the key,
+	// so a ring disagreement degrades to a local solve, not a forwarding
+	// loop.
+	if r.Header.Get(PeerFillHeader) != "" {
+		opts.DisableL2 = true
+	}
 	t0 := time.Now()
 	res, err := core.SolveContext(r.Context(), req.Graph, req.P, opts)
 	s.observeServiceTime(time.Since(t0))
@@ -579,6 +616,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.solved.Add(1)
+	// The compact binary transport (peer fill, and any client that asks):
+	// Accept: application/x-lpl-result receives the result as an LPR1
+	// frame instead of the JSON SolveResponse.
+	if r.Header.Get("Accept") == core.ResultContentType {
+		w.Header().Set("Content-Type", core.ResultContentType)
+		w.Write(core.AppendResultFrame(nil, res))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	resp := respPool.Get().(*SolveResponse)
 	defer putResp(resp)
@@ -587,6 +632,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer putEncodeBuf(eb)
 	eb.encodeTo(w, resp)
 }
+
+// PeerFillHeader marks a /v1/solve request that was forwarded by the
+// cluster peer-fill protocol (internal/cluster): the receiving node
+// solves locally and never consults its own L2, so a misconfigured ring
+// cannot forward forever.
+const PeerFillHeader = "X-Lpl-Peer-Fill"
 
 // handleBatch serves POST /v1/batch: all items are admitted up front (or
 // the whole batch is rejected with 429 — partial admission would deliver
@@ -640,6 +691,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			o = req.Options
 		}
 		itemOpts[i] = o.toOptions(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+		itemOpts[i].Cache = s.cfg.Cache
+		if r.Header.Get(PeerFillHeader) != "" {
+			itemOpts[i].DisableL2 = true
+		}
 	}
 
 	items := make([]core.BatchItem, len(req.Items))
@@ -794,6 +849,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for k, v := range counts {
 		methods[string(k)] = v
 	}
+	cacheStats := core.SolveCacheStats()
+	if s.cfg.Cache != nil {
+		cacheStats = s.cfg.Cache.Stats()
+	}
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Ready:         s.notReadyReason() == "",
@@ -804,7 +863,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejected:      s.rejected.Load(),
 		Solved:        s.solved.Load(),
 		Failed:        s.failed.Load(),
-		Cache:         wireCache(core.SolveCacheStats()),
+		Cache:         wireCache(cacheStats),
 		Graphs:        wireIntern(s.graphs.Stats()),
 		Methods:       methods,
 		Fault:         s.faultStats(),

@@ -168,9 +168,14 @@ type SolveResponse struct {
 	// cache shared across all requests; Coalesced additionally marks
 	// requests that joined an identical solve already in flight
 	// (singleflight) instead of waiting for it to land in the LRU.
-	CacheHit  bool    `json:"cacheHit"`
-	Coalesced bool    `json:"coalesced,omitempty"`
-	SolveMs   float64 `json:"solveMs"`
+	CacheHit  bool `json:"cacheHit"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Remote marks a result obtained from (or first filled by) the
+	// cluster node owning this graph's fingerprint, via the L2 peer-fill
+	// tier, rather than solved in this process; cacheHit then reflects
+	// the owning node's view.
+	Remote  bool    `json:"remote,omitempty"`
+	SolveMs float64 `json:"solveMs"`
 	// Plan is the routing decision, included when the request set
 	// explain.
 	Plan *WirePlan `json:"plan,omitempty"`
@@ -245,6 +250,7 @@ func wireResultInto(resp *SolveResponse, id string, res *core.Result, elapsed ti
 		Truncated: res.Truncated,
 		CacheHit:  res.CacheHit,
 		Coalesced: res.Coalesced,
+		Remote:    res.Remote,
 		SolveMs:   float64(elapsed.Microseconds()) / 1000,
 	}
 	if explain {
@@ -360,11 +366,19 @@ type CacheWire struct {
 	// ServedRate is the fraction of lookups answered without running a
 	// solve at all: (hits + coalesced) / (hits + misses).
 	ServedRate float64 `json:"servedRate"`
+	// L2 tier (cluster peer fill; all zero when none is installed):
+	// flights answered by the owning peer, the subset the peer served
+	// from its own L1, and consults that failed and fell back to a local
+	// solve.
+	L2Served    int64 `json:"l2Served,omitempty"`
+	L2PeerHits  int64 `json:"l2PeerHits,omitempty"`
+	L2Fallbacks int64 `json:"l2Fallbacks,omitempty"`
 }
 
 func wireCache(st core.CacheStats) CacheWire {
 	cw := CacheWire{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
-		Entries: st.Entries, Coalesced: st.Coalesced}
+		Entries: st.Entries, Coalesced: st.Coalesced,
+		L2Served: st.L2Served, L2PeerHits: st.L2PeerHits, L2Fallbacks: st.L2Fallbacks}
 	if total := st.Hits + st.Misses; total > 0 {
 		cw.HitRate = float64(st.Hits) / float64(total)
 		cw.ServedRate = float64(st.Hits+st.Coalesced) / float64(total)
