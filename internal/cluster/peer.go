@@ -51,10 +51,17 @@ type PeerFill struct {
 	// confirmed remembers (owner, ref) pairs known interned at the
 	// owner, keyed owner+"\x00"+ref. Entries are dropped when a consult
 	// 404s (the owner evicted the ref), re-triggering the HEAD/POST
-	// dance.
+	// dance. The set is bounded by confirmedCap — it would otherwise
+	// grow one entry per distinct graph for the life of the process.
 	mu        sync.Mutex
 	confirmed map[string]bool
 }
+
+// confirmedCap bounds PeerFill.confirmed, mirroring the owner-side
+// intern store's eviction: when full the set is reset wholesale rather
+// than tracked with LRU bookkeeping, since a forgotten confirmation
+// costs only one body-less HEAD re-probe on the next consult.
+const confirmedCap = 1 << 16
 
 // NewPeerFill builds the L2 for the node named self. backends must
 // cover every ring member (including self, which is declined without a
@@ -143,6 +150,9 @@ func (pf *PeerFill) ensureInterned(ctx context.Context, doer Doer, owner, ref st
 		}
 	}
 	pf.mu.Lock()
+	if len(pf.confirmed) >= confirmedCap {
+		pf.confirmed = make(map[string]bool)
+	}
 	pf.confirmed[key] = true
 	pf.mu.Unlock()
 	return nil

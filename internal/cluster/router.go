@@ -333,7 +333,24 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		owners[owner] = append(owners[owner], i)
 	}
 	if len(order) == 1 {
-		rt.forward(w, r, "", body, false) // single owner: pure passthrough
+		// Single owner: pure passthrough of the verbatim body to that
+		// owner. This must name the backend directly — forward() routes
+		// by key, and no single key stands for the whole batch. Batches
+		// are not retried, so a transport failure reports every item as
+		// an error line, exactly like an unreachable sub-batch below.
+		resp, err := rt.doBackend(r, order[0], body)
+		if err != nil {
+			rt.deadBackends.Add(1)
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			enc := json.NewEncoder(w)
+			for i := range req.Items {
+				enc.Encode(service.SolveResponse{ID: req.Items[i].ID, Code: "router",
+					Error: fmt.Sprintf("backend unreachable: %v", err)})
+			}
+			return
+		}
+		rt.relay(w, resp)
 		return
 	}
 	rt.splitBatches.Add(1)

@@ -225,6 +225,72 @@ func TestRouterSplitsBatchByOwner(t *testing.T) {
 	}
 }
 
+// A batch whose items all live on one owner is passed through to THAT
+// owner — the owner computed from the items, not from some fixed key —
+// so graphRef-only batches resolve against the node where the ref was
+// interned.
+func TestRouterSingleOwnerBatchRoutesToOwner(t *testing.T) {
+	rt, _, _ := newTestCluster(t, 3, 13, false)
+	// Pick a graph whose owner differs from the empty key's owner, so
+	// routing by anything but the items' ref would demonstrably miss.
+	arbitrary := rt.Ring().Owner("")
+	r := rng.New(5)
+	var g *graph.Graph
+	for {
+		g = graph.RandomSmallDiameter(r, 16, 3, 0.2)
+		if rt.Ring().Owner(intern.Ref(g)) != arbitrary {
+			break
+		}
+	}
+	gb, _ := json.Marshal(g)
+	resp, body := doJSON(t, rt, http.MethodPost, "/v1/graphs", gb)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("intern via router: status %d: %s", resp.StatusCode, body)
+	}
+	var gr service.GraphsResponse
+	if err := json.Unmarshal(body, &gr); err != nil {
+		t.Fatal(err)
+	}
+	owner := rt.Ring().Owner(gr.GraphRef)
+
+	req := service.BatchRequest{Items: []service.SolveRequest{
+		{ID: "a", GraphRef: gr.GraphRef, P: labeling.Vector{2, 2, 1}},
+		{ID: "b", GraphRef: gr.GraphRef, P: labeling.Vector{2, 1}},
+	}}
+	bb, _ := json.Marshal(req)
+	resp, rb := doJSON(t, rt, http.MethodPost, "/v1/batch", bb)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-owner graphRef batch: status %d: %s", resp.StatusCode, rb)
+	}
+	got := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(rb)), "\n") {
+		var sr service.SolveResponse
+		if err := json.Unmarshal([]byte(line), &sr); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if sr.Error != "" {
+			t.Errorf("item %s failed: %s", sr.ID, sr.Error)
+		}
+		got[sr.ID] = true
+	}
+	if len(got) != len(req.Items) {
+		t.Errorf("got %d result lines, want %d", len(got), len(req.Items))
+	}
+	st := rt.Stats()
+	if st.SplitBatches != 0 {
+		t.Errorf("splitBatches = %d, want 0 (single owner is pure passthrough)", st.SplitBatches)
+	}
+	for name, c := range st.PerBackend {
+		want := int64(0)
+		if name == owner {
+			want = 2 // 1 intern + 1 batch
+		}
+		if c != want {
+			t.Errorf("backend %s handled %d requests, want %d (owner %s)", name, c, want, owner)
+		}
+	}
+}
+
 func TestWithPprofGatesDebugHandlers(t *testing.T) {
 	rt, _, _ := newTestCluster(t, 1, 1, false)
 	// Bare router: no debug surface.

@@ -313,9 +313,9 @@ type CacheStats struct {
 	// L2Served counts flights whose result came from the L2 tier (the
 	// owning peer answered — from its own cache or by solving) instead of
 	// a local solve; L2PeerHits is the subset the peer served from its L1
-	// without solving. L2Fallbacks counts consults that failed (peer dead
-	// or declining) and fell back to a local solve. All zero when no L2
-	// is installed.
+	// without solving. L2Fallbacks counts consults that errored — either
+	// unhandled (the flight fell back to a local solve) or handled (the
+	// L2 failed the flight outright). All zero when no L2 is installed.
 	L2Served, L2PeerHits, L2Fallbacks int64
 }
 

@@ -237,14 +237,18 @@ func solveAny(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Opti
 		if l2 := c.loadL2(); l2 != nil && !opts.DisableL2 {
 			res, handled, err := l2.GetOrSolve(fctx, g, p, opts)
 			if handled {
-				c.l2Served.Add(1)
-				if err == nil {
-					res.Remote = true
-					if res.CacheHit {
-						c.l2PeerHits.Add(1)
-					}
+				if err != nil {
+					// A handled failure fails the flight; it is a failed
+					// consult, not a flight the peer answered.
+					c.l2Fallbacks.Add(1)
+					return res, err
 				}
-				return res, err
+				c.l2Served.Add(1)
+				res.Remote = true
+				if res.CacheHit {
+					c.l2PeerHits.Add(1)
+				}
+				return res, nil
 			}
 			if err != nil {
 				c.l2Fallbacks.Add(1)

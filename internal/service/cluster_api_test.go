@@ -56,6 +56,32 @@ func TestGraphHeadProbe(t *testing.T) {
 	}
 }
 
+// Accept negotiation is by media type, not exact string match: lists
+// and quality parameters still select the binary frame, and unrelated
+// Accept values still get JSON.
+func TestAcceptsResultFrame(t *testing.T) {
+	for _, tc := range []struct {
+		accept string
+		want   bool
+	}{
+		{core.ResultContentType, true},
+		{core.ResultContentType + ", application/json", true},
+		{"application/json, " + core.ResultContentType + ";q=0.9", true},
+		{"Application/X-LPL-Result", true},
+		{"application/json", false},
+		{core.ResultContentType + "x", false},
+		{"", false},
+	} {
+		r, _ := http.NewRequest(http.MethodPost, "http://x/v1/solve", nil)
+		if tc.accept != "" {
+			r.Header.Set("Accept", tc.accept)
+		}
+		if got := acceptsResultFrame(r); got != tc.want {
+			t.Errorf("acceptsResultFrame(Accept: %q) = %v, want %v", tc.accept, got, tc.want)
+		}
+	}
+}
+
 func TestSolveResultFrameTransport(t *testing.T) {
 	ts := newTestServer(t, nil)
 	g := graph.Cycle(7)

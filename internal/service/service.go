@@ -619,7 +619,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// The compact binary transport (peer fill, and any client that asks):
 	// Accept: application/x-lpl-result receives the result as an LPR1
 	// frame instead of the JSON SolveResponse.
-	if r.Header.Get("Accept") == core.ResultContentType {
+	if acceptsResultFrame(r) {
 		w.Header().Set("Content-Type", core.ResultContentType)
 		w.Write(core.AppendResultFrame(nil, res))
 		return
@@ -631,6 +631,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	eb := getEncodeBuf()
 	defer putEncodeBuf(eb)
 	eb.encodeTo(w, resp)
+}
+
+// acceptsResultFrame reports whether the request negotiates the binary
+// LPR1 result transport. The Accept header may be a list with quality
+// parameters ("application/x-lpl-result, application/json;q=0.9"), so
+// each member is compared by media type, not by exact string equality.
+func acceptsResultFrame(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := part
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = mt[:i]
+		}
+		if strings.EqualFold(strings.TrimSpace(mt), core.ResultContentType) {
+			return true
+		}
+	}
+	return false
 }
 
 // PeerFillHeader marks a /v1/solve request that was forwarded by the
