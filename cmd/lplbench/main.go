@@ -14,6 +14,7 @@
 //	lplbench -load -wire binary                 # binary graph frames
 //	lplbench -load -chaos -rate 0.02            # fault-injected chaos run
 //	lplbench -cluster -out BENCH_PR8.json       # 1/2/4-backend scaling ladder
+//	lplbench -deadline -out BENCH_PR9.json      # FIFO-vs-EDF mixed-deadline duel
 //
 // Load mode prints bytes-on-the-wire per request alongside req/s and
 // p50/p95/p99 latency, so the wire-format modes can be compared
@@ -61,7 +62,9 @@ func main() {
 
 		clusterLadder = flag.Bool("cluster", false, "run the 1/2/4-backend cluster scaling ladder instead")
 		floor         = flag.Duration("floor", 0, "cluster mode: modeled per-solve service time (0 = ladder default)")
-		out           = flag.String("out", "", "cluster mode: also write the JSON report to this file")
+		deadline      = flag.Bool("deadline", false, "run the FIFO-vs-EDF mixed-deadline comparison instead")
+		workers       = flag.Int("workers", 0, "deadline mode: solver workers per server (0 = harness default)")
+		out           = flag.String("out", "", "cluster/deadline mode: also write the JSON report to this file")
 	)
 	flag.Parse()
 
@@ -87,6 +90,45 @@ func main() {
 		fmt.Print(rep.String())
 		if *out != "" {
 			data, err := json.MarshalIndent(ladderJSON(rep), "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lplbench: marshal report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "lplbench: write %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
+	}
+
+	if *deadline {
+		core.ResetSolveCache()
+		core.ResetMethodCounts()
+		dc := bench.DeadlineConfig{Seed: *seed, Workers: *workers}
+		// Deadline-mode scale defaults live in the harness; only explicitly
+		// set flags override them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "clients":
+				dc.Clients = *clients
+			case "requests":
+				dc.Requests = *requests
+			}
+		})
+		cmp, err := bench.RunDeadlineComparison(dc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lplbench: deadline run failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(cmp.FIFO.String())
+		fmt.Print(cmp.EDF.String())
+		fmt.Printf("edf vs fifo: miss rate %.3f -> %.3f (drop %.3f), useful work %+.1f%%, tight hit rate %+.1f pts\n",
+			cmp.FIFO.MissRate, cmp.EDF.MissRate, cmp.MissRateDrop,
+			100*cmp.UsefulWorkGain, 100*cmp.TightHitRateGain)
+		if *out != "" {
+			data, err := json.MarshalIndent(cmp, "", "  ")
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "lplbench: marshal report: %v\n", err)
 				os.Exit(1)

@@ -40,7 +40,7 @@ import (
 )
 
 func main() {
-	srv, logger, err := buildRouter(os.Args[1:], os.Stderr)
+	srv, rt, logger, err := buildRouter(os.Args[1:], os.Stderr)
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(0)
@@ -50,6 +50,20 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP restores the boot-time ring membership — the counterpart of
+	// a POST /admin/ring drain (that endpoint is loopback-only).
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := rt.ResetRing(); err != nil {
+				logger.Printf("SIGHUP ring reset: %v", err)
+				continue
+			}
+			logger.Printf("SIGHUP: ring membership reset to %v", rt.Ring().Members())
+		}
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -70,8 +84,9 @@ func main() {
 
 // buildRouter parses flags and assembles the HTTP server. Split from
 // main so tests can exercise flag handling and the handler without
-// binding a socket.
-func buildRouter(args []string, errOut io.Writer) (*http.Server, *log.Logger, error) {
+// binding a socket. The router is returned alongside the server so the
+// SIGHUP handler can reset its ring.
+func buildRouter(args []string, errOut io.Writer) (*http.Server, *cluster.Router, *log.Logger, error) {
 	fs := flag.NewFlagSet("lplrouter", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -82,18 +97,18 @@ func buildRouter(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if fs.NArg() > 0 {
-		return nil, nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+		return nil, nil, nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	bs, err := cluster.ParseBackends(*backends)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	rt, err := cluster.NewRouter(bs, cluster.RingConfig{VNodes: *vnodes, Seed: *seed})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var handler http.Handler = rt
 	if *pprof {
@@ -104,5 +119,5 @@ func buildRouter(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
-	}, logger, nil
+	}, rt, logger, nil
 }

@@ -14,19 +14,19 @@ import (
 )
 
 func TestBuildRouterFlagErrors(t *testing.T) {
-	if _, _, err := buildRouter(nil, io.Discard); err == nil {
+	if _, _, _, err := buildRouter(nil, io.Discard); err == nil {
 		t.Fatal("empty -backends accepted")
 	}
-	if _, _, err := buildRouter([]string{"-backends", "not-a-pair"}, io.Discard); err == nil {
+	if _, _, _, err := buildRouter([]string{"-backends", "not-a-pair"}, io.Discard); err == nil {
 		t.Fatal("backend spec without name=url accepted")
 	}
-	if _, _, err := buildRouter([]string{"-backends", "b0=http://x,b0=http://y"}, io.Discard); err == nil {
+	if _, _, _, err := buildRouter([]string{"-backends", "b0=http://x,b0=http://y"}, io.Discard); err == nil {
 		t.Fatal("duplicate backend name accepted")
 	}
-	if _, _, err := buildRouter([]string{"-nope"}, io.Discard); err == nil {
+	if _, _, _, err := buildRouter([]string{"-nope"}, io.Discard); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
-	if _, _, err := buildRouter([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+	if _, _, _, err := buildRouter([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
 	}
 }
@@ -41,7 +41,7 @@ func TestRouterEndToEnd(t *testing.T) {
 	b1 := httptest.NewServer(lpltsp.NewServeHandler(nil))
 	defer b1.Close()
 
-	srv, _, err := buildRouter(
+	srv, _, _, err := buildRouter(
 		[]string{"-addr", "127.0.0.1:0", "-backends", "b0=" + b0.URL + ",b1=" + b1.URL, "-seed", "7"},
 		io.Discard)
 	if err != nil {
@@ -131,7 +131,7 @@ func TestRouterEndToEnd(t *testing.T) {
 func TestRouterPprofFlag(t *testing.T) {
 	b := httptest.NewServer(lpltsp.NewServeHandler(nil))
 	defer b.Close()
-	srv, _, err := buildRouter(
+	srv, _, _, err := buildRouter(
 		[]string{"-addr", "127.0.0.1:0", "-backends", "b0=" + b.URL, "-pprof"},
 		io.Discard)
 	if err != nil {

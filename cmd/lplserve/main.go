@@ -110,6 +110,8 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		maxDeadline     = fs.Duration("max-deadline", 30*time.Second, "clamp per-request deadlines to this (0 = unlimited)")
 		defaultDeadline = fs.Duration("default-deadline", 0, "deadline applied to requests that carry none (0 = none)")
 		maxVertices     = fs.Int("max-vertices", 4096, "reject larger instances with 413")
+		sched           = fs.String("sched", "edf", "admission scheduling policy: edf (earliest deadline first) or fifo")
+		tenantQuota     = fs.Float64("tenant-quota", 0, "max fraction of the queue one named tenant may hold (0 = default 0.5, negative = unlimited)")
 		cacheCap        = fs.Int("cache-capacity", 0, "resize the shared solve cache (0 = keep the default)")
 		graphStore      = fs.Int("graph-store", 0, "graph intern store capacity behind /v1/graphs (0 = default, negative = disabled)")
 		quarantine      = fs.Int("quarantine", 0, "quarantine an instance after this many containment failures (0 = default 3, negative = disabled)")
@@ -156,6 +158,8 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 			MaxDeadline:         *maxDeadline,
 			DefaultDeadline:     *defaultDeadline,
 			MaxVertices:         *maxVertices,
+			Sched:               *sched,
+			TenantQuota:         *tenantQuota,
 			GraphStoreCapacity:  *graphStore,
 			QuarantineThreshold: *quarantine,
 			QuarantineTTL:       *quarantineTTL,

@@ -1,0 +1,381 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/rng"
+	"lpltsp/internal/service"
+)
+
+// Mixed-deadline load: the benchmark behind the EDF-vs-FIFO claim. A
+// fleet of clients pushes a fixed workload — small and large instances,
+// a fraction carrying tight deadlines, the rest loose ones — through a
+// live handler under each admission policy, and the report compares
+// what actually matters to a deadline-bound caller: how often a
+// completed request arrived after its own deadline (miss rate), and how
+// much work that met its deadline the server pushed per second (useful
+// throughput). FIFO hides both numbers: a tight-deadline request stuck
+// behind loose work misses silently, and a worker that grinds through a
+// request whose deadline already passed produces throughput but no use.
+
+// DeadlineConfig shapes one mixed-deadline run against a fresh server.
+type DeadlineConfig struct {
+	// Clients is the number of concurrent request loops (default 16).
+	Clients int
+	// Requests is the measured request count (default 1024).
+	Requests int
+	// Workers and QueueDepth shape the server under test (defaults 2 and
+	// 12 — a queue smaller than the client fleet, so admission-time
+	// triage is exercised, not just queue ordering).
+	Workers    int
+	QueueDepth int
+	// TightFraction of requests carry TightBudget deadlines; the rest
+	// carry LooseBudget (defaults 0.3, 100ms, 1500ms). The tight budget
+	// is meetable for the small instances when a policy prioritizes
+	// them, and hopeless for the largest — exactly the mix that
+	// separates deadline-aware admission from FIFO.
+	TightFraction float64
+	TightBudget   time.Duration
+	LooseBudget   time.Duration
+	// Seed feeds the instance generator and the tight/loose assignment.
+	Seed uint64
+	// Sched is the admission policy under test: "edf" or "fifo".
+	Sched string
+}
+
+func (c DeadlineConfig) withDefaults() DeadlineConfig {
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 12
+	}
+	if c.TightFraction <= 0 || c.TightFraction > 1 {
+		c.TightFraction = 0.3
+	}
+	if c.TightBudget <= 0 {
+		c.TightBudget = 100 * time.Millisecond
+	}
+	if c.LooseBudget <= 0 {
+		c.LooseBudget = 1500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	if c.Sched == "" {
+		c.Sched = "edf"
+	}
+	return c
+}
+
+// DeadlineReport is the outcome of one policy's run.
+type DeadlineReport struct {
+	Policy   string        `json:"policy"`
+	Clients  int           `json:"clients"`
+	Requests int           `json:"requests"`
+	Workers  int           `json:"workers"`
+	Elapsed  time.Duration `json:"elapsedNs"`
+
+	// Client-observed outcomes. Completed counts 200s; Expired counts
+	// 408s — a worker started the solve but the deadline passed mid-run,
+	// the worst outcome since the service time is burned with nothing to
+	// show; Rejected counts requests still being refused with 429 when
+	// their own deadline ran out (clients retry 429s until then) — never
+	// admitted, but also never cost a worker anything; Errors is
+	// everything else. Misses are requests that consumed service yet
+	// blew their own deadline: late 200s plus all 408s. UsefulWork are
+	// completed requests that made it in time.
+	Completed  int `json:"completed"`
+	Expired    int `json:"expired"`
+	Rejected   int `json:"rejected"`
+	Errors     int `json:"errors"`
+	Misses     int `json:"misses"`
+	UsefulWork int `json:"usefulWork"`
+
+	// TightHit / TightTotal isolate the requests the policy exists for.
+	TightTotal int `json:"tightTotal"`
+	TightHit   int `json:"tightHit"`
+
+	// MissRate is Misses over work attempted (Completed+Expired);
+	// UsefulThroughput is UsefulWork per second of wall time — the
+	// headline numbers.
+	MissRate         float64 `json:"missRate"`
+	UsefulThroughput float64 `json:"usefulThroughput"`
+
+	// The server's own scheduling view after the run.
+	Sheds          int64 `json:"sheds"`
+	Infeasible     int64 `json:"infeasibleRejected"`
+	ServerMisses   int64 `json:"serverDeadlineMisses"`
+	ServerSolved   int64 `json:"serverSolved"`
+	ServerRejected int64 `json:"serverRejected"`
+}
+
+func (r *DeadlineReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "deadline[%s]: %d requests over %d clients, %d workers\n",
+		r.Policy, r.Requests, r.Clients, r.Workers)
+	fmt.Fprintf(&b, "  wall time         %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  completed         %d  expired(408) %d  rejected(429) %d  errors %d\n",
+		r.Completed, r.Expired, r.Rejected, r.Errors)
+	fmt.Fprintf(&b, "  deadline misses   %d (rate %.3f)\n", r.Misses, r.MissRate)
+	fmt.Fprintf(&b, "  tight-deadline    %d/%d met\n", r.TightHit, r.TightTotal)
+	fmt.Fprintf(&b, "  useful work       %d (%.0f useful req/s)\n", r.UsefulWork, r.UsefulThroughput)
+	fmt.Fprintf(&b, "  server            sheds %d  infeasible %d  misses %d\n", r.Sheds, r.Infeasible, r.ServerMisses)
+	return b.String()
+}
+
+// deadlineWorkload pre-marshals the request bodies: Distinct random
+// trees across a spread of sizes (small ones a worker clears in well
+// under a tight budget, large ones that eat a tight budget whole), each
+// request pinned NoCache so every admission buys real solver work, and
+// the deadline assignment fixed per index so both policies see the
+// identical workload.
+func deadlineWorkload(cfg DeadlineConfig) (bodies [][]byte, deadlines []time.Duration, warmup [][]byte, err error) {
+	r := rng.New(cfg.Seed)
+	sizes := []int{64, 256, 1024, 2048}
+	const perSize = 3
+	graphs := make([]*graph.Graph, 0, len(sizes)*perSize)
+	for _, n := range sizes {
+		for k := 0; k < perSize; k++ {
+			graphs = append(graphs, graph.RandomTree(r, n))
+		}
+	}
+	p := labeling.L21()
+
+	marshal := func(i int, deadline time.Duration) ([]byte, error) {
+		req := service.SolveRequest{
+			ID:    fmt.Sprintf("d%d", i),
+			Graph: graphs[i%len(graphs)],
+			P:     p,
+			Options: &service.WireOptions{
+				NoCache:    true,
+				DeadlineMs: deadline.Milliseconds(),
+			},
+		}
+		return json.Marshal(req)
+	}
+
+	tightCut := int(cfg.TightFraction * 1000)
+	deadlines = make([]time.Duration, cfg.Requests)
+	bodies = make([][]byte, cfg.Requests)
+	for i := range bodies {
+		d := cfg.LooseBudget
+		if r.Intn(1000) < tightCut {
+			d = cfg.TightBudget
+		}
+		deadlines[i] = d
+		if bodies[i], err = marshal(i, d); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	// Warmup bodies carry no deadline: they exist to train the server's
+	// cost model (and warm code paths) before the clock starts, the same
+	// way a production instance has seen traffic before the burst.
+	warmup = make([][]byte, 4*len(graphs))
+	for i := range warmup {
+		req := service.SolveRequest{ID: fmt.Sprintf("w%d", i), Graph: graphs[i%len(graphs)], P: p,
+			Options: &service.WireOptions{NoCache: true}}
+		if warmup[i], err = json.Marshal(req); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return bodies, deadlines, warmup, nil
+}
+
+// RunDeadlineLoad drives the mixed-deadline workload through a fresh
+// handler under cfg.Sched and reports the policy's outcomes.
+func RunDeadlineLoad(cfg DeadlineConfig) (*DeadlineReport, error) {
+	cfg = cfg.withDefaults()
+	handler := service.NewServer(&service.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		Sched:      cfg.Sched,
+	})
+	bodies, deadlines, warmup, err := deadlineWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	post := func(body []byte) int {
+		req, err := http.NewRequest(http.MethodPost, "http://bench/v1/solve", bytes.NewReader(body))
+		if err != nil {
+			return 0
+		}
+		req.Header.Set("Content-Type", "application/json")
+		var w nullResponseWriter
+		handler.ServeHTTP(&w, req)
+		if w.status == 0 {
+			return http.StatusOK
+		}
+		return w.status
+	}
+
+	// Warmup: train the learned cost model so EDF's feasibility triage
+	// has predictions to act on (a cold model sheds nothing, by design).
+	var wwg sync.WaitGroup
+	var wnext atomic.Int64
+	for c := 0; c < cfg.Workers*2; c++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for {
+				i := int(wnext.Add(1)) - 1
+				if i >= len(warmup) {
+					return
+				}
+				post(warmup[i])
+			}
+		}()
+	}
+	wwg.Wait()
+
+	var next atomic.Int64
+	var completed, expired, rejected, errors, misses, useful, tightTotal, tightHit atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				tight := deadlines[i] == cfg.TightBudget
+				if tight {
+					tightTotal.Add(1)
+				}
+				// A 429 is not a terminal outcome for a deadline-bound
+				// client: it retries until admitted or until its own
+				// deadline makes the answer worthless. The deadline clock
+				// runs from the first attempt.
+				t0 := time.Now()
+				status := post(bodies[i])
+				for status == http.StatusTooManyRequests && time.Since(t0) < deadlines[i] {
+					time.Sleep(2 * time.Millisecond)
+					status = post(bodies[i])
+				}
+				lat := time.Since(t0)
+				switch {
+				case status == http.StatusOK:
+					completed.Add(1)
+					if lat <= deadlines[i] {
+						useful.Add(1)
+						if tight {
+							tightHit.Add(1)
+						}
+					} else {
+						misses.Add(1)
+					}
+				case status == http.StatusRequestTimeout:
+					// The deadline expired mid-solve: service burned, nothing
+					// delivered in time.
+					expired.Add(1)
+					misses.Add(1)
+				case status == http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					errors.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	statsReq, err := http.NewRequest(http.MethodGet, "http://bench/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var rec bodyRecorder
+	handler.ServeHTTP(&rec, statsReq)
+	var st service.StatsResponse
+	if err := json.Unmarshal(rec.buf.Bytes(), &st); err != nil {
+		return nil, fmt.Errorf("bench: decode /v1/stats: %w", err)
+	}
+
+	rep := &DeadlineReport{
+		Policy:         cfg.Sched,
+		Clients:        cfg.Clients,
+		Requests:       cfg.Requests,
+		Workers:        cfg.Workers,
+		Elapsed:        elapsed,
+		Completed:      int(completed.Load()),
+		Expired:        int(expired.Load()),
+		Rejected:       int(rejected.Load()),
+		Errors:         int(errors.Load()),
+		Misses:         int(misses.Load()),
+		UsefulWork:     int(useful.Load()),
+		TightTotal:     int(tightTotal.Load()),
+		TightHit:       int(tightHit.Load()),
+		Sheds:          st.Sched.Sheds,
+		Infeasible:     st.Sched.InfeasibleRejected,
+		ServerMisses:   st.Sched.DeadlineMisses,
+		ServerSolved:   st.Solved,
+		ServerRejected: st.Rejected,
+	}
+	if attempted := rep.Completed + rep.Expired; attempted > 0 {
+		rep.MissRate = float64(rep.Misses) / float64(attempted)
+	}
+	if elapsed > 0 {
+		rep.UsefulThroughput = float64(rep.UsefulWork) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// DeadlineComparison pairs both policies' runs over the identical
+// workload — the shape cmd/lplbench -deadline emits as BENCH_PR9.json.
+type DeadlineComparison struct {
+	FIFO *DeadlineReport `json:"fifo"`
+	EDF  *DeadlineReport `json:"edf"`
+	// The headline deltas: positive means EDF wins.
+	MissRateDrop     float64 `json:"missRateDrop"`
+	UsefulWorkGain   float64 `json:"usefulWorkGain"`
+	TightHitRateGain float64 `json:"tightHitRateGain"`
+}
+
+// RunDeadlineComparison runs the same workload under FIFO and then EDF.
+func RunDeadlineComparison(cfg DeadlineConfig) (*DeadlineComparison, error) {
+	cfg = cfg.withDefaults()
+	fcfg := cfg
+	fcfg.Sched = "fifo"
+	fifo, err := RunDeadlineLoad(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	ecfg := cfg
+	ecfg.Sched = "edf"
+	edf, err := RunDeadlineLoad(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	cmpR := &DeadlineComparison{FIFO: fifo, EDF: edf}
+	cmpR.MissRateDrop = fifo.MissRate - edf.MissRate
+	if fifo.UsefulWork > 0 {
+		cmpR.UsefulWorkGain = float64(edf.UsefulWork-fifo.UsefulWork) / float64(fifo.UsefulWork)
+	}
+	hitRate := func(r *DeadlineReport) float64 {
+		if r.TightTotal == 0 {
+			return 0
+		}
+		return float64(r.TightHit) / float64(r.TightTotal)
+	}
+	cmpR.TightHitRateGain = hitRate(edf) - hitRate(fifo)
+	return cmpR, nil
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"testing"
+
+	"lpltsp/internal/core"
+)
+
+// A small mixed-deadline run must account for every request exactly once
+// and produce internally consistent headline numbers under both
+// policies. The EDF-beats-FIFO claim itself is checked at full scale by
+// the published BENCH_PR9.json run, not at smoke scale.
+func TestDeadlineLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	for _, policy := range []string{"fifo", "edf"} {
+		core.ResetSolveCache()
+		rep, err := RunDeadlineLoad(DeadlineConfig{
+			Clients:  8,
+			Requests: 96,
+			Workers:  2,
+			Sched:    policy,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if rep.Policy != policy {
+			t.Fatalf("report policy %q, want %q", rep.Policy, policy)
+		}
+		if got := rep.Completed + rep.Expired + rep.Rejected + rep.Errors; got != rep.Requests {
+			t.Fatalf("%s: %d outcomes for %d requests", policy, got, rep.Requests)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("%s: %d unexpected errors", policy, rep.Errors)
+		}
+		if rep.UsefulWork+rep.Misses != rep.Completed+rep.Expired {
+			t.Fatalf("%s: useful %d + misses %d != attempted %d",
+				policy, rep.UsefulWork, rep.Misses, rep.Completed+rep.Expired)
+		}
+		if rep.TightHit > rep.TightTotal {
+			t.Fatalf("%s: tight hits %d exceed tight total %d", policy, rep.TightHit, rep.TightTotal)
+		}
+		if rep.Completed > 0 && rep.UsefulThroughput <= 0 && rep.UsefulWork > 0 {
+			t.Fatalf("%s: useful work without throughput", policy)
+		}
+	}
+}
+
+// BenchmarkDeadlineLoad keeps the mixed-deadline harness in the CI
+// bench-smoke net: one iteration must build, run EDF end to end, and
+// report the headline metrics.
+func BenchmarkDeadlineLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.ResetSolveCache()
+		rep, err := RunDeadlineLoad(DeadlineConfig{
+			Clients:  8,
+			Requests: 64,
+			Workers:  2,
+			Sched:    "edf",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			b.Fatalf("%d harness errors", rep.Errors)
+		}
+		b.ReportMetric(rep.MissRate, "missRate")
+		b.ReportMetric(rep.UsefulThroughput, "useful/s")
+	}
+}
+
+// Both policies must see the byte-identical workload: the tight/loose
+// assignment and bodies derive from the seed alone.
+func TestDeadlineWorkloadDeterministic(t *testing.T) {
+	cfg := DeadlineConfig{Requests: 64}.withDefaults()
+	b1, d1, w1, err := deadlineWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, d2, w2, err := deadlineWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != len(b2) || len(w1) != len(w2) {
+		t.Fatal("workload sizes differ across identical configs")
+	}
+	var tight int
+	for i := range b1 {
+		if string(b1[i]) != string(b2[i]) || d1[i] != d2[i] {
+			t.Fatalf("request %d differs across identical configs", i)
+		}
+		if d1[i] == cfg.TightBudget {
+			tight++
+		}
+	}
+	for i := range w1 {
+		if string(w1[i]) != string(w2[i]) {
+			t.Fatalf("warmup body %d differs across identical configs", i)
+		}
+	}
+	// ~30% of 64 requests tight, with generous slack for the draw.
+	if tight < 8 || tight > 40 {
+		t.Fatalf("tight count %d of %d outside the plausible band", tight, len(b1))
+	}
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"lpltsp/internal/service"
+)
+
+func postRing(t *testing.T, rt *Router, members ...string) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(RingWire{Members: members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doJSON(t, rt, http.MethodPost, "/admin/ring", body)
+}
+
+func TestAdminRingEndpoints(t *testing.T) {
+	rt, _, _ := newTestCluster(t, 3, 11, false)
+
+	resp, body := doJSON(t, rt, http.MethodGet, "/admin/ring", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /admin/ring: %d (%s)", resp.StatusCode, body)
+	}
+	var rw RingWire
+	if err := json.Unmarshal(body, &rw); err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Members) != 3 {
+		t.Fatalf("boot membership %v, want 3 members", rw.Members)
+	}
+
+	// Drain b2: swap to a two-member ring.
+	resp, body = postRing(t, rt, "b0", "b1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain POST: %d (%s)", resp.StatusCode, body)
+	}
+	if got := rt.Ring().Members(); len(got) != 2 {
+		t.Fatalf("post-drain membership %v", got)
+	}
+	if st := rt.Stats(); st.RingSwaps != 1 {
+		t.Fatalf("ringSwaps = %d, want 1", st.RingSwaps)
+	}
+	// Geometry is inherited from the current ring, never reset.
+	if got := rt.Ring().cfg.Seed; got != 11 {
+		t.Fatalf("seed changed across a members-only swap: %d", got)
+	}
+
+	// A member with no configured backend is refused.
+	if resp, _ := postRing(t, rt, "b0", "ghost"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown member accepted: %d", resp.StatusCode)
+	}
+	// So is an empty membership.
+	if resp, _ := postRing(t, rt); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty membership accepted: %d", resp.StatusCode)
+	}
+
+	// ResetRing (the SIGHUP path) restores the boot membership.
+	if err := rt.ResetRing(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Ring().Members(); len(got) != 3 {
+		t.Fatalf("post-reset membership %v", got)
+	}
+}
+
+// The admin surface is loopback-only: a forwarded or remote caller must
+// be refused, loopback and in-process callers pass.
+func TestAdminRingLoopbackOnly(t *testing.T) {
+	rt, _, _ := newTestCluster(t, 2, 3, false)
+
+	for _, tc := range []struct {
+		remote string
+		status int
+	}{
+		{"10.0.0.1:1234", http.StatusForbidden},
+		{"192.0.2.7:80", http.StatusForbidden},
+		{"127.0.0.1:5555", http.StatusOK},
+		{"[::1]:5555", http.StatusOK},
+		{"", http.StatusOK}, // in-process callers have no peer address
+	} {
+		req := httptest.NewRequest(http.MethodGet, "/admin/ring", nil)
+		req.RemoteAddr = tc.remote
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, req)
+		if rec.Code != tc.status {
+			t.Errorf("RemoteAddr %q: status %d, want %d", tc.remote, rec.Code, tc.status)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/admin/ring",
+		strings.NewReader(`{"members":["b0"]}`))
+	req.RemoteAddr = "203.0.113.9:443"
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("remote POST /admin/ring: %d, want 403", rec.Code)
+	}
+	if got := rt.Ring().Members(); len(got) != 2 {
+		t.Fatalf("remote caller changed the ring: %v", got)
+	}
+}
+
+// Membership swaps under live traffic must never drop or corrupt a
+// request: each in-flight request keeps the ring it loaded at arrival,
+// and all backends stay reachable, so every solve and every batch item
+// answers well-formed.
+func TestSetRingUnderTraffic(t *testing.T) {
+	rt, _, _ := newTestCluster(t, 3, 29, false)
+
+	const clients = 4
+	const perClient = 30
+	var clientsWG, churnWG sync.WaitGroup
+	errs := make(chan error, clients*perClient+1)
+
+	stop := make(chan struct{})
+	churnWG.Add(1)
+	go func() { // the membership churner
+		defer churnWG.Done()
+		memberships := [][]string{{"b0", "b1"}, {"b1", "b2"}, {"b0", "b1", "b2"}}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if resp, body := postRing(t, rt, memberships[i%len(memberships)]...); resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("swap %d: %d (%s)", i, resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		c := c
+		clientsWG.Add(1)
+		go func() {
+			defer clientsWG.Done()
+			for i := 0; i < perClient; i++ {
+				n := 3 + (c*perClient+i)%8
+				if i%5 == 4 {
+					// A batch that may split across owners mid-swap.
+					body := []byte(fmt.Sprintf(
+						`{"items":[{"id":"a","graph":{"n":%d,"edges":%s},"p":[2,1]},{"id":"b","graph":{"n":%d,"edges":%s},"p":[2,1]}]}`,
+						n, pathEdges(n), n+1, pathEdges(n+1)))
+					resp, data := doJSON(t, rt, http.MethodPost, "/v1/batch", body)
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("client %d batch %d: status %d (%s)", c, i, resp.StatusCode, data)
+						return
+					}
+					lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+					if len(lines) != 2 {
+						errs <- fmt.Errorf("client %d batch %d: %d lines, want 2 (%s)", c, i, len(lines), data)
+						return
+					}
+					for _, ln := range lines {
+						var sr service.SolveResponse
+						if err := json.Unmarshal([]byte(ln), &sr); err != nil || sr.Error != "" {
+							errs <- fmt.Errorf("client %d batch %d line %q: err=%v", c, i, ln, err)
+							return
+						}
+					}
+					continue
+				}
+				body := []byte(fmt.Sprintf(`{"graph":{"n":%d,"edges":%s},"p":[2,1]}`, n, pathEdges(n)))
+				resp, data := doJSON(t, rt, http.MethodPost, "/v1/solve", body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d solve %d: status %d (%s)", c, i, resp.StatusCode, data)
+					return
+				}
+				var sr service.SolveResponse
+				if err := json.Unmarshal(data, &sr); err != nil || sr.Span <= 0 {
+					errs <- fmt.Errorf("client %d solve %d: malformed response %s", c, i, data)
+					return
+				}
+			}
+		}()
+	}
+
+	// Churn runs for the clients' whole lifetime, then stops.
+	clientsWG.Wait()
+	close(stop)
+	churnWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := rt.Stats(); st.DeadBackends != 0 {
+		t.Errorf("deadBackends = %d under live membership churn, want 0", st.DeadBackends)
+	}
+}
+
+// pathEdges renders P_n's edge list as JSON.
+func pathEdges(n int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i+1 < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "[%d,%d]", i, i+1)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// A named tenant on a split batch must reach every owning backend — the
+// sub-batch re-marshal carries the tenant field through.
+func TestBatchTenantPassthrough(t *testing.T) {
+	rt, servers, _ := newTestCluster(t, 2, 5, false)
+
+	// Enough distinct graphs that both backends own at least one item.
+	var items []string
+	for n := 3; n < 11; n++ {
+		items = append(items, fmt.Sprintf(`{"id":"g%d","graph":{"n":%d,"edges":%s},"p":[2,1]}`, n, n, pathEdges(n)))
+	}
+	body := []byte(`{"tenant":"acme","items":[` + strings.Join(items, ",") + `]}`)
+	resp, data := doJSON(t, rt, http.MethodPost, "/v1/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d (%s)", resp.StatusCode, data)
+	}
+	if rt.Stats().SplitBatches != 1 {
+		t.Skip("all items landed on one owner for this seed; passthrough covered by the verbatim path")
+	}
+
+	var total int64
+	for i, sv := range servers {
+		_, st := doJSON(t, sv, http.MethodGet, "/v1/stats", nil)
+		var stats service.StatsResponse
+		if err := json.Unmarshal(st, &stats); err != nil {
+			t.Fatal(err)
+		}
+		tw, ok := stats.Sched.Tenants["acme"]
+		if !ok {
+			t.Errorf("backend %d never saw tenant acme", i)
+			continue
+		}
+		total += tw.Admitted
+	}
+	if total != int64(len(items)) {
+		t.Fatalf("tenant-attributed admissions %d, want %d", total, len(items))
+	}
+}

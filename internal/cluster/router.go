@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -36,6 +37,11 @@ type Router struct {
 	backends map[string]Backend
 	mux      *http.ServeMux
 	maxBody  int64
+	// fullCfg is the resolved boot-time ring config so ResetRing can
+	// restore the as-built membership after admin-driven drains.
+	fullCfg RingConfig
+
+	ringSwaps atomic.Int64
 
 	proxied      atomic.Int64
 	retries      atomic.Int64
@@ -79,6 +85,7 @@ func NewRouter(backends []Backend, cfg RingConfig) (*Router, error) {
 		backends:   byName,
 		mux:        http.NewServeMux(),
 		maxBody:    defaultRouterMaxBody,
+		fullCfg:    cfg,
 		perBackend: make(map[string]*atomic.Int64, len(backends)),
 	}
 	for _, b := range backends {
@@ -92,6 +99,8 @@ func NewRouter(backends []Backend, cfg RingConfig) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
+	rt.mux.HandleFunc("GET /admin/ring", rt.handleRingGet)
+	rt.mux.HandleFunc("POST /admin/ring", rt.handleRingSet)
 	return rt, nil
 }
 
@@ -102,7 +111,10 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.Ser
 func (rt *Router) Ring() *Ring { return rt.ring.Load() }
 
 // SetRing installs a new ring — the membership-change path. Every
-// member must name a backend the router was built with.
+// member must name a backend the router was built with. The swap is a
+// single atomic pointer store: every in-flight request keeps the ring
+// it loaded at arrival (one consistent view per request, including each
+// batch split), and every later request sees the new one.
 func (rt *Router) SetRing(ring *Ring) error {
 	for _, m := range ring.Members() {
 		if _, ok := rt.backends[m]; !ok {
@@ -110,7 +122,90 @@ func (rt *Router) SetRing(ring *Ring) error {
 		}
 	}
 	rt.ring.Store(ring)
+	rt.ringSwaps.Add(1)
 	return nil
+}
+
+// ResetRing restores the boot-time membership (every configured member,
+// original geometry) — the SIGHUP path after admin-driven drains.
+func (rt *Router) ResetRing() error {
+	ring, err := NewRing(rt.fullCfg)
+	if err != nil {
+		return err
+	}
+	return rt.SetRing(ring)
+}
+
+// RingWire is the admin /admin/ring request and response body.
+type RingWire struct {
+	Members []string `json:"members"`
+	VNodes  int      `json:"vnodes,omitempty"`
+	Seed    uint64   `json:"seed,omitempty"`
+}
+
+// adminLocal gates the admin surface to loopback callers: membership is
+// an operator action, not a tenant one. An empty RemoteAddr (in-process
+// callers, CLI harnesses) counts as local.
+func adminLocal(r *http.Request) bool {
+	if r.RemoteAddr == "" {
+		return true
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+func (rt *Router) handleRingGet(w http.ResponseWriter, r *http.Request) {
+	if !adminLocal(r) {
+		rt.routerError(w, http.StatusForbidden, "admin endpoint is loopback-only")
+		return
+	}
+	ring := rt.ring.Load()
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(RingWire{Members: ring.Members(), VNodes: ring.cfg.VNodes, Seed: ring.cfg.Seed})
+}
+
+// handleRingSet swaps ring membership at runtime: drain a backend by
+// POSTing the members that should keep receiving traffic, restore with
+// the full set (or SIGHUP the router). Geometry defaults to the current
+// ring's so a members-only body never silently reshuffles placement.
+func (rt *Router) handleRingSet(w http.ResponseWriter, r *http.Request) {
+	if !adminLocal(r) {
+		rt.routerError(w, http.StatusForbidden, "admin endpoint is loopback-only")
+		return
+	}
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req RingWire
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.routerError(w, http.StatusBadRequest, "bad ring body: %v", err)
+		return
+	}
+	cur := rt.ring.Load()
+	cfg := RingConfig{Members: req.Members, VNodes: cur.cfg.VNodes, Seed: cur.cfg.Seed}
+	if req.VNodes > 0 {
+		cfg.VNodes = req.VNodes
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	ring, err := NewRing(cfg)
+	if err != nil {
+		rt.routerError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := rt.SetRing(ring); err != nil {
+		rt.routerError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(RingWire{Members: ring.Members(), VNodes: ring.cfg.VNodes, Seed: ring.cfg.Seed})
 }
 
 func (rt *Router) routerError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -366,7 +461,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for pi, owner := range order {
 		pi, owner := pi, owner
 		idxs := owners[owner]
-		sub := service.BatchRequest{Options: req.Options, Workers: req.Workers,
+		sub := service.BatchRequest{Options: req.Options, Workers: req.Workers, Tenant: req.Tenant,
 			Items: make([]service.SolveRequest, len(idxs))}
 		for j, idx := range idxs {
 			sub.Items[j] = req.Items[idx]
@@ -430,10 +525,13 @@ type RouterStats struct {
 	// member. Retries counts successor attempts after a transport
 	// failure; DeadBackends counts the failures themselves.
 	// SplitBatches counts batches fanned out to more than one owner.
+	// RingSwaps counts runtime membership changes (admin POSTs, SIGHUP
+	// resets).
 	Proxied      int64            `json:"proxied"`
 	Retries      int64            `json:"retries"`
 	DeadBackends int64            `json:"deadBackends"`
 	SplitBatches int64            `json:"splitBatches"`
+	RingSwaps    int64            `json:"ringSwaps"`
 	PerBackend   map[string]int64 `json:"perBackend"`
 }
 
@@ -448,6 +546,7 @@ func (rt *Router) Stats() RouterStats {
 		Retries:      rt.retries.Load(),
 		DeadBackends: rt.deadBackends.Load(),
 		SplitBatches: rt.splitBatches.Load(),
+		RingSwaps:    rt.ringSwaps.Load(),
 		PerBackend:   make(map[string]int64, len(rt.perBackend)),
 	}
 	for name, c := range rt.perBackend {

@@ -35,6 +35,7 @@ func solveComponents(ctx context.Context, g *graph.Graph, p labeling.Vector, opt
 		labs = append(labs, res.Labeling)
 		merged.Exact = merged.Exact && res.Exact
 		merged.Truncated = merged.Truncated || res.Truncated
+		merged.DeadlineRerouted = merged.DeadlineRerouted || res.DeadlineRerouted
 		// The merged factor guarantee is the worst component factor:
 		// span = max span_i ≤ max(f_i·λ_i) ≤ (max f_i)·λ. Any component
 		// without a guarantee voids the whole bound.
@@ -49,6 +50,7 @@ func solveComponents(ctx context.Context, g *graph.Graph, p labeling.Vector, opt
 		merged.SolveTime += res.SolveTime
 		merged.Plan.Sub = append(merged.Plan.Sub, res.Plan)
 	}
+	merged.Plan.DeadlineRerouted = merged.DeadlineRerouted
 	lab, span, err := labeling.MergeComponents(g.N(), comps, labs)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+)
+
+// The model must refuse to extrapolate until it has evidence: below
+// costMinObservations every Predict misses, at the threshold it fits.
+func TestCostModelColdStart(t *testing.T) {
+	cm := NewCostModel()
+	if _, ok := cm.Predict(MethodGreedy, 10, 9, 5, 2); ok {
+		t.Fatal("empty model predicted")
+	}
+	for i := 0; i < costMinObservations-1; i++ {
+		cm.Observe(MethodGreedy, 10+i, 9+i, 5, 2, time.Millisecond)
+		if _, ok := cm.Predict(MethodGreedy, 10, 9, 5, 2); ok {
+			t.Fatalf("predicted after %d observations (threshold %d)", i+1, costMinObservations)
+		}
+	}
+	cm.Observe(MethodGreedy, 20, 19, 5, 2, time.Millisecond)
+	if _, ok := cm.Predict(MethodGreedy, 10, 9, 5, 2); !ok {
+		t.Fatalf("no prediction at the %d-observation threshold", costMinObservations)
+	}
+	if got := cm.Observations(MethodGreedy); got != costMinObservations {
+		t.Fatalf("Observations = %d, want %d", got, costMinObservations)
+	}
+	// A nil model is inert (library callers without a serving layer).
+	var nilCM *CostModel
+	nilCM.Observe(MethodGreedy, 1, 1, 1, 1, time.Second)
+	if _, ok := nilCM.Predict(MethodGreedy, 1, 1, 1, 1); ok {
+		t.Fatal("nil model predicted")
+	}
+}
+
+// Power-law workloads are exactly what the log-space regression is built
+// for: train on d = n²·µs and the model must interpolate and
+// extrapolate within a small factor.
+func TestCostModelLearnsScaling(t *testing.T) {
+	cm := NewCostModel()
+	for round := 0; round < 4; round++ {
+		for n := 8; n <= 256; n *= 2 {
+			d := time.Duration(n*n) * time.Microsecond
+			cm.Observe(MethodReduction, n, n+3, n/2, 2, d)
+		}
+	}
+	for _, n := range []int{24, 100, 400} {
+		want := float64(n * n * 1000) // ns
+		pred, ok := cm.Predict(MethodReduction, n, n+3, n/2, 2)
+		if !ok {
+			t.Fatalf("n=%d: no prediction", n)
+		}
+		if ratio := float64(pred) / want; ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("n=%d: predicted %v, want ≈%v (ratio %.2f)", n, pred, time.Duration(want), ratio)
+		}
+	}
+	// Methods are modeled independently: the reduction's samples say
+	// nothing about greedy.
+	if _, ok := cm.Predict(MethodGreedy, 100, 103, 50, 2); ok {
+		t.Fatal("greedy predicted from reduction-only evidence")
+	}
+}
+
+func TestSolveNormal(t *testing.T) {
+	// A diagonal system: (A+λI)w = b with A = diag(9,...) and λ = 1 has
+	// the closed-form solution w_i = b_i/(a_ii+1).
+	var a [costFeatures][costFeatures]float64
+	var b [costFeatures]float64
+	for i := 0; i < costFeatures; i++ {
+		a[i][i] = 9
+		b[i] = float64(10 * (i + 1))
+	}
+	w, ok := solveNormal(a, b)
+	if !ok {
+		t.Fatal("diagonal system not solved")
+	}
+	for i := range w {
+		if want := b[i] / 10; math.Abs(w[i]-want) > 1e-9 {
+			t.Fatalf("w[%d] = %g, want %g", i, w[i], want)
+		}
+	}
+	// A NaN-poisoned accumulator must be rejected, not propagated.
+	a[2][2] = math.NaN()
+	if _, ok := solveNormal(a, b); ok {
+		t.Fatal("NaN system solved")
+	}
+}
+
+// trainAt floods the model with constant-latency samples of one method
+// around the given feature point (slight n jitter so the normal
+// equations see more than a rank-1 update).
+func trainAt(cm *CostModel, m MethodName, n, mm, diam, pmax int, d time.Duration) {
+	for i := -2; i <= 2; i++ {
+		for r := 0; r < 4; r++ {
+			cm.Observe(m, n+i, mm+i, diam+i, pmax, d)
+		}
+	}
+}
+
+// The planner must abandon its static favorite when the learned model
+// says it cannot meet the deadline, and fall back to the best route
+// that fits — flagging the result as DeadlineRerouted.
+func TestPlannerDeadlineReroute(t *testing.T) {
+	g := graph.Path(20) // n=20 m=19 diam=19; tree, reduction, greedy all apply
+	p := labeling.L21()
+	_, pmax := p.MinMax()
+
+	static, err := Explain(context.Background(), g, p, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.DeadlineRerouted || static.Budget != 0 {
+		t.Fatalf("static plan carries deadline state: %+v", static)
+	}
+	if static.Chosen == MethodGreedy {
+		t.Fatalf("test premise broken: static choice is already greedy")
+	}
+
+	// Teach the model that every applicable route except greedy takes 5s
+	// on this shape, while greedy takes 50µs.
+	cm := NewCostModel()
+	for _, c := range static.Candidates {
+		if !c.Applicable || c.Method == MethodGreedy {
+			continue
+		}
+		trainAt(cm, c.Method, g.N(), g.M(), 19, pmax, 5*time.Second)
+	}
+	trainAt(cm, MethodGreedy, g.N(), g.M(), 19, pmax, 50*time.Microsecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	pl, err := Explain(ctx, g, p, &Options{CostModel: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chosen != MethodGreedy {
+		t.Fatalf("chosen %q under a 200ms budget, want greedy", pl.Chosen)
+	}
+	if !pl.DeadlineRerouted {
+		t.Fatal("DeadlineRerouted not set on a rerouted plan")
+	}
+	if pl.Budget <= 0 {
+		t.Fatalf("Budget = %v, want the remaining deadline", pl.Budget)
+	}
+	if c := pl.Candidate(static.Chosen); c == nil || c.Predicted < time.Second {
+		t.Fatalf("static favorite's prediction not recorded: %+v", c)
+	}
+
+	// And a rerouted solve must not poison the deadline-blind cache.
+	ResetSolveCache()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel2()
+	res, err := SolveContext(ctx2, g, p, &Options{CostModel: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineRerouted {
+		t.Fatalf("solve result not flagged DeadlineRerouted: %+v", res.Plan)
+	}
+	res2, err := Solve(g, p, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHit {
+		t.Fatal("relaxed request hit a cache entry inserted by a rerouted solve")
+	}
+	if res2.DeadlineRerouted {
+		t.Fatal("deadline-free solve reports DeadlineRerouted")
+	}
+}
+
+// With every predicted route over budget the planner still routes — the
+// fastest predicted candidate runs as best effort.
+func TestPlannerDeadlineBestEffort(t *testing.T) {
+	g := graph.Path(20)
+	p := labeling.L21()
+	_, pmax := p.MinMax()
+
+	static, err := Explain(context.Background(), g, p, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := NewCostModel()
+	for _, c := range static.Candidates {
+		if !c.Applicable {
+			continue
+		}
+		d := 5 * time.Second
+		if c.Method == MethodGreedy {
+			d = time.Second // fastest, still over a 100ms budget
+		}
+		trainAt(cm, c.Method, g.N(), g.M(), 19, pmax, d)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	pl, err := Explain(ctx, g, p, &Options{CostModel: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Chosen != MethodGreedy {
+		t.Fatalf("best-effort chose %q, want the fastest predicted (greedy)", pl.Chosen)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"lpltsp/internal/graph"
 	"lpltsp/internal/labeling"
@@ -99,6 +100,10 @@ type Candidate struct {
 	Approx float64
 	// Cost is the planner's relative running-cost estimate.
 	Cost float64
+	// Predicted is the learned cost model's latency estimate for this
+	// method on this instance (0 when the model has too few observations
+	// of the method, or no model / no deadline was in play).
+	Predicted time.Duration
 	// Reason is the human-readable applicability explanation.
 	Reason string
 }
@@ -126,6 +131,16 @@ type Plan struct {
 	// Candidates holds one verdict per registered method, in registry
 	// order. Empty for decomposed and trivial plans.
 	Candidates []Candidate
+	// Budget is the remaining deadline budget the planner routed
+	// against (0 when the solve had no deadline or no cost model).
+	Budget time.Duration
+	// DeadlineRerouted reports that the learned cost model overrode the
+	// static (tier, cost) choice because the statically preferred route
+	// was predicted to miss the remaining budget. Rerouted results are
+	// never inserted into the solve cache: the cache key excludes
+	// deadlines, and a relaxed request must not inherit a hurried
+	// route's weaker result.
+	DeadlineRerouted bool
 	// Sub holds the per-component plans of a decomposed solve, in
 	// component order.
 	Sub []*Plan
@@ -165,7 +180,15 @@ func candidateFrom(name MethodName, a Applicability) Candidate {
 // engine is pinned and it applies, else the cheapest applicable method in
 // (quality tier, estimated cost, registration order) order. The greedy
 // fallback is always applicable, so planning never comes up empty.
-func planSingle(pr *Probe, p labeling.Vector, opts *Options) (*Plan, Method, error) {
+//
+// budget, when positive alongside a configured Options.CostModel, makes
+// the choice deadline-aware: the learned predictor scores every
+// applicable candidate, the static choice is kept only if it is
+// predicted to fit the budget, and otherwise the best-quality fitting
+// route wins (or, when nothing fits, the fastest predicted one as best
+// effort). Methods the model cannot predict yet are assumed to fit, so
+// a cold model reproduces the static choice exactly.
+func planSingle(pr *Probe, p labeling.Vector, opts *Options, budget time.Duration) (*Plan, Method, error) {
 	pl := &Plan{
 		AlgorithmPinned: algorithmPinned(opts),
 		N:               pr.N,
@@ -202,11 +225,13 @@ func planSingle(pr *Probe, p labeling.Vector, opts *Options) (*Plan, Method, err
 		return pl, m, nil
 	}
 
-	var (
-		best     Method
-		bestApp  Applicability
-		haveBest bool
-	)
+	type applicable struct {
+		m   Method
+		a   Applicability
+		ci  int // index into pl.Candidates
+		fit bool
+	}
+	var apps []applicable
 	for _, name := range Methods() {
 		m, err := LookupMethod(name)
 		if err != nil {
@@ -214,13 +239,8 @@ func planSingle(pr *Probe, p labeling.Vector, opts *Options) (*Plan, Method, err
 		}
 		a := m.Check(pr, p, opts)
 		pl.Candidates = append(pl.Candidates, candidateFrom(name, a))
-		if !a.OK {
-			continue
-		}
-		if !haveBest ||
-			a.Tier() < bestApp.Tier() ||
-			(a.Tier() == bestApp.Tier() && a.Cost < bestApp.Cost) {
-			best, bestApp, haveBest = m, a, true
+		if a.OK {
+			apps = append(apps, applicable{m: m, a: a, ci: len(pl.Candidates) - 1, fit: true})
 		}
 	}
 
@@ -231,13 +251,64 @@ func planSingle(pr *Probe, p labeling.Vector, opts *Options) (*Plan, Method, err
 			return pl, m, nil
 		}
 	}
-	if !haveBest {
+	if len(apps) == 0 {
 		// Unreachable while the greedy fallback is registered; keep the
 		// planner total even if a build strips methods.
 		return nil, nil, fmt.Errorf("core: no applicable method for this instance")
 	}
-	pl.Chosen = best.Name()
-	return pl, best, nil
+
+	// bestOf picks by (quality tier, static cost, registration order)
+	// among the applicable candidates the filter accepts.
+	bestOf := func(accept func(applicable) bool) int {
+		best := -1
+		for i, ac := range apps {
+			if !accept(ac) {
+				continue
+			}
+			if best < 0 ||
+				ac.a.Tier() < apps[best].a.Tier() ||
+				(ac.a.Tier() == apps[best].a.Tier() && ac.a.Cost < apps[best].a.Cost) {
+				best = i
+			}
+		}
+		return best
+	}
+	chosen := bestOf(func(applicable) bool { return true })
+
+	// Deadline-aware refinement: score the candidates with the learned
+	// cost model and keep the best-quality route predicted to fit the
+	// remaining budget. Unpredicted candidates are assumed to fit, so a
+	// cold or absent model leaves the static choice untouched.
+	if budget > 0 && opts != nil && opts.CostModel != nil {
+		pl.Budget = budget
+		_, pmax := p.MinMax()
+		minPred, havePred := -1, false
+		for i := range apps {
+			pred, ok := opts.CostModel.Predict(apps[i].m.Name(), pr.N, pr.M, pr.Diameter, pmax)
+			if !ok {
+				continue
+			}
+			pl.Candidates[apps[i].ci].Predicted = pred
+			apps[i].fit = pred <= budget
+			if !havePred || pred < pl.Candidates[apps[minPred].ci].Predicted {
+				minPred, havePred = i, true
+			}
+		}
+		static := chosen
+		fitBest := bestOf(func(ac applicable) bool { return ac.fit })
+		switch {
+		case fitBest >= 0:
+			chosen = fitBest
+		case havePred:
+			// Nothing is predicted to finish in time: run the fastest
+			// predicted route as best effort rather than giving up.
+			chosen = minPred
+		}
+		pl.DeadlineRerouted = chosen != static
+	}
+
+	pl.Chosen = apps[chosen].m.Name()
+	return pl, apps[chosen].m, nil
 }
 
 // Explain plans g without solving it: the returned Plan carries every
@@ -273,9 +344,21 @@ func Explain(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *Optio
 	if err != nil {
 		return nil, err
 	}
-	pl, _, err := planSingle(pr, p, opts)
+	pl, _, err := planSingle(pr, p, opts, remainingBudget(ctx))
 	if err != nil {
 		return nil, err
 	}
 	return pl, nil
+}
+
+// remainingBudget converts a context deadline into the planner's budget
+// (0 when none is set — solveTop installs Options.Deadline as a context
+// timeout, so one source covers both caller and option deadlines).
+func remainingBudget(ctx context.Context) time.Duration {
+	if dl, ok := ctx.Deadline(); ok {
+		if budget := time.Until(dl); budget > 0 {
+			return budget
+		}
+	}
+	return 0
 }

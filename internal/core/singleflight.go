@@ -275,7 +275,10 @@ func (c *SolveCache) leadFlight(ctx, fctx context.Context, sh *flightShard, key 
 			// request always finds either the cached result or a joinable
 			// flight (joining a just-completed flight hands back its
 			// result immediately), never a gap it would re-solve in.
-			if !res.Truncated {
+			// Deadline-rerouted results stay out for the same reason
+			// truncated ones do: the cache key excludes deadlines, and a
+			// relaxed request must not inherit a hurried route's result.
+			if !res.Truncated && !res.DeadlineRerouted {
 				c.put(key, res)
 			}
 		} else {

@@ -64,6 +64,13 @@ type Result struct {
 	// L1 like any other flight outcome, so later local hits keep
 	// Remote=true as provenance of where the entry was filled from.
 	Remote bool
+	// DeadlineRerouted reports that the learned cost model overrode the
+	// planner's static route because the preferred method was predicted
+	// to miss the remaining deadline budget (for decomposed solves: any
+	// component was rerouted). Rerouted results never enter the solve
+	// cache — the cache key excludes deadlines, and a request with more
+	// budget must not inherit a hurried route's weaker result.
+	DeadlineRerouted bool
 	// Plan is the routing decision that produced this result: every
 	// method's applicability verdict. Shared, read-only.
 	Plan *Plan
@@ -110,6 +117,13 @@ type Options struct {
 	// ring (two nodes each believing the other owns a key) degrades to a
 	// local solve instead of forwarding forever.
 	DisableL2 bool
+	// CostModel, when set, closes the planner's feedback loop: every
+	// completed method run feeds the model (probe features → wall time),
+	// and deadline-bearing solves route by its predictions — the
+	// cheapest route predicted to meet the remaining budget — instead of
+	// static costs alone (see planSingle). Nil keeps the planner fully
+	// static. Never part of the cache key.
+	CostModel *CostModel
 	// Deadline bounds the whole solve (probe, reduction, and method)
 	// when positive; anytime engines return their incumbent labeling
 	// with Result.Truncated set when it expires. One coalescing caveat:
@@ -279,7 +293,7 @@ func solveSingle(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *O
 	if err != nil {
 		return nil, err
 	}
-	pl, m, err := planSingle(pr, p, opts)
+	pl, m, err := planSingle(pr, p, opts, remainingBudget(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +312,15 @@ func solveSingle(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *O
 		res.SolveTime = time.Since(t1)
 	}
 	res.Plan = pl
+	res.DeadlineRerouted = pl.DeadlineRerouted
 	res.ReduceTime += probeTime
+	if opts.CostModel != nil && !res.Truncated {
+		// Feed the planner's feedback loop: one observation per completed
+		// (untruncated) method run. Truncated runs are skipped — their
+		// wall time measures the deadline, not the method.
+		_, pmax := p.MinMax()
+		opts.CostModel.Observe(m.Name(), pr.N, pr.M, pr.Diameter, pmax, res.SolveTime)
+	}
 	if opts.Verify {
 		if err := labeling.VerifyWithMatrix(pr.Dist, p, res.Labeling); err != nil {
 			return nil, fmt.Errorf("core: internal error, method %s produced invalid labeling: %w", res.Method, err)

@@ -161,18 +161,15 @@ func (s *Server) observeServiceTime(d time.Duration) {
 	}
 }
 
-// retryAfterSeconds estimates when a rejected client should come back:
-// the jobs ahead of it, divided across the worker pool, at the recently
-// observed per-solve service time, clamped to [1, 30]. Before any solve
-// completes (no EWMA yet) the old static hint of 1s stands.
+// retryAfterSeconds estimates when a rejected client should come back,
+// from the real drain schedule: every job in the system contributes its
+// learned service-time prediction (EWMA fallback when the model has
+// none), the sum is divided across the worker pool, and the result is
+// clamped to [1, 30]. Cold start is explicit: with zero observations
+// (no predictions, no EWMA) the estimate is 0 and the clamp floor of 1s
+// stands — never a hint computed from uninitialized state.
 func (s *Server) retryAfterSeconds() int {
-	ewma := s.ewmaNs.Load()
-	if ewma <= 0 {
-		return 1
-	}
-	jobs := s.queued.Load() + s.inFlight.Load()
-	rounds := jobs/int64(s.cfg.Workers) + 1
-	est := time.Duration(ewma) * time.Duration(rounds)
+	est := time.Duration(s.sched.drainEstimateNs(s.ewmaNs.Load()))
 	secs := int((est + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -194,7 +191,7 @@ func (s *Server) reject429(w http.ResponseWriter, format string, args ...any) {
 // instances keep tripping the quarantine (a poison workload or a sick
 // process; either way traffic is better off elsewhere).
 func (s *Server) notReadyReason() string {
-	occ := s.queued.Load() + s.inFlight.Load()
+	occ := s.sched.queued.Load() + s.sched.inFlight.Load()
 	high := int64(math.Ceil(s.cfg.ReadyHighWater * float64(s.cfg.QueueDepth)))
 	if occ >= high {
 		return fmt.Sprintf("admission queue saturated: %d of %d jobs in system (high water %d)",

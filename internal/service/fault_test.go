@@ -333,23 +333,61 @@ func TestReadyzQuarantineTrips(t *testing.T) {
 // ---------------------------------------------------------------------------
 // Retry-After from the drain rate
 
-func TestRetryAfterComputed(t *testing.T) {
+func TestRetryAfterColdStart(t *testing.T) {
+	// Regression: before the drain-schedule rewrite, a server with queued
+	// jobs but zero EWMA observations computed the hint from uninitialized
+	// state. Cold start must always yield the clamp floor.
 	s := NewServer(&Config{Workers: 2, QueueDepth: 64})
 	if got := s.retryAfterSeconds(); got != 1 {
-		t.Fatalf("no EWMA yet: Retry-After %d, want the static 1", got)
+		t.Fatalf("empty cold server: Retry-After %d, want the floor 1", got)
 	}
+	jobs, err := s.sched.admit("", make([]jobSpec, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("occupied but no observations: Retry-After %d, want the floor 1", got)
+	}
+	for _, j := range jobs {
+		s.sched.finish(j)
+	}
+}
+
+func TestRetryAfterComputed(t *testing.T) {
+	s := NewServer(&Config{Workers: 2, QueueDepth: 2048})
 	s.ewmaNs.Store(int64(3 * time.Second))
-	s.queued.Store(10)
-	// 10 jobs over 2 workers → 6 drain rounds × 3s = 18s.
-	if got := s.retryAfterSeconds(); got != 18 {
-		t.Fatalf("Retry-After %d, want 18", got)
+	jobs, err := s.sched.admit("", make([]jobSpec, 10))
+	if err != nil {
+		t.Fatal(err)
 	}
-	s.queued.Store(1000)
+	// 10 jobs with no prediction fall back to the 3s EWMA; the sum drains
+	// across 2 workers → 15s.
+	if got := s.retryAfterSeconds(); got != 15 {
+		t.Fatalf("Retry-After %d, want 15", got)
+	}
+	more, err := s.sched.admit("", make([]jobSpec, 990))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := s.retryAfterSeconds(); got != 30 {
 		t.Fatalf("Retry-After %d, want clamp at 30", got)
 	}
+	for _, j := range append(jobs, more...) {
+		s.sched.finish(j)
+	}
+	// A learned per-job prediction overrides the EWMA fallback.
+	pj, err := s.sched.admit("", []jobSpec{{predNs: int64(10 * time.Second)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.retryAfterSeconds(); got != 5 {
+		t.Fatalf("Retry-After %d, want 5 (10s prediction over 2 workers)", got)
+	}
+	s.sched.finish(pj[0])
 	s.ewmaNs.Store(int64(time.Microsecond))
-	s.queued.Store(1)
+	if _, err := s.sched.admit("", make([]jobSpec, 1)); err != nil {
+		t.Fatal(err)
+	}
 	if got := s.retryAfterSeconds(); got != 1 {
 		t.Fatalf("Retry-After %d, want floor of 1", got)
 	}

@@ -1,0 +1,588 @@
+package service
+
+import (
+	"bytes"
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lpltsp/internal/core"
+	"lpltsp/internal/graph"
+	"lpltsp/internal/labeling"
+)
+
+// doJSON is postJSON with an X-Lpl-Tenant header attached (empty tenant
+// sends none).
+func doJSON(t *testing.T, url, tenant string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func mustUnmarshal(t *testing.T, data []byte, into any) {
+	t.Helper()
+	if err := json.Unmarshal(data, into); err != nil {
+		t.Fatalf("unmarshal %q: %v", data, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// scheduler unit tests
+
+// With one worker occupied, queued jobs must be granted in deadline
+// order — earliest first, no-deadline last — regardless of arrival
+// order.
+func TestSchedulerEDFGrantOrder(t *testing.T) {
+	sc := newScheduler(true, 1, 16, 0)
+	ctx := context.Background()
+
+	gate, err := sc.admit("", make([]jobSpec, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.acquire(ctx, gate[0]); err != nil {
+		t.Fatalf("gate job not granted on an idle scheduler: %v", err)
+	}
+
+	now := time.Now()
+	specs := []jobSpec{
+		{deadline: now.Add(30 * time.Second)},
+		{deadline: now.Add(10 * time.Second)},
+		{}, // no deadline: must sort last
+		{deadline: now.Add(20 * time.Second)},
+	}
+	want := []int{1, 3, 0, 2} // spec indices in grant order
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := range specs {
+		jobs, err := sc.admit("", specs[i:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, j := i, jobs[0]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sc.acquire(ctx, j); err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			sc.finish(j)
+		}()
+	}
+	// All four must be in the ready queue before the worker frees, or
+	// grant order would depend on goroutine scheduling. The queued gauge
+	// counts admitted-but-unacquired jobs too, so poll the heap itself.
+	eventually(t, "jobs in the ready queue", func() bool {
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		return sc.ready.Len() == 4
+	})
+	sc.finish(gate[0])
+	wg.Wait()
+
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+// At 429-time the scheduler sheds only work that provably cannot meet
+// its deadline: the feasible job keeps its place, the doomed one gets
+// the errShed verdict, and with no provable victim the queue is simply
+// full.
+func TestSchedulerShedOnlyInfeasible(t *testing.T) {
+	sc := newScheduler(true, 0, 2, 0)
+	now := time.Now()
+	feasible := jobSpec{deadline: now.Add(time.Hour), predNs: int64(time.Millisecond)}
+
+	kept, err := sc.admit("", []jobSpec{feasible})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := sc.admit("", []jobSpec{{deadline: now.Add(50 * time.Millisecond), predNs: int64(time.Hour)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue full; a feasible arrival evicts the provably-dead job only.
+	if _, err := sc.admit("", []jobSpec{feasible}); err != nil {
+		t.Fatalf("feasible arrival not admitted over an infeasible occupant: %v", err)
+	}
+	select {
+	case verdict := <-doomed[0].grant:
+		if !errors.Is(verdict, errShed) {
+			t.Fatalf("doomed job's verdict: %v, want errShed", verdict)
+		}
+	default:
+		t.Fatal("doomed job was not shed")
+	}
+	if kept[0].state == jobDone {
+		t.Fatal("feasible job was shed while an infeasible one existed")
+	}
+	if got := sc.sheds.Load(); got != 1 {
+		t.Fatalf("sheds = %d, want 1", got)
+	}
+
+	// Full again, nobody provably dead: plain bounded-queue rejection.
+	if _, err := sc.admit("", []jobSpec{feasible}); !errors.Is(err, errQueueFull) {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	// An arrival that itself cannot make its deadline is refused as such.
+	if _, err := sc.admit("", []jobSpec{{deadline: now.Add(time.Millisecond), predNs: int64(time.Hour)}}); !errors.Is(err, errInfeasible) {
+		t.Fatalf("err = %v, want errInfeasible", err)
+	}
+	if got := sc.infeasible.Load(); got != 1 {
+		t.Fatalf("infeasible = %d, want 1", got)
+	}
+}
+
+func TestSchedulerTenantQuota(t *testing.T) {
+	sc := newScheduler(true, 0, 10, 2)
+
+	held, err := sc.admit("greedy", make([]jobSpec, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.admit("greedy", make([]jobSpec, 1)); !errors.Is(err, errTenantQuota) {
+		t.Fatalf("over-quota admit: %v, want errTenantQuota", err)
+	}
+	// Other identities are unaffected — and anonymous traffic has no
+	// identity to cap.
+	if _, err := sc.admit("polite", make([]jobSpec, 2)); err != nil {
+		t.Fatalf("other tenant blocked by greedy's quota: %v", err)
+	}
+	if _, err := sc.admit("", make([]jobSpec, 5)); err != nil {
+		t.Fatalf("anonymous traffic quota-capped: %v", err)
+	}
+	sc.finish(held[0])
+	if _, err := sc.admit("greedy", make([]jobSpec, 1)); err != nil {
+		t.Fatalf("quota not released with the job: %v", err)
+	}
+	if got := sc.quotaRejs.Load(); got != 1 {
+		t.Fatalf("quotaRejs = %d, want 1", got)
+	}
+	snap := sc.tenantsSnapshot()
+	if snap["greedy"].Rejected != 1 || snap["greedy"].InSystem != 2 {
+		t.Fatalf("greedy snapshot: %+v", snap["greedy"])
+	}
+}
+
+// finish must settle each job's occupancy exactly once no matter how
+// often it is called or how the job died.
+func TestSchedulerFinishIdempotent(t *testing.T) {
+	sc := newScheduler(true, 1, 4, 0)
+	jobs, err := sc.admit("", make([]jobSpec, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.acquire(context.Background(), jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// jobs[1] abandons the wait: the cancel path must remove it.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sc.acquire(cancelled, jobs[1]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire on a dead context: %v", err)
+	}
+	if got := sc.queued.Load(); got != 0 {
+		t.Fatalf("queued = %d after abandoned wait, want 0", got)
+	}
+
+	for i := 0; i < 3; i++ {
+		sc.finish(jobs[0])
+		sc.finish(jobs[1])
+	}
+	if sc.inSystem != 0 || sc.queued.Load() != 0 || sc.inFlight.Load() != 0 {
+		t.Fatalf("occupancy after repeated finish: inSystem=%d queued=%d inFlight=%d",
+			sc.inSystem, sc.queued.Load(), sc.inFlight.Load())
+	}
+}
+
+func TestJobHeapOrdering(t *testing.T) {
+	now := time.Now()
+	mk := func(h *jobHeap, seq uint64, dl time.Time) *schedJob {
+		j := &schedJob{seq: seq, deadline: dl, heapIdx: -1}
+		heap.Push(h, j)
+		return j
+	}
+	edf := &jobHeap{edf: true}
+	mk(edf, 1, now.Add(30*time.Second))
+	mk(edf, 2, time.Time{})
+	mk(edf, 3, now.Add(10*time.Second))
+	mk(edf, 4, now.Add(10*time.Second)) // equal deadlines keep arrival order
+	var got []uint64
+	for edf.Len() > 0 {
+		got = append(got, heap.Pop(edf).(*schedJob).seq)
+	}
+	want := []uint64{3, 4, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EDF pop order %v, want %v", got, want)
+		}
+	}
+
+	fifo := &jobHeap{edf: false}
+	mk(fifo, 1, time.Time{})
+	mk(fifo, 2, now.Add(time.Second)) // urgent deadline must NOT jump the line
+	mk(fifo, 3, time.Time{})
+	got = got[:0]
+	for fifo.Len() > 0 {
+		got = append(got, heap.Pop(fifo).(*schedJob).seq)
+	}
+	want = []uint64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fifo pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP-level scheduling
+
+// orderMethod records the order solves actually execute in — the probe
+// for EDF at the HTTP layer. Applies only when pinned, like blockMethod.
+type orderMethod struct{}
+
+const orderName core.MethodName = "test-order"
+
+var (
+	orderMu  sync.Mutex
+	orderLog []int
+)
+
+func takeOrderLog() []int {
+	orderMu.Lock()
+	defer orderMu.Unlock()
+	out := orderLog
+	orderLog = nil
+	return out
+}
+
+func (orderMethod) Name() core.MethodName { return orderName }
+
+func (orderMethod) Check(pr *core.Probe, p labeling.Vector, opts *core.Options) core.Applicability {
+	if opts == nil || opts.Method != orderName {
+		return core.Applicability{Reason: "test method; pin it explicitly"}
+	}
+	return core.Applicability{OK: true, Cost: 1, Reason: "test order probe"}
+}
+
+func (orderMethod) Solve(ctx context.Context, pr *core.Probe, p labeling.Vector, opts *core.Options) (*core.Result, error) {
+	orderMu.Lock()
+	orderLog = append(orderLog, pr.N)
+	orderMu.Unlock()
+	lab, span, err := labeling.GreedyFirstFit(pr.G, p, labeling.OrderDegree)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{Labeling: lab, Span: span, Method: orderName}, nil
+}
+
+var registerOrderOnce sync.Once
+
+// Queued requests with tighter deadlines must run first even when
+// submitted last — the end-to-end EDF property.
+func TestEDFOrderingHTTP(t *testing.T) {
+	registerOrderOnce.Do(func() { core.RegisterMethod(orderMethod{}) })
+	release := resetBlock()
+	defer release()
+	takeOrderLog()
+	registerBlockOnce.Do(func() { core.RegisterMethod(blockMethod{}) })
+	srv := NewServer(&Config{Workers: 1, QueueDepth: 16})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	readyLen := func() int {
+		srv.sched.mu.Lock()
+		defer srv.sched.mu.Unlock()
+		return srv.sched.ready.Len()
+	}
+
+	// Occupy the only worker so subsequent requests queue.
+	gateDone := make(chan struct{})
+	go func() {
+		defer close(gateDone)
+		postJSON(t, ts.URL+"/v1/solve", SolveRequest{ID: "gate", Graph: graph.Path(3), P: labeling.L21(),
+			Options: &WireOptions{Method: string(blockName), NoCache: true}})
+	}()
+	eventually(t, "gate running", func() bool { return getStats(t, ts.URL).InFlight == 1 })
+
+	// Submit in reverse-deadline order; sizes identify each request in
+	// the execution log.
+	subs := []struct {
+		n          int
+		deadlineMs int64
+	}{
+		{n: 30, deadlineMs: 30000},
+		{n: 20, deadlineMs: 20000},
+		{n: 10, deadlineMs: 10000},
+	}
+	var wg sync.WaitGroup
+	for _, sub := range subs {
+		sub := sub
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Graph: graph.Path(sub.n), P: labeling.L21(),
+				Options: &WireOptions{Method: string(orderName), NoCache: true, DeadlineMs: sub.deadlineMs}})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("n=%d: status %d (%s)", sub.n, resp.StatusCode, body)
+			}
+		}()
+	}
+	eventually(t, "three in the ready queue", func() bool { return readyLen() == 3 })
+	release()
+	wg.Wait()
+	<-gateDone
+
+	got := takeOrderLog()
+	want := []int{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want deadline order %v", got, want)
+		}
+	}
+}
+
+// A greedy tenant is capped at its quota while other tenants (and
+// anonymous traffic) keep flowing.
+func TestTenantQuotaHTTP(t *testing.T) {
+	release := resetBlock()
+	defer release()
+	// quota = ceil(0.25 × 8) = 2 jobs per named tenant.
+	ts := newTestServer(t, &Config{Workers: 1, QueueDepth: 8, TenantQuota: 0.25})
+
+	blockOpts := &WireOptions{Method: string(blockName), NoCache: true}
+	var wg sync.WaitGroup
+	post := func(tenant, field string, id string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doJSON(t, ts.URL+"/v1/solve", tenant, SolveRequest{ID: id, Tenant: field,
+				Graph: graph.Path(3), P: labeling.L21(), Options: blockOpts})
+		}()
+	}
+	post("greedy", "", "g1")        // via header
+	post("ignored", "greedy", "g2") // body field wins over the header
+	eventually(t, "greedy at quota", func() bool {
+		return getStats(t, ts.URL).Sched.Tenants["greedy"].InSystem == 2
+	})
+
+	resp, body := doJSON(t, ts.URL+"/v1/solve", "greedy",
+		SolveRequest{ID: "g3", Graph: graph.Path(3), P: labeling.L21(), Options: blockOpts})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d (%s)", resp.StatusCode, body)
+	}
+	var rej SolveResponse
+	mustUnmarshal(t, body, &rej)
+	if rej.Code != codeTenantQuota {
+		t.Fatalf("over-quota code %q, want %q", rej.Code, codeTenantQuota)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("quota rejection carries no Retry-After")
+	}
+
+	// The queue still has room for everyone else.
+	post("polite", "", "p1")
+	post("", "", "anon")
+	eventually(t, "others admitted", func() bool { return getStats(t, ts.URL).Admitted == 4 })
+
+	release()
+	wg.Wait()
+	st := getStats(t, ts.URL)
+	if st.Sched.QuotaRejected < 1 {
+		t.Fatalf("quotaRejected = %d, want ≥ 1", st.Sched.QuotaRejected)
+	}
+	g := st.Sched.Tenants["greedy"]
+	if g.Rejected < 1 || g.Solved != 2 {
+		t.Fatalf("greedy tenant stats: %+v", g)
+	}
+	if p := st.Sched.Tenants["polite"]; p.Solved != 1 {
+		t.Fatalf("polite tenant stats: %+v", p)
+	}
+	if st.Sched.Policy != schedEDF {
+		t.Fatalf("policy %q, want %q", st.Sched.Policy, schedEDF)
+	}
+}
+
+// The queued/in-flight gauges must drain to exactly zero after mixed
+// batch and solo traffic that dies every way at once: client
+// disconnects mid-batch, queued deadline expiry, and 429 rejections.
+// This is the regression test for the batch-abandon double-decrement.
+func TestQueuedGaugeDrainsToZero(t *testing.T) {
+	release := resetBlock()
+	defer release()
+	ts := newTestServer(t, &Config{Workers: 1, QueueDepth: 3})
+
+	blockOpts := &WireOptions{Method: string(blockName), NoCache: true}
+	// Occupy the worker.
+	gateDone := make(chan struct{})
+	go func() {
+		defer close(gateDone)
+		postJSON(t, ts.URL+"/v1/solve", SolveRequest{ID: "gate", Graph: graph.Path(3), P: labeling.L21(), Options: blockOpts})
+	}()
+	eventually(t, "gate running", func() bool { return getStats(t, ts.URL).InFlight == 1 })
+
+	// A batch whose client walks away while both items are queued.
+	bctx, bcancel := context.WithCancel(context.Background())
+	batchGone := make(chan struct{})
+	go func() {
+		defer close(batchGone)
+		breq := BatchRequest{Options: blockOpts, Items: []SolveRequest{
+			{ID: "b0", Graph: graph.Path(4), P: labeling.L21()},
+			{ID: "b1", Graph: graph.Path(5), P: labeling.L21()},
+		}}
+		body, err := json.Marshal(breq)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req, err := http.NewRequestWithContext(bctx, http.MethodPost, ts.URL+"/v1/batch", bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return // cancelled before/while streaming: expected
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	eventually(t, "batch queued", func() bool { return getStats(t, ts.URL).Queued == 2 })
+
+	// Queue full: a solo request bounces with 429.
+	resp, _ := postJSON(t, ts.URL+"/v1/solve", SolveRequest{ID: "bounce", Graph: graph.Path(6), P: labeling.L21(), Options: blockOpts})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue status %d, want 429", resp.StatusCode)
+	}
+
+	// The batch client disconnects; its queued jobs must be reclaimed.
+	bcancel()
+	<-batchGone
+	eventually(t, "abandoned batch drained", func() bool { return getStats(t, ts.URL).Queued == 0 })
+
+	// A queued request whose client-side deadline expires before it ever
+	// reaches a worker: the wait must be abandoned and its slot reclaimed.
+	lctx, lcancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer lcancel()
+	lbody, err := json.Marshal(SolveRequest{ID: "late", Graph: graph.Path(7), P: labeling.L21(),
+		Options: &WireOptions{Method: string(blockName), NoCache: true, DeadlineMs: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lreq, err := http.NewRequestWithContext(lctx, http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(lbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lreq.Header.Set("Content-Type", "application/json")
+	if lresp, err := http.DefaultClient.Do(lreq); err == nil {
+		lresp.Body.Close()
+		t.Fatalf("expired-while-queued request completed with status %d", lresp.StatusCode)
+	}
+
+	release()
+	<-gateDone
+	eventually(t, "gauges drain to exactly zero", func() bool {
+		st := getStats(t, ts.URL)
+		return st.Queued == 0 && st.InFlight == 0
+	})
+	// And stay there: the double-decrement bug showed up as the gauge
+	// going negative once abandoned items were also swept at exit.
+	st := getStats(t, ts.URL)
+	if st.Queued < 0 || st.InFlight < 0 {
+		t.Fatalf("gauge went negative: queued=%d inFlight=%d", st.Queued, st.InFlight)
+	}
+}
+
+// FIFO mode must ignore deadlines end to end (the pre-EDF behavior,
+// kept reachable for operators who want strict arrival order).
+func TestFIFOPolicyHTTP(t *testing.T) {
+	registerOrderOnce.Do(func() { core.RegisterMethod(orderMethod{}) })
+	release := resetBlock()
+	defer release()
+	takeOrderLog()
+	registerBlockOnce.Do(func() { core.RegisterMethod(blockMethod{}) })
+	srv := NewServer(&Config{Workers: 1, QueueDepth: 16, Sched: "fifo"})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	readyLen := func() int {
+		srv.sched.mu.Lock()
+		defer srv.sched.mu.Unlock()
+		return srv.sched.ready.Len()
+	}
+
+	if st := getStats(t, ts.URL); st.Sched.Policy != schedFIFO {
+		t.Fatalf("policy %q, want %q", st.Sched.Policy, schedFIFO)
+	}
+	gateDone := make(chan struct{})
+	go func() {
+		defer close(gateDone)
+		postJSON(t, ts.URL+"/v1/solve", SolveRequest{ID: "gate", Graph: graph.Path(3), P: labeling.L21(),
+			Options: &WireOptions{Method: string(blockName), NoCache: true}})
+	}()
+	eventually(t, "gate running", func() bool { return getStats(t, ts.URL).InFlight == 1 })
+
+	// Arrival order 40, 50; the tighter deadline on 50 must not reorder.
+	// Submissions are serialized on the queued gauge so arrival order is
+	// deterministic.
+	var wg sync.WaitGroup
+	submit := func(n int, deadlineMs int64, queuedAfter int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postJSON(t, ts.URL+"/v1/solve", SolveRequest{Graph: graph.Path(n), P: labeling.L21(),
+				Options: &WireOptions{Method: string(orderName), NoCache: true, DeadlineMs: deadlineMs}})
+		}()
+		eventually(t, "queued in order", func() bool { return readyLen() == queuedAfter })
+	}
+	submit(40, 60000, 1)
+	submit(50, 5000, 2)
+	release()
+	wg.Wait()
+	<-gateDone
+
+	got := takeOrderLog()
+	want := []int{40, 50}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fifo execution order %v, want arrival order %v", got, want)
+	}
+}

@@ -31,13 +31,20 @@
 //
 // Admission: every job (a solo request or one batch item) must win a
 // ticket from a bounded admission queue before it is allowed to wait for
-// a worker; when the queue is full the request is rejected immediately
-// with 429 and a Retry-After hint, bounding both memory and tail latency
-// under overload. Admitted jobs then draw from one shared pool of
-// Workers solver slots — solo requests hold a slot for the duration of
-// their solve, and batch pool workers claim one per item just before
-// solving — so total solve concurrency stays at Workers no matter how
-// many requests are streaming at once.
+// a worker. Waiting jobs are granted worker slots earliest-deadline-
+// first (Config.Sched "edf", the default; "fifo" restores arrival
+// order), so a request with 50ms of budget left is not stuck behind one
+// with 30s of slack. When the queue is full the scheduler sheds only
+// load that provably cannot meet its deadline — an arrival (or a queued
+// job) whose learned service-time prediction exceeds its remaining
+// budget — and otherwise rejects with 429 and a Retry-After hint
+// computed from the real drain schedule. Per-tenant quotas (the
+// X-Lpl-Tenant header or the request's tenant field) cap the share of
+// the queue one named tenant may hold. Admitted jobs then draw from one
+// shared pool of Workers solver slots — solo requests hold a slot for
+// the duration of their solve, and batch pool workers claim one per
+// item just before solving — so total solve concurrency stays at
+// Workers no matter how many requests are streaming at once.
 //
 // Deadlines and cancellation: a request's deadlineMs maps onto
 // core.Options.Deadline (clamped to the server's MaxDeadline), and the
@@ -66,8 +73,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -135,6 +144,16 @@ type Config struct {
 	// QueueDepth bounds jobs in the system (waiting + running); beyond it
 	// requests get 429. Default 256.
 	QueueDepth int
+	// Sched selects the admission policy: "edf" (the default) grants
+	// worker slots earliest-deadline-first and, at 429-time, sheds only
+	// load that provably cannot meet its deadline; "fifo" restores pure
+	// arrival-order scheduling (no shedding, no deadline awareness).
+	Sched string
+	// TenantQuota caps the fraction of QueueDepth any one named tenant
+	// (X-Lpl-Tenant header / tenant field) may occupy at once, so a
+	// heavy user cannot starve the rest. 0 = default 0.5; negative
+	// disables quotas. Anonymous requests are never quota-capped.
+	TenantQuota float64
 	// MaxDeadline clamps per-request deadlines; requests asking for more
 	// (or for none) get this much. 0 = no clamp.
 	MaxDeadline time.Duration
@@ -187,7 +206,18 @@ const (
 	defaultQueueDepth   = 256
 	defaultMaxVertices  = 4096
 	defaultMaxBodyBytes = 64 << 20
+
+	// Admission policies (Config.Sched).
+	schedEDF  = "edf"
+	schedFIFO = "fifo"
+	// defaultTenantQuota is the fraction of QueueDepth one named tenant
+	// may hold when Config.TenantQuota is unset.
+	defaultTenantQuota = 0.5
 )
+
+// TenantHeader names the request header carrying the tenant identity
+// for quota accounting; the body's "tenant" field takes precedence.
+const TenantHeader = "X-Lpl-Tenant"
 
 // Server is the lplserve HTTP handler. Create with NewServer; the zero
 // value is not usable.
@@ -197,13 +227,16 @@ type Server struct {
 	start  time.Time
 	graphs *intern.Store
 
-	// admit holds one ticket per job currently in the system (waiting or
-	// solving); slots holds one per running solo solve.
-	admit chan struct{}
-	slots chan struct{}
+	// sched owns admission, the ready queue, and the worker slots: every
+	// job (solo request or batch item) is admitted, granted a slot in
+	// deadline order, and finished exactly once through it.
+	sched *scheduler
+	// costs is this server's learned cost model: solves feed it via
+	// core.Options.CostModel, and the serving layer additionally records
+	// whole-request service times under core.CostServiceKey for the
+	// scheduler's shed decisions and the Retry-After drain estimate.
+	costs *core.CostModel
 
-	queued   atomic.Int64
-	inFlight atomic.Int64
 	admitted atomic.Int64
 	rejected atomic.Int64
 	solved   atomic.Int64
@@ -267,13 +300,30 @@ func NewServer(cfg *Config) *Server {
 	if c.ReadyTripWindow <= 0 {
 		c.ReadyTripWindow = time.Minute
 	}
+	if c.Sched != schedFIFO {
+		c.Sched = schedEDF
+	}
+	quota := 0
+	if c.TenantQuota >= 0 {
+		frac := c.TenantQuota
+		if frac == 0 {
+			frac = defaultTenantQuota
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		quota = int(math.Ceil(frac * float64(c.QueueDepth)))
+		if quota < 1 {
+			quota = 1
+		}
+	}
 	s := &Server{
 		cfg:    c,
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
 		graphs: intern.NewStore(c.GraphStoreCapacity),
-		admit:  make(chan struct{}, c.QueueDepth),
-		slots:  make(chan struct{}, c.Workers),
+		sched:  newScheduler(c.Sched == schedEDF, c.Workers, c.QueueDepth, quota),
+		costs:  core.NewCostModel(),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -305,27 +355,72 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(gw, r)
 }
 
-// tryAdmit claims n admission tickets without blocking; all or nothing.
-// On failure every one of the n jobs was turned away, so all n count as
-// rejected (including any that briefly held a rolled-back ticket).
-func (s *Server) tryAdmit(n int) bool {
-	for i := 0; i < n; i++ {
-		select {
-		case s.admit <- struct{}{}:
-		default:
-			s.releaseAdmit(i)
-			s.rejected.Add(int64(n))
-			return false
-		}
+// tenantOf resolves a request's tenant identity: the body field wins,
+// the X-Lpl-Tenant header backs it up, empty means anonymous (exempt
+// from quotas, untracked in per-tenant stats).
+func tenantOf(r *http.Request, field string) string {
+	if field != "" {
+		return field
 	}
-	s.admitted.Add(int64(n))
-	s.queued.Add(int64(n))
-	return true
+	return r.Header.Get(TenantHeader)
 }
 
-func (s *Server) releaseAdmit(n int) {
-	for i := 0; i < n; i++ {
-		<-s.admit
+// jobSpecFor builds one job's admission record: its absolute deadline
+// (zero when the request has none) and the learned whole-request
+// service-time prediction (0 while the model is cold — never provably
+// infeasible, so a cold server sheds nothing).
+func (s *Server) jobSpecFor(now time.Time, req *SolveRequest, opts *core.Options) jobSpec {
+	sp := jobSpec{}
+	if opts.Deadline > 0 {
+		sp.deadline = now.Add(opts.Deadline)
+	}
+	_, pmax := req.P.MinMax()
+	if pred, ok := s.costs.Predict(core.CostServiceKey, req.Graph.N(), req.Graph.M(), 0, pmax); ok {
+		sp.predNs = int64(pred)
+	}
+	return sp
+}
+
+// observeRequestCost feeds a completed request's wall time into the
+// service-level predictor (admission-time features: diameter unknown
+// before the probe, recorded as 0). Failures are skipped — their wall
+// time measures the error path, not the workload.
+func (s *Server) observeRequestCost(req *SolveRequest, elapsed time.Duration, err error) {
+	if err != nil {
+		return
+	}
+	_, pmax := req.P.MinMax()
+	s.costs.Observe(core.CostServiceKey, req.Graph.N(), req.Graph.M(), 0, pmax, elapsed)
+}
+
+// missedDeadline classifies a finished job against its absolute
+// deadline: a deadline-class failure, or any completion after the
+// deadline passed. Truncated successes delivered in time are not
+// misses — the anytime contract delivered what it promised.
+func missedDeadline(deadline time.Time, err error) bool {
+	if deadline.IsZero() {
+		return false
+	}
+	if err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, core.ErrSolveStuck)) {
+		return true
+	}
+	return time.Now().After(deadline)
+}
+
+// rejectAdmission maps a scheduler admission error onto its 429
+// response. All n jobs were turned away, so all n count as rejected.
+func (s *Server) rejectAdmission(w http.ResponseWriter, err error, tenant string, n int) {
+	s.rejected.Add(int64(n))
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	switch {
+	case errors.Is(err, errTenantQuota):
+		jsonErrorCode(w, http.StatusTooManyRequests, codeTenantQuota,
+			"tenant %q over quota: at most %d jobs in system per tenant", tenant, s.sched.quota)
+	case errors.Is(err, errInfeasible):
+		jsonErrorCode(w, http.StatusTooManyRequests, codeInfeasible,
+			"queue full and the request provably cannot meet its deadline (predicted service time exceeds the budget)")
+	default:
+		s.reject429(w, "admission queue full (%d jobs in system)", s.cfg.QueueDepth)
 	}
 }
 
@@ -347,6 +442,20 @@ func jsonErrorCode(w http.ResponseWriter, status int, code, format string, args 
 // codeUnknownGraphRef marks a solve naming a ref the intern store does
 // not hold (never interned, or evicted): re-submit via POST /v1/graphs.
 const codeUnknownGraphRef = "unknownGraphRef"
+
+// Scheduling error codes (all on 429 responses).
+const (
+	// codeTenantQuota: the named tenant already holds its quota of the
+	// admission queue; other tenants' traffic is unaffected.
+	codeTenantQuota = "tenantQuota"
+	// codeInfeasible: rejected at admission because the predicted
+	// service time exceeds the request's remaining deadline budget.
+	codeInfeasible = "infeasible"
+	// codeShed: admitted, then evicted from the queue when the deadline
+	// became provably unmeetable and the capacity was needed for
+	// feasible work.
+	codeShed = "shed"
+)
 
 // solveStatus maps a solver error to an HTTP status: context errors are
 // the client's deadline (408) or disconnect — as is a watchdog
@@ -572,34 +681,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.checkQuarantine(w, qkey, "") {
 		return
 	}
-	if !s.tryAdmit(1) {
-		s.reject429(w, "admission queue full (%d jobs in system)", s.cfg.QueueDepth)
-		return
-	}
-	defer s.releaseAdmit(1)
-
-	// Wait in the admission queue for a solver slot; a disconnect while
-	// queued abandons the job without ever starting it.
-	select {
-	case s.slots <- struct{}{}:
-	case <-r.Context().Done():
-		s.queued.Add(-1)
-		jsonError(w, http.StatusRequestTimeout, "client went away while queued")
-		return
-	}
-	s.queued.Add(-1)
-	s.inFlight.Add(1)
-	defer func() {
-		s.inFlight.Add(-1)
-		<-s.slots
-	}()
-
-	// Chaos injection site for the HTTP layer itself (no-op unless a
-	// fault plan is armed); a panic here exercises the ServeHTTP recover.
-	fault.Visit(r.Context(), fault.SiteServiceSolve)
-
 	opts := req.Options.toOptions(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
 	opts.Cache = s.cfg.Cache
+	opts.CostModel = s.costs
 	// A request that arrived through the peer-fill protocol must not be
 	// forwarded again: the sender already decided this node owns the key,
 	// so a ring disagreement degrades to a local solve, not a forwarding
@@ -607,9 +691,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get(PeerFillHeader) != "" {
 		opts.DisableL2 = true
 	}
+
+	tenant := tenantOf(r, req.Tenant)
+	spec := s.jobSpecFor(time.Now(), &req, opts)
+	jobs, err := s.sched.admit(tenant, []jobSpec{spec})
+	if err != nil {
+		s.rejectAdmission(w, err, tenant, 1)
+		return
+	}
+	j := jobs[0]
+	s.admitted.Add(1)
+	defer s.sched.finish(j)
+
+	// Wait in the ready queue for a worker slot (earliest deadline
+	// first); a disconnect while queued abandons the job without ever
+	// starting it, and under load the scheduler may shed this job if its
+	// deadline becomes provably unmeetable.
+	if err := s.sched.acquire(r.Context(), j); err != nil {
+		if errors.Is(err, errShed) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			jsonErrorCode(w, http.StatusTooManyRequests, codeShed, "shed while queued: %v", err)
+			return
+		}
+		jsonError(w, http.StatusRequestTimeout, "client went away while queued")
+		return
+	}
+
+	// Chaos injection site for the HTTP layer itself (no-op unless a
+	// fault plan is armed); a panic here exercises the ServeHTTP recover.
+	fault.Visit(r.Context(), fault.SiteServiceSolve)
+
 	t0 := time.Now()
 	res, err := core.SolveContext(r.Context(), req.Graph, req.P, opts)
-	s.observeServiceTime(time.Since(t0))
+	elapsed := time.Since(t0)
+	s.observeServiceTime(elapsed)
+	s.observeRequestCost(&req, elapsed, err)
+	s.sched.complete(j, missedDeadline(spec.deadline, err), err != nil)
 	if err != nil {
 		s.failed.Add(1)
 		jsonErrorCode(w, solveStatus(err), s.recordFailure(qkey, err), "solve failed: %v", err)
@@ -690,17 +807,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.tryAdmit(len(req.Items)) {
-		s.reject429(w, "admission queue cannot hold %d more jobs (depth %d)", len(req.Items), s.cfg.QueueDepth)
-		return
-	}
-	defer s.releaseAdmit(len(req.Items))
-
 	workers := req.Workers
 	if workers <= 0 || workers > s.cfg.Workers {
 		workers = s.cfg.Workers
 	}
 	// Per-item options: a request-level default, overridable per item.
+	// Built before admission — the scheduler needs each item's deadline.
 	itemOpts := make([]*core.Options, len(req.Items))
 	for i := range req.Items {
 		o := req.Items[i].Options
@@ -709,11 +821,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		itemOpts[i] = o.toOptions(s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
 		itemOpts[i].Cache = s.cfg.Cache
+		itemOpts[i].CostModel = s.costs
 		if r.Header.Get(PeerFillHeader) != "" {
 			itemOpts[i].DisableL2 = true
 		}
 	}
 
+	tenant := tenantOf(r, req.Tenant)
+	specs := make([]jobSpec, len(req.Items))
+	now := time.Now()
+	for i := range req.Items {
+		specs[i] = s.jobSpecFor(now, &req.Items[i], itemOpts[i])
+	}
+	jobs, err := s.sched.admit(tenant, specs)
+	if err != nil {
+		s.rejectAdmission(w, err, tenant, len(req.Items))
+		return
+	}
+	s.admitted.Add(int64(len(jobs)))
+	// Finish is idempotent, so the unconditional sweep settles whatever
+	// the stream loop below did not: items the cancelled intake never
+	// handed to a worker, and items whose results were consumed already.
+	// Every job leaves the system exactly once either way.
+	defer func() {
+		for _, bj := range jobs {
+			s.sched.finish(bj)
+		}
+	}()
+
+	rctx := r.Context()
 	items := make([]core.BatchItem, len(req.Items))
 	starts := make([]time.Time, len(req.Items))
 	for i := range req.Items {
@@ -723,17 +859,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			ID: req.Items[i].ID,
 			P:  req.Items[i].P,
 			// Load runs inside the worker just before solving — the hook
-			// that moves this job from "queued" to "in flight". It also
-			// claims a global solver slot, so concurrent batch requests
-			// (and their option-group pools) share one Workers budget
-			// with solo traffic instead of multiplying it; the slot is
-			// returned when the item's result is consumed below. Slots
-			// are always released after a finite solve, so this blocking
-			// send cannot deadlock.
+			// that moves this job from "queued" to "in flight". It blocks
+			// for a worker slot through the scheduler, so concurrent batch
+			// requests (and their option-group pools) share one Workers
+			// budget with solo traffic in deadline order; the slot is
+			// returned when the item's result is consumed below. An
+			// acquire error (disconnect while queued, or shed) becomes the
+			// item's error line.
 			Load: func() (*graph.Graph, error) {
-				s.slots <- struct{}{}
-				s.queued.Add(-1)
-				s.inFlight.Add(1)
+				if err := s.sched.acquire(rctx, jobs[i]); err != nil {
+					return nil, err
+				}
 				starts[i] = time.Now()
 				return g, nil
 			},
@@ -793,30 +929,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	// Read until close even after a write failure or cancellation — the
-	// SolveBatch contract — so the counters reconcile exactly.
-	received := make([]bool, len(items))
+	// SolveBatch contract — so the counters reconcile exactly. Items the
+	// cancelled intake never handed to a worker produce no BatchResult
+	// at all; the deferred finish sweep settles those.
 	clientGone := false
 	for tg := range merged {
 		idx, br := tg.idx, tg.br
-		received[idx] = true
-		// starts[idx] is safe to read here: the worker wrote it before
-		// sending this result (channel happens-before).
+		// Return the item's worker slot (or queue position) the moment
+		// its result is consumed; the deferred sweep skips it (finish is
+		// idempotent). starts[idx] is safe to read here: the worker wrote
+		// it before sending this result (channel happens-before).
+		s.sched.finish(jobs[idx])
 		loaded := !starts[idx].IsZero()
-		if loaded {
-			s.inFlight.Add(-1)
-			<-s.slots // return the global solver slot claimed in Load
-		} else {
-			s.queued.Add(-1) // cancelled before reaching a worker
+		if !errors.Is(br.Err, errShed) {
+			// Shed items were already settled under the sheds counter;
+			// everything else records a per-tenant outcome.
+			s.sched.complete(jobs[idx], missedDeadline(specs[idx].deadline, br.Err), br.Err != nil)
 		}
 		if br.Err != nil {
 			s.failed.Add(1)
-			*line = SolveResponse{ID: br.ID, Code: s.recordFailure(qkeys[idx], br.Err), Error: br.Err.Error()}
+			code := s.recordFailure(qkeys[idx], br.Err)
+			if errors.Is(br.Err, errShed) {
+				code = codeShed
+			}
+			*line = SolveResponse{ID: br.ID, Code: code, Error: br.Err.Error()}
 		} else {
 			s.solved.Add(1)
 			var elapsed time.Duration
 			if loaded {
 				elapsed = time.Since(starts[idx])
 				s.observeServiceTime(elapsed)
+				s.observeRequestCost(&req.Items[idx], elapsed, nil)
 			}
 			wireResultInto(line, br.ID, br.Result, elapsed, req.Items[idx].Explain)
 		}
@@ -829,13 +972,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if flusher != nil {
 			flusher.Flush()
-		}
-	}
-	// Items the cancelled intake never handed to a worker produce no
-	// BatchResult at all; they are still sitting in the queued gauge.
-	for idx := range received {
-		if !received[idx] {
-			s.queued.Add(-1)
 		}
 	}
 }
@@ -873,8 +1009,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Ready:         s.notReadyReason() == "",
-		Queued:        s.queued.Load(),
-		InFlight:      s.inFlight.Load(),
+		Queued:        s.sched.queued.Load(),
+		InFlight:      s.sched.inFlight.Load(),
 		QueueDepth:    s.cfg.QueueDepth,
 		Admitted:      s.admitted.Load(),
 		Rejected:      s.rejected.Load(),
@@ -884,6 +1020,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Graphs:        wireIntern(s.graphs.Stats()),
 		Methods:       methods,
 		Fault:         s.faultStats(),
+		Sched: SchedWire{
+			Policy:             s.cfg.Sched,
+			TenantQuotaJobs:    s.sched.quota,
+			Sheds:              s.sched.sheds.Load(),
+			InfeasibleRejected: s.sched.infeasible.Load(),
+			QuotaRejected:      s.sched.quotaRejs.Load(),
+			DeadlineMisses:     s.sched.misses.Load(),
+			Tenants:            s.sched.tenantsSnapshot(),
+		},
 	}
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Content-Type", "application/json")

@@ -35,6 +35,11 @@ type SolveRequest struct {
 	// Options tunes the solve; omitted fields keep server defaults
 	// (verification on, automatic planning, shared cache).
 	Options *WireOptions `json:"options,omitempty"`
+	// Tenant identifies the requester for quota accounting and per-tenant
+	// stats; it falls back to the X-Lpl-Tenant header, and empty means
+	// anonymous (never quota-capped). On batch items the request-level
+	// tenant governs admission; item-level values are ignored.
+	Tenant string `json:"tenant,omitempty"`
 	// Explain includes the routing decision (the plan) in the response.
 	Explain bool `json:"explain,omitempty"`
 }
@@ -143,6 +148,10 @@ type BatchRequest struct {
 	// Workers bounds the pool; the server clamps it to its -workers.
 	// 0 means the server default.
 	Workers int `json:"workers,omitempty"`
+	// Tenant identifies the requester for quota accounting (falls back
+	// to the X-Lpl-Tenant header). The whole batch is admitted under one
+	// tenant — a batch is one user's request.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // SolveResponse is the body of a /v1/solve response and one NDJSON line
@@ -174,8 +183,12 @@ type SolveResponse struct {
 	// cluster node owning this graph's fingerprint, via the L2 peer-fill
 	// tier, rather than solved in this process; cacheHit then reflects
 	// the owning node's view.
-	Remote  bool    `json:"remote,omitempty"`
-	SolveMs float64 `json:"solveMs"`
+	Remote bool `json:"remote,omitempty"`
+	// DeadlineRerouted marks a result whose planner route was overridden
+	// by the learned cost model because the statically preferred method
+	// was predicted to miss the request's remaining deadline budget.
+	DeadlineRerouted bool    `json:"deadlineRerouted,omitempty"`
+	SolveMs          float64 `json:"solveMs"`
 	// Plan is the routing decision, included when the request set
 	// explain.
 	Plan *WirePlan `json:"plan,omitempty"`
@@ -194,7 +207,12 @@ type WirePlan struct {
 	Components int             `json:"components"`
 	Diameter   int             `json:"diameter"`
 	Candidates []WireCandidate `json:"candidates,omitempty"`
-	Sub        []*WirePlan     `json:"sub,omitempty"`
+	// BudgetMs is the remaining deadline budget the planner routed
+	// against; DeadlineRerouted reports the learned cost model overrode
+	// the static choice to meet it.
+	BudgetMs         float64     `json:"budgetMs,omitempty"`
+	DeadlineRerouted bool        `json:"deadlineRerouted,omitempty"`
+	Sub              []*WirePlan `json:"sub,omitempty"`
 }
 
 // WireCandidate mirrors core.Candidate.
@@ -203,7 +221,10 @@ type WireCandidate struct {
 	Applicable bool    `json:"applicable"`
 	Exact      bool    `json:"exact,omitempty"`
 	Approx     float64 `json:"approx,omitempty"`
-	Reason     string  `json:"reason,omitempty"`
+	// PredictedMs is the learned cost model's latency estimate for this
+	// method on this instance (omitted while the model is cold).
+	PredictedMs float64 `json:"predictedMs,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
 }
 
 func wirePlan(pl *core.Plan) *WirePlan {
@@ -211,21 +232,24 @@ func wirePlan(pl *core.Plan) *WirePlan {
 		return nil
 	}
 	wp := &WirePlan{
-		Chosen:     string(pl.Chosen),
-		Forced:     pl.Forced,
-		N:          pl.N,
-		M:          pl.M,
-		Connected:  pl.Connected,
-		Components: pl.Components,
-		Diameter:   pl.Diameter,
+		Chosen:           string(pl.Chosen),
+		Forced:           pl.Forced,
+		N:                pl.N,
+		M:                pl.M,
+		Connected:        pl.Connected,
+		Components:       pl.Components,
+		Diameter:         pl.Diameter,
+		BudgetMs:         float64(pl.Budget.Microseconds()) / 1000,
+		DeadlineRerouted: pl.DeadlineRerouted,
 	}
 	for _, c := range pl.Candidates {
 		wp.Candidates = append(wp.Candidates, WireCandidate{
-			Method:     string(c.Method),
-			Applicable: c.Applicable,
-			Exact:      c.Exact,
-			Approx:     c.Approx,
-			Reason:     c.Reason,
+			Method:      string(c.Method),
+			Applicable:  c.Applicable,
+			Exact:       c.Exact,
+			Approx:      c.Approx,
+			PredictedMs: float64(c.Predicted.Microseconds()) / 1000,
+			Reason:      c.Reason,
 		})
 	}
 	for _, sub := range pl.Sub {
@@ -239,19 +263,20 @@ func wirePlan(pl *core.Plan) *WirePlan {
 // nothing over.
 func wireResultInto(resp *SolveResponse, id string, res *core.Result, elapsed time.Duration, explain bool) {
 	*resp = SolveResponse{
-		ID:        id,
-		Span:      res.Span,
-		Labeling:  res.Labeling,
-		Method:    string(res.Method),
-		Algorithm: string(res.Algorithm),
-		Winner:    string(res.Winner),
-		Exact:     res.Exact,
-		Approx:    res.Approx,
-		Truncated: res.Truncated,
-		CacheHit:  res.CacheHit,
-		Coalesced: res.Coalesced,
-		Remote:    res.Remote,
-		SolveMs:   float64(elapsed.Microseconds()) / 1000,
+		ID:               id,
+		Span:             res.Span,
+		Labeling:         res.Labeling,
+		Method:           string(res.Method),
+		Algorithm:        string(res.Algorithm),
+		Winner:           string(res.Winner),
+		Exact:            res.Exact,
+		Approx:           res.Approx,
+		Truncated:        res.Truncated,
+		CacheHit:         res.CacheHit,
+		Coalesced:        res.Coalesced,
+		Remote:           res.Remote,
+		DeadlineRerouted: res.DeadlineRerouted,
+		SolveMs:          float64(elapsed.Microseconds()) / 1000,
 	}
 	if explain {
 		resp.Plan = wirePlan(res.Plan)
@@ -285,6 +310,43 @@ type StatsResponse struct {
 	// Fault is the fault-containment block: panics stopped at each
 	// boundary, watchdog kills, and the quarantine's state.
 	Fault FaultWire `json:"fault"`
+	// Sched is the deadline-scheduling block: policy, shed/quota
+	// counters, deadline misses, and the per-tenant table.
+	Sched SchedWire `json:"sched"`
+}
+
+// SchedWire is the scheduling section of GET /v1/stats.
+type SchedWire struct {
+	// Policy is the admission policy in force ("edf" or "fifo").
+	Policy string `json:"policy"`
+	// TenantQuotaJobs is the per-named-tenant occupancy cap in jobs
+	// (0 when quotas are disabled).
+	TenantQuotaJobs int `json:"tenantQuotaJobs,omitempty"`
+	// Sheds counts queued jobs evicted because their deadline became
+	// provably unmeetable while feasible work needed the capacity;
+	// InfeasibleRejected counts arrivals turned away at 429-time for the
+	// same reason; QuotaRejected counts admission groups refused because
+	// the tenant was at quota.
+	Sheds              int64 `json:"sheds"`
+	InfeasibleRejected int64 `json:"infeasibleRejected"`
+	QuotaRejected      int64 `json:"quotaRejected"`
+	// DeadlineMisses counts completed jobs that finished after their
+	// deadline (or died on it); truncated results delivered in time are
+	// not misses.
+	DeadlineMisses int64 `json:"deadlineMisses"`
+	// Tenants is the per-tenant table (named tenants only; bounded).
+	Tenants map[string]TenantWire `json:"tenants,omitempty"`
+}
+
+// TenantWire is one named tenant's row in the sched stats.
+type TenantWire struct {
+	InSystem       int64 `json:"inSystem"`
+	Admitted       int64 `json:"admitted"`
+	Rejected       int64 `json:"rejected"`
+	Shed           int64 `json:"shed"`
+	Solved         int64 `json:"solved"`
+	Failed         int64 `json:"failed"`
+	DeadlineMisses int64 `json:"deadlineMisses"`
 }
 
 // FaultWire is the fault-containment section of GET /v1/stats.
