@@ -14,6 +14,7 @@
 //	lplbench -load -wire binary                 # binary graph frames
 //	lplbench -load -chaos -rate 0.02            # fault-injected chaos run
 //	lplbench -cluster -out BENCH_PR8.json       # 1/2/4-backend scaling ladder
+//	lplbench -cluster -chaos -out BENCH_PR10.json  # self-healing kill/stall/revive pass
 //	lplbench -deadline -out BENCH_PR9.json      # FIFO-vs-EDF mixed-deadline duel
 //
 // Load mode prints bytes-on-the-wire per request alongside req/s and
@@ -67,6 +68,44 @@ func main() {
 		out           = flag.String("out", "", "cluster/deadline mode: also write the JSON report to this file")
 	)
 	flag.Parse()
+
+	if *clusterLadder && *chaos {
+		cc := bench.ClusterChaosConfig{Seed: *seed, Floor: *floor, NetRate: *rate}
+		// Cluster-chaos scale defaults live in the harness; only explicitly
+		// set flags override them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "clients":
+				cc.Clients = *clients
+			case "distinct":
+				cc.Distinct = *distinct
+			case "n":
+				cc.N = *loadN
+			}
+		})
+		rep, err := bench.RunClusterChaos(cc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lplbench: cluster chaos failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if *out != "" {
+			data, err := json.MarshalIndent(clusterChaosJSON(rep), "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lplbench: marshal report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "lplbench: write %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		if len(rep.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *clusterLadder {
 		cfg := bench.LadderConfig{Seed: *seed, Floor: *floor}
@@ -210,6 +249,69 @@ func main() {
 	if printed == 0 {
 		fmt.Fprintln(os.Stderr, "lplbench: no experiments matched -only")
 		os.Exit(1)
+	}
+}
+
+// clusterChaosJSON renders the BENCH_PR10.json document from one
+// self-healing chaos pass.
+func clusterChaosJSON(rep *bench.ClusterChaosReport) any {
+	methodology := fmt.Sprintf(
+		"lplbench -cluster -chaos: bench.RunClusterChaos boots %d live lplserve backends (own cache, "+
+			"intern store, and peer-fill L2 each) behind cluster.Router with the full self-healing stack "+
+			"armed — an active /readyz prober driving ring membership, per-backend circuit breakers on the "+
+			"router and every peer-fill link, SRE-style retry-budgeted successor walks with per-attempt "+
+			"timeouts, and adaptive-p95 hedged solve sends — then drives %d concurrent clients of mixed "+
+			"solve/batch traffic with per-request deadlines while seeded network faults (drop/delay/"+
+			"flaky-503, rate %.3f) run on every link. Mid-run the harness KILLS the busiest-owner backend "+
+			"and STALLS the runner-up, waits for the prober to eject both, verifies the killed backend "+
+			"receives ZERO router sends after in-flight traffic settles, revives both, and verifies the "+
+			"ring reconverges, the victim receives traffic again, and throughput recovers to >=80%% of the "+
+			"pre-fault phase. Every response is validated against the wire contract; seed %d makes the "+
+			"network fault sequence reproducible.",
+		rep.Backends, rep.Clients, rep.NetRate, rep.Seed)
+	verdict := "PASS"
+	if len(rep.Violations) > 0 {
+		verdict = "FAIL"
+	}
+	acceptance := fmt.Sprintf(
+		"%s: %d ops, %d malformed responses, %d deadline violations; victims ejected in %v; %d sends to "+
+			"the killed backend after settle (want 0) and %d after revival (want >0); throughput %.0f "+
+			"req/s pre-fault vs %.0f req/s post-revival (%.2fx, floor 0.8x).",
+		verdict, rep.Ops, rep.Malformed, rep.DeadlineViolations, rep.TimeToEject.Round(time.Millisecond),
+		rep.DrainSends, rep.RevivalSends, rep.PreFaultThroughput, rep.PostRevivalThroughput, rep.Reconverged)
+	byStatus := map[string]int64{}
+	for s, n := range rep.ByStatus {
+		byStatus[fmt.Sprintf("%d", s)] = n
+	}
+	return map[string]any{
+		"pr":    10,
+		"title": "Self-healing cluster: health-probed membership, circuit breakers, hedged/budgeted retries, and network-level chaos",
+		"machine": fmt.Sprintf("%d logical CPU (GOMAXPROCS=%d), %s/%s, %s",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH, runtime.Version()),
+		"methodology": methodology,
+		"run": map[string]any{
+			"backends":              rep.Backends,
+			"clients":               rep.Clients,
+			"seed":                  rep.Seed,
+			"netRate":               rep.NetRate,
+			"elapsedMs":             float64(rep.Elapsed) / float64(time.Millisecond),
+			"ops":                   rep.Ops,
+			"byStatus":              byStatus,
+			"malformed":             rep.Malformed,
+			"deadlineViolations":    rep.DeadlineViolations,
+			"victimKill":            rep.VictimKill,
+			"victimStall":           rep.VictimStall,
+			"timeToEjectMs":         float64(rep.TimeToEject) / float64(time.Millisecond),
+			"drainSends":            rep.DrainSends,
+			"revivalSends":          rep.RevivalSends,
+			"preFaultThroughput":    rep.PreFaultThroughput,
+			"postRevivalThroughput": rep.PostRevivalThroughput,
+			"reconverged":           rep.Reconverged,
+			"netInjected":           rep.NetInjected,
+			"routerStats":           rep.Router,
+			"violations":            rep.Violations,
+		},
+		"acceptance": acceptance,
 	}
 }
 

@@ -17,10 +17,18 @@
 //
 // Backend semantics pass through untouched (a backend's 429/408/422 is
 // the client's 429/408/422); a backend that is unreachable at the
-// transport level fails idempotent requests over to the next distinct
-// ring node. GET /v1/stats serves the router's own counters; /readyz
-// aggregates backend readiness. -pprof exposes net/http/pprof (off by
-// default).
+// transport level (or answering gateway-class 502/503/504) fails
+// idempotent requests over to the next distinct ring node, bounded by
+// -retry-attempts, -attempt-timeout, and the SRE-style -retry-budget.
+// An active health prober (-probe-interval) ejects backends from the
+// ring after -probe-fail consecutive failed /readyz probes and restores
+// them after -probe-recover successes; per-backend circuit breakers
+// (-breaker-threshold, -breaker-cooldown) skip a sick backend without
+// touching the wire; -hedge arms tail-latency hedged solve sends. GET
+// /v1/stats serves the router's own counters (including breaker and
+// health blocks); /readyz aggregates backend readiness (from the probe
+// snapshot when the prober is on). -pprof exposes net/http/pprof (off
+// by default).
 package main
 
 import (
@@ -95,6 +103,21 @@ func buildRouter(args []string, errOut io.Writer) (*http.Server, *cluster.Router
 		vnodes   = fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default)")
 		seed     = fs.Uint64("seed", 0, "ring placement seed; must match across the cluster")
 		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		probeInterval = fs.Duration("probe-interval", time.Second, "health prober tick; 0 disables active probing (readyz then probes per request)")
+		probeTimeout  = fs.Duration("probe-timeout", 0, "per-member probe bound (0 = interval/4, floored at 50ms)")
+		probeFail     = fs.Int("probe-fail", 3, "consecutive failed probes that eject a backend from the ring")
+		probeRecover  = fs.Int("probe-recover", 2, "consecutive successful probes that return an ejected backend")
+
+		breakerThreshold = fs.Int("breaker-threshold", 5, "consecutive transport/gateway failures that open a backend's circuit")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 2*time.Second, "open-circuit hold before a half-open probe")
+
+		retryAttempts  = fs.Int("retry-attempts", 3, "max backends tried per idempotent request (1 = owner only, never retry)")
+		attemptTimeout = fs.Duration("attempt-timeout", 0, "per-attempt bound on one backend try (0 = request deadline only)")
+		retryBudget    = fs.Float64("retry-budget", 0.1, "retry tokens deposited per request (SRE retry budget ratio)")
+
+		hedge      = fs.Bool("hedge", false, "arm hedged sends for idempotent solves")
+		hedgeDelay = fs.Duration("hedge-delay", 0, "hedge fire delay (0 = adaptive p95 of observed solve latency)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, nil, err
@@ -109,6 +132,24 @@ func buildRouter(args []string, errOut io.Writer) (*http.Server, *cluster.Router
 	rt, err := cluster.NewRouter(bs, cluster.RingConfig{VNodes: *vnodes, Seed: *seed})
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	rt.ConfigureBreakers(cluster.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown})
+	rt.ConfigureRetry(cluster.RetryPolicy{
+		MaxAttempts:    *retryAttempts,
+		AttemptTimeout: *attemptTimeout,
+		BudgetRatio:    *retryBudget,
+	})
+	if *hedge {
+		rt.EnableHedge(*hedgeDelay)
+	}
+	if *probeInterval > 0 {
+		cluster.NewProber(rt, cluster.ProbeConfig{
+			Interval:         *probeInterval,
+			Timeout:          *probeTimeout,
+			FailThreshold:    *probeFail,
+			RecoverThreshold: *probeRecover,
+			Seed:             *seed,
+		}).Start()
 	}
 	var handler http.Handler = rt
 	if *pprof {

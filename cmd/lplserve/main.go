@@ -124,6 +124,19 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		vnodes          = fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default); must match across the cluster")
 		ringSeed        = fs.Uint64("seed", 0, "ring placement seed; must match across the cluster")
 		pprofFlag       = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		probeInterval    = fs.Duration("probe-interval", time.Second, "route mode: health prober tick; 0 disables active probing")
+		probeTimeout     = fs.Duration("probe-timeout", 0, "route mode: per-member probe bound (0 = interval/4, floored at 50ms)")
+		probeFail        = fs.Int("probe-fail", 3, "route mode: consecutive failed probes that eject a backend")
+		probeRecover     = fs.Int("probe-recover", 2, "route mode: consecutive successful probes that return an ejected backend")
+		breakerThreshold = fs.Int("breaker-threshold", 5, "route/peers mode: consecutive transport/gateway failures that open a circuit")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 2*time.Second, "route/peers mode: open-circuit hold before a half-open probe")
+		retryAttempts    = fs.Int("retry-attempts", 3, "route mode: max backends tried per idempotent request")
+		attemptTimeout   = fs.Duration("attempt-timeout", 0, "route mode: per-attempt bound on one backend try (0 = request deadline only)")
+		retryBudget      = fs.Float64("retry-budget", 0.1, "route mode: retry tokens deposited per request")
+		hedge            = fs.Bool("hedge", false, "route mode: arm hedged sends for idempotent solves")
+		hedgeDelay       = fs.Duration("hedge-delay", 0, "route mode: hedge fire delay (0 = adaptive p95)")
+		fillTimeout      = fs.Duration("fill-timeout", cluster.DefaultFillTimeout, "peers mode: bound on one peer-fill consult (0 = caller's deadline only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
@@ -146,6 +159,24 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 		rt, err := cluster.NewRouter(bs, cluster.RingConfig{VNodes: *vnodes, Seed: *ringSeed})
 		if err != nil {
 			return nil, nil, err
+		}
+		rt.ConfigureBreakers(cluster.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown})
+		rt.ConfigureRetry(cluster.RetryPolicy{
+			MaxAttempts:    *retryAttempts,
+			AttemptTimeout: *attemptTimeout,
+			BudgetRatio:    *retryBudget,
+		})
+		if *hedge {
+			rt.EnableHedge(*hedgeDelay)
+		}
+		if *probeInterval > 0 {
+			cluster.NewProber(rt, cluster.ProbeConfig{
+				Interval:         *probeInterval,
+				Timeout:          *probeTimeout,
+				FailThreshold:    *probeFail,
+				RecoverThreshold: *probeRecover,
+				Seed:             *ringSeed,
+			}).Start()
 		}
 		handler = rt
 	default:
@@ -195,6 +226,11 @@ func buildServer(args []string, errOut io.Writer) (*http.Server, *log.Logger, er
 			if err != nil {
 				return nil, nil, err
 			}
+			pf.SetBreakers(cluster.NewBreakerSet(cluster.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+			}))
+			pf.SetFillTimeout(*fillTimeout)
 			cache.SetL2(pf)
 			cfg.Cache = cache
 		case *self != "":

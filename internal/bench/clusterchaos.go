@@ -1,0 +1,619 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lpltsp/internal/cluster"
+	"lpltsp/internal/core"
+	"lpltsp/internal/fault"
+	"lpltsp/internal/intern"
+	"lpltsp/internal/labeling"
+	"lpltsp/internal/service"
+)
+
+// Cluster chaos harness: the multi-node counterpart of RunChaos. It
+// boots a self-healing cluster — prober, breakers, bounded retries,
+// hedging — behind the router, drives mixed solve/batch traffic from
+// concurrent clients with per-request deadlines, and mid-run KILLS one
+// backend and STALLS another (plus optional seeded background network
+// faults on every link), then revives both. The run self-checks the
+// self-healing invariants:
+//
+//   - every response is well-formed per the wire contract (zero
+//     malformed bodies, whatever the fault mix);
+//   - no request outlives its deadline plus a grace window;
+//   - the prober ejects both victims within the eject window, and after
+//     a settle period the killed backend receives ZERO router sends
+//     (traffic has drained to the survivors);
+//   - after revival the ring reconverges, the victim receives traffic
+//     again, and throughput recovers to within 20% of the pre-fault
+//     phase.
+//
+// cmd/lplbench -cluster -chaos prints the report and exits non-zero on
+// any violation; TestClusterChaos runs the same harness under -race.
+
+// chaosBackendDoer gates one backend's transport behind a runtime mode:
+// alive (pass through), killed (immediate transport error — a refused
+// connection), or stalled (never answers until the caller's context
+// gives up — a gray failure only per-attempt timeouts catch). The same
+// instance is shared by the router, the prober, and every peer's
+// fill transport, so a killed node is dead to the whole cluster.
+type chaosBackendDoer struct {
+	mode atomic.Int32
+	next cluster.Doer
+}
+
+const (
+	backendAlive int32 = iota
+	backendKilled
+	backendStalled
+)
+
+// chaosStallCap bounds a stalled Do for context-less callers so a
+// misconfigured run cannot wedge.
+const chaosStallCap = 2 * time.Second
+
+var errBackendKilled = errors.New("chaos: backend killed (connection refused)")
+
+func (d *chaosBackendDoer) Do(req *http.Request) (*http.Response, error) {
+	switch d.mode.Load() {
+	case backendKilled:
+		return nil, errBackendKilled
+	case backendStalled:
+		t := time.NewTimer(chaosStallCap)
+		defer t.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-t.C:
+			return nil, errors.New("chaos: stalled backend never answered")
+		}
+	}
+	return d.next.Do(req)
+}
+
+// ClusterChaosConfig shapes one RunClusterChaos pass.
+type ClusterChaosConfig struct {
+	// Backends is the node count (default 3 — enough that killing one
+	// and stalling another leaves a survivor).
+	Backends int
+	// Clients is the number of concurrent request loops (default 24).
+	Clients int
+	// Distinct instances the traffic cycles over (default 12). Bodies
+	// carry inline graphs, so any node can solve any of them — exactly
+	// what lets ownership remap under churn.
+	Distinct int
+	// N is the vertex count of generated instances (default 24).
+	N int
+	// Seed drives instance generation, ring placement, and the network
+	// fault plan; same seed, same faults.
+	Seed uint64
+	// Floor is the modeled per-solve service time (default 1ms).
+	Floor time.Duration
+	// DeadlineMs is every request's deadline, client- and server-side
+	// (default 800).
+	DeadlineMs int
+	// Grace is the slack a request may run past its deadline before the
+	// run calls it a violation (default 500ms — response writing and
+	// scheduler jitter, not another service-time share).
+	Grace time.Duration
+	// Phase is how long each measured traffic phase runs: pre-fault,
+	// faulted, post-revival (default 400ms).
+	Phase time.Duration
+	// ProbeInterval is the prober's tick (default 15ms; the eject window
+	// scales from it).
+	ProbeInterval time.Duration
+	// NetRate arms seeded background network faults (drop / delay /
+	// flaky-503) at this per-request rate on every router→backend link
+	// (default 0.01; negative disables).
+	NetRate float64
+	// Hedge arms hedged solve sends (default on; set NoHedge to
+	// disable).
+	NoHedge bool
+}
+
+func (c ClusterChaosConfig) withDefaults() ClusterChaosConfig {
+	if c.Backends <= 0 {
+		c.Backends = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 24
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 12
+	}
+	if c.N <= 0 {
+		c.N = 24
+	}
+	if c.Seed == 0 {
+		c.Seed = 2023
+	}
+	if c.Floor == 0 {
+		c.Floor = time.Millisecond
+	}
+	if c.DeadlineMs <= 0 {
+		c.DeadlineMs = 800
+	}
+	if c.Grace <= 0 {
+		c.Grace = 500 * time.Millisecond
+	}
+	if c.Phase <= 0 {
+		c.Phase = 400 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 15 * time.Millisecond
+	}
+	if c.NetRate == 0 {
+		c.NetRate = 0.01
+	}
+	return c
+}
+
+// ClusterChaosReport is the outcome of one RunClusterChaos pass.
+// Violations is the contract: empty means every invariant held.
+type ClusterChaosReport struct {
+	Backends int
+	Clients  int
+	Seed     uint64
+	// NetRate is the armed per-request network fault rate (0 = disabled).
+	NetRate float64
+	Elapsed time.Duration
+	// Ops counts terminal responses; ByStatus splits them.
+	Ops      int64
+	ByStatus map[int]int64
+	// Malformed counts responses that broke the wire contract;
+	// DeadlineViolations counts requests that outlived deadline+grace.
+	Malformed          int64
+	DeadlineViolations int64
+	// VictimKill/VictimStall name the faulted backends; TimeToEject is
+	// how long the prober took to eject both after the fault.
+	VictimKill  string
+	VictimStall string
+	TimeToEject time.Duration
+	// DrainSends is the router sends to the killed backend during the
+	// post-ejection measurement window (must be zero); RevivalSends the
+	// sends to it after revival (must be positive).
+	DrainSends   int64
+	RevivalSends int64
+	// PreFaultThroughput / PostRevivalThroughput are successful req/s in
+	// the respective phases; Reconverged is their ratio.
+	PreFaultThroughput    float64
+	PostRevivalThroughput float64
+	Reconverged           float64
+	// NetInjected reports what the network fault plan executed, per kind.
+	NetInjected map[string]int64
+	// Router is the router's own view after the run.
+	Router cluster.RouterStats
+	// Violations lists every broken invariant, empty on a clean run.
+	Violations []string
+}
+
+func (r *ClusterChaosReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "cluster-chaos: %d backends, %d clients, seed %d, %d ops in %v\n",
+		r.Backends, r.Clients, r.Seed, r.Ops, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  status     ")
+	for _, s := range []int{200, 408, 422, 429, 500, 502, 503, 504} {
+		if n := r.ByStatus[s]; n > 0 {
+			fmt.Fprintf(&b, " %d:%d", s, n)
+		}
+	}
+	fmt.Fprintf(&b, "\n  victims     kill=%s stall=%s  ejected in %v\n",
+		r.VictimKill, r.VictimStall, r.TimeToEject.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  drain       %d sends to killed backend after ejection (want 0); %d after revival (want >0)\n",
+		r.DrainSends, r.RevivalSends)
+	fmt.Fprintf(&b, "  throughput  pre-fault %.0f req/s, post-revival %.0f req/s (%.2fx)\n",
+		r.PreFaultThroughput, r.PostRevivalThroughput, r.Reconverged)
+	fmt.Fprintf(&b, "  netfaults  ")
+	for _, k := range []string{"drop", "delay", "blackhole", "flaky5xx"} {
+		if n := r.NetInjected[k]; n > 0 {
+			fmt.Fprintf(&b, " %s:%d", k, n)
+		}
+	}
+	fmt.Fprintf(&b, "\n  router      proxied %d  retries %d  dead %d  hedged %d (wins %d)  breaker trips %d  fastFails %d\n",
+		r.Router.Proxied, r.Router.Retries, r.Router.DeadBackends,
+		r.Router.Hedged, r.Router.HedgeWins, r.Router.Breakers.Trips, r.Router.Breakers.FastFails)
+	if r.Router.Health != nil {
+		fmt.Fprintf(&b, "  prober      %d rounds, %d ejections, %d revivals\n",
+			r.Router.Health.Probes, r.Router.Health.Ejections, r.Router.Health.Revivals)
+	}
+	fmt.Fprintf(&b, "  malformed   %d  deadline-violations %d\n", r.Malformed, r.DeadlineViolations)
+	if len(r.Violations) == 0 {
+		fmt.Fprintf(&b, "  invariants OK\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  VIOLATION  %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// clusterChaosTerminal is every status the contract allows a request to
+// end on under this fault mix.
+var clusterChaosTerminal = map[int]bool{
+	http.StatusOK:                  true,
+	http.StatusRequestTimeout:      true, // deadline (client or server side)
+	http.StatusUnprocessableEntity: true, // inapplicable
+	http.StatusTooManyRequests:     true, // admission under remapped load
+	http.StatusInternalServerError: true, // contained panic
+	http.StatusBadGateway:          true, // no live backend within attempt bounds
+	http.StatusServiceUnavailable:  true, // injected flaky-503 relayed at attempt exhaustion
+	http.StatusGatewayTimeout:      true,
+}
+
+// RunClusterChaos executes one kill/stall/revive pass and checks the
+// self-healing invariants. The error return covers harness setup only;
+// contract breaches land in the report's Violations.
+func RunClusterChaos(cfg ClusterChaosConfig) (*ClusterChaosReport, error) {
+	cfg = cfg.withDefaults()
+	registerFloorMethod()
+	floorDelayNs.Store(int64(cfg.Floor))
+	defer floorDelayNs.Store(0)
+
+	// Build the nodes with every transport gated behind a chaos mode and
+	// (optionally) a seeded network fault layer. The SAME wrapped doer
+	// serves the router, the prober, and every peer's fill transport.
+	var netInj *fault.NetInjector
+	if cfg.NetRate > 0 {
+		netInj = fault.NewNetInjector(fault.NetPlan{
+			Seed: cfg.Seed,
+			Rate: cfg.NetRate,
+			// Background noise keeps to flavors the retry layer absorbs
+			// quickly; the stall phase covers blackholes deliberately.
+			Kinds: []fault.NetKind{fault.NetDrop, fault.NetDelay, fault.NetFlaky5xx},
+			Delay: 5 * time.Millisecond,
+		})
+	}
+	nodes := make([]clusterNode, cfg.Backends)
+	chaosDoers := make([]*chaosBackendDoer, cfg.Backends)
+	backends := make([]cluster.Backend, cfg.Backends)
+	breakerCfg := cluster.BreakerConfig{Threshold: 3, Cooldown: 200 * time.Millisecond}
+	for i := range nodes {
+		c := core.NewSolveCache(4 * cfg.Distinct)
+		s := service.NewServer(&service.Config{
+			Cache:      c,
+			Workers:    2,
+			QueueDepth: 4 * cfg.Clients,
+		})
+		nodes[i] = clusterNode{name: fmt.Sprintf("b%d", i), server: s, cache: c}
+		chaosDoers[i] = &chaosBackendDoer{next: cluster.HandlerDoer{Handler: s}}
+		var doer cluster.Doer = chaosDoers[i]
+		if netInj != nil {
+			doer = netInj.Wrap("net."+nodes[i].name, doer)
+		}
+		backends[i] = cluster.Backend{Name: nodes[i].name, Doer: doer}
+	}
+	ringCfg := cluster.RingConfig{Seed: cfg.Seed}
+	for i := range nodes {
+		pf, err := cluster.NewPeerFill(nodes[i].name, backends, ringCfg)
+		if err != nil {
+			return nil, err
+		}
+		pf.SetBreakers(cluster.NewBreakerSet(breakerCfg))
+		// A stalled owner must cost a bounded wait per consult, or the
+		// survivor's workers wedge on gray-failing fills.
+		pf.SetFillTimeout(150 * time.Millisecond)
+		nodes[i].cache.SetL2(pf)
+	}
+	rt, err := cluster.NewRouter(backends, ringCfg)
+	if err != nil {
+		return nil, err
+	}
+	rt.ConfigureBreakers(breakerCfg)
+	rt.ConfigureRetry(cluster.RetryPolicy{
+		MaxAttempts:    3,
+		AttemptTimeout: 250 * time.Millisecond,
+		BudgetRatio:    0.2,
+	})
+	if !cfg.NoHedge {
+		rt.EnableHedge(0) // adaptive p95
+	}
+	prober := cluster.NewProber(rt, cluster.ProbeConfig{
+		Interval:         cfg.ProbeInterval,
+		Timeout:          cfg.ProbeInterval * 2 / 3,
+		FailThreshold:    3,
+		RecoverThreshold: 2,
+		Seed:             cfg.Seed,
+	})
+	prober.Start()
+	defer prober.Stop()
+
+	// Traffic mix: inline-graph solves pinned to the floor method (every
+	// node can solve them, so ownership remaps freely) plus periodic
+	// small batches exercising the split path.
+	gs := loadGraphs(LoadConfig{Distinct: cfg.Distinct, N: cfg.N, Seed: cfg.Seed}.withDefaults())
+	p := labeling.Vector{2, 2, 1}
+	wireOpts := &service.WireOptions{Method: string(benchFloorName), DeadlineMs: int64(cfg.DeadlineMs)}
+	solveBodies := make([][]byte, len(gs))
+	for i, g := range gs {
+		solveBodies[i], err = json.Marshal(service.SolveRequest{
+			ID: fmt.Sprintf("cc-%d", i), Graph: g, P: p, Options: wireOpts,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	batchBodies := make([][]byte, 4)
+	for i := range batchBodies {
+		items := []service.SolveRequest{
+			{ID: fmt.Sprintf("ccb%d-0", i), Graph: gs[(2*i)%len(gs)], P: p, Options: wireOpts},
+			{ID: fmt.Sprintf("ccb%d-1", i), Graph: gs[(2*i+1)%len(gs)], P: p, Options: wireOpts},
+		}
+		batchBodies[i], err = json.Marshal(service.BatchRequest{Items: items})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Victims by ownership so both actually carry traffic: the member
+	// owning the most distinct keys is killed, the next-most stalled.
+	ownKeys := map[string]int{}
+	for _, g := range gs {
+		ownKeys[rt.Ring().Owner(intern.Ref(g))]++
+	}
+	victimKill, victimStall := pickVictims(nodes, ownKeys)
+
+	var (
+		statusMu  sync.Mutex
+		byStatus  = map[int]int64{}
+		ops       atomic.Int64
+		success   atomic.Int64
+		malformed atomic.Int64
+		deadViol  atomic.Int64
+	)
+	deadline := time.Duration(cfg.DeadlineMs) * time.Millisecond
+
+	doOne := func(i int) {
+		var op []byte
+		batchLen := 0
+		if i%8 == 5 {
+			op = batchBodies[i%len(batchBodies)]
+			batchLen = 2
+		} else {
+			op = solveBodies[i%len(solveBodies)]
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://chaos/v1/solve", bytes.NewReader(op))
+		if err != nil {
+			malformed.Add(1)
+			return
+		}
+		if batchLen > 0 {
+			req.URL.Path = "/v1/batch"
+		}
+		req.Header.Set("Content-Type", "application/json")
+		var rec bodyRecorder
+		t0 := time.Now()
+		rt.ServeHTTP(&rec, req)
+		wall := time.Since(t0)
+		ops.Add(1)
+		if wall > deadline+cfg.Grace {
+			deadViol.Add(1)
+		}
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		statusMu.Lock()
+		byStatus[status]++
+		statusMu.Unlock()
+		if !clusterChaosTerminal[status] {
+			malformed.Add(1)
+			return
+		}
+		if clusterChaosValidate(&rec, status, batchLen) {
+			if status == http.StatusOK {
+				success.Add(1)
+			}
+		} else {
+			malformed.Add(1)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				doOne(int(next.Add(1)) - 1)
+			}
+		}()
+	}
+
+	rep := &ClusterChaosReport{
+		Backends:    cfg.Backends,
+		Clients:     cfg.Clients,
+		Seed:        cfg.Seed,
+		VictimKill:  victimKill,
+		VictimStall: victimStall,
+	}
+	if netInj != nil {
+		rep.NetRate = cfg.NetRate
+	}
+	start := time.Now()
+
+	// Phase A: healthy warm-up, then the pre-fault throughput sample.
+	time.Sleep(cfg.Phase / 2)
+	a0, at0 := success.Load(), time.Now()
+	time.Sleep(cfg.Phase)
+	rep.PreFaultThroughput = rate(success.Load()-a0, time.Since(at0))
+
+	// Fault: kill one victim, stall the other, and wait for the prober
+	// to eject both.
+	killAt := time.Now()
+	chaosDoers[indexOf(nodes, victimKill)].mode.Store(backendKilled)
+	chaosDoers[indexOf(nodes, victimStall)].mode.Store(backendStalled)
+	ejectWindow := 40 * cfg.ProbeInterval
+	for {
+		snap := prober.Snapshot()
+		if snap[victimKill].State == cluster.HealthEjected && snap[victimStall].State == cluster.HealthEjected {
+			rep.TimeToEject = time.Since(killAt)
+			break
+		}
+		if time.Since(killAt) > ejectWindow {
+			rep.TimeToEject = time.Since(killAt)
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"prober did not eject both victims within %v (states: kill=%s stall=%s)",
+				ejectWindow, snap[victimKill].State, snap[victimStall].State))
+			break
+		}
+		time.Sleep(cfg.ProbeInterval / 3)
+	}
+
+	// Settle: requests admitted before the ejection hold the old ring
+	// and may legitimately touch the victims until their deadline runs
+	// out. Only after that is "zero sends to the killed backend" a fair
+	// invariant.
+	time.Sleep(deadline + cfg.Grace)
+	drain0 := rt.Stats().Sends[victimKill]
+
+	// Phase B: faulted traffic against the survivors.
+	time.Sleep(cfg.Phase)
+	rep.DrainSends = rt.Stats().Sends[victimKill] - drain0
+
+	// Revive both victims and wait for the ring to reconverge.
+	chaosDoers[indexOf(nodes, victimKill)].mode.Store(backendAlive)
+	chaosDoers[indexOf(nodes, victimStall)].mode.Store(backendAlive)
+	reviveAt := time.Now()
+	for {
+		if len(rt.Ring().Members()) == cfg.Backends {
+			break
+		}
+		if time.Since(reviveAt) > ejectWindow {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"ring did not reconverge to %d members within %v of revival", cfg.Backends, ejectWindow))
+			break
+		}
+		time.Sleep(cfg.ProbeInterval / 3)
+	}
+	revive0 := rt.Stats().Sends[victimKill]
+
+	// Phase C: post-revival throughput sample.
+	c0, ct0 := success.Load(), time.Now()
+	time.Sleep(cfg.Phase)
+	rep.PostRevivalThroughput = rate(success.Load()-c0, time.Since(ct0))
+	rep.RevivalSends = rt.Stats().Sends[victimKill] - revive0
+
+	close(stop)
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	rep.Ops = ops.Load()
+	rep.ByStatus = byStatus
+	rep.Malformed = malformed.Load()
+	rep.DeadlineViolations = deadViol.Load()
+	rep.Router = rt.Stats()
+	if netInj != nil {
+		rep.NetInjected = netInj.Fired()
+	}
+	if rep.PreFaultThroughput > 0 {
+		rep.Reconverged = rep.PostRevivalThroughput / rep.PreFaultThroughput
+	}
+
+	if rep.Malformed > 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("%d malformed responses", rep.Malformed))
+	}
+	if rep.DeadlineViolations > 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"%d requests outlived deadline %v + grace %v", rep.DeadlineViolations, deadline, cfg.Grace))
+	}
+	if rep.DrainSends > 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"ejected backend %s received %d sends after the settle window", victimKill, rep.DrainSends))
+	}
+	if rep.RevivalSends == 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"revived backend %s received no traffic after reconvergence", victimKill))
+	}
+	if rep.Reconverged < 0.8 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"post-revival throughput %.0f req/s is below 80%% of pre-fault %.0f req/s",
+			rep.PostRevivalThroughput, rep.PreFaultThroughput))
+	}
+	return rep, nil
+}
+
+// clusterChaosValidate checks one terminal body against the wire
+// contract; true means well-formed.
+func clusterChaosValidate(rec *bodyRecorder, status, batchLen int) bool {
+	body := rec.buf.Bytes()
+	if batchLen > 0 && status == http.StatusOK {
+		lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+		if len(lines) != batchLen {
+			return false
+		}
+		for _, ln := range lines {
+			var sr service.SolveResponse
+			if err := json.Unmarshal(ln, &sr); err != nil || sr.ID == "" {
+				return false
+			}
+			if sr.Error == "" && len(sr.Labeling) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	var sr service.SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return false
+	}
+	if status == http.StatusOK {
+		return sr.Error == "" && len(sr.Labeling) > 0
+	}
+	return sr.Error != ""
+}
+
+func rate(n int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+func indexOf(nodes []clusterNode, name string) int {
+	for i := range nodes {
+		if nodes[i].name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// pickVictims returns the two members carrying the most distinct keys
+// (kill the heaviest, stall the runner-up), falling back to node order
+// when ownership is too concentrated.
+func pickVictims(nodes []clusterNode, ownKeys map[string]int) (kill, stall string) {
+	for i := range nodes {
+		name := nodes[i].name
+		if kill == "" || ownKeys[name] > ownKeys[kill] {
+			kill = name
+		}
+	}
+	for i := range nodes {
+		name := nodes[i].name
+		if name == kill {
+			continue
+		}
+		if stall == "" || ownKeys[name] > ownKeys[stall] {
+			stall = name
+		}
+	}
+	return kill, stall
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterChaos runs a small kill/stall/revive pass and requires
+// every self-healing invariant to hold: zero malformed responses, no
+// request past deadline+grace, the killed backend drained after
+// ejection, traffic restored after revival, and throughput recovered.
+// CI runs this under -race.
+func TestClusterChaos(t *testing.T) {
+	rep, err := RunClusterChaos(ClusterChaosConfig{
+		Backends:      3,
+		Clients:       8,
+		Distinct:      8,
+		N:             16,
+		Seed:          2023,
+		Floor:         500 * time.Microsecond,
+		DeadlineMs:    400,
+		Grace:         500 * time.Millisecond,
+		Phase:         150 * time.Millisecond,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if rep.Ops == 0 || rep.ByStatus[200] == 0 {
+		t.Fatalf("harness drove no successful traffic: ops=%d byStatus=%v", rep.Ops, rep.ByStatus)
+	}
+	if rep.Router.Health == nil || rep.Router.Health.Ejections < 2 || rep.Router.Health.Revivals < 2 {
+		t.Fatalf("prober did not run the kill/stall/revive cycle: %+v", rep.Router.Health)
+	}
+}
+
+// TestClusterChaosNoNetFaults pins the harness itself: with network
+// faults disabled and no victims' worth of margin changed, the same
+// invariants hold — failures here are harness bugs, not injected chaos.
+func TestClusterChaosNoNetFaults(t *testing.T) {
+	rep, err := RunClusterChaos(ClusterChaosConfig{
+		Backends:      3,
+		Clients:       6,
+		Distinct:      6,
+		N:             12,
+		Seed:          7,
+		Floor:         500 * time.Microsecond,
+		DeadlineMs:    400,
+		Grace:         500 * time.Millisecond,
+		Phase:         120 * time.Millisecond,
+		ProbeInterval: 10 * time.Millisecond,
+		NetRate:       -1,
+		NoHedge:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if len(rep.NetInjected) != 0 {
+		t.Fatalf("NetRate -1 still injected faults: %v", rep.NetInjected)
+	}
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-backend circuit breakers: the fail-fast layer between "the router
+// saw a transport error" and "the prober ejected the node". A backend
+// that keeps failing at the transport level (or answering gateway-class
+// 5xx) trips its breaker open, and every code path that could touch it —
+// Router.forward, the batch splitter, PeerFill consults — skips it
+// immediately instead of paying a connect timeout per request. After a
+// cooldown the breaker admits exactly one probe request (half-open);
+// its outcome decides between closing again and another open period.
+//
+// The breaker deliberately does NOT count application-level answers:
+// a 429 (busy), 422 (inapplicable), 408 (deadline), or even a 500
+// (contained engine panic) is a healthy node doing its job. Only
+// transport failures and the gateway statuses 502/503/504 — "the node
+// is not really there" — move the state machine.
+
+// Breaker states.
+const (
+	// BreakerClosed: traffic flows, consecutive failures are counted.
+	BreakerClosed = "closed"
+	// BreakerOpen: traffic is refused until the cooldown elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: one probe request is in flight; its outcome
+	// closes or re-opens the breaker.
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerConfig shapes a BreakerSet. The zero value means defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive transport-failure count that trips a
+	// closed breaker open (default 5).
+	Threshold int
+	// Cooldown is how long an open breaker refuses traffic before
+	// admitting a half-open probe (default 2s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// breaker is one backend's state machine. All fields are guarded by the
+// owning BreakerSet's mutex.
+type breaker struct {
+	state      string
+	fails      int       // consecutive transport failures while closed
+	openedAt   time.Time // when the breaker last tripped
+	probeStart time.Time // when the half-open probe was admitted
+}
+
+// BreakerSet holds one breaker per backend name, created lazily on
+// first touch. Safe for concurrent use.
+type BreakerSet struct {
+	cfg BreakerConfig
+	// now is the clock seam for deterministic tests.
+	now func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*breaker
+
+	trips     atomic.Int64 // closed/half-open -> open transitions
+	fastFails atomic.Int64 // Allow() refusals
+	reopens   atomic.Int64 // half-open probes that failed
+	closes    atomic.Int64 // half-open probes that succeeded
+}
+
+// NewBreakerSet builds the set. cfg may be the zero value for defaults.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg.withDefaults(), now: time.Now, m: map[string]*breaker{}}
+}
+
+func (bs *BreakerSet) get(name string) *breaker {
+	b, ok := bs.m[name]
+	if !ok {
+		b = &breaker{state: BreakerClosed}
+		bs.m[name] = b
+	}
+	return b
+}
+
+// Allow reports whether a request may be sent to the named backend.
+// While open it returns false (the fail-fast) until the cooldown
+// elapses, at which point exactly one caller is admitted as the
+// half-open probe. A probe that never reports back (its caller's
+// context died first) stops blocking after another cooldown, so a lost
+// probe cannot wedge the breaker open forever. A nil set allows all.
+func (bs *BreakerSet) Allow(name string) bool {
+	if bs == nil {
+		return true
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(name)
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		// One probe at a time; a probe outstanding longer than a whole
+		// cooldown is presumed lost and replaced.
+		if bs.now().Sub(b.probeStart) > bs.cfg.Cooldown {
+			b.probeStart = bs.now()
+			return true
+		}
+		bs.fastFails.Add(1)
+		return false
+	default: // BreakerOpen
+		if bs.now().Sub(b.openedAt) >= bs.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probeStart = bs.now()
+			return true
+		}
+		bs.fastFails.Add(1)
+		return false
+	}
+}
+
+// Report records one attempt's outcome for the named backend: ok means
+// the transport worked (any HTTP status — the response is an answer),
+// !ok means a transport failure or gateway-class 5xx. Nil-safe.
+func (bs *BreakerSet) Report(name string, ok bool) {
+	if bs == nil {
+		return
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(name)
+	if ok {
+		if b.state == BreakerHalfOpen {
+			bs.closes.Add(1)
+		}
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open, fresh cooldown.
+		b.state = BreakerOpen
+		b.openedAt = bs.now()
+		bs.reopens.Add(1)
+		bs.trips.Add(1)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= bs.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = bs.now()
+			bs.trips.Add(1)
+		}
+	default: // already open: a straggling failure report changes nothing
+	}
+}
+
+// BreakerFailure classifies one attempt for Report: a transport error,
+// or a gateway-class status (502/503/504) — the signals that the node
+// itself, not the request, is sick. resp may be nil when err is set.
+func BreakerFailure(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	switch resp.StatusCode {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// State returns the named backend's current state (closed for a backend
+// never touched). Nil-safe.
+func (bs *BreakerSet) State(name string) string {
+	if bs == nil {
+		return BreakerClosed
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b, ok := bs.m[name]
+	if !ok {
+		return BreakerClosed
+	}
+	return b.state
+}
+
+// BreakerStats is the observable counter block for /v1/stats.
+type BreakerStats struct {
+	// States maps each touched backend to closed/open/half-open.
+	States map[string]string `json:"states,omitempty"`
+	// Trips counts transitions into open; Reopens the half-open probes
+	// that failed; Closes the probes that succeeded; FastFails the
+	// requests refused while open.
+	Trips     int64 `json:"trips"`
+	Reopens   int64 `json:"reopens"`
+	Closes    int64 `json:"closes"`
+	FastFails int64 `json:"fastFails"`
+}
+
+// Stats snapshots the set. Nil-safe (zero value).
+func (bs *BreakerSet) Stats() BreakerStats {
+	if bs == nil {
+		return BreakerStats{}
+	}
+	bs.mu.Lock()
+	states := make(map[string]string, len(bs.m))
+	for name, b := range bs.m {
+		states[name] = b.state
+	}
+	bs.mu.Unlock()
+	return BreakerStats{
+		States:    states,
+		Trips:     bs.trips.Load(),
+		Reopens:   bs.reopens.Load(),
+		Closes:    bs.closes.Load(),
+		FastFails: bs.fastFails.Load(),
+	}
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// breakerClock is a manual clock wired into BreakerSet.now.
+type breakerClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newBreakerClock() *breakerClock {
+	return &breakerClock{now: time.Unix(1700000000, 0)}
+}
+
+func (c *breakerClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *breakerClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreakers(cfg BreakerConfig) (*BreakerSet, *breakerClock) {
+	bs := NewBreakerSet(cfg)
+	clk := newBreakerClock()
+	bs.now = clk.Now
+	return bs, clk
+}
+
+func TestBreakerTripThreshold(t *testing.T) {
+	bs, _ := newTestBreakers(BreakerConfig{Threshold: 3, Cooldown: time.Second})
+
+	for i := 0; i < 2; i++ {
+		if !bs.Allow("b0") {
+			t.Fatalf("Allow refused before threshold (failure %d)", i)
+		}
+		bs.Report("b0", false)
+	}
+	if got := bs.State("b0"); got != BreakerClosed {
+		t.Fatalf("state after 2 failures = %s, want closed", got)
+	}
+	bs.Report("b0", false) // third consecutive failure trips it
+	if got := bs.State("b0"); got != BreakerOpen {
+		t.Fatalf("state after threshold = %s, want open", got)
+	}
+	if bs.Allow("b0") {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	st := bs.Stats()
+	if st.Trips != 1 || st.FastFails != 1 {
+		t.Fatalf("stats = trips %d fastFails %d, want 1/1", st.Trips, st.FastFails)
+	}
+	// An unrelated backend is untouched.
+	if !bs.Allow("b1") || bs.State("b1") != BreakerClosed {
+		t.Fatal("tripping b0 leaked into b1")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	bs, _ := newTestBreakers(BreakerConfig{Threshold: 3, Cooldown: time.Second})
+	// Interleaved successes keep the consecutive count below threshold
+	// forever: only a consecutive run trips.
+	for i := 0; i < 10; i++ {
+		bs.Report("b0", false)
+		bs.Report("b0", false)
+		bs.Report("b0", true)
+	}
+	if got := bs.State("b0"); got != BreakerClosed {
+		t.Fatalf("state = %s, want closed (failures never consecutive)", got)
+	}
+	if trips := bs.Stats().Trips; trips != 0 {
+		t.Fatalf("trips = %d, want 0", trips)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	bs, clk := newTestBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	bs.Report("b0", false) // trip
+	if bs.Allow("b0") {
+		t.Fatal("open breaker allowed a request mid-cooldown")
+	}
+	clk.advance(time.Second)
+	// Exactly one caller is admitted as the probe; the rest fail fast.
+	if !bs.Allow("b0") {
+		t.Fatal("cooldown elapsed but the probe was refused")
+	}
+	if got := bs.State("b0"); got != BreakerHalfOpen {
+		t.Fatalf("state during probe = %s, want half-open", got)
+	}
+	for i := 0; i < 3; i++ {
+		if bs.Allow("b0") {
+			t.Fatal("second caller admitted while a probe is outstanding")
+		}
+	}
+	// Probe succeeds: closed again, fresh failure count.
+	bs.Report("b0", true)
+	if got := bs.State("b0"); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+	if closes := bs.Stats().Closes; closes != 1 {
+		t.Fatalf("closes = %d, want 1", closes)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	bs, clk := newTestBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	bs.Report("b0", false)
+	clk.advance(time.Second)
+	if !bs.Allow("b0") {
+		t.Fatal("probe refused")
+	}
+	bs.Report("b0", false) // probe failed: straight back to open
+	if got := bs.State("b0"); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	if bs.Allow("b0") {
+		t.Fatal("reopened breaker allowed a request without a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !bs.Allow("b0") {
+		t.Fatal("second probe refused after the fresh cooldown")
+	}
+	if reopens := bs.Stats().Reopens; reopens != 1 {
+		t.Fatalf("reopens = %d, want 1", reopens)
+	}
+}
+
+func TestBreakerLostProbeReplaced(t *testing.T) {
+	bs, clk := newTestBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	bs.Report("b0", false)
+	clk.advance(time.Second)
+	if !bs.Allow("b0") {
+		t.Fatal("probe refused")
+	}
+	// The probe's caller dies without ever reporting. After another full
+	// cooldown the probe slot is presumed lost and handed to a new
+	// caller — a crashed prober cannot wedge the breaker half-open.
+	clk.advance(time.Second + time.Millisecond)
+	if !bs.Allow("b0") {
+		t.Fatal("lost probe never replaced")
+	}
+	bs.Report("b0", true)
+	if got := bs.State("b0"); got != BreakerClosed {
+		t.Fatalf("state = %s, want closed", got)
+	}
+}
+
+func TestBreakerFailureClassifier(t *testing.T) {
+	if !BreakerFailure(nil, errors.New("dial refused")) {
+		t.Error("transport error not classified as breaker failure")
+	}
+	for _, status := range []int{http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout} {
+		if !BreakerFailure(&http.Response{StatusCode: status}, nil) {
+			t.Errorf("status %d not classified as breaker failure", status)
+		}
+	}
+	// Application-level answers — including a contained panic's 500 —
+	// are a healthy node doing its job.
+	for _, status := range []int{200, 400, 404, 408, 422, 429, 500} {
+		if BreakerFailure(&http.Response{StatusCode: status}, nil) {
+			t.Errorf("status %d wrongly classified as breaker failure", status)
+		}
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var bs *BreakerSet
+	if !bs.Allow("b0") {
+		t.Fatal("nil set must allow")
+	}
+	bs.Report("b0", false)
+	if got := bs.State("b0"); got != BreakerClosed {
+		t.Fatalf("nil set state = %s, want closed", got)
+	}
+	if st := bs.Stats(); st.Trips != 0 {
+		t.Fatalf("nil set stats = %+v, want zero", st)
+	}
+}

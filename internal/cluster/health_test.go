@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lpltsp/internal/core"
+	"lpltsp/internal/service"
+)
+
+// switchableDoer gates a backend's transport behind a runtime mode so
+// tests can kill (immediate transport error) or blackhole (never
+// answers until the caller's context gives up) a live node.
+type switchableDoer struct {
+	mode atomic.Int32 // 0 alive, 1 dead, 2 blackhole
+	next Doer
+	hits atomic.Int64
+}
+
+const (
+	doerAlive int32 = iota
+	doerDead
+	doerBlackhole
+)
+
+func (d *switchableDoer) Do(req *http.Request) (*http.Response, error) {
+	d.hits.Add(1)
+	switch d.mode.Load() {
+	case doerDead:
+		return nil, errors.New("dial refused (test)")
+	case doerBlackhole:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	return d.next.Do(req)
+}
+
+// newProbedCluster boots n live backends behind switchable transports
+// plus a tick-driven prober (never started — tests step it).
+func newProbedCluster(t *testing.T, n int, seed uint64, cfg ProbeConfig) (*Router, []*switchableDoer, *Prober) {
+	t.Helper()
+	backends := make([]Backend, n)
+	doers := make([]*switchableDoer, n)
+	for i := range backends {
+		s := service.NewServer(&service.Config{Cache: core.NewSolveCache(256)})
+		doers[i] = &switchableDoer{next: HandlerDoer{Handler: s}}
+		backends[i] = Backend{Name: fmt.Sprintf("b%d", i), Doer: doers[i]}
+	}
+	rt, err := NewRouter(backends, RingConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, doers, NewProber(rt, cfg)
+}
+
+func TestProberEjectsAndRevives(t *testing.T) {
+	cfg := ProbeConfig{Interval: time.Hour, Timeout: 100 * time.Millisecond, FailThreshold: 3, RecoverThreshold: 2}
+	rt, doers, p := newProbedCluster(t, 3, 7, cfg)
+	ctx := context.Background()
+
+	if changed := p.Tick(ctx); changed {
+		t.Fatal("healthy round changed the ring")
+	}
+	doers[1].mode.Store(doerDead)
+
+	// Ejection takes exactly FailThreshold consecutive failed rounds:
+	// degraded after the first, still routed, gone on the third.
+	if p.Tick(ctx) {
+		t.Fatal("first failure ejected the member")
+	}
+	if got := p.Snapshot()["b1"].State; got != HealthDegraded {
+		t.Fatalf("state after 1 failure = %s, want degraded", got)
+	}
+	if got := len(rt.Ring().Members()); got != 3 {
+		t.Fatalf("ring shrank while member only degraded: %d members", got)
+	}
+	p.Tick(ctx)
+	if !p.Tick(ctx) {
+		t.Fatal("third consecutive failure did not change the ring")
+	}
+	if got := p.Snapshot()["b1"].State; got != HealthEjected {
+		t.Fatalf("state after %d failures = %s, want ejected", cfg.FailThreshold, got)
+	}
+	members := rt.Ring().Members()
+	if len(members) != 2 || members[0] == "b1" || members[1] == "b1" {
+		t.Fatalf("ejected member still in ring: %v", members)
+	}
+
+	// Revival takes RecoverThreshold consecutive healthy rounds.
+	doers[1].mode.Store(doerAlive)
+	if p.Tick(ctx) {
+		t.Fatal("one healthy round revived the member")
+	}
+	if !p.Tick(ctx) {
+		t.Fatal("second healthy round did not restore the ring")
+	}
+	if got := p.Snapshot()["b1"].State; got != HealthHealthy {
+		t.Fatalf("state after revival = %s, want healthy", got)
+	}
+	if got := len(rt.Ring().Members()); got != 3 {
+		t.Fatalf("ring after revival has %d members, want 3", got)
+	}
+	st := p.Stats()
+	if st.Ejections != 1 || st.Revivals != 1 {
+		t.Fatalf("ejections/revivals = %d/%d, want 1/1", st.Ejections, st.Revivals)
+	}
+}
+
+func TestProberBoundsBlackholedProbe(t *testing.T) {
+	cfg := ProbeConfig{Interval: time.Hour, Timeout: 30 * time.Millisecond, FailThreshold: 3, RecoverThreshold: 2}
+	_, doers, p := newProbedCluster(t, 3, 7, cfg)
+	doers[2].mode.Store(doerBlackhole)
+
+	// A blackholed member costs one probe timeout per round, never a
+	// stalled round: the whole tick must come back near the per-probe
+	// bound even though b2 never answers.
+	start := time.Now()
+	p.Tick(context.Background())
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("probe round took %v against a blackholed member (timeout %v)", elapsed, cfg.Timeout)
+	}
+	if got := p.Snapshot()["b2"].State; got != HealthDegraded {
+		t.Fatalf("blackholed member state = %s, want degraded", got)
+	}
+}
+
+func TestProberKeepsLastRingWhenAllEjected(t *testing.T) {
+	cfg := ProbeConfig{Interval: time.Hour, Timeout: 20 * time.Millisecond, FailThreshold: 1, RecoverThreshold: 1}
+	rt, doers, p := newProbedCluster(t, 2, 7, cfg)
+	for _, d := range doers {
+		d.mode.Store(doerDead)
+	}
+	ctx := context.Background()
+	p.Tick(ctx)
+	// Both ejected at once: the prober must keep the last real ring
+	// rather than route into nothing.
+	if got := len(rt.Ring().Members()); got != 2 {
+		t.Fatalf("ring with every member ejected has %d members, want the last full 2", got)
+	}
+	doers[0].mode.Store(doerAlive)
+	doers[1].mode.Store(doerAlive)
+	p.Tick(ctx)
+	if got := len(rt.Ring().Members()); got != 2 {
+		t.Fatalf("ring after full revival has %d members, want 2", got)
+	}
+}
+
+// readyBody drives GET /readyz and decodes the aggregation wire shape.
+func readyBody(t *testing.T, rt *Router) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://cluster/readyz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := HandlerDoer{Handler: rt}.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("readyz body did not decode: %v", err)
+	}
+	return resp.StatusCode, m
+}
+
+// TestReadyzBoundsBlackholedBackend pins the satellite fix: the
+// prober-less /readyz aggregation probes every member under a
+// per-probe timeout, so one blackholed backend is reported degraded
+// instead of stalling the router's own health surface forever.
+func TestReadyzBoundsBlackholedBackend(t *testing.T) {
+	backends := make([]Backend, 2)
+	doers := make([]*switchableDoer, 2)
+	for i := range backends {
+		s := service.NewServer(&service.Config{Cache: core.NewSolveCache(64)})
+		doers[i] = &switchableDoer{next: HandlerDoer{Handler: s}}
+		backends[i] = Backend{Name: fmt.Sprintf("b%d", i), Doer: doers[i]}
+	}
+	rt, err := NewRouter(backends, RingConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doers[1].mode.Store(doerBlackhole)
+
+	start := time.Now()
+	status, m := readyBody(t, rt)
+	if elapsed := time.Since(start); elapsed > readyProbeTimeout+2*time.Second {
+		t.Fatalf("/readyz took %v against a blackholed backend", elapsed)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz status = %d, want 503", status)
+	}
+	members, _ := m["members"].(map[string]any)
+	if got := members["b1"]; got != HealthDegraded {
+		t.Fatalf("blackholed member reported %v, want %q", got, HealthDegraded)
+	}
+	if got := members["b0"]; got != HealthHealthy {
+		t.Fatalf("live member reported %v, want %q", got, HealthHealthy)
+	}
+}
+
+// TestReadyzFromProberSnapshot: with a prober installed /readyz answers
+// from its state snapshot — no per-request probing at all.
+func TestReadyzFromProberSnapshot(t *testing.T) {
+	cfg := ProbeConfig{Interval: time.Hour, Timeout: 20 * time.Millisecond, FailThreshold: 1, RecoverThreshold: 1}
+	rt, doers, p := newProbedCluster(t, 2, 7, cfg)
+	p.Tick(context.Background())
+
+	before := doers[0].hits.Load() + doers[1].hits.Load()
+	status, m := readyBody(t, rt)
+	if got := doers[0].hits.Load() + doers[1].hits.Load(); got != before {
+		t.Fatalf("/readyz with a prober probed the backends (%d new round trips)", got-before)
+	}
+	if status != http.StatusOK || m["ready"] != true {
+		t.Fatalf("/readyz = %d %v, want 200 ready:true", status, m)
+	}
+
+	// Kill b1, tick once (threshold 1 ejects it): the ring shrank to the
+	// healthy member, so the *cluster* is ready again — degradation
+	// shows in the member map, not as a 503.
+	doers[1].mode.Store(doerDead)
+	p.Tick(context.Background())
+	status, m = readyBody(t, rt)
+	if status != http.StatusOK {
+		t.Fatalf("/readyz after clean ejection = %d, want 200 (survivors carry the ring)", status)
+	}
+	members, _ := m["members"].(map[string]any)
+	if _, stillListed := members["b1"]; stillListed {
+		t.Fatalf("ejected member still aggregated as a ring member: %v", members)
+	}
+}
+
+// TestSetRingUnderTrafficProber is the prober-driven variant of
+// TestSetRingUnderTraffic: instead of an admin churner, a killed
+// backend is ejected by probe rounds while clients keep solving, with
+// zero malformed responses, and revival restores its ownership.
+func TestSetRingUnderTrafficProber(t *testing.T) {
+	cfg := ProbeConfig{Interval: time.Hour, Timeout: 50 * time.Millisecond, FailThreshold: 3, RecoverThreshold: 2}
+	rt, doers, p := newProbedCluster(t, 3, 29, cfg)
+	rt.ConfigureRetry(RetryPolicy{MaxAttempts: 3, AttemptTimeout: time.Second, BudgetRatio: 1})
+	ctx := context.Background()
+	p.Tick(ctx)
+
+	const clients = 4
+	var clientsWG sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 256)
+	for c := 0; c < clients; c++ {
+		c := c
+		clientsWG.Add(1)
+		go func() {
+			defer clientsWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 3 + (c*31+i)%8
+				body := []byte(fmt.Sprintf(`{"graph":{"n":%d,"edges":%s},"p":[2,1]}`, n, pathEdges(n)))
+				resp, data := doJSON(t, rt, http.MethodPost, "/v1/solve", body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d solve %d: status %d (%s)", c, i, resp.StatusCode, data)
+					return
+				}
+				var sr service.SolveResponse
+				if err := json.Unmarshal(data, &sr); err != nil || sr.Span <= 0 {
+					errs <- fmt.Errorf("client %d solve %d: malformed response %s", c, i, data)
+					return
+				}
+			}
+		}()
+	}
+
+	// Kill b1 under live traffic; the prober must eject it within
+	// FailThreshold probe rounds, and every in-flight and subsequent
+	// request must still answer 200 (successor retry covers the gap
+	// until the ring swap takes over).
+	doers[1].mode.Store(doerDead)
+	ticks := 0
+	for ; ticks < cfg.FailThreshold; ticks++ {
+		p.Tick(ctx)
+	}
+	if got := p.Snapshot()["b1"].State; got != HealthEjected {
+		t.Errorf("b1 not ejected after %d probe rounds: %s", ticks, got)
+	}
+	if got := len(rt.Ring().Members()); got != 2 {
+		t.Errorf("ring has %d members after ejection, want 2", got)
+	}
+
+	// Revive: RecoverThreshold clean rounds restore membership, and b1
+	// starts receiving router traffic again.
+	doers[1].mode.Store(doerAlive)
+	sendsAtRevival := rt.Stats().Sends["b1"]
+	for i := 0; i < cfg.RecoverThreshold; i++ {
+		p.Tick(ctx)
+	}
+	if got := len(rt.Ring().Members()); got != 3 {
+		t.Errorf("ring has %d members after revival, want 3", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Stats().Sends["b1"] == sendsAtRevival {
+		if time.Now().After(deadline) {
+			t.Error("revived b1 never received traffic again")
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(stop)
+	clientsWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := p.Stats(); st.Ejections != 1 || st.Revivals != 1 {
+		t.Errorf("prober ejections/revivals = %d/%d, want 1/1", st.Ejections, st.Revivals)
+	}
+}

@@ -48,6 +48,21 @@ type PeerFill struct {
 	ring  *Ring
 	doers map[string]Doer
 
+	// breakers, when set, fail consults of a sick owner fast (straight
+	// to the local solve) instead of paying a transport timeout per L1
+	// miss. Nil means no breaker layer.
+	breakers *BreakerSet
+
+	// fillTimeout, when positive, bounds one whole consult (probe +
+	// intern + solve). A stalled owner is a gray failure: without a
+	// bound it wedges the flight leader — and the worker running it —
+	// until the caller's context gives up. 0 (the default) means no
+	// bound beyond the caller's context: in-process transports share the
+	// request context with the owner, where an injected deadline would
+	// change solve semantics (the planner treats it as a solve budget),
+	// so the bound is strictly opt-in.
+	fillTimeout time.Duration
+
 	// confirmed remembers (owner, ref) pairs known interned at the
 	// owner, keyed owner+"\x00"+ref. Entries are dropped when a consult
 	// 404s (the owner evicted the ref), re-triggering the HEAD/POST
@@ -88,6 +103,37 @@ func NewPeerFill(self string, backends []Backend, cfg RingConfig) (*PeerFill, er
 	return &PeerFill{self: self, ring: ring, doers: doers, confirmed: map[string]bool{}}, nil
 }
 
+// SetBreakers installs a per-owner circuit-breaker set (usually shared
+// with other cluster plumbing on the same node). Call before serving.
+func (pf *PeerFill) SetBreakers(bs *BreakerSet) { pf.breakers = bs }
+
+// DefaultFillTimeout is the recommended consult bound for socket-level
+// deployments (the lplserve -fill-timeout flag default): generous
+// against a slow owner, decisive against a stalled one.
+const DefaultFillTimeout = 2 * time.Second
+
+// SetFillTimeout bounds each peer consult; a consult that exceeds it
+// fails (and, with breakers installed, counts toward opening the
+// owner's circuit) and the local flight solves instead. Zero or
+// negative leaves the consult bounded only by the caller's context.
+// Call before serving.
+func (pf *PeerFill) SetFillTimeout(d time.Duration) { pf.fillTimeout = d }
+
+// breakerDoer reports every round trip's transport outcome to the
+// breaker set: an error or gateway-class status is a failure, any other
+// response — including a 429 or 404 — is a healthy owner answering.
+type breakerDoer struct {
+	bs   *BreakerSet
+	name string
+	next Doer
+}
+
+func (d breakerDoer) Do(req *http.Request) (*http.Response, error) {
+	resp, err := d.next.Do(req)
+	d.bs.Report(d.name, err == nil && !gatewayBad(resp.StatusCode))
+	return resp, err
+}
+
 // GetOrSolve implements core.L2Cache. It runs on the flight leader of a
 // local L1 miss, under the flight's context.
 func (pf *PeerFill) GetOrSolve(ctx context.Context, g *graph.Graph, p labeling.Vector, opts *core.Options) (*core.Result, bool, error) {
@@ -103,6 +149,20 @@ func (pf *PeerFill) GetOrSolve(ctx context.Context, g *graph.Graph, p labeling.V
 	doer, ok := pf.doers[owner]
 	if !ok {
 		return nil, false, fmt.Errorf("cluster: no transport for owner %q", owner)
+	}
+	if pf.fillTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pf.fillTimeout)
+		defer cancel()
+	}
+	if pf.breakers != nil {
+		if !pf.breakers.Allow(owner) {
+			// Fail the consult without touching the wire; the local
+			// flight solves (an L2 fallback), trading exactly-once for
+			// not queueing behind a dead owner's connect timeouts.
+			return nil, false, fmt.Errorf("cluster: owner %q circuit open", owner)
+		}
+		doer = breakerDoer{bs: pf.breakers, name: owner, next: doer}
 	}
 	if err := pf.ensureInterned(ctx, doer, owner, ref, g); err != nil {
 		return nil, false, err

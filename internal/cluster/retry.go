@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retry discipline for the successor walk. The original router walked
+// the whole successor chain with the client's full deadline shared by
+// every attempt — under a correlated failure that converts one slow
+// node into a cluster-wide retry storm. Three bounds replace it:
+//
+//   - MaxAttempts caps how many backends one request may touch;
+//   - AttemptTimeout gives each attempt its own deadline, so a stalled
+//     backend costs one bounded slice of the client's budget, not all
+//     of it;
+//   - a retry *budget* (the SRE token-bucket pattern) makes retries a
+//     fraction of real traffic: every request deposits BudgetRatio
+//     tokens, every retry spends one, so at most ~BudgetRatio of
+//     steady-state traffic is retries and a full outage degrades to
+//     fail-fast instead of amplifying load.
+//
+// The latencyTracker feeds hedging: it keeps a sliding window of
+// successful-attempt latencies and serves a cached p95, the delay after
+// which a hedged second attempt is worth firing ("The Tail at Scale").
+
+// RetryPolicy bounds the successor walk. The zero value means defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of backends one request may try,
+	// including the first (default 3).
+	MaxAttempts int
+	// AttemptTimeout bounds each individual attempt. Zero means no
+	// per-attempt bound beyond the client's own deadline.
+	AttemptTimeout time.Duration
+	// BudgetRatio is the retry-token deposit per incoming request
+	// (default 0.1: retries may be at most ~10% of traffic, sustained).
+	BudgetRatio float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BudgetRatio <= 0 {
+		p.BudgetRatio = 0.1
+	}
+	return p
+}
+
+// retryBudget is a token bucket in fixed-point millitokens: onRequest
+// deposits ratio×1000, take withdraws 1000. It starts full so isolated
+// failures always retry; only sustained failure drains it.
+type retryBudget struct {
+	deposit int64 // millitokens per request
+	cap     int64
+	tokens  atomic.Int64
+}
+
+// retryBudgetCap is the bucket depth in whole tokens: a burst of up to
+// this many retries is always allowed before the ratio bites.
+const retryBudgetCap = 10
+
+func newRetryBudget(ratio float64) *retryBudget {
+	b := &retryBudget{deposit: int64(ratio * 1000), cap: retryBudgetCap * 1000}
+	b.tokens.Store(b.cap)
+	return b
+}
+
+// onRequest deposits one request's worth of retry allowance.
+func (b *retryBudget) onRequest() {
+	for {
+		cur := b.tokens.Load()
+		next := cur + b.deposit
+		if next > b.cap {
+			next = b.cap
+		}
+		if next == cur || b.tokens.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// take withdraws one retry token, reporting whether the budget allowed
+// it.
+func (b *retryBudget) take() bool {
+	for {
+		cur := b.tokens.Load()
+		if cur < 1000 {
+			return false
+		}
+		if b.tokens.CompareAndSwap(cur, cur-1000) {
+			return true
+		}
+	}
+}
+
+// retryState bundles the policy with its budget so ConfigureRetry can
+// swap both atomically under traffic.
+type retryState struct {
+	pol    RetryPolicy
+	budget *retryBudget
+}
+
+// latencyTracker is a sliding window of successful-attempt latencies
+// with a lazily recomputed p95. Observation is O(1) under a mutex; the
+// sort happens once per recalcEvery observations.
+type latencyTracker struct {
+	mu        sync.Mutex
+	samples   []time.Duration // ring buffer
+	idx       int
+	filled    bool
+	sinceCalc int
+	cached    time.Duration
+}
+
+const (
+	latencyWindow      = 512
+	latencyRecalcEvery = 64
+	// latencyMinSamples gates the first p95: below it the caller's
+	// fallback delay is used instead of a noisy estimate.
+	latencyMinSamples = 16
+)
+
+func newLatencyTracker() *latencyTracker {
+	return &latencyTracker{samples: make([]time.Duration, 0, latencyWindow)}
+}
+
+func (lt *latencyTracker) observe(d time.Duration) {
+	lt.mu.Lock()
+	if len(lt.samples) < latencyWindow {
+		lt.samples = append(lt.samples, d)
+	} else {
+		lt.samples[lt.idx] = d
+		lt.idx = (lt.idx + 1) % latencyWindow
+		lt.filled = true
+	}
+	lt.sinceCalc++
+	lt.mu.Unlock()
+}
+
+// p95 returns the cached 95th-percentile latency, recomputing at most
+// every latencyRecalcEvery observations; fallback is returned until
+// latencyMinSamples have been seen.
+func (lt *latencyTracker) p95(fallback time.Duration) time.Duration {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if len(lt.samples) < latencyMinSamples {
+		return fallback
+	}
+	if lt.cached == 0 || lt.sinceCalc >= latencyRecalcEvery {
+		buf := make([]time.Duration, len(lt.samples))
+		copy(buf, lt.samples)
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		lt.cached = buf[(len(buf)*95)/100]
+		lt.sinceCalc = 0
+	}
+	return lt.cached
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lpltsp/internal/graph"
 	"lpltsp/internal/intern"
@@ -43,11 +45,34 @@ type Router struct {
 
 	ringSwaps atomic.Int64
 
+	// breakers is the per-backend fail-fast layer; never nil. prober is
+	// the optional active health prober (NewProber installs it).
+	breakers *BreakerSet
+	prober   atomic.Pointer[Prober]
+	// retry bundles the successor-walk policy with its token budget so
+	// ConfigureRetry can swap both atomically under traffic.
+	retry atomic.Pointer[retryState]
+	lat   *latencyTracker
+	// hedgeOn arms hedged sends for idempotent solves; hedgeDelayNs is
+	// the fixed hedge delay (0 = adaptive p95 from lat).
+	hedgeOn      atomic.Bool
+	hedgeDelayNs atomic.Int64
+
 	proxied      atomic.Int64
 	retries      atomic.Int64
 	deadBackends atomic.Int64
 	splitBatches atomic.Int64
-	perBackend   map[string]*atomic.Int64
+	// perBackend counts completed round trips per member; sends counts
+	// attempts that reached the transport (including ones that then
+	// failed or timed out) — the drain invariant "an ejected backend
+	// receives zero traffic" is a statement about sends.
+	perBackend map[string]*atomic.Int64
+	sends      map[string]*atomic.Int64
+
+	hedged          atomic.Int64
+	hedgeWins       atomic.Int64
+	budgetExhausted atomic.Int64
+	attemptTimeouts atomic.Int64
 }
 
 const defaultRouterMaxBody = 64 << 20
@@ -86,10 +111,16 @@ func NewRouter(backends []Backend, cfg RingConfig) (*Router, error) {
 		mux:        http.NewServeMux(),
 		maxBody:    defaultRouterMaxBody,
 		fullCfg:    cfg,
+		breakers:   NewBreakerSet(BreakerConfig{}),
+		lat:        newLatencyTracker(),
 		perBackend: make(map[string]*atomic.Int64, len(backends)),
+		sends:      make(map[string]*atomic.Int64, len(backends)),
 	}
+	pol := RetryPolicy{}.withDefaults()
+	rt.retry.Store(&retryState{pol: pol, budget: newRetryBudget(pol.BudgetRatio)})
 	for _, b := range backends {
 		rt.perBackend[b.Name] = new(atomic.Int64)
+		rt.sends[b.Name] = new(atomic.Int64)
 	}
 	rt.ring.Store(ring)
 	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
@@ -135,6 +166,36 @@ func (rt *Router) ResetRing() error {
 	}
 	return rt.SetRing(ring)
 }
+
+// ConfigureRetry replaces the successor-walk policy (attempt cap,
+// per-attempt timeout, retry-budget ratio). Safe under traffic: the
+// policy and a fresh budget swap in atomically.
+func (rt *Router) ConfigureRetry(pol RetryPolicy) {
+	pol = pol.withDefaults()
+	rt.retry.Store(&retryState{pol: pol, budget: newRetryBudget(pol.BudgetRatio)})
+}
+
+// ConfigureBreakers replaces the per-backend circuit-breaker set (all
+// breakers reset to closed).
+func (rt *Router) ConfigureBreakers(cfg BreakerConfig) {
+	rt.breakers = NewBreakerSet(cfg)
+}
+
+// Breakers exposes the breaker set (for sharing with a PeerFill or for
+// tests).
+func (rt *Router) Breakers() *BreakerSet { return rt.breakers }
+
+// EnableHedge arms hedged sends for idempotent solve forwards: when the
+// first attempt has not answered after the hedge delay, a second
+// attempt fires at the next live successor and the first clean response
+// wins. delay 0 means adaptive — the observed p95 attempt latency.
+func (rt *Router) EnableHedge(delay time.Duration) {
+	rt.hedgeDelayNs.Store(int64(delay))
+	rt.hedgeOn.Store(true)
+}
+
+// Prober returns the active health prober, if one was installed.
+func (rt *Router) Prober() *Prober { return rt.prober.Load() }
 
 // RingWire is the admin /admin/ring request and response body.
 type RingWire struct {
@@ -259,31 +320,226 @@ func solveRef(r *http.Request, body []byte) (string, error) {
 	}
 }
 
+// gatewayBad reports whether a status is gateway-class (502/503/504):
+// "the node is not really there", as opposed to an application-level
+// answer like 429/422/408 that must reach the client untouched.
+func gatewayBad(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// attemptResult is one fully buffered backend response: attempts read
+// the body to completion under their own (cancellable) context so the
+// loser of a hedge or a timed-out straggler can be cancelled without
+// tearing a stream out from under the client.
+type attemptResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
 // forward proxies one buffered request to the key's owner, walking the
-// ring's successor chain past dead backends when retry is set (safe
-// only for idempotent requests). The first live backend's response —
-// whatever its status — is the client's response.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte, retry bool) {
+// ring's successor chain when retry is set (safe only for idempotent
+// requests). The walk is bounded three ways: the breaker set skips
+// backends known sick, the retry policy caps attempts and charges each
+// retry against the token budget, and every attempt runs under its own
+// per-attempt timeout. Only transport failures and gateway-class
+// statuses move to a successor — any application-level answer (200,
+// 429, 422, 408, …) is the client's response, relayed untouched.
+// hedge additionally arms a tail-latency hedge on the first attempt.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte, retry, hedge bool) {
 	ring := rt.ring.Load()
 	chain := ring.Successors(key, len(ring.Members()))
 	if !retry {
 		chain = chain[:1]
 	}
+	st := rt.retry.Load()
+	st.budget.onRequest()
+	hedge = hedge && rt.hedgeOn.Load()
+
 	var lastErr error
+	var lastRes *attemptResult
+	attempts := 0
 	for i, name := range chain {
-		if i > 0 {
+		if r.Context().Err() != nil {
+			break
+		}
+		if !rt.breakers.Allow(name) {
+			lastErr = fmt.Errorf("backend %s: circuit open", name)
+			continue
+		}
+		if attempts >= st.pol.MaxAttempts {
+			break
+		}
+		if attempts > 0 {
+			if !st.budget.take() {
+				rt.budgetExhausted.Add(1)
+				break
+			}
 			rt.retries.Add(1)
 		}
-		resp, err := rt.doBackend(r, name, body)
+		attempts++
+		var res *attemptResult
+		var err error
+		if hedge && attempts == 1 && i+1 < len(chain) {
+			res, err = rt.attemptWithHedge(r, name, chain[i+1:], body, st.pol)
+		} else {
+			res, err = rt.attempt(r.Context(), r, name, body, st.pol)
+			rt.breakers.Report(name, err == nil && !gatewayBad(res.status))
+		}
 		if err != nil {
 			rt.deadBackends.Add(1)
 			lastErr = err
 			continue
 		}
-		rt.relay(w, resp)
+		if gatewayBad(res.status) {
+			lastRes, lastErr = res, fmt.Errorf("backend %s: status %d", name, res.status)
+			continue
+		}
+		rt.relayResult(w, res)
+		return
+	}
+	if lastRes != nil {
+		// Out of attempts with only gateway-class answers: the last one
+		// is more truthful than a synthesized error.
+		rt.relayResult(w, lastRes)
 		return
 	}
 	rt.routerError(w, http.StatusBadGateway, "no live backend for key %s: %v", key, lastErr)
+}
+
+// attempt performs one bounded, fully buffered round trip to a named
+// backend under its own per-attempt timeout (derived from ctx, which
+// also carries any hedge cancellation).
+func (rt *Router) attempt(ctx context.Context, r *http.Request, name string, body []byte, pol RetryPolicy) (*attemptResult, error) {
+	b, ok := rt.backends[name]
+	if !ok {
+		return nil, fmt.Errorf("no backend %q", name)
+	}
+	parent := ctx
+	if pol.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, "http://backend"+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	rt.sends[name].Add(1)
+	start := time.Now()
+	resp, err := b.Doer.Do(req)
+	if err != nil {
+		if ctx.Err() != nil && parent.Err() == nil {
+			rt.attemptTimeouts.Add(1)
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		if ctx.Err() != nil && parent.Err() == nil {
+			rt.attemptTimeouts.Add(1)
+		}
+		return nil, fmt.Errorf("backend %s: reading response: %w", name, rerr)
+	}
+	rt.proxied.Add(1)
+	rt.perBackend[name].Add(1)
+	if resp.StatusCode == http.StatusOK {
+		rt.lat.observe(time.Since(start))
+	}
+	return &attemptResult{status: resp.StatusCode, header: resp.Header.Clone(), body: data}, nil
+}
+
+// defaultHedgeDelay is the hedge delay used until the latency tracker
+// has enough samples for an adaptive p95.
+const defaultHedgeDelay = 100 * time.Millisecond
+
+// attemptWithHedge runs the primary attempt and, if it has not answered
+// after the hedge delay, fires one hedge at the first breaker-admitted
+// successor. The primary is authoritative — whatever it answers (even a
+// 429) is relayed the moment it arrives, and the hedge is cancelled; a
+// hedge response short-circuits only when it is a clean 200, so a
+// non-owner's 404 or a busy successor's 429 can never mask the owner's
+// answer. Exactly one response is returned; the loser is cancelled.
+func (rt *Router) attemptWithHedge(r *http.Request, primary string, rest []string, body []byte, pol RetryPolicy) (*attemptResult, error) {
+	delay := time.Duration(rt.hedgeDelayNs.Load())
+	if delay <= 0 {
+		delay = rt.lat.p95(defaultHedgeDelay)
+	}
+	type out struct {
+		res  *attemptResult
+		err  error
+		name string
+	}
+	parent := r.Context()
+	pctx, pcancel := context.WithCancel(parent)
+	defer pcancel()
+	hctx, hcancel := context.WithCancel(parent)
+	defer hcancel()
+	ch := make(chan out, 2)
+	run := func(ctx context.Context, name string) {
+		res, err := rt.attempt(ctx, r, name, body, pol)
+		rt.breakers.Report(name, err == nil && !gatewayBad(res.status))
+		ch <- out{res: res, err: err, name: name}
+	}
+	go run(pctx, primary)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	hedgeLaunched := false
+	var primaryOut *out
+	for {
+		select {
+		case o := <-ch:
+			if o.name == primary {
+				good := o.err == nil && !gatewayBad(o.res.status)
+				if good || !hedgeLaunched {
+					return o.res, o.err
+				}
+				// The primary failed at the transport level with a hedge
+				// in flight: its result may still save the request.
+				primaryOut = &o
+				continue
+			}
+			if o.err == nil && o.res.status == http.StatusOK {
+				rt.hedgeWins.Add(1)
+				pcancel()
+				return o.res, nil
+			}
+			// The hedge lost (error, 404 at a non-owner, 429, …): only
+			// the primary's answer counts.
+			if primaryOut != nil {
+				return primaryOut.res, primaryOut.err
+			}
+			hedgeLaunched = false // nothing left in flight beside primary
+		case <-timer.C:
+			for _, name := range rest {
+				if rt.breakers.Allow(name) {
+					hedgeLaunched = true
+					rt.hedged.Add(1)
+					go run(hctx, name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// relayResult copies a buffered attempt — status, headers, body — to
+// the client untouched, preserving 429/408/422 semantics end to end.
+func (rt *Router) relayResult(w http.ResponseWriter, res *attemptResult) {
+	for k, vs := range res.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
 }
 
 // doBackend performs one buffered round trip to a named backend,
@@ -298,7 +554,9 @@ func (rt *Router) doBackend(r *http.Request, name string, body []byte) (*http.Re
 		return nil, err
 	}
 	req.Header = r.Header.Clone()
+	rt.sends[name].Add(1)
 	resp, err := b.Doer.Do(req)
+	rt.breakers.Report(name, err == nil && !gatewayBad(resp.StatusCode))
 	if err != nil {
 		return nil, err
 	}
@@ -331,8 +589,9 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Solves are idempotent: retrying one on the next ring node after a
-	// transport failure at worst recomputes a result.
-	rt.forward(w, r, ref, body, true)
+	// transport failure at worst recomputes a result — and for the same
+	// reason they are the hedging surface.
+	rt.forward(w, r, ref, body, true, true)
 }
 
 // handleGraphs interns through the ring: the router parses the body
@@ -368,7 +627,7 @@ func (rt *Router) handleGraphs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rt.forward(w, r, intern.Ref(g), body, true)
+	rt.forward(w, r, intern.Ref(g), body, true, false)
 }
 
 func (rt *Router) handleGraphHead(w http.ResponseWriter, r *http.Request) {
@@ -377,7 +636,7 @@ func (rt *Router) handleGraphHead(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusBadRequest)
 		return
 	}
-	rt.forward(w, r, ref, nil, true)
+	rt.forward(w, r, ref, nil, true, false)
 }
 
 // handleBatch splits a batch by item ownership. A batch whose items all
@@ -431,9 +690,15 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// Single owner: pure passthrough of the verbatim body to that
 		// owner. This must name the backend directly — forward() routes
 		// by key, and no single key stands for the whole batch. Batches
-		// are not retried, so a transport failure reports every item as
-		// an error line, exactly like an unreachable sub-batch below.
-		resp, err := rt.doBackend(r, order[0], body)
+		// are not retried, so a transport failure (or an open breaker:
+		// same fate, without paying for the discovery) reports every
+		// item as an error line, exactly like an unreachable sub-batch
+		// below.
+		var resp *http.Response
+		err := fmt.Errorf("backend %s: circuit open", order[0])
+		if rt.breakers.Allow(order[0]) {
+			resp, err = rt.doBackend(r, order[0], body)
+		}
 		if err != nil {
 			rt.deadBackends.Add(1)
 			w.Header().Set("Content-Type", "application/x-ndjson")
@@ -475,6 +740,10 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			parts[pi].items = idxs
+			if !rt.breakers.Allow(owner) {
+				parts[pi].err = fmt.Errorf("backend %s: circuit open", owner)
+				return
+			}
 			resp, err := rt.doBackend(r, owner, sb)
 			if err != nil {
 				parts[pi].err = err
@@ -533,6 +802,23 @@ type RouterStats struct {
 	SplitBatches int64            `json:"splitBatches"`
 	RingSwaps    int64            `json:"ringSwaps"`
 	PerBackend   map[string]int64 `json:"perBackend"`
+	// Sends counts attempts that reached each backend's transport,
+	// including ones that failed or timed out (PerBackend counts only
+	// completed round trips) — the "ejected node drains to zero" chaos
+	// invariant is a statement about Sends.
+	Sends map[string]int64 `json:"sends"`
+	// Hedged counts fired hedge attempts; HedgeWins the hedges whose
+	// clean response beat the primary. RetryBudgetExhausted counts
+	// successor retries suppressed by the token budget, and
+	// AttemptTimeouts the attempts cut off by their per-attempt bound.
+	Hedged               int64 `json:"hedged"`
+	HedgeWins            int64 `json:"hedgeWins"`
+	RetryBudgetExhausted int64 `json:"retryBudgetExhausted"`
+	AttemptTimeouts      int64 `json:"attemptTimeouts"`
+	// Breakers is the circuit-breaker block; Health the prober's (absent
+	// when no prober is installed).
+	Breakers BreakerStats `json:"breakers"`
+	Health   *HealthStats `json:"health,omitempty"`
 }
 
 // Stats snapshots the router's counters.
@@ -548,9 +834,23 @@ func (rt *Router) Stats() RouterStats {
 		SplitBatches: rt.splitBatches.Load(),
 		RingSwaps:    rt.ringSwaps.Load(),
 		PerBackend:   make(map[string]int64, len(rt.perBackend)),
+		Sends:        make(map[string]int64, len(rt.sends)),
+
+		Hedged:               rt.hedged.Load(),
+		HedgeWins:            rt.hedgeWins.Load(),
+		RetryBudgetExhausted: rt.budgetExhausted.Load(),
+		AttemptTimeouts:      rt.attemptTimeouts.Load(),
+		Breakers:             rt.breakers.Stats(),
 	}
 	for name, c := range rt.perBackend {
 		st.PerBackend[name] = c.Load()
+	}
+	for name, c := range rt.sends {
+		st.Sends[name] = c.Load()
+	}
+	if p := rt.prober.Load(); p != nil {
+		hs := p.Stats()
+		st.Health = &hs
 	}
 	return st
 }
@@ -566,32 +866,82 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(`{"status":"ok"}` + "\n"))
 }
 
+// readyProbeTimeout bounds each member's probe on the prober-less
+// /readyz path: one blackholed backend costs one timeout, never a
+// stalled aggregation.
+const readyProbeTimeout = time.Second
+
 // handleReady aggregates the backends: the router is ready exactly when
-// every current ring member answers 200 on its own /readyz.
+// every current ring member is healthy. With a prober installed the
+// answer comes from its state snapshot — no network at all. Without
+// one, every member is probed concurrently, each under its own
+// per-probe timeout, and a member that cannot answer in time is
+// reported degraded rather than allowed to stall the aggregation.
 func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
-	type notReady struct {
-		Ready  bool   `json:"ready"`
-		Reason string `json:"reason,omitempty"`
+	type readyWire struct {
+		Ready   bool              `json:"ready"`
+		Reason  string            `json:"reason,omitempty"`
+		Members map[string]string `json:"members,omitempty"`
 	}
-	for _, name := range rt.ring.Load().Members() {
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, "http://backend/readyz", nil)
-		if err != nil {
-			continue
-		}
-		resp, derr := rt.backends[name].Doer.Do(req)
-		if derr != nil || resp.StatusCode != http.StatusOK {
-			reason := fmt.Sprintf("backend %s unreachable", name)
-			if derr == nil {
-				resp.Body.Close()
-				reason = fmt.Sprintf("backend %s not ready (status %d)", name, resp.StatusCode)
+	members := rt.ring.Load().Members()
+	states := make(map[string]string, len(members))
+	reason := ""
+
+	if p := rt.prober.Load(); p != nil {
+		snap := p.Snapshot()
+		for _, name := range members {
+			st, ok := snap[name]
+			if !ok {
+				st = ProbeStatus{State: HealthDegraded, LastError: "unknown to prober"}
 			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			json.NewEncoder(w).Encode(notReady{Reason: reason})
-			return
+			states[name] = st.State
+			if reason == "" && st.State != HealthHealthy {
+				reason = fmt.Sprintf("backend %s %s: %s", name, st.State, st.LastError)
+			}
 		}
-		resp.Body.Close()
+	} else {
+		errs := make([]error, len(members))
+		var wg sync.WaitGroup
+		for i, name := range members {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(r.Context(), readyProbeTimeout)
+				defer cancel()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://backend/readyz", nil)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				resp, err := rt.backends[name].Doer.Do(req)
+				if err != nil {
+					errs[i] = fmt.Errorf("backend %s unreachable", name)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = fmt.Errorf("backend %s not ready (status %d)", name, resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+		for i, name := range members {
+			if errs[i] == nil {
+				states[name] = HealthHealthy
+				continue
+			}
+			states[name] = HealthDegraded
+			if reason == "" {
+				reason = errs[i].Error()
+			}
+		}
 	}
+
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(notReady{Ready: true})
+	if reason != "" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(readyWire{Reason: reason, Members: states})
+		return
+	}
+	json.NewEncoder(w).Encode(readyWire{Ready: true, Members: states})
 }

@@ -1,0 +1,220 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// okDoer answers 200 and counts how many requests actually reached it.
+type okDoer struct{ hits atomic.Int64 }
+
+func (d *okDoer) Do(req *http.Request) (*http.Response, error) {
+	d.hits.Add(1)
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(`{"ok":true}`)),
+		Request:    req,
+	}, nil
+}
+
+// drawSequence records site's first n visit decisions.
+func drawSequence(inj *NetInjector, site string, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		k, v, fire := inj.visit(site)
+		out = append(out, fmt.Sprintf("%d:%v:%s", v, fire, k))
+	}
+	return out
+}
+
+// TestNetInjectorDeterministic: same seed, same plan -> the same visits
+// fault in the same way, independent of injector instance.
+func TestNetInjectorDeterministic(t *testing.T) {
+	plan := NetPlan{Seed: 42, Rate: 0.3}
+	a := drawSequence(NewNetInjector(plan), "net.b0", 200)
+	b := drawSequence(NewNetInjector(plan), "net.b0", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("visit %d diverged across identical injectors: %s vs %s", i+1, a[i], b[i])
+		}
+	}
+	fired := 0
+	for _, s := range a {
+		if strings.Contains(s, ":true:") {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 200 {
+		t.Fatalf("rate 0.3 fired %d/200 visits — draw looks degenerate", fired)
+	}
+}
+
+// TestNetInjectorSeedChangesSequence: a different seed must reshuffle
+// which visits fault.
+func TestNetInjectorSeedChangesSequence(t *testing.T) {
+	a := drawSequence(NewNetInjector(NetPlan{Seed: 1, Rate: 0.3}), "net.b0", 200)
+	b := drawSequence(NewNetInjector(NetPlan{Seed: 2, Rate: 0.3}), "net.b0", 200)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 drew identical 200-visit sequences")
+	}
+}
+
+// TestNetInjectorSitesIndependent: two sites under one injector draw
+// independent sequences (the site name is folded into the hash).
+func TestNetInjectorSitesIndependent(t *testing.T) {
+	inj := NewNetInjector(NetPlan{Seed: 7, Rate: 0.3})
+	a := drawSequence(inj, "net.b0", 200)
+	b := drawSequence(inj, "net.b1", 200)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sites net.b0 and net.b1 drew identical sequences")
+	}
+}
+
+// TestNetInjectorSiteFilter: a plan scoped to one site never faults the
+// others.
+func TestNetInjectorSiteFilter(t *testing.T) {
+	inj := NewNetInjector(NetPlan{Seed: 7, Rate: 1, Sites: []string{"net.b0"}, Kinds: []NetKind{NetFlaky5xx}})
+	next := &okDoer{}
+	armed := inj.Wrap("net.b0", next)
+	spared := inj.Wrap("net.b1", next)
+
+	req, _ := http.NewRequest(http.MethodGet, "http://backend/readyz", nil)
+	if resp, err := armed.Do(req); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("armed site: resp/err = %v/%v, want injected 503", resp, err)
+	}
+	resp, err := spared.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("spared site: resp/err = %v/%v, want a clean 200", resp, err)
+	}
+	if next.hits.Load() != 1 {
+		t.Fatalf("backend saw %d requests, want 1 (503 synthesized, never forwarded)", next.hits.Load())
+	}
+}
+
+func newReq(t *testing.T, ctx context.Context) *http.Request {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://backend/readyz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestFaultyDoerDrop(t *testing.T) {
+	inj := NewNetInjector(NetPlan{Seed: 3, Rate: 1, Kinds: []NetKind{NetDrop}})
+	next := &okDoer{}
+	fd := inj.Wrap("net.b0", next)
+	_, err := fd.Do(newReq(t, context.Background()))
+	var dropped Dropped
+	if !errors.As(err, &dropped) {
+		t.Fatalf("err = %v, want a fault.Dropped", err)
+	}
+	if dropped.Site != "net.b0" || dropped.Visit != 1 {
+		t.Fatalf("dropped = %+v, want site net.b0 visit 1", dropped)
+	}
+	if next.hits.Load() != 0 {
+		t.Fatal("dropped request reached the backend")
+	}
+	if inj.Fired()["drop"] != 1 {
+		t.Fatalf("fired = %v, want drop:1", inj.Fired())
+	}
+}
+
+func TestFaultyDoerDelayForwards(t *testing.T) {
+	inj := NewNetInjector(NetPlan{Seed: 3, Rate: 1, Kinds: []NetKind{NetDelay}, Delay: 20 * time.Millisecond})
+	next := &okDoer{}
+	fd := inj.Wrap("net.b0", next)
+	start := time.Now()
+	resp, err := fd.Do(newReq(t, context.Background()))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("resp/err = %v/%v, want a delayed 200", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("request answered in %v, want >= the 20ms hold", elapsed)
+	}
+	if next.hits.Load() != 1 {
+		t.Fatal("delayed request never forwarded")
+	}
+}
+
+func TestFaultyDoerBlackholeHonorsContext(t *testing.T) {
+	inj := NewNetInjector(NetPlan{Seed: 3, Rate: 1, Kinds: []NetKind{NetBlackhole}, BlackholeMax: 10 * time.Second})
+	next := &okDoer{}
+	fd := inj.Wrap("net.b0", next)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fd.Do(newReq(t, ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the caller's deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("blackhole held the request %v past the caller's 30ms deadline", elapsed)
+	}
+	if next.hits.Load() != 0 {
+		t.Fatal("blackholed request reached the backend")
+	}
+}
+
+func TestFaultyDoerFlaky5xxNeverForwards(t *testing.T) {
+	inj := NewNetInjector(NetPlan{Seed: 3, Rate: 1, Kinds: []NetKind{NetFlaky5xx}})
+	next := &okDoer{}
+	fd := inj.Wrap("net.b0", next)
+	resp, err := fd.Do(newReq(t, context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"code":"fault"`) {
+		t.Fatalf("body = %s, want the injected-fault marker", body)
+	}
+	if next.hits.Load() != 0 {
+		t.Fatal("flaky-5xx request reached the backend")
+	}
+}
+
+// TestFaultyDoerRateZeroIsTransparent: Rate<=0 takes the default 1%%,
+// so transparency is asserted with an explicit site filter miss.
+func TestFaultyDoerUnarmedSiteTransparent(t *testing.T) {
+	inj := NewNetInjector(NetPlan{Seed: 3, Rate: 1, Sites: []string{"net.elsewhere"}})
+	next := &okDoer{}
+	fd := inj.Wrap("net.b0", next)
+	for i := 0; i < 50; i++ {
+		resp, err := fd.Do(newReq(t, context.Background()))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("visit %d: resp/err = %v/%v, want clean passthrough", i, resp, err)
+		}
+	}
+	if next.hits.Load() != 50 {
+		t.Fatalf("backend saw %d of 50 requests", next.hits.Load())
+	}
+	if len(inj.Fired()) != 0 {
+		t.Fatalf("fired = %v, want none", inj.Fired())
+	}
+}
